@@ -1,0 +1,61 @@
+// Ablation: cost of each §V security mitigation on Injected Function
+// latency (the paper defers this measurement to future work: "The
+// performance impact of these options is a subject for future study").
+#include "fig_common.hpp"
+
+using namespace twochains;
+using namespace twochains::bench;
+
+namespace {
+
+double MedianUs(const core::SecurityPolicy& policy, std::uint64_t usr_bytes) {
+  auto options = PaperTestbed().WithSecurity(policy);
+  auto testbed = MakeBenchTestbed(options);
+  AmConfig config = IputConfig(usr_bytes / 4, core::Invoke::kInjected);
+  config.iterations = 800;
+  config.warmup = 100;
+  const auto result = MustOk(RunAmPingPong(*testbed, config), "pingpong");
+  return ToMicroseconds(result.one_way.Median());
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation", "security-mode latency cost (Indirect Put, injected)");
+  Table table({"mode", "64B(us)", "4KiB(us)", "64B cost", "4KiB cost"});
+
+  core::SecurityPolicy verify;
+  verify.verify_injected_code = true;
+  core::SecurityPolicy recv_got;
+  recv_got.receiver_installs_got = true;
+  core::SecurityPolicy wx;
+  wx.split_code_data_pages = true;
+  wx.enforce_exec_permission = true;
+
+  const double base64 = MedianUs(core::SecurityPolicy::PaperDefault(), 64);
+  const double base4k = MedianUs(core::SecurityPolicy::PaperDefault(), 4096);
+  table.AddRow({"paper default", FmtF(base64, "%.3f"), FmtF(base4k, "%.3f"),
+                "-", "-"});
+  struct Mode {
+    const char* name;
+    core::SecurityPolicy policy;
+  };
+  const Mode modes[] = {
+      {"verifier", verify},
+      {"receiver GOT", recv_got},
+      {"W^X split pages", wx},
+      {"hardened (all)", core::SecurityPolicy::Hardened()},
+  };
+  bool ok = true;
+  for (const auto& mode : modes) {
+    const double us64 = MedianUs(mode.policy, 64);
+    const double us4k = MedianUs(mode.policy, 4096);
+    table.AddRow({mode.name, FmtF(us64, "%.3f"), FmtF(us4k, "%.3f"),
+                  FmtPct((us64 - base64) / base64),
+                  FmtPct((us4k - base4k) / base4k)});
+    ok &= us64 >= base64 * 0.99;  // mitigations never make things faster
+  }
+  table.Print();
+  ok &= ShapeCheck("every mitigation costs >= baseline", ok);
+  return FinishChecks(ok);
+}

@@ -1,0 +1,96 @@
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// reproduces one figure of the paper's §VII: it sweeps the same x-axis,
+// prints the measured series, and evaluates the figure's qualitative claims
+// as PASS/FAIL shape checks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "benchlib/perftest.hpp"
+#include "benchlib/stress.hpp"
+#include "benchlib/table.hpp"
+#include "benchlib/testbed_defaults.hpp"
+#include "benchlib/workloads.hpp"
+#include "core/two_chains.hpp"
+
+namespace twochains::bench {
+
+/// A fresh paper-testbed with the benchmark package loaded.
+inline std::unique_ptr<core::Testbed> MakeBenchTestbed(
+    core::TestbedOptions options = PaperTestbed()) {
+  auto testbed = std::make_unique<core::Testbed>(options);
+  auto package = BuildBenchPackage();
+  if (!package.ok()) {
+    std::fprintf(stderr, "package build failed: %s\n",
+                 package.status().ToString().c_str());
+    std::abort();
+  }
+  Status st = testbed->LoadPackage(*package);
+  if (!st.ok()) {
+    std::fprintf(stderr, "package load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return testbed;
+}
+
+/// Payload bytes that make a Local (no-code, no-args) frame exactly
+/// @p frame_len bytes: header 24 + usr + signal 8, rounded to 64.
+inline std::uint64_t UsrBytesForLocalFrame(std::uint64_t frame_len) {
+  return frame_len - 32;
+}
+
+/// Iteration count budget by payload size (keeps whole-suite runtime sane
+/// while giving small sizes dense sampling).
+inline std::uint32_t IterationsFor(std::uint64_t bytes) {
+  if (bytes <= 1024) return 1200;
+  if (bytes <= 8192) return 600;
+  if (bytes <= 32768) return 300;
+  return 150;
+}
+
+/// Indirect Put config for an n-integer payload (the Fig. 7-11, 13 x-axis:
+/// "number of integers being Put", 4-byte integers).
+inline AmConfig IputConfig(std::uint64_t n_ints, core::Invoke mode) {
+  AmConfig config;
+  config.jam = "iput";
+  config.mode = mode;
+  config.usr_bytes = 4 * n_ints;
+  config.iterations = IterationsFor(config.usr_bytes);
+  config.warmup = config.iterations / 5;
+  config.args = [](std::uint64_t iter) {
+    return std::vector<std::uint64_t>{iter & 127};
+  };
+  return config;
+}
+
+/// Server-Side Sum config for a payload of @p usr_bytes.
+inline AmConfig SsumConfig(std::uint64_t usr_bytes, core::Invoke mode) {
+  AmConfig config;
+  config.jam = "ssum";
+  config.mode = mode;
+  config.usr_bytes = usr_bytes;
+  config.iterations = IterationsFor(usr_bytes);
+  config.warmup = config.iterations / 5;
+  config.args = [](std::uint64_t) { return std::vector<std::uint64_t>{}; };
+  return config;
+}
+
+/// Aborts the process (non-zero) on harness errors; shape-check failures
+/// only print FAIL so the whole bench suite always runs to completion.
+template <typename T>
+inline T MustOk(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 value.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(value).value();
+}
+
+inline int FinishChecks(bool all_ok) {
+  std::printf("\nshape checks: %s\n", all_ok ? "ALL PASS" : "FAILURES");
+  return 0;  // keep the suite running; EXPERIMENTS.md records outcomes
+}
+
+}  // namespace twochains::bench

@@ -1,0 +1,115 @@
+// AST for AMC translation units.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "amcc/types.hpp"
+
+namespace twochains::amcc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kStringLit,
+  kIdent,
+  kUnary,    ///< op in {-, ~, !, *, &, ++pre, --pre, ++post, --post}
+  kBinary,   ///< arithmetic / comparison / logical
+  kAssign,   ///< op in {=, +=, -=, *=, /=, %=, &=, |=, ^=, <<=, >>=}
+  kCall,
+  kIndex,    ///< a[i]
+  kCast,
+  kSizeofType,
+  kSizeofExpr,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  std::uint64_t int_value = 0;   // kIntLit
+  std::string str_value;         // kStringLit
+  std::string name;              // kIdent / kCall callee
+  std::string op;                // kUnary / kBinary / kAssign
+  ExprPtr lhs;                   // operand / callee-agnostic left side
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;     // kCall
+  Type type;                     // kCast target / kSizeofType operand
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kExpr,
+  kDecl,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;  // kExpr payload / kReturn value / kIf-kWhile-kFor condition
+
+  // kDecl
+  Type decl_type;
+  std::string decl_name;
+  std::uint64_t array_size = 0;  ///< 0 = scalar
+  ExprPtr init;
+
+  // kFor
+  StmtPtr for_init;
+  ExprPtr for_step;
+
+  // kIf / kWhile / kFor / kBlock bodies
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;  // kIf only
+};
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct FuncDecl {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  bool is_extern = false;  ///< declaration only
+  bool is_static = false;  ///< not exported
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct GlobalDecl {
+  Type type;
+  std::string name;
+  std::uint64_t array_size = 0;
+  bool is_const = false;   ///< placed in .rodata
+  bool is_extern = false;  ///< declaration only
+  bool is_static = false;
+  std::optional<std::uint64_t> init_int;
+  std::optional<std::string> init_string;   ///< char arrays / char*
+  std::vector<std::uint64_t> init_list;     ///< array initializer
+  int line = 0;
+};
+
+struct Unit {
+  std::string name;
+  std::vector<FuncDecl> functions;
+  std::vector<GlobalDecl> globals;
+};
+
+}  // namespace twochains::amcc

@@ -1,0 +1,931 @@
+#include "amcc/codegen.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/strfmt.hpp"
+
+namespace twochains::amcc {
+namespace {
+
+/// What a name refers to during generation.
+struct Binding {
+  enum Kind { kLocal, kGlobal, kExternGlobal, kFunc, kExternFunc } kind;
+  Type type;
+  std::uint64_t array_size = 0;  ///< 0 = scalar
+  std::int32_t slot = 0;         ///< kLocal: sp-relative offset
+  std::string symbol;            ///< globals/functions: asm symbol
+};
+
+class Codegen {
+ public:
+  explicit Codegen(const Unit& unit) : unit_(unit) {}
+
+  StatusOr<std::string> Run() {
+    // Unit-level symbol table.
+    for (const auto& fn : unit_.functions) {
+      Binding b;
+      b.kind = fn.is_extern ? Binding::kExternFunc : Binding::kFunc;
+      b.type = fn.return_type;
+      b.symbol = fn.name;
+      if (globals_.contains(fn.name)) {
+        return Err(fn.line, "redefinition of '" + fn.name + "'");
+      }
+      globals_.emplace(fn.name, b);
+      func_params_.emplace(fn.name, fn.params.size());
+    }
+    for (const auto& g : unit_.globals) {
+      Binding b;
+      b.kind = g.is_extern ? Binding::kExternGlobal : Binding::kGlobal;
+      b.type = g.type;
+      b.array_size = g.array_size;
+      b.symbol = g.name;
+      if (globals_.contains(g.name)) {
+        return Err(g.line, "redefinition of '" + g.name + "'");
+      }
+      globals_.emplace(g.name, b);
+    }
+
+    // Extern declarations.
+    for (const auto& fn : unit_.functions) {
+      if (fn.is_extern) Emit(".extern %s", fn.name.c_str());
+    }
+    for (const auto& g : unit_.globals) {
+      if (g.is_extern) Emit(".extern %s", g.name.c_str());
+    }
+
+    // Data sections.
+    TC_RETURN_IF_ERROR(EmitGlobals());
+
+    // Functions.
+    Emit(".text");
+    for (const auto& fn : unit_.functions) {
+      if (fn.is_extern) continue;
+      TC_RETURN_IF_ERROR(EmitFunction(fn));
+    }
+
+    // String literal pool.
+    if (!strings_.empty()) {
+      Emit(".rodata");
+      for (std::size_t i = 0; i < strings_.size(); ++i) {
+        Emit(".Lstr%zu: .asciz \"%s\"", i, EscapeAsm(strings_[i]).c_str());
+      }
+    }
+    return out_;
+  }
+
+ private:
+  Status Err(int line, const std::string& msg) const {
+    return InvalidArgument(
+        StrFormat("%s:%d: %s", unit_.name.c_str(), line, msg.c_str()));
+  }
+
+  void Emit(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string line;
+    if (n > 0) {
+      line.resize(static_cast<std::size_t>(n));
+      std::vsnprintf(line.data(), line.size() + 1, fmt, args2);
+    }
+    va_end(args2);
+    out_ += line;
+    out_ += '\n';
+  }
+
+  static std::string EscapeAsm(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\0': out += "\\0"; break;
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  // ------------------------------------------------------------ globals
+
+  Status EmitGlobals() {
+    bool have_rodata = false, have_data = false;
+    for (const auto& g : unit_.globals) {
+      if (g.is_extern) continue;
+      (g.is_const ? have_rodata : have_data) = true;
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool rodata_pass = pass == 0;
+      if (rodata_pass && !have_rodata) continue;
+      if (!rodata_pass && !have_data) continue;
+      Emit(rodata_pass ? ".rodata" : ".data");
+      for (const auto& g : unit_.globals) {
+        if (g.is_extern || g.is_const != rodata_pass) continue;
+        TC_RETURN_IF_ERROR(EmitGlobal(g));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status EmitGlobal(const GlobalDecl& g) {
+    if (!g.is_static) Emit(".global %s", g.name.c_str());
+    Emit(".align 8");
+    const unsigned elem = g.type.ByteSize();
+    if (elem == 0) return Err(g.line, "void global");
+    const char* dir = elem == 1 ? ".byte"
+                      : elem == 2 ? ".half"
+                      : elem == 4 ? ".word"
+                                  : ".quad";
+    const std::uint64_t count = g.array_size == 0 ? 1 : g.array_size;
+
+    if (g.init_string.has_value()) {
+      // char buf[N] = "..." or const char* s = "..." (pointer to pool).
+      if (g.type.IsPointer()) {
+        strings_.push_back(*g.init_string);
+        Emit("%s: .quad .Lstr%zu", g.name.c_str(), strings_.size() - 1);
+        return Status::Ok();
+      }
+      if (elem != 1) return Err(g.line, "string initializer on non-char");
+      Emit("%s: .asciz \"%s\"", g.name.c_str(),
+           EscapeAsm(*g.init_string).c_str());
+      const std::uint64_t used = g.init_string->size() + 1;
+      if (g.array_size != 0 && used > g.array_size) {
+        return Err(g.line, "string longer than array");
+      }
+      if (g.array_size != 0 && used < g.array_size) {
+        Emit(".space %llu",
+             static_cast<unsigned long long>(g.array_size - used));
+      }
+      return Status::Ok();
+    }
+    if (!g.init_list.empty()) {
+      if (g.array_size == 0) return Err(g.line, "list initializer on scalar");
+      if (g.init_list.size() > g.array_size) {
+        return Err(g.line, "too many initializers");
+      }
+      std::string line = g.name + ": " + dir;
+      for (std::size_t i = 0; i < g.init_list.size(); ++i) {
+        line += StrFormat("%s %llu", i == 0 ? "" : ",",
+                          static_cast<unsigned long long>(g.init_list[i]));
+      }
+      Emit("%s", line.c_str());
+      const std::uint64_t rest = count - g.init_list.size();
+      if (rest > 0) {
+        Emit(".space %llu", static_cast<unsigned long long>(rest * elem));
+      }
+      return Status::Ok();
+    }
+    if (g.init_int.has_value()) {
+      if (g.array_size != 0) return Err(g.line, "scalar init on array");
+      Emit("%s: %s %llu", g.name.c_str(), dir,
+           static_cast<unsigned long long>(*g.init_int));
+      return Status::Ok();
+    }
+    Emit("%s: .space %llu", g.name.c_str(),
+         static_cast<unsigned long long>(count * elem));
+    return Status::Ok();
+  }
+
+  // ----------------------------------------------------------- functions
+
+  Status EmitFunction(const FuncDecl& fn) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    frame_size_ = 16;  // +0: saved lr; +8: pad (keeps sp 16-aligned)
+    label_counter_ = 0;
+    break_labels_.clear();
+    continue_labels_.clear();
+    current_fn_ = &fn;
+
+    // Params get slots first.
+    for (const auto& param : fn.params) {
+      Binding b;
+      b.kind = Binding::kLocal;
+      b.type = param.type;
+      b.slot = static_cast<std::int32_t>(frame_size_);
+      frame_size_ += 8;
+      if (!param.name.empty()) scopes_.back()[param.name] = b;
+    }
+    // Pre-assign slots for every declaration in the body (no reuse across
+    // blocks: predictable frames beat compact ones here).
+    TC_RETURN_IF_ERROR(AssignSlots(fn.body));
+    frame_size_ = (frame_size_ + 15) & ~15ull;
+
+    if (!fn.is_static) Emit(".global %s", fn.name.c_str());
+    Emit("%s:", fn.name.c_str());
+    // Frame: [fp+0] saved lr, [fp+8] saved fp, then params and locals.
+    // Locals are fp-relative because expression temporaries and call
+    // arguments push/pop through sp.
+    Emit("  addi sp, sp, -%llu", static_cast<unsigned long long>(frame_size_));
+    Emit("  std lr, [sp+0]");
+    Emit("  std fp, [sp+8]");
+    Emit("  mov fp, sp");
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (fn.params[i].name.empty()) continue;
+      const auto& b = scopes_.back().at(fn.params[i].name);
+      Emit("  std a%zu, [fp+%d]", i, b.slot);
+    }
+
+    for (const auto& stmt : fn.body) {
+      TC_RETURN_IF_ERROR(GenStmt(*stmt));
+    }
+
+    Emit(".Lret_%s:", fn.name.c_str());
+    Emit("  mov sp, fp");  // discards any unbalanced temporaries
+    Emit("  ldd lr, [sp+0]");
+    Emit("  ldd fp, [sp+8]");
+    Emit("  addi sp, sp, %llu", static_cast<unsigned long long>(frame_size_));
+    Emit("  ret");
+    return Status::Ok();
+  }
+
+  /// Walks statements, assigning a stack slot to every declaration.
+  Status AssignSlots(const std::vector<StmtPtr>& stmts) {
+    for (const auto& stmt : stmts) {
+      if (stmt->kind == StmtKind::kDecl) {
+        const std::uint64_t bytes =
+            stmt->array_size == 0
+                ? 8
+                : ((stmt->array_size * stmt->decl_type.ByteSize() + 7) & ~7ull);
+        slot_of_[stmt.get()] = static_cast<std::int32_t>(frame_size_);
+        frame_size_ += bytes;
+      }
+      TC_RETURN_IF_ERROR(AssignSlots(stmt->body));
+      TC_RETURN_IF_ERROR(AssignSlots(stmt->else_body));
+      if (stmt->for_init) {
+        std::vector<StmtPtr> tmp;  // visit single statement uniformly
+        if (stmt->for_init->kind == StmtKind::kDecl) {
+          const std::uint64_t bytes =
+              stmt->for_init->array_size == 0
+                  ? 8
+                  : ((stmt->for_init->array_size *
+                          stmt->for_init->decl_type.ByteSize() +
+                      7) &
+                     ~7ull);
+          slot_of_[stmt->for_init.get()] =
+              static_cast<std::int32_t>(frame_size_);
+          frame_size_ += bytes;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // ----------------------------------------------------------- name rules
+
+  StatusOr<Binding> Resolve(const std::string& name, int line) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    const auto found = globals_.find(name);
+    if (found != globals_.end()) return found->second;
+    return Err(line, "use of undeclared identifier '" + name + "'");
+  }
+
+  std::string NewLabel(const char* hint) {
+    return StrFormat(".L%s_%s_%d", hint, current_fn_->name.c_str(),
+                     label_counter_++);
+  }
+
+  // ----------------------------------------------------------- statements
+
+  Status GenStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (const auto& inner : stmt.body) {
+          TC_RETURN_IF_ERROR(GenStmt(*inner));
+        }
+        scopes_.pop_back();
+        return Status::Ok();
+      }
+      case StmtKind::kExpr: {
+        TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.expr));
+        (void)ignored;
+        return Status::Ok();
+      }
+      case StmtKind::kDecl:
+        return GenDecl(stmt);
+      case StmtKind::kIf: {
+        const std::string else_label = NewLabel("else");
+        const std::string end_label = NewLabel("endif");
+        TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.expr));
+        (void)ignored;
+        Emit("  beq t0, zr, %s",
+             (stmt.else_body.empty() ? end_label : else_label).c_str());
+        for (const auto& inner : stmt.body) {
+          TC_RETURN_IF_ERROR(GenStmt(*inner));
+        }
+        if (!stmt.else_body.empty()) {
+          Emit("  jmp %s", end_label.c_str());
+          Emit("%s:", else_label.c_str());
+          for (const auto& inner : stmt.else_body) {
+            TC_RETURN_IF_ERROR(GenStmt(*inner));
+          }
+        }
+        Emit("%s:", end_label.c_str());
+        return Status::Ok();
+      }
+      case StmtKind::kWhile: {
+        const std::string head = NewLabel("while");
+        const std::string end = NewLabel("endwhile");
+        Emit("%s:", head.c_str());
+        TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.expr));
+        (void)ignored;
+        Emit("  beq t0, zr, %s", end.c_str());
+        break_labels_.push_back(end);
+        continue_labels_.push_back(head);
+        for (const auto& inner : stmt.body) {
+          TC_RETURN_IF_ERROR(GenStmt(*inner));
+        }
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        Emit("  jmp %s", head.c_str());
+        Emit("%s:", end.c_str());
+        return Status::Ok();
+      }
+      case StmtKind::kFor: {
+        const std::string head = NewLabel("for");
+        const std::string step = NewLabel("forstep");
+        const std::string end = NewLabel("endfor");
+        scopes_.emplace_back();  // for-init scope
+        if (stmt.for_init) TC_RETURN_IF_ERROR(GenStmt(*stmt.for_init));
+        Emit("%s:", head.c_str());
+        if (stmt.expr) {
+          TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.expr));
+          (void)ignored;
+          Emit("  beq t0, zr, %s", end.c_str());
+        }
+        break_labels_.push_back(end);
+        continue_labels_.push_back(step);
+        for (const auto& inner : stmt.body) {
+          TC_RETURN_IF_ERROR(GenStmt(*inner));
+        }
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        Emit("%s:", step.c_str());
+        if (stmt.for_step) {
+          TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.for_step));
+          (void)ignored;
+        }
+        Emit("  jmp %s", head.c_str());
+        Emit("%s:", end.c_str());
+        scopes_.pop_back();
+        return Status::Ok();
+      }
+      case StmtKind::kReturn: {
+        if (stmt.expr) {
+          TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.expr));
+          (void)ignored;
+          Emit("  mov a0, t0");
+        }
+        Emit("  jmp .Lret_%s", current_fn_->name.c_str());
+        return Status::Ok();
+      }
+      case StmtKind::kBreak:
+        if (break_labels_.empty()) return Err(stmt.line, "break outside loop");
+        Emit("  jmp %s", break_labels_.back().c_str());
+        return Status::Ok();
+      case StmtKind::kContinue:
+        if (continue_labels_.empty()) {
+          return Err(stmt.line, "continue outside loop");
+        }
+        Emit("  jmp %s", continue_labels_.back().c_str());
+        return Status::Ok();
+    }
+    return Err(stmt.line, "unhandled statement");
+  }
+
+  Status GenDecl(const Stmt& stmt) {
+    Binding b;
+    b.kind = Binding::kLocal;
+    b.type = stmt.decl_type;
+    b.array_size = stmt.array_size;
+    b.slot = slot_of_.at(&stmt);
+    if (scopes_.back().contains(stmt.decl_name)) {
+      return Err(stmt.line, "redeclaration of '" + stmt.decl_name + "'");
+    }
+    scopes_.back()[stmt.decl_name] = b;
+    if (stmt.init) {
+      if (stmt.array_size != 0) {
+        return Err(stmt.line, "local array initializers are unsupported");
+      }
+      TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*stmt.init));
+      (void)ignored;
+      TC_RETURN_IF_ERROR(EmitStoreTo(b.type, b.slot));
+    }
+    return Status::Ok();
+  }
+
+  Status EmitStoreTo(const Type& type, std::int32_t slot) {
+    switch (type.ByteSize()) {
+      case 1: Emit("  stb t0, [fp+%d]", slot); break;
+      case 2: Emit("  sth t0, [fp+%d]", slot); break;
+      case 4: Emit("  stw t0, [fp+%d]", slot); break;
+      default: Emit("  std t0, [fp+%d]", slot); break;
+    }
+    return Status::Ok();
+  }
+
+  // ---------------------------------------------------------- expressions
+
+  /// True if @p e can be generated into an arbitrary register without
+  /// disturbing t0 (used to skip the push/pop protocol).
+  bool IsLeaf(const Expr& e) const {
+    if (e.kind == ExprKind::kIntLit) return true;
+    if (e.kind == ExprKind::kIdent) {
+      const auto b = Resolve(e.name, e.line);
+      return b.ok() && b->kind == Binding::kLocal && b->array_size == 0;
+    }
+    return false;
+  }
+
+  /// Generates a leaf value into register @p reg.
+  Status GenLeafInto(const Expr& e, const char* reg, Type* type) {
+    if (e.kind == ExprKind::kIntLit) {
+      if (e.int_value <= INT32_MAX) {
+        Emit("  movi %s, %llu", reg,
+             static_cast<unsigned long long>(e.int_value));
+      } else {
+        Emit("  li %s, %llu", reg,
+             static_cast<unsigned long long>(e.int_value));
+      }
+      *type = kLongType;
+      return Status::Ok();
+    }
+    TC_ASSIGN_OR_RETURN(const Binding b, Resolve(e.name, e.line));
+    TC_RETURN_IF_ERROR(EmitLoadLocal(b, reg));
+    *type = b.type;
+    return Status::Ok();
+  }
+
+  Status EmitLoadLocal(const Binding& b, const char* reg) {
+    const char* op = nullptr;
+    switch (b.type.ByteSize()) {
+      case 1: op = b.type.IsUnsigned() ? "ldbu" : "ldb"; break;
+      case 2: op = b.type.IsUnsigned() ? "ldhu" : "ldh"; break;
+      case 4: op = b.type.IsUnsigned() ? "ldwu" : "ldw"; break;
+      default: op = "ldd"; break;
+    }
+    Emit("  %s %s, [fp+%d]", op, reg, b.slot);
+    return Status::Ok();
+  }
+
+  void Push(const char* reg) { Emit("  addi sp, sp, -8"); Emit("  std %s, [sp+0]", reg); }
+  void Pop(const char* reg) { Emit("  ldd %s, [sp+0]", reg); Emit("  addi sp, sp, 8"); }
+
+  /// Loads a value of @p type from the address in t0, into t0.
+  void EmitLoadThroughT0(const Type& type) {
+    const char* op = nullptr;
+    switch (type.ByteSize()) {
+      case 1: op = type.IsUnsigned() ? "ldbu" : "ldb"; break;
+      case 2: op = type.IsUnsigned() ? "ldhu" : "ldh"; break;
+      case 4: op = type.IsUnsigned() ? "ldwu" : "ldw"; break;
+      default: op = "ldd"; break;
+    }
+    Emit("  %s t0, [t0+0]", op);
+  }
+
+  /// Stores t1 (value) through t0 (address) with @p type's width.
+  void EmitStoreThroughT0(const Type& type) {
+    const char* op = nullptr;
+    switch (type.ByteSize()) {
+      case 1: op = "stb"; break;
+      case 2: op = "sth"; break;
+      case 4: op = "stw"; break;
+      default: op = "std"; break;
+    }
+    Emit("  %s t1, [t0+0]", op);
+  }
+
+  /// Result: address in t0. Returns the *element* type at that address.
+  StatusOr<Type> GenAddr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdent: {
+        TC_ASSIGN_OR_RETURN(const Binding b, Resolve(e.name, e.line));
+        switch (b.kind) {
+          case Binding::kLocal:
+            Emit("  addi t0, fp, %d", b.slot);
+            return b.type;
+          case Binding::kGlobal:
+            Emit("  lea t0, %s", b.symbol.c_str());
+            return b.type;
+          case Binding::kExternGlobal:
+            Emit("  ldg t0, @%s", b.symbol.c_str());
+            return b.type;
+          default:
+            return Err(e.line, "cannot take the address of a function");
+        }
+      }
+      case ExprKind::kUnary:
+        if (e.op == "*") {
+          TC_ASSIGN_OR_RETURN(const Type ptr, GenExpr(*e.lhs));
+          if (!ptr.IsPointer()) return Err(e.line, "dereference of non-pointer");
+          return ptr.Pointee();
+        }
+        return Err(e.line, "expression is not an lvalue");
+      case ExprKind::kIndex: {
+        TC_ASSIGN_OR_RETURN(const Type base, GenExpr(*e.lhs));
+        Type elem;
+        if (base.IsPointer()) {
+          elem = base.Pointee();
+        } else {
+          return Err(e.line, "subscript of non-pointer");
+        }
+        const unsigned scale = elem.ByteSize() == 0 ? 1 : elem.ByteSize();
+        if (IsLeaf(*e.rhs)) {
+          Type ignored;
+          TC_RETURN_IF_ERROR(GenLeafInto(*e.rhs, "t1", &ignored));
+        } else {
+          Push("t0");
+          TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*e.rhs));
+          (void)ignored;
+          Emit("  mov t1, t0");
+          Pop("t0");
+        }
+        if (scale > 1) Emit("  muli t1, t1, %u", scale);
+        Emit("  add t0, t0, t1");
+        return elem;
+      }
+      default:
+        return Err(e.line, "expression is not an lvalue");
+    }
+  }
+
+  /// Static type of an expression (for sizeof), no code emitted.
+  StatusOr<Type> TypeOf(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kIntLit: return kLongType;
+      case ExprKind::kStringLit: return kCharPtrType;
+      case ExprKind::kIdent: {
+        TC_ASSIGN_OR_RETURN(const Binding b, Resolve(e.name, e.line));
+        if (b.array_size != 0) return b.type.PointerTo();
+        return b.type;
+      }
+      case ExprKind::kUnary:
+        if (e.op == "*") {
+          TC_ASSIGN_OR_RETURN(const Type t, TypeOf(*e.lhs));
+          if (!t.IsPointer()) return Err(e.line, "dereference of non-pointer");
+          return t.Pointee();
+        }
+        if (e.op == "&") {
+          TC_ASSIGN_OR_RETURN(const Type t, TypeOf(*e.lhs));
+          return t.PointerTo();
+        }
+        return TypeOf(*e.lhs);
+      case ExprKind::kBinary: {
+        TC_ASSIGN_OR_RETURN(const Type lt, TypeOf(*e.lhs));
+        return lt;
+      }
+      case ExprKind::kAssign: return TypeOf(*e.lhs);
+      case ExprKind::kCall: {
+        TC_ASSIGN_OR_RETURN(const Binding b, Resolve(e.name, e.line));
+        return b.type;
+      }
+      case ExprKind::kIndex: {
+        TC_ASSIGN_OR_RETURN(const Type t, TypeOf(*e.lhs));
+        if (!t.IsPointer()) return Err(e.line, "subscript of non-pointer");
+        return t.Pointee();
+      }
+      case ExprKind::kCast: return e.type;
+      case ExprKind::kSizeofType:
+      case ExprKind::kSizeofExpr:
+        return kLongType;
+    }
+    return kLongType;
+  }
+
+  /// Result: value in t0. Returns its static type.
+  StatusOr<Type> GenExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        Type t;
+        TC_RETURN_IF_ERROR(GenLeafInto(e, "t0", &t));
+        return t;
+      }
+      case ExprKind::kStringLit: {
+        strings_.push_back(e.str_value);
+        Emit("  lea t0, .Lstr%zu", strings_.size() - 1);
+        return kCharPtrType;
+      }
+      case ExprKind::kIdent: {
+        TC_ASSIGN_OR_RETURN(const Binding b, Resolve(e.name, e.line));
+        switch (b.kind) {
+          case Binding::kLocal:
+            if (b.array_size != 0) {
+              Emit("  addi t0, fp, %d", b.slot);
+              return b.type.PointerTo();
+            }
+            TC_RETURN_IF_ERROR(EmitLoadLocal(b, "t0"));
+            return b.type;
+          case Binding::kGlobal:
+            Emit("  lea t0, %s", b.symbol.c_str());
+            if (b.array_size != 0) return b.type.PointerTo();
+            EmitLoadThroughT0(b.type);
+            return b.type;
+          case Binding::kExternGlobal:
+            Emit("  ldg t0, @%s", b.symbol.c_str());
+            if (b.array_size != 0) return b.type.PointerTo();
+            EmitLoadThroughT0(b.type);
+            return b.type;
+          default:
+            return Err(e.line, "function name used as a value");
+        }
+      }
+      case ExprKind::kUnary:
+        return GenUnary(e);
+      case ExprKind::kBinary:
+        return GenBinary(e);
+      case ExprKind::kAssign:
+        return GenAssign(e);
+      case ExprKind::kCall:
+        return GenCall(e);
+      case ExprKind::kIndex: {
+        TC_ASSIGN_OR_RETURN(const Type elem, GenAddr(e));
+        EmitLoadThroughT0(elem);
+        return elem;
+      }
+      case ExprKind::kCast: {
+        TC_ASSIGN_OR_RETURN(const Type from, GenExpr(*e.lhs));
+        (void)from;
+        EmitTruncate(e.type);
+        return e.type;
+      }
+      case ExprKind::kSizeofType: {
+        Emit("  movi t0, %u", e.type.ByteSize());
+        return kLongType;
+      }
+      case ExprKind::kSizeofExpr: {
+        TC_ASSIGN_OR_RETURN(const Type t, TypeOf(*e.lhs));
+        Emit("  movi t0, %u", t.ByteSize());
+        return kLongType;
+      }
+    }
+    return Err(e.line, "unhandled expression");
+  }
+
+  /// Re-canonicalizes t0 after a narrowing cast.
+  void EmitTruncate(const Type& to) {
+    const unsigned bytes = to.ByteSize();
+    if (bytes >= 8 || to.IsPointer() || bytes == 0) return;
+    const unsigned shift = 64 - bytes * 8;
+    Emit("  slli t0, t0, %u", shift);
+    Emit("  %s t0, t0, %u", to.IsUnsigned() ? "srli" : "srai", shift);
+  }
+
+  StatusOr<Type> GenUnary(const Expr& e) {
+    if (e.op == "-") {
+      TC_ASSIGN_OR_RETURN(const Type t, GenExpr(*e.lhs));
+      Emit("  neg t0, t0");
+      return t;
+    }
+    if (e.op == "~") {
+      TC_ASSIGN_OR_RETURN(const Type t, GenExpr(*e.lhs));
+      Emit("  not t0, t0");
+      return t;
+    }
+    if (e.op == "!") {
+      TC_ASSIGN_OR_RETURN(const Type t, GenExpr(*e.lhs));
+      (void)t;
+      Emit("  seqz t0, t0");
+      return kLongType;
+    }
+    if (e.op == "*") {
+      TC_ASSIGN_OR_RETURN(const Type ptr, GenExpr(*e.lhs));
+      if (!ptr.IsPointer()) return Err(e.line, "dereference of non-pointer");
+      EmitLoadThroughT0(ptr.Pointee());
+      return ptr.Pointee();
+    }
+    if (e.op == "&") {
+      TC_ASSIGN_OR_RETURN(const Type t, GenAddr(*e.lhs));
+      return t.PointerTo();
+    }
+    // Pre/post increment/decrement.
+    const bool is_inc = e.op.substr(0, 2) == "++";
+    const bool is_pre = e.op.size() >= 5 && e.op.substr(2) == "pre";
+    TC_ASSIGN_OR_RETURN(const Type t, GenAddr(*e.lhs));
+    const std::int64_t delta =
+        (t.IsPointer() ? static_cast<std::int64_t>(t.Pointee().ByteSize())
+                       : 1) *
+        (is_inc ? 1 : -1);
+    Emit("  mov t2, t0");       // t2 = address
+    EmitLoadThroughT0(t);       // t0 = old value
+    Emit("  addi t1, t0, %lld", static_cast<long long>(delta));  // t1 = new
+    {
+      // store t1 through t2.
+      const char* op = nullptr;
+      switch (t.ByteSize()) {
+        case 1: op = "stb"; break;
+        case 2: op = "sth"; break;
+        case 4: op = "stw"; break;
+        default: op = "std"; break;
+      }
+      Emit("  %s t1, [t2+0]", op);
+    }
+    if (is_pre) Emit("  mov t0, t1");
+    return t;
+  }
+
+  StatusOr<Type> GenBinary(const Expr& e) {
+    if (e.op == "&&" || e.op == "||") {
+      const std::string skip = NewLabel(e.op == "&&" ? "andskip" : "orskip");
+      const std::string end = NewLabel("logend");
+      TC_ASSIGN_OR_RETURN(const Type lt, GenExpr(*e.lhs));
+      (void)lt;
+      if (e.op == "&&") {
+        Emit("  beq t0, zr, %s", skip.c_str());
+      } else {
+        Emit("  bne t0, zr, %s", skip.c_str());
+      }
+      TC_ASSIGN_OR_RETURN(const Type rt, GenExpr(*e.rhs));
+      (void)rt;
+      Emit("  snez t0, t0");
+      Emit("  jmp %s", end.c_str());
+      Emit("%s:", skip.c_str());
+      Emit("  movi t0, %d", e.op == "&&" ? 0 : 1);
+      Emit("%s:", end.c_str());
+      return kLongType;
+    }
+
+    TC_ASSIGN_OR_RETURN(const Type lt, GenExpr(*e.lhs));
+    Type rt;
+    if (IsLeaf(*e.rhs)) {
+      TC_RETURN_IF_ERROR(GenLeafInto(*e.rhs, "t1", &rt));
+    } else {
+      Push("t0");
+      TC_ASSIGN_OR_RETURN(rt, GenExpr(*e.rhs));
+      Emit("  mov t1, t0");
+      Pop("t0");
+    }
+    return EmitBinaryOp(e.line, e.op, lt, rt);
+  }
+
+  /// t0 = t0 OP t1, with pointer scaling and signedness rules.
+  StatusOr<Type> EmitBinaryOp(int line, const std::string& op, Type lt,
+                              Type rt) {
+    const bool unsigned_op = lt.IsUnsigned() || rt.IsUnsigned();
+
+    if (op == "+" || op == "-") {
+      if (lt.IsPointer() && !rt.IsPointer()) {
+        const unsigned scale = lt.Pointee().ByteSize();
+        if (scale > 1) Emit("  muli t1, t1, %u", scale);
+        Emit("  %s t0, t0, t1", op == "+" ? "add" : "sub");
+        return lt;
+      }
+      if (lt.IsPointer() && rt.IsPointer()) {
+        if (op == "+") return Err(line, "cannot add two pointers");
+        Emit("  sub t0, t0, t1");
+        const unsigned scale = lt.Pointee().ByteSize();
+        if (scale > 1) {
+          Emit("  movi t1, %u", scale);
+          Emit("  div t0, t0, t1");
+        }
+        return kLongType;
+      }
+      Emit("  %s t0, t0, t1", op == "+" ? "add" : "sub");
+      return lt;
+    }
+    if (op == "*") { Emit("  mul t0, t0, t1"); return lt; }
+    if (op == "/") {
+      Emit("  %s t0, t0, t1", unsigned_op ? "divu" : "div");
+      return lt;
+    }
+    if (op == "%") {
+      Emit("  %s t0, t0, t1", unsigned_op ? "remu" : "rem");
+      return lt;
+    }
+    if (op == "&") { Emit("  and t0, t0, t1"); return lt; }
+    if (op == "|") { Emit("  or t0, t0, t1"); return lt; }
+    if (op == "^") { Emit("  xor t0, t0, t1"); return lt; }
+    if (op == "<<") { Emit("  sll t0, t0, t1"); return lt; }
+    if (op == ">>") {
+      Emit("  %s t0, t0, t1", lt.IsUnsigned() ? "srl" : "sra");
+      return lt;
+    }
+    if (op == "==") { Emit("  seq t0, t0, t1"); return kLongType; }
+    if (op == "!=") { Emit("  sne t0, t0, t1"); return kLongType; }
+    if (op == "<") {
+      Emit("  %s t0, t0, t1", unsigned_op ? "sltu" : "slt");
+      return kLongType;
+    }
+    if (op == ">") {
+      Emit("  %s t0, t1, t0", unsigned_op ? "sltu" : "slt");
+      return kLongType;
+    }
+    if (op == "<=") {
+      Emit("  %s t0, t1, t0", unsigned_op ? "sltu" : "slt");
+      Emit("  seqz t0, t0");
+      return kLongType;
+    }
+    if (op == ">=") {
+      Emit("  %s t0, t0, t1", unsigned_op ? "sltu" : "slt");
+      Emit("  seqz t0, t0");
+      return kLongType;
+    }
+    return Err(line, "unhandled operator '" + op + "'");
+  }
+
+  StatusOr<Type> GenAssign(const Expr& e) {
+    // Address first, then value: [t0=addr pushed] value -> t1, store.
+    TC_ASSIGN_OR_RETURN(const Type target, GenAddr(*e.lhs));
+    if (e.op == "=") {
+      if (IsLeaf(*e.rhs)) {
+        Type ignored;
+        TC_RETURN_IF_ERROR(GenLeafInto(*e.rhs, "t1", &ignored));
+      } else {
+        Push("t0");
+        TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*e.rhs));
+        (void)ignored;
+        Emit("  mov t1, t0");
+        Pop("t0");
+      }
+      EmitStoreThroughT0(target);
+      Emit("  mov t0, t1");  // assignment value
+      return target;
+    }
+    // Compound: load old, apply, store.
+    const std::string base_op = e.op.substr(0, e.op.size() - 1);
+    Emit("  mov t2, t0");  // keep address
+    EmitLoadThroughT0(target);
+    Type rt;
+    if (IsLeaf(*e.rhs)) {
+      TC_RETURN_IF_ERROR(GenLeafInto(*e.rhs, "t1", &rt));
+    } else {
+      Push("t0");
+      Push("t2");
+      TC_ASSIGN_OR_RETURN(rt, GenExpr(*e.rhs));
+      Emit("  mov t1, t0");
+      Pop("t2");
+      Pop("t0");
+    }
+    TC_ASSIGN_OR_RETURN(const Type result, EmitBinaryOp(e.line, base_op,
+                                                        target, rt));
+    (void)result;
+    Emit("  mov t1, t0");
+    Emit("  mov t0, t2");
+    EmitStoreThroughT0(target);
+    Emit("  mov t0, t1");
+    return target;
+  }
+
+  StatusOr<Type> GenCall(const Expr& e) {
+    TC_ASSIGN_OR_RETURN(const Binding callee, Resolve(e.name, e.line));
+    if (callee.kind != Binding::kFunc && callee.kind != Binding::kExternFunc) {
+      return Err(e.line, "'" + e.name + "' is not a function");
+    }
+    const auto param_count = func_params_.find(e.name);
+    if (param_count != func_params_.end() &&
+        param_count->second != e.args.size()) {
+      return Err(e.line,
+                 StrFormat("'%s' expects %zu arguments, got %zu",
+                           e.name.c_str(), param_count->second,
+                           e.args.size()));
+    }
+    for (const auto& arg : e.args) {
+      TC_ASSIGN_OR_RETURN(const Type ignored, GenExpr(*arg));
+      (void)ignored;
+      Push("t0");
+    }
+    for (std::size_t i = e.args.size(); i-- > 0;) {
+      Pop(StrFormat("a%zu", i).c_str());
+    }
+    if (callee.kind == Binding::kFunc) {
+      Emit("  call %s", e.name.c_str());
+    } else {
+      Emit("  ldg t6, @%s", e.name.c_str());
+      Emit("  jalr lr, t6, 0");
+    }
+    Emit("  mov t0, a0");
+    return callee.type;
+  }
+
+  const Unit& unit_;
+  std::string out_;
+  std::map<std::string, Binding> globals_;
+  std::map<std::string, std::size_t> func_params_;
+  std::vector<std::map<std::string, Binding>> scopes_;
+  std::map<const Stmt*, std::int32_t> slot_of_;
+  std::vector<std::string> strings_;
+  std::vector<std::string> break_labels_;
+  std::vector<std::string> continue_labels_;
+  std::uint64_t frame_size_ = 0;
+  int label_counter_ = 0;
+  const FuncDecl* current_fn_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<std::string> GenerateAsm(const Unit& unit) {
+  Codegen codegen(unit);
+  return codegen.Run();
+}
+
+}  // namespace twochains::amcc

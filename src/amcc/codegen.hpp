@@ -1,0 +1,24 @@
+// Code generation: AMC AST -> jam assembly text.
+//
+// The generator is deliberately simple and predictable (this is a
+// reproduction toolchain, not an optimizing compiler): expression values
+// live in t0, binary operands are protected across sub-expression
+// evaluation by pushing to the machine stack (with a leaf-operand fast path
+// that skips the push/pop), and every local variable has a fixed stack
+// slot. What matters for the experiments is preserved: deterministic code
+// bytes, PC-relative local data access, and *all* external references
+// routed through GOT loads (`ldg`) so the linker/rewriter can rebind them
+// — the -fPIC -fno-plt contract of the paper's toolchain.
+#pragma once
+
+#include <string>
+
+#include "amcc/ast.hpp"
+#include "common/status.hpp"
+
+namespace twochains::amcc {
+
+/// Generates assembly for a parsed unit.
+StatusOr<std::string> GenerateAsm(const Unit& unit);
+
+}  // namespace twochains::amcc

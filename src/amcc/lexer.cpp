@@ -1,0 +1,215 @@
+#include "amcc/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "common/strfmt.hpp"
+
+namespace twochains::amcc {
+namespace {
+
+constexpr std::array<std::string_view, 17> kKeywords = {
+    "void", "char", "short", "int", "long", "unsigned", "signed", "const",
+    "static", "extern", "if", "else", "while", "for", "return", "break",
+    "continue",
+};
+
+bool IsKeyword(std::string_view s) {
+  for (const auto& k : kKeywords) {
+    if (k == s) return true;
+  }
+  return s == "sizeof";
+}
+
+// Longest-match punctuation, ordered by length.
+constexpr std::array<std::string_view, 35> kPuncts = {
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?",
+    ":",
+};
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(std::string_view source,
+                                 const std::string& unit_name) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const auto n = source.size();
+
+  auto err = [&](const std::string& msg) {
+    return InvalidArgument(
+        StrFormat("%s:%d: %s", unit_name.c_str(), line, msg.c_str()));
+  };
+
+  auto unescape = [&](char c) -> StatusOr<char> {
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: return err(StrFormat("bad escape '\\%c'", c));
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) return err("unterminated block comment");
+      i += 2;
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      Token t;
+      t.text = std::string(source.substr(start, i - start));
+      t.kind = IsKeyword(t.text) ? TokKind::kKeyword : TokKind::kIdent;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        if (i >= n || !std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          return err("bad hex literal");
+        }
+        while (i < n && std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          const char d = source[i];
+          unsigned digit = d <= '9'   ? static_cast<unsigned>(d - '0')
+                           : d <= 'F' ? static_cast<unsigned>(d - 'A' + 10)
+                                      : static_cast<unsigned>(d - 'a' + 10);
+          value = value * 16 + digit;
+          ++i;
+        }
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<unsigned>(source[i] - '0');
+          ++i;
+        }
+      }
+      // Optional integer suffixes (u, l, ul, lu...), accepted and ignored.
+      while (i < n && (source[i] == 'u' || source[i] == 'U' ||
+                       source[i] == 'l' || source[i] == 'L')) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokKind::kIntLit;
+      t.int_value = value;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      ++i;
+      if (i >= n) return err("unterminated char literal");
+      char value = source[i];
+      if (value == '\\') {
+        ++i;
+        if (i >= n) return err("unterminated char literal");
+        TC_ASSIGN_OR_RETURN(value, unescape(source[i]));
+      }
+      ++i;
+      if (i >= n || source[i] != '\'') return err("unterminated char literal");
+      ++i;
+      Token t;
+      t.kind = TokKind::kCharLit;
+      t.int_value = static_cast<std::uint64_t>(
+          static_cast<std::uint8_t>(value));
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && source[i] != '"') {
+        char ch = source[i];
+        if (ch == '\n') return err("newline in string literal");
+        if (ch == '\\') {
+          ++i;
+          if (i >= n) return err("unterminated string literal");
+          TC_ASSIGN_OR_RETURN(ch, unescape(source[i]));
+        }
+        value += ch;
+        ++i;
+      }
+      if (i >= n) return err("unterminated string literal");
+      ++i;
+      Token t;
+      t.kind = TokKind::kStringLit;
+      t.str_value = std::move(value);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Single-char structural punctuation.
+    if (c == '(' || c == ')' || c == '{' || c == '}' || c == '[' ||
+        c == ']' || c == ';' || c == ',') {
+      Token t;
+      t.kind = TokKind::kPunct;
+      t.text = std::string(1, c);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    // Operators, longest match first.
+    bool matched = false;
+    for (const auto& p : kPuncts) {
+      if (source.substr(i, p.size()) == p) {
+        Token t;
+        t.kind = TokKind::kPunct;
+        t.text = std::string(p);
+        t.line = line;
+        tokens.push_back(std::move(t));
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    return err(StrFormat("unexpected character '%c'", c));
+  }
+
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace twochains::amcc

@@ -1,0 +1,42 @@
+// Lexer for AMC source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace twochains::amcc {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kCharLit,
+  kStringLit,
+  kKeyword,
+  kPunct,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;          ///< identifier, keyword, or punctuation spelling
+  std::uint64_t int_value = 0;  ///< for kIntLit / kCharLit
+  std::string str_value;     ///< for kStringLit (unescaped)
+  int line = 0;
+
+  bool Is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsPunct(std::string_view t) const { return Is(TokKind::kPunct, t); }
+  bool IsKeyword(std::string_view t) const { return Is(TokKind::kKeyword, t); }
+};
+
+/// Tokenizes @p source. Handles // and /* */ comments, decimal/hex/char
+/// literals, string literals with escapes, and multi-char operators.
+StatusOr<std::vector<Token>> Lex(std::string_view source,
+                                 const std::string& unit_name);
+
+}  // namespace twochains::amcc

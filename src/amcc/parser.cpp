@@ -1,0 +1,597 @@
+#include "amcc/parser.hpp"
+
+#include "amcc/lexer.hpp"
+#include "common/strfmt.hpp"
+
+namespace twochains::amcc {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string unit)
+      : tokens_(std::move(tokens)), unit_(std::move(unit)) {}
+
+  StatusOr<Unit> Run() {
+    Unit unit;
+    unit.name = unit_;
+    while (!At(TokKind::kEof)) {
+      TC_RETURN_IF_ERROR(TopLevel(unit));
+    }
+    return unit;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool At(TokKind kind) const { return Peek().kind == kind; }
+  bool AtPunct(std::string_view p) const { return Peek().IsPunct(p); }
+  bool AtKeyword(std::string_view k) const { return Peek().IsKeyword(k); }
+
+  bool EatPunct(std::string_view p) {
+    if (AtPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatKeyword(std::string_view k) {
+    if (AtKeyword(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) const {
+    return InvalidArgument(StrFormat("%s:%d: %s (near '%s')", unit_.c_str(),
+                                     Peek().line, msg.c_str(),
+                                     Peek().text.c_str()));
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!EatPunct(p)) return Err(StrFormat("expected '%.*s'",
+                                           static_cast<int>(p.size()),
+                                           p.data()));
+    return Status::Ok();
+  }
+
+  /// True if the current token can start a type.
+  bool AtTypeStart() const {
+    return AtKeyword("void") || AtKeyword("char") || AtKeyword("short") ||
+           AtKeyword("int") || AtKeyword("long") || AtKeyword("unsigned") ||
+           AtKeyword("signed") || AtKeyword("const");
+  }
+
+  /// Parses base-type keywords + '*'s. `is_const` is set if const appears.
+  StatusOr<Type> ParseType(bool* is_const = nullptr) {
+    bool saw_const = false;
+    bool saw_unsigned = false;
+    bool saw_signed = false;
+    BaseType base = BaseType::kI32;
+    bool have_base = false;
+
+    while (true) {
+      if (EatKeyword("const")) {
+        saw_const = true;
+        continue;
+      }
+      if (EatKeyword("unsigned")) {
+        saw_unsigned = true;
+        continue;
+      }
+      if (EatKeyword("signed")) {
+        saw_signed = true;
+        continue;
+      }
+      if (EatKeyword("void")) { base = BaseType::kVoid; have_base = true; continue; }
+      if (EatKeyword("char")) { base = BaseType::kI8; have_base = true; continue; }
+      if (EatKeyword("short")) { base = BaseType::kI16; have_base = true; continue; }
+      if (EatKeyword("int")) {
+        if (!have_base) { base = BaseType::kI32; have_base = true; }
+        // "long int", "short int": keep the earlier width
+        continue;
+      }
+      if (EatKeyword("long")) {
+        base = BaseType::kI64;  // long long == long
+        have_base = true;
+        continue;
+      }
+      break;
+    }
+    if (!have_base && !saw_unsigned && !saw_signed) {
+      return Err("expected a type");
+    }
+    if (saw_unsigned) {
+      switch (base) {
+        case BaseType::kI8: base = BaseType::kU8; break;
+        case BaseType::kI16: base = BaseType::kU16; break;
+        case BaseType::kI32: base = BaseType::kU32; break;
+        case BaseType::kI64: base = BaseType::kU64; break;
+        case BaseType::kVoid: return Err("'unsigned void' is not a type");
+        default: break;
+      }
+    }
+    Type type;
+    type.base = base;
+    while (EatPunct("*")) {
+      if (type.pointer_depth == 255) return Err("pointer depth overflow");
+      ++type.pointer_depth;
+      // 'const' between stars is accepted and folded into is_const.
+      if (EatKeyword("const")) saw_const = true;
+    }
+    if (is_const != nullptr) *is_const = saw_const;
+    return type;
+  }
+
+  Status TopLevel(Unit& unit) {
+    bool is_extern = false;
+    bool is_static = false;
+    while (true) {
+      if (EatKeyword("extern")) { is_extern = true; continue; }
+      if (EatKeyword("static")) { is_static = true; continue; }
+      break;
+    }
+    bool is_const = false;
+    TC_ASSIGN_OR_RETURN(const Type type, ParseType(&is_const));
+    if (!At(TokKind::kIdent)) return Err("expected a name");
+    const int line = Peek().line;
+    const std::string name = Advance().text;
+
+    if (AtPunct("(")) {
+      return ParseFunction(unit, type, name, is_extern, is_static, line);
+    }
+    return ParseGlobal(unit, type, name, is_const, is_extern, is_static, line);
+  }
+
+  Status ParseFunction(Unit& unit, Type return_type, std::string name,
+                       bool is_extern, bool is_static, int line) {
+    TC_RETURN_IF_ERROR(ExpectPunct("("));
+    FuncDecl fn;
+    fn.return_type = return_type;
+    fn.name = std::move(name);
+    fn.is_static = is_static;
+    fn.line = line;
+    if (!EatPunct(")")) {
+      if (AtKeyword("void") && Peek(1).IsPunct(")")) {
+        Advance();  // f(void)
+        TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      } else {
+        while (true) {
+          TC_ASSIGN_OR_RETURN(const Type ptype, ParseType());
+          Param param;
+          param.type = ptype;
+          if (At(TokKind::kIdent)) param.name = Advance().text;
+          if (param.type.IsVoid()) return Err("void parameter");
+          fn.params.push_back(std::move(param));
+          if (fn.params.size() > 8) {
+            return Err("AMC functions take at most 8 parameters");
+          }
+          if (EatPunct(")")) break;
+          TC_RETURN_IF_ERROR(ExpectPunct(","));
+        }
+      }
+    }
+    if (EatPunct(";")) {
+      fn.is_extern = true;
+      unit.functions.push_back(std::move(fn));
+      return Status::Ok();
+    }
+    if (is_extern) {
+      return Err("extern function with a body");
+    }
+    TC_RETURN_IF_ERROR(ExpectPunct("{"));
+    TC_ASSIGN_OR_RETURN(fn.body, ParseBlockBody());
+    unit.functions.push_back(std::move(fn));
+    return Status::Ok();
+  }
+
+  Status ParseGlobal(Unit& unit, Type type, std::string name, bool is_const,
+                     bool is_extern, bool is_static, int line) {
+    GlobalDecl g;
+    g.type = type;
+    g.name = std::move(name);
+    g.is_const = is_const;
+    g.is_extern = is_extern;
+    g.is_static = is_static;
+    g.line = line;
+    if (EatPunct("[")) {
+      if (!At(TokKind::kIntLit)) return Err("array size must be a literal");
+      g.array_size = Advance().int_value;
+      if (g.array_size == 0) return Err("zero-length array");
+      TC_RETURN_IF_ERROR(ExpectPunct("]"));
+    }
+    if (EatPunct("=")) {
+      if (is_extern) return Err("extern variable with initializer");
+      if (At(TokKind::kStringLit)) {
+        g.init_string = Advance().str_value;
+      } else if (EatPunct("{")) {
+        while (!EatPunct("}")) {
+          TC_ASSIGN_OR_RETURN(const std::uint64_t v, ConstIntExpr());
+          g.init_list.push_back(v);
+          if (!AtPunct("}")) TC_RETURN_IF_ERROR(ExpectPunct(","));
+        }
+      } else {
+        TC_ASSIGN_OR_RETURN(const std::uint64_t v, ConstIntExpr());
+        g.init_int = v;
+      }
+    }
+    TC_RETURN_IF_ERROR(ExpectPunct(";"));
+    unit.globals.push_back(std::move(g));
+    return Status::Ok();
+  }
+
+  /// Constant integer expression (literals, unary minus/complement, and
+  /// the four basic binary ops on literals — enough for initializers).
+  StatusOr<std::uint64_t> ConstIntExpr() {
+    TC_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    return EvalConst(*e);
+  }
+
+  StatusOr<std::uint64_t> EvalConst(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return e.int_value;
+      case ExprKind::kUnary: {
+        TC_ASSIGN_OR_RETURN(const std::uint64_t v, EvalConst(*e.lhs));
+        if (e.op == "-") return static_cast<std::uint64_t>(-static_cast<std::int64_t>(v));
+        if (e.op == "~") return ~v;
+        if (e.op == "!") return v == 0 ? 1u : 0u;
+        return Err("non-constant unary in initializer");
+      }
+      case ExprKind::kBinary: {
+        TC_ASSIGN_OR_RETURN(const std::uint64_t a, EvalConst(*e.lhs));
+        TC_ASSIGN_OR_RETURN(const std::uint64_t b, EvalConst(*e.rhs));
+        if (e.op == "+") return a + b;
+        if (e.op == "-") return a - b;
+        if (e.op == "*") return a * b;
+        if (e.op == "/") {
+          if (b == 0) return Err("division by zero in constant");
+          return a / b;
+        }
+        if (e.op == "<<") return a << (b & 63);
+        if (e.op == ">>") return a >> (b & 63);
+        if (e.op == "|") return a | b;
+        if (e.op == "&") return a & b;
+        if (e.op == "^") return a ^ b;
+        return Err("non-constant binary in initializer");
+      }
+      case ExprKind::kSizeofType:
+        return e.type.ByteSize();
+      default:
+        return Err("initializer is not a constant expression");
+    }
+  }
+
+  // ------------------------------------------------------- statements
+
+  StatusOr<std::vector<StmtPtr>> ParseBlockBody() {
+    std::vector<StmtPtr> body;
+    while (!EatPunct("}")) {
+      if (At(TokKind::kEof)) return Err("unterminated block");
+      TC_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+      body.push_back(std::move(stmt));
+    }
+    return body;
+  }
+
+  StatusOr<StmtPtr> ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Peek().line;
+
+    if (EatPunct("{")) {
+      stmt->kind = StmtKind::kBlock;
+      TC_ASSIGN_OR_RETURN(stmt->body, ParseBlockBody());
+      return stmt;
+    }
+    if (EatKeyword("if")) {
+      stmt->kind = StmtKind::kIf;
+      TC_RETURN_IF_ERROR(ExpectPunct("("));
+      TC_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      TC_ASSIGN_OR_RETURN(StmtPtr then_stmt, ParseStmt());
+      stmt->body.push_back(std::move(then_stmt));
+      if (EatKeyword("else")) {
+        TC_ASSIGN_OR_RETURN(StmtPtr else_stmt, ParseStmt());
+        stmt->else_body.push_back(std::move(else_stmt));
+      }
+      return stmt;
+    }
+    if (EatKeyword("while")) {
+      stmt->kind = StmtKind::kWhile;
+      TC_RETURN_IF_ERROR(ExpectPunct("("));
+      TC_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      TC_ASSIGN_OR_RETURN(StmtPtr body_stmt, ParseStmt());
+      stmt->body.push_back(std::move(body_stmt));
+      return stmt;
+    }
+    if (EatKeyword("for")) {
+      stmt->kind = StmtKind::kFor;
+      TC_RETURN_IF_ERROR(ExpectPunct("("));
+      if (!EatPunct(";")) {
+        TC_ASSIGN_OR_RETURN(stmt->for_init, ParseSimpleStmt());
+        TC_RETURN_IF_ERROR(ExpectPunct(";"));
+      }
+      if (!AtPunct(";")) {
+        TC_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      TC_RETURN_IF_ERROR(ExpectPunct(";"));
+      if (!AtPunct(")")) {
+        TC_ASSIGN_OR_RETURN(stmt->for_step, ParseExpr());
+      }
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      TC_ASSIGN_OR_RETURN(StmtPtr body_stmt, ParseStmt());
+      stmt->body.push_back(std::move(body_stmt));
+      return stmt;
+    }
+    if (EatKeyword("return")) {
+      stmt->kind = StmtKind::kReturn;
+      if (!AtPunct(";")) {
+        TC_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      TC_RETURN_IF_ERROR(ExpectPunct(";"));
+      return stmt;
+    }
+    if (EatKeyword("break")) {
+      stmt->kind = StmtKind::kBreak;
+      TC_RETURN_IF_ERROR(ExpectPunct(";"));
+      return stmt;
+    }
+    if (EatKeyword("continue")) {
+      stmt->kind = StmtKind::kContinue;
+      TC_RETURN_IF_ERROR(ExpectPunct(";"));
+      return stmt;
+    }
+    TC_ASSIGN_OR_RETURN(stmt, ParseSimpleStmt());
+    TC_RETURN_IF_ERROR(ExpectPunct(";"));
+    return stmt;
+  }
+
+  /// Declaration or expression statement (no trailing ';').
+  StatusOr<StmtPtr> ParseSimpleStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Peek().line;
+    if (AtTypeStart()) {
+      stmt->kind = StmtKind::kDecl;
+      bool is_const = false;
+      TC_ASSIGN_OR_RETURN(stmt->decl_type, ParseType(&is_const));
+      if (stmt->decl_type.IsVoid()) return Err("void variable");
+      if (!At(TokKind::kIdent)) return Err("expected variable name");
+      stmt->decl_name = Advance().text;
+      if (EatPunct("[")) {
+        if (!At(TokKind::kIntLit)) return Err("array size must be a literal");
+        stmt->array_size = Advance().int_value;
+        if (stmt->array_size == 0) return Err("zero-length array");
+        TC_RETURN_IF_ERROR(ExpectPunct("]"));
+      }
+      if (EatPunct("=")) {
+        TC_ASSIGN_OR_RETURN(stmt->init, ParseExpr());
+      }
+      return stmt;
+    }
+    stmt->kind = StmtKind::kExpr;
+    TC_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    return stmt;
+  }
+
+  // ------------------------------------------------------ expressions
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseAssign(); }
+
+  StatusOr<ExprPtr> ParseAssign() {
+    TC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBinary(0));
+    static constexpr std::string_view kAssignOps[] = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    for (const auto& op : kAssignOps) {
+      if (AtPunct(op)) {
+        const int line = Peek().line;
+        Advance();
+        TC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAssign());
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kAssign;
+        e->op = std::string(op);
+        e->line = line;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  struct OpLevel {
+    std::string_view ops[4];
+    int count;
+  };
+
+  /// Binary operators by ascending precedence.
+  static constexpr OpLevel kLevels[] = {
+      {{"||"}, 1},
+      {{"&&"}, 1},
+      {{"|"}, 1},
+      {{"^"}, 1},
+      {{"&"}, 1},
+      {{"==", "!="}, 2},
+      {{"<", ">", "<=", ">="}, 4},
+      {{"<<", ">>"}, 2},
+      {{"+", "-"}, 2},
+      {{"*", "/", "%"}, 3},
+  };
+  static constexpr int kNumLevels = 10;
+
+  StatusOr<ExprPtr> ParseBinary(int level) {
+    if (level >= kNumLevels) return ParseUnary();
+    TC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBinary(level + 1));
+    while (true) {
+      const OpLevel& lv = kLevels[level];
+      std::string_view matched;
+      for (int i = 0; i < lv.count; ++i) {
+        if (AtPunct(lv.ops[i])) {
+          matched = lv.ops[i];
+          break;
+        }
+      }
+      if (matched.empty()) return lhs;
+      const int line = Peek().line;
+      Advance();
+      TC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(level + 1));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->op = std::string(matched);
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    const int line = Peek().line;
+    for (std::string_view op : {"-", "~", "!", "*", "&"}) {
+      if (AtPunct(op)) {
+        Advance();
+        TC_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kUnary;
+        e->op = std::string(op);
+        e->line = line;
+        e->lhs = std::move(operand);
+        return e;
+      }
+    }
+    if (AtPunct("++") || AtPunct("--")) {
+      const std::string op = Advance().text;
+      TC_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = op + "pre";
+      e->line = line;
+      e->lhs = std::move(operand);
+      return e;
+    }
+    if (AtKeyword("sizeof")) {
+      Advance();
+      TC_RETURN_IF_ERROR(ExpectPunct("("));
+      auto e = std::make_unique<Expr>();
+      e->line = line;
+      if (AtTypeStart()) {
+        e->kind = ExprKind::kSizeofType;
+        TC_ASSIGN_OR_RETURN(e->type, ParseType());
+      } else {
+        e->kind = ExprKind::kSizeofExpr;
+        TC_ASSIGN_OR_RETURN(e->lhs, ParseExpr());
+      }
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      return e;
+    }
+    // Cast: '(' type ')' unary.
+    if (AtPunct("(") && (Peek(1).kind == TokKind::kKeyword &&
+                         (Peek(1).IsKeyword("void") || Peek(1).IsKeyword("char") ||
+                          Peek(1).IsKeyword("short") || Peek(1).IsKeyword("int") ||
+                          Peek(1).IsKeyword("long") || Peek(1).IsKeyword("unsigned") ||
+                          Peek(1).IsKeyword("signed") || Peek(1).IsKeyword("const")))) {
+      Advance();  // '('
+      TC_ASSIGN_OR_RETURN(const Type type, ParseType());
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      TC_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kCast;
+      e->type = type;
+      e->line = line;
+      e->lhs = std::move(operand);
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  StatusOr<ExprPtr> ParsePostfix() {
+    TC_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (true) {
+      const int line = Peek().line;
+      if (EatPunct("(")) {
+        if (e->kind != ExprKind::kIdent) {
+          return Err("only named functions can be called");
+        }
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->name = e->name;
+        call->line = line;
+        if (!EatPunct(")")) {
+          while (true) {
+            TC_ASSIGN_OR_RETURN(ExprPtr arg, ParseAssign());
+            call->args.push_back(std::move(arg));
+            if (call->args.size() > 8) return Err("too many call arguments");
+            if (EatPunct(")")) break;
+            TC_RETURN_IF_ERROR(ExpectPunct(","));
+          }
+        }
+        e = std::move(call);
+        continue;
+      }
+      if (EatPunct("[")) {
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::kIndex;
+        idx->line = line;
+        idx->lhs = std::move(e);
+        TC_ASSIGN_OR_RETURN(idx->rhs, ParseExpr());
+        TC_RETURN_IF_ERROR(ExpectPunct("]"));
+        e = std::move(idx);
+        continue;
+      }
+      if (AtPunct("++") || AtPunct("--")) {
+        const std::string op = Advance().text;
+        auto post = std::make_unique<Expr>();
+        post->kind = ExprKind::kUnary;
+        post->op = op + "post";
+        post->line = line;
+        post->lhs = std::move(e);
+        e = std::move(post);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = Peek().line;
+    if (At(TokKind::kIntLit) || At(TokKind::kCharLit)) {
+      e->kind = ExprKind::kIntLit;
+      e->int_value = Advance().int_value;
+      return e;
+    }
+    if (At(TokKind::kStringLit)) {
+      e->kind = ExprKind::kStringLit;
+      e->str_value = Advance().str_value;
+      return e;
+    }
+    if (At(TokKind::kIdent)) {
+      e->kind = ExprKind::kIdent;
+      e->name = Advance().text;
+      return e;
+    }
+    if (EatPunct("(")) {
+      TC_ASSIGN_OR_RETURN(e, ParseExpr());
+      TC_RETURN_IF_ERROR(ExpectPunct(")"));
+      return e;
+    }
+    return Err("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::string unit_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Unit> Parse(std::string_view source, const std::string& unit_name) {
+  TC_ASSIGN_OR_RETURN(auto tokens, Lex(source, unit_name));
+  Parser parser(std::move(tokens), unit_name);
+  return parser.Run();
+}
+
+}  // namespace twochains::amcc

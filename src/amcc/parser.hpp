@@ -1,0 +1,15 @@
+// Recursive-descent parser for AMC.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "amcc/ast.hpp"
+#include "common/status.hpp"
+
+namespace twochains::amcc {
+
+/// Parses a full translation unit.
+StatusOr<Unit> Parse(std::string_view source, const std::string& unit_name);
+
+}  // namespace twochains::amcc

@@ -1,0 +1,75 @@
+// Type model for AMC, the C subset in which active messages are written.
+//
+// AMC covers what AM handlers in the paper's workloads need: the integer
+// types, pointers (any depth), arrays, and functions over them. There are
+// no structs or floating point — jam handlers in the evaluation are integer
+// and pointer code. All arithmetic happens in 64-bit registers; the
+// declared type governs load/store width, sign extension, pointer-arithmetic
+// scaling, and signed vs unsigned operator selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace twochains::amcc {
+
+enum class BaseType : std::uint8_t {
+  kVoid,
+  kI8, kI16, kI32, kI64,
+  kU8, kU16, kU32, kU64,
+};
+
+struct Type {
+  BaseType base = BaseType::kI64;
+  std::uint8_t pointer_depth = 0;  ///< 0 = scalar, 1 = T*, 2 = T**, ...
+
+  bool IsPointer() const noexcept { return pointer_depth > 0; }
+  bool IsVoid() const noexcept {
+    return base == BaseType::kVoid && pointer_depth == 0;
+  }
+  bool IsUnsigned() const noexcept {
+    if (IsPointer()) return true;  // pointers compare unsigned
+    switch (base) {
+      case BaseType::kU8: case BaseType::kU16:
+      case BaseType::kU32: case BaseType::kU64:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Size of a value of this type (pointers are 8 bytes).
+  unsigned ByteSize() const noexcept {
+    if (IsPointer()) return 8;
+    switch (base) {
+      case BaseType::kVoid: return 0;
+      case BaseType::kI8: case BaseType::kU8: return 1;
+      case BaseType::kI16: case BaseType::kU16: return 2;
+      case BaseType::kI32: case BaseType::kU32: return 4;
+      case BaseType::kI64: case BaseType::kU64: return 8;
+    }
+    return 8;
+  }
+
+  /// The type obtained by dereferencing (caller checks IsPointer()).
+  Type Pointee() const noexcept {
+    Type t = *this;
+    if (t.pointer_depth > 0) --t.pointer_depth;
+    return t;
+  }
+  Type PointerTo() const noexcept {
+    Type t = *this;
+    ++t.pointer_depth;
+    return t;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+inline constexpr Type kVoidType{BaseType::kVoid, 0};
+inline constexpr Type kLongType{BaseType::kI64, 0};
+inline constexpr Type kCharPtrType{BaseType::kI8, 1};
+
+}  // namespace twochains::amcc

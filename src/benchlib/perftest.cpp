@@ -1,0 +1,359 @@
+#include "benchlib/perftest.hpp"
+
+#include <memory>
+
+#include "common/strfmt.hpp"
+#include "cpu/spinwait.hpp"
+
+namespace twochains::bench {
+namespace {
+
+std::vector<std::uint64_t> DefaultArgs(std::uint64_t iter) {
+  // Key space of 128 so the Indirect Put table/heap stay bounded while the
+  // index still gets real probe traffic.
+  return {iter & 127};
+}
+
+}  // namespace
+
+StatusOr<PingPongResult> RunAmPingPong(core::Testbed& testbed,
+                                       const AmConfig& config) {
+  core::Runtime& initiator = testbed.runtime(0);
+  core::Runtime& responder = testbed.runtime(1);
+  const ArgsFn args_fn = config.args ? config.args : DefaultArgs;
+  const std::uint16_t flags =
+      config.no_execute ? core::kFlagNoExecute : std::uint16_t{0};
+  const std::vector<std::uint8_t> usr(config.usr_bytes, 0x5A);
+
+  PingPongResult result;
+  result.one_way = LatencySample(config.iterations);
+  const std::uint64_t total = config.warmup + config.iterations;
+
+  std::uint64_t iter = 0;
+  PicoTime ping_start = 0;
+  Status failure;
+
+  auto send_ping = [&]() {
+    ping_start = testbed.engine().Now();
+    auto receipt = initiator.Send(config.jam, config.mode, args_fn(iter),
+                                  usr, flags);
+    if (!receipt.ok()) {
+      failure = receipt.status();
+      testbed.engine().Stop();
+      return;
+    }
+    result.frame_len = receipt->frame_len;
+    result.protocol = receipt->protocol;
+  };
+
+  // Responder: every executed ping triggers a pong.
+  responder.SetOnExecuted([&](const core::ReceivedMessage&) {
+    auto receipt = responder.Send(config.jam, config.mode, args_fn(iter),
+                                  usr, flags);
+    if (!receipt.ok()) {
+      failure = receipt.status();
+      testbed.engine().Stop();
+    }
+  });
+
+  // Initiator: pong executed -> one iteration complete.
+  bool done = false;
+  initiator.SetOnExecuted([&](const core::ReceivedMessage& msg) {
+    const PicoTime rtt = msg.completed_at - ping_start;
+    if (iter >= config.warmup) result.one_way.Add(rtt / 2);
+    ++iter;
+    ++result.messages;
+    if (iter >= total) {
+      done = true;
+      testbed.engine().Stop();
+      return;
+    }
+    send_ping();
+  });
+
+  send_ping();
+  testbed.RunUntil([&] { return done || !failure.ok(); });
+  if (!failure.ok()) return failure;
+  if (!done) return Internal("ping-pong stalled (flow control deadlock?)");
+  result.responder_counters = responder.receiver_cpu().counters();
+  initiator.SetOnExecuted(nullptr);
+  responder.SetOnExecuted(nullptr);
+  return result;
+}
+
+StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
+                                        const AmConfig& config) {
+  core::Runtime& sender = testbed.runtime(0);
+  core::Runtime& receiver = testbed.runtime(1);
+  const ArgsFn args_fn = config.args ? config.args : DefaultArgs;
+  const std::uint16_t flags =
+      config.no_execute ? core::kFlagNoExecute : std::uint16_t{0};
+  const std::vector<std::uint8_t> usr(config.usr_bytes, 0xA5);
+
+  const std::uint64_t total = config.iterations;
+  RateResult result;
+  result.messages = total;
+
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  PicoTime first_send = 0;
+  PicoTime last_complete = 0;
+  bool started = false;
+  bool done = false;
+  Status failure;
+
+  auto send_loop = std::make_shared<std::function<void()>>();
+  *send_loop = [&, send_loop]() {
+    if (sent >= total || !failure.ok()) return;
+    if (!sender.HasFreeSlot()) {
+      sender.NotifyWhenSlotFree([send_loop] { (*send_loop)(); });
+      return;
+    }
+    if (!started) {
+      started = true;
+      first_send = testbed.engine().Now();
+    }
+    auto receipt =
+        sender.Send(config.jam, config.mode, args_fn(sent), usr, flags);
+    if (!receipt.ok()) {
+      failure = receipt.status();
+      testbed.engine().Stop();
+      return;
+    }
+    result.frame_len = receipt->frame_len;
+    ++sent;
+    // The sender core is busy for sender_cost; next message after that.
+    testbed.engine().ScheduleAfter(receipt->sender_cost,
+                                   [send_loop] { (*send_loop)(); },
+                                   "bench.send");
+  };
+
+  receiver.SetOnExecuted([&](const core::ReceivedMessage& msg) {
+    ++completed;
+    last_complete = msg.completed_at;
+    if (completed >= total) {
+      done = true;
+      testbed.engine().Stop();
+    }
+  });
+
+  (*send_loop)();
+  testbed.RunUntil([&] { return done || !failure.ok(); });
+  if (!failure.ok()) return failure;
+  if (!done) return Internal("injection-rate run stalled");
+  receiver.SetOnExecuted(nullptr);
+
+  result.duration = last_complete - first_send;
+  result.messages_per_second = MessagesPerSecond(total, result.duration);
+  result.megabytes_per_second =
+      MegabytesPerSecond(total * result.frame_len, result.duration);
+  return result;
+}
+
+// ------------------------------------------------------------- raw puts
+
+namespace {
+
+/// One side of the raw-put ping-pong: buffer + endpoint + wait model.
+struct RawSide {
+  core::Runtime* runtime = nullptr;
+  std::unique_ptr<ucxs::Endpoint> endpoint;
+  mem::VirtAddr send_buf = 0;
+  mem::VirtAddr recv_buf = 0;
+  mem::RKey recv_rkey;
+  PicoTime idle_since = 0;
+};
+
+/// Cycles the UCX progress path burns detecting one completion (queue
+/// polling + bookkeeping) — the "library overhead ... detecting message
+/// completion" of §VII.
+constexpr Cycles kUcxDetectCycles = 140;
+
+}  // namespace
+
+StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
+                                           const RawPutConfig& config) {
+  // Independent buffers; does not touch the Two-Chains mailboxes.
+  RawSide sides[2];
+  ucxs::Worker* workers[2] = {nullptr, nullptr};
+  for (int i = 0; i < 2; ++i) {
+    auto& host = testbed.host(i);
+    sides[i].runtime = &testbed.runtime(i);
+    TC_ASSIGN_OR_RETURN(sides[i].send_buf,
+                        host.memory().Allocate(config.size + 64, 64,
+                                               mem::Perm::kRW, "raw:send"));
+    TC_ASSIGN_OR_RETURN(sides[i].recv_buf,
+                        host.memory().Allocate(config.size + 64, 64,
+                                               mem::Perm::kRW, "raw:recv"));
+    TC_ASSIGN_OR_RETURN(
+        sides[i].recv_rkey,
+        host.regions().RegisterRegion(sides[i].recv_buf, config.size + 64,
+                                      mem::RemoteAccess::kWrite, "raw:recv"));
+  }
+  // Endpoints: standard UCX put path.
+  ucxs::Context ctx0(testbed.engine(), testbed.host(0), testbed.nic(0));
+  ucxs::Context ctx1(testbed.engine(), testbed.host(1), testbed.nic(1));
+  ucxs::Worker w0(ctx0), w1(ctx1);
+  workers[0] = &w0;
+  workers[1] = &w1;
+  sides[0].endpoint =
+      std::make_unique<ucxs::Endpoint>(*workers[0], ucxs::PutMode::kUcx);
+  sides[1].endpoint =
+      std::make_unique<ucxs::Endpoint>(*workers[1], ucxs::PutMode::kUcx);
+
+  const cpu::WaitModelConfig wait_cfg = testbed.runtime(0).config().wait;
+  cpu::WaitModel wait(wait_cfg, kCoreClock);
+
+  PingPongResult result;
+  result.one_way = LatencySample(config.iterations);
+  const std::uint64_t total = config.warmup + config.iterations;
+  std::uint64_t iter = 0;
+  PicoTime ping_start = 0;
+  bool done = false;
+  Status failure;
+
+  // forward declaration of the mutually recursive send/receive steps.
+  auto send_from = std::make_shared<std::function<void(int)>>();
+  *send_from = [&, send_from](int from) {
+    const int to = 1 - from;
+    if (from == 0) ping_start = testbed.engine().Now();
+    auto receipt = sides[from].endpoint->PutNbi(
+        sides[from].send_buf, sides[to].recv_buf, config.size,
+        sides[to].recv_rkey, false,
+        [&, send_from, to](const net::PutCompletion& c) {
+          if (!c.status.ok()) {
+            failure = c.status;
+            testbed.engine().Stop();
+            return;
+          }
+          // Receiver detection: poll/WFE on the buffer tail + UCX
+          // completion processing, charged to the receiving core.
+          auto& host = testbed.host(to);
+          const PicoTime waited =
+              c.delivered_at > sides[to].idle_since
+                  ? c.delivered_at - sides[to].idle_since
+                  : 0;
+          const cpu::WaitOutcome outcome = wait.Wait(waited);
+          host.core(0).Charge(outcome.cycles_burned, cpu::CycleClass::kWait);
+          Cycles detect = kUcxDetectCycles;
+          detect += host.caches().Access(
+              0, sides[to].recv_buf + config.size - 8, 8,
+              cache::AccessKind::kLoad);
+          const PicoTime busy =
+              host.core(0).Charge(detect, cpu::CycleClass::kExecute);
+          const PicoTime resume =
+              c.delivered_at + outcome.detection_delay + busy;
+          testbed.engine().ScheduleAt(
+              resume,
+              [&, send_from, to] {
+                sides[to].idle_since = testbed.engine().Now();
+                if (to == 0) {
+                  // pong landed back at the initiator: iteration done.
+                  const PicoTime rtt = testbed.engine().Now() - ping_start;
+                  if (iter >= config.warmup) result.one_way.Add(rtt / 2);
+                  ++iter;
+                  ++result.messages;
+                  if (iter >= total) {
+                    done = true;
+                    testbed.engine().Stop();
+                    return;
+                  }
+                  (*send_from)(0);
+                } else {
+                  (*send_from)(1);  // respond with pong
+                }
+              },
+              "raw.detect");
+        });
+    if (!receipt.ok()) {
+      failure = receipt.status();
+      testbed.engine().Stop();
+    }
+  };
+
+  sides[0].idle_since = sides[1].idle_since = testbed.engine().Now();
+  (*send_from)(0);
+  testbed.RunUntil([&] { return done || !failure.ok(); });
+  if (!failure.ok()) return failure;
+  if (!done) return Internal("raw put ping-pong stalled");
+  result.frame_len = config.size;
+  result.protocol = sides[0].endpoint->SelectProtocol(config.size);
+  result.responder_counters = testbed.host(1).core(0).counters();
+  return result;
+}
+
+StatusOr<RateResult> RunRawPutStream(core::Testbed& testbed,
+                                     const RawPutConfig& config) {
+  auto& src_host = testbed.host(0);
+  auto& dst_host = testbed.host(1);
+  TC_ASSIGN_OR_RETURN(const mem::VirtAddr src,
+                      src_host.memory().Allocate(config.size + 64, 64,
+                                                 mem::Perm::kRW, "raw:src"));
+  TC_ASSIGN_OR_RETURN(const mem::VirtAddr dst,
+                      dst_host.memory().Allocate(config.size + 64, 64,
+                                                 mem::Perm::kRW, "raw:dst"));
+  TC_ASSIGN_OR_RETURN(
+      const mem::RKey rkey,
+      dst_host.regions().RegisterRegion(dst, config.size + 64,
+                                        mem::RemoteAccess::kWrite,
+                                        "raw:dst"));
+  ucxs::Context ctx(testbed.engine(), src_host, testbed.nic(0));
+  ucxs::Worker worker(ctx);
+  ucxs::Endpoint endpoint(worker, ucxs::PutMode::kUcx);
+
+  const std::uint64_t total = config.iterations;
+  RateResult result;
+  result.messages = total;
+  result.frame_len = config.size;
+
+  std::uint64_t posted = 0;
+  std::uint64_t delivered = 0;
+  PicoTime last_delivery = 0;
+  bool done = false;
+  Status failure;
+
+  auto post_loop = std::make_shared<std::function<void()>>();
+  *post_loop = [&, post_loop]() {
+    if (posted >= total || !failure.ok()) return;
+    auto receipt = endpoint.PutNbi(
+        src, dst, config.size, rkey, false,
+        [&](const net::PutCompletion& c) {
+          if (!c.status.ok()) {
+            failure = c.status;
+            testbed.engine().Stop();
+            return;
+          }
+          // Sender-side completion processing (tracking) cost.
+          testbed.host(0).core(1).Charge(kUcxDetectCycles,
+                                         cpu::CycleClass::kExecute);
+          ++delivered;
+          last_delivery = c.delivered_at;
+          if (delivered >= total) {
+            done = true;
+            testbed.engine().Stop();
+          }
+        });
+    if (!receipt.ok()) {
+      failure = receipt.status();
+      testbed.engine().Stop();
+      return;
+    }
+    ++posted;
+    testbed.engine().ScheduleAfter(
+        receipt->sender_overhead, [post_loop] { (*post_loop)(); },
+        "raw.post");
+  };
+
+  (*post_loop)();
+  testbed.RunUntil([&] { return done || !failure.ok(); });
+  if (!failure.ok()) return failure;
+  if (!done) return Internal("raw put stream stalled");
+
+  result.duration = last_delivery;
+  result.messages_per_second = MessagesPerSecond(total, result.duration);
+  result.megabytes_per_second =
+      MegabytesPerSecond(total * config.size, result.duration);
+  return result;
+}
+
+}  // namespace twochains::bench

@@ -1,0 +1,77 @@
+// Benchmark shapes (§VI-A): ping-pong and injection rate, for Two-Chains
+// active messages and for the raw UCX put baseline of Figures 5/6.
+//
+// All shapes run inside the deterministic simulation; results are simulated
+// latencies/rates, reproducible bit-for-bit across runs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "core/two_chains.hpp"
+#include "ucxs/ucxs.hpp"
+
+namespace twochains::bench {
+
+/// Per-iteration argument generator (e.g. the Indirect Put key).
+using ArgsFn = std::function<std::vector<std::uint64_t>(std::uint64_t iter)>;
+
+struct AmConfig {
+  std::string jam = "ssum";
+  core::Invoke mode = core::Invoke::kInjected;
+  std::uint64_t usr_bytes = 64;
+  ArgsFn args;                    ///< defaults to {iter & 127}
+  std::uint32_t warmup = 200;
+  std::uint32_t iterations = 2000;
+  bool no_execute = false;        ///< fig 5/6 "without-execution" mode
+};
+
+struct PingPongResult {
+  LatencySample one_way;          ///< half round-trip per iteration
+  std::uint64_t frame_len = 0;
+  ucxs::Protocol protocol = ucxs::Protocol::kShort;
+  /// Receiver-side core counters accumulated over the whole run (host 1).
+  cpu::PerfCounters responder_counters{};
+  std::uint64_t messages = 0;
+};
+
+/// Half round-trip active-message latency (§VI-A1).
+StatusOr<PingPongResult> RunAmPingPong(core::Testbed& testbed,
+                                       const AmConfig& config);
+
+struct RateResult {
+  double messages_per_second = 0;
+  double megabytes_per_second = 0;
+  PicoTime duration = 0;
+  std::uint64_t frame_len = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Injection rate with bank flow control (§VI-A2): the sender pushes as
+/// fast as its banks allow; the receiver drains and recycles.
+StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
+                                        const AmConfig& config);
+
+// ---------------------------------------------------------------- raw UCX
+
+struct RawPutConfig {
+  std::uint64_t size = 256;
+  std::uint32_t warmup = 200;
+  std::uint32_t iterations = 2000;
+};
+
+/// Raw UCX put ping-pong baseline ("Data put" in Figs. 5/6): puts through
+/// the kUcx endpoint, receiver detects by polling the trailing flag byte
+/// with the standard completion-tracking overhead.
+StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
+                                           const RawPutConfig& config);
+
+/// Raw UCX put streaming bandwidth: window-limited pipelining with per-op
+/// completion tracking.
+StatusOr<RateResult> RunRawPutStream(core::Testbed& testbed,
+                                     const RawPutConfig& config);
+
+}  // namespace twochains::bench

@@ -1,0 +1,42 @@
+#include "benchlib/stress.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace twochains::bench {
+
+void ApplyStress(core::Testbed& testbed, const StressConfig& config) {
+  // One RNG per hook keeps the two hosts' noise streams independent and
+  // the whole run reproducible from the seed.
+  for (int i = 0; i < 2; ++i) {
+    auto dram_rng = std::make_shared<Xoshiro256>(config.seed + 11 * i);
+    const StressConfig cfg = config;
+    testbed.host(i).caches().SetDramContentionHook(
+        [dram_rng, cfg]() -> Cycles {
+          double extra = dram_rng->NextExponential(cfg.dram_extra_mean_cycles);
+          if (dram_rng->NextBernoulli(cfg.dram_spike_probability)) {
+            extra += dram_rng->NextPareto(cfg.dram_spike_scale_cycles,
+                                          cfg.dram_spike_alpha);
+          }
+          return static_cast<Cycles>(extra);
+        });
+
+    auto preempt_rng = std::make_shared<Xoshiro256>(config.seed + 101 * i);
+    testbed.runtime(i).SetPreemptionHook(
+        [preempt_rng, cfg]() -> PicoTime {
+          if (!preempt_rng->NextBernoulli(cfg.preempt_probability)) return 0;
+          return Microseconds(preempt_rng->NextPareto(cfg.preempt_scale_us,
+                                                      cfg.preempt_alpha));
+        });
+  }
+}
+
+void ClearStress(core::Testbed& testbed) {
+  for (int i = 0; i < 2; ++i) {
+    testbed.host(i).caches().SetDramContentionHook(nullptr);
+    testbed.runtime(i).SetPreemptionHook(nullptr);
+  }
+}
+
+}  // namespace twochains::bench

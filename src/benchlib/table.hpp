@@ -1,0 +1,80 @@
+// Aligned-column table output for the figure benches, plus shape checks:
+// every bench prints its measured series and evaluates the paper's
+// qualitative claims (who wins, by what factor, where crossovers sit).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+
+namespace twochains::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Prints with per-column alignment to stdout.
+  void Print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%c %-*s", c == 0 ? ' ' : '|',
+                    static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::size_t total = 2;
+    for (const auto w : widths) total += w + 3;
+    std::printf(" %s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FmtUs(PicoTime t) {
+  return StrFormat("%.3f", ToMicroseconds(t));
+}
+inline std::string FmtPct(double frac) {
+  return StrFormat("%+.1f%%", frac * 100.0);
+}
+inline std::string FmtF(double v, const char* fmt = "%.2f") {
+  return StrFormat(fmt, v);
+}
+inline std::string FmtU64(std::uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+/// Prints a figure banner.
+inline void Banner(const char* fig, const char* title) {
+  std::printf("\n==== %s — %s ====\n", fig, title);
+}
+
+/// Records + prints a named shape check (the qualitative claim from the
+/// paper). Returns pass/fail so benches can exit nonzero on regression.
+inline bool ShapeCheck(const char* claim, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim);
+  return ok;
+}
+
+}  // namespace twochains::bench

@@ -1,0 +1,25 @@
+// Canonical testbed parameterization for all figure benches (§VI-C), so
+// every bench measures the same simulated machine unless it deliberately
+// deviates (e.g. toggling stashing or the wait mode).
+#pragma once
+
+#include "core/two_chains.hpp"
+
+namespace twochains::bench {
+
+/// The paper's two-server testbed with sensible benchmark mailbox shape.
+inline core::TestbedOptions PaperTestbed() {
+  core::TestbedOptions options;
+  options.runtime.banks = 4;
+  options.runtime.mailboxes_per_bank = 16;
+  options.runtime.mailbox_slot_bytes = KiB(136);  // fits 128 KiB frames
+  // The perftest process is single threaded per host (like ucx_perftest):
+  // the same core waits on mailboxes and packs outgoing messages, so its
+  // cycle counters cover both roles — what Figures 13/14 count.
+  options.runtime.sender_core = 0;
+  options.host0.memory_bytes = MiB(512);
+  options.host1.memory_bytes = MiB(512);
+  return options;
+}
+
+}  // namespace twochains::bench

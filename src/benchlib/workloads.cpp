@@ -1,0 +1,106 @@
+#include "benchlib/workloads.hpp"
+
+namespace twochains::bench {
+namespace {
+
+constexpr const char* kRiedKvstore = R"AMC(
+/* ried_kvstore: server-side state for the benchmark jams.
+   Shipped ahead of time and auto-initialized (a ried, "relocatable
+   interface distribution"). */
+
+long sum_results[4096];
+long sum_cursor = 0;
+
+long ht_keys[4096];
+long ht_offsets[4096];
+long ht_next_offset = 0;
+char ht_heap[16777216];
+
+long ried_kvstore(void) { return 0; }
+
+long ried_kvstore_init(void) {
+  for (long i = 0; i < 4096; ++i) {
+    ht_keys[i] = -1;
+    ht_offsets[i] = 0;
+    sum_results[i] = 0;
+  }
+  sum_cursor = 0;
+  ht_next_offset = 0;
+  return 0;
+}
+)AMC";
+
+constexpr const char* kJamSsum = R"AMC(
+/* Server-Side Sum (paper SVI-B1): "loops over all of its payload in order
+   to accumulate a sum. Then, it stores the result at the next spot in an
+   array in the server." */
+extern long sum_results[4096];
+extern long sum_cursor;
+
+long jam_ssum(long* args, long* usr, long usr_bytes) {
+  long n = usr_bytes / 8;
+  long total = 0;
+  for (long i = 0; i < n; ++i) total += usr[i];
+  long c = sum_cursor;
+  sum_results[c % 4096] = total;
+  sum_cursor = c + 1;
+  return total;
+}
+)AMC";
+
+constexpr const char* kJamIput = R"AMC(
+/* Indirect Put (paper SVI-B2, Fig. 4): (1) probe the hash index with the
+   client-chosen key, (2) assign or look up the offset, (3) copy the
+   payload to base + offset. */
+extern long ht_keys[4096];
+extern long ht_offsets[4096];
+extern long ht_next_offset;
+extern char ht_heap[16777216];
+extern void* tc_memcpy(void* dst, const void* src, unsigned long n);
+
+long jam_iput(long* args, char* usr, long usr_bytes) {
+  long key = args[0];
+  unsigned long slot = ((unsigned long)key * 2654435761) % 4096;
+  long off = -1;
+  for (long i = 0; i < 4096; ++i) {
+    unsigned long s = (slot + i) % 4096;
+    if (ht_keys[s] == key) { off = ht_offsets[s]; break; }
+    if (ht_keys[s] == -1) {
+      ht_keys[s] = key;
+      off = ht_next_offset;
+      ht_offsets[s] = off;
+      ht_next_offset = off + usr_bytes;
+      break;
+    }
+  }
+  if (off < 0) return -1;
+  tc_memcpy(ht_heap + off, usr, (unsigned long)usr_bytes);
+  return off;
+}
+)AMC";
+
+constexpr const char* kJamNop = R"AMC(
+/* Minimal jam: returns its first argument. Used by microbenches to
+   isolate framework overhead from handler work. */
+long jam_nop(long* args, char* usr, long usr_bytes) {
+  return args[0];
+}
+)AMC";
+
+}  // namespace
+
+pkg::PackageBuilder MakeBenchPackageBuilder() {
+  pkg::PackageBuilder builder;
+  // AddSourceFile only fails on non-canonical names; these are constants.
+  (void)builder.AddSourceFile("ried_kvstore.rdc", kRiedKvstore);
+  (void)builder.AddSourceFile("jam_ssum.amc", kJamSsum);
+  (void)builder.AddSourceFile("jam_iput.amc", kJamIput);
+  (void)builder.AddSourceFile("jam_nop.amc", kJamNop);
+  return builder;
+}
+
+StatusOr<pkg::Package> BuildBenchPackage() {
+  return MakeBenchPackageBuilder().Build("tcbench");
+}
+
+}  // namespace twochains::bench

@@ -1,0 +1,29 @@
+// The paper's benchmark package: AMC sources for the jams of §VI-B and the
+// kvstore ried that provides their server-side state.
+//
+//   * jam_ssum  — Server-Side Sum (§VI-B1): accumulates its payload and
+//                 stores the result at the next slot of a server array.
+//   * jam_iput  — Indirect Put (§VI-B2, Fig. 4): probes a hash index with
+//                 the client-chosen key, assigns/looks up an offset, and
+//                 copies the payload into the server heap at that offset.
+//   * ried_kvstore — exports the results array, the hash index, and the
+//                 heap; auto-initialized at load.
+#pragma once
+
+#include "common/status.hpp"
+#include "pkg/package.hpp"
+
+namespace twochains::bench {
+
+/// Hash-index capacity of the kvstore ried.
+inline constexpr std::uint64_t kTableSlots = 4096;
+/// Server heap bytes (bounds the sum of distinct keys × payload).
+inline constexpr std::uint64_t kHeapBytes = 16ull << 20;
+
+/// A builder pre-loaded with the benchmark sources (callers may add more).
+pkg::PackageBuilder MakeBenchPackageBuilder();
+
+/// Builds the canonical benchmark package ("tcbench").
+StatusOr<pkg::Package> BuildBenchPackage();
+
+}  // namespace twochains::bench

@@ -1,0 +1,161 @@
+#include "cache/hierarchy.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace twochains::cache {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config), llc_(config.llc, config.line_bytes) {
+  assert(config_.cores >= 1);
+  const std::uint32_t clusters =
+      (config_.cores + config_.cores_per_cluster - 1) /
+      config_.cores_per_cluster;
+  l1_.reserve(config_.cores);
+  l2_.reserve(config_.cores);
+  prefetchers_.reserve(config_.cores);
+  for (std::uint32_t c = 0; c < config_.cores; ++c) {
+    l1_.emplace_back(config_.l1, config_.line_bytes);
+    l2_.emplace_back(config_.l2, config_.line_bytes);
+    prefetchers_.emplace_back(config_.prefetch, config_.line_bytes);
+  }
+  l3_.reserve(clusters);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    l3_.emplace_back(config_.l3, config_.line_bytes);
+  }
+}
+
+Cycles CacheHierarchy::AccessLine(std::uint32_t core, mem::VirtAddr addr,
+                                  AccessKind kind, HitLevel* level) noexcept {
+  (void)kind;  // loads, stores (write-allocate) and ifetch share the walk
+  assert(core < config_.cores);
+  const std::uint32_t cluster = ClusterOf(core);
+  auto& l1 = l1_[core];
+  auto& l2 = l2_[core];
+  auto& l3 = l3_[cluster];
+
+  if (l1.Lookup(addr)) {
+    ++stats_.l1_hits;
+    if (level) *level = HitLevel::kL1;
+    return l1.hit_cycles();
+  }
+  if (l2.Lookup(addr)) {
+    l1.Insert(addr);
+    ++stats_.l2_hits;
+    if (level) *level = HitLevel::kL2;
+    return l2.hit_cycles();
+  }
+
+  // L2 demand miss: the stream prefetcher sees every one of these and, once
+  // trained, covers the fill regardless of whether the line would have come
+  // from L3, LLC, or DRAM (the engine ran ahead of the demand stream).
+  const bool covered = prefetchers_[core].OnDemandMiss(addr);
+  if (covered) {
+    l1.Insert(addr);
+    l2.Insert(addr);
+    llc_.Insert(addr);  // prefetch fills percolate into the shared cache
+    ++stats_.prefetch_covered;
+    if (level) *level = HitLevel::kPrefetchCovered;
+    return config_.prefetch.covered_cycles;
+  }
+
+  if (l3.Lookup(addr)) {
+    l1.Insert(addr);
+    l2.Insert(addr);
+    ++stats_.l3_hits;
+    if (level) *level = HitLevel::kL3;
+    return l3.hit_cycles();
+  }
+  if (llc_.Lookup(addr)) {
+    l1.Insert(addr);
+    l2.Insert(addr);
+    l3.Insert(addr);
+    ++stats_.llc_hits;
+    if (level) *level = HitLevel::kLLC;
+    return llc_.hit_cycles();
+  }
+
+  // DRAM.
+  l1.Insert(addr);
+  l2.Insert(addr);
+  l3.Insert(addr);
+  llc_.Insert(addr);
+  ++stats_.dram_accesses;
+  if (level) *level = HitLevel::kDram;
+  Cycles cost = config_.DramCycles();
+  if (dram_contention_) cost += dram_contention_();
+  return cost;
+}
+
+Cycles CacheHierarchy::Access(std::uint32_t core, mem::VirtAddr addr,
+                              std::uint64_t size, AccessKind kind,
+                              HitLevel* last_level) noexcept {
+  if (size == 0) return 0;
+  const std::uint64_t line = config_.line_bytes;
+  const std::uint64_t first = AlignDown(addr, line);
+  const std::uint64_t last = AlignUp(addr + size, line);
+  Cycles total = 0;
+  for (std::uint64_t a = first; a < last; a += line) {
+    total += AccessLine(core, a, kind, last_level);
+  }
+  return total;
+}
+
+void CacheHierarchy::StashDeliver(mem::VirtAddr addr,
+                                  std::uint64_t size) noexcept {
+  if (size == 0) return;
+  const std::uint64_t line = config_.line_bytes;
+  const std::uint64_t first = AlignDown(addr, line);
+  const std::uint64_t last = AlignUp(addr + size, line);
+  for (std::uint64_t a = first; a < last; a += line) {
+    // Upper-level copies are stale after the DMA write.
+    for (auto& l1 : l1_) l1.Invalidate(a);
+    for (auto& l2 : l2_) l2.Invalidate(a);
+    for (auto& l3 : l3_) l3.Invalidate(a);
+    llc_.Insert(a);
+    ++stats_.stash_lines;
+  }
+}
+
+void CacheHierarchy::DramDeliver(mem::VirtAddr addr,
+                                 std::uint64_t size) noexcept {
+  if (size == 0) return;
+  const std::uint64_t line = config_.line_bytes;
+  const std::uint64_t first = AlignDown(addr, line);
+  const std::uint64_t last = AlignUp(addr + size, line);
+  for (std::uint64_t a = first; a < last; a += line) {
+    for (auto& l1 : l1_) l1.Invalidate(a);
+    for (auto& l2 : l2_) l2.Invalidate(a);
+    for (auto& l3 : l3_) l3.Invalidate(a);
+    llc_.Invalidate(a);
+    ++stats_.dma_invalidated_lines;
+  }
+}
+
+void CacheHierarchy::Clear() noexcept {
+  for (auto& c : l1_) c.Clear();
+  for (auto& c : l2_) c.Clear();
+  for (auto& c : l3_) c.Clear();
+  llc_.Clear();
+  ResetPrefetchers();
+}
+
+void CacheHierarchy::ResetPrefetchers() noexcept {
+  for (auto& p : prefetchers_) p.Reset();
+}
+
+bool CacheHierarchy::ProbeL1(std::uint32_t core, mem::VirtAddr addr) const {
+  return l1_[core].Probe(addr);
+}
+bool CacheHierarchy::ProbeL2(std::uint32_t core, mem::VirtAddr addr) const {
+  return l2_[core].Probe(addr);
+}
+bool CacheHierarchy::ProbeL3(std::uint32_t core, mem::VirtAddr addr) const {
+  return l3_[ClusterOf(core)].Probe(addr);
+}
+bool CacheHierarchy::ProbeLLC(mem::VirtAddr addr) const {
+  return llc_.Probe(addr);
+}
+
+}  // namespace twochains::cache

@@ -1,0 +1,107 @@
+// The full memory hierarchy of one simulated host.
+//
+// Private L1/L2 per core, L3 shared per 2-core cluster, one LLC shared by
+// all cores, DRAM behind it. Every CPU access (instruction fetch, load,
+// store) walks the hierarchy, pays the latency of the level that hits, and
+// installs the line upward — so code and data that arrived over the network
+// are hot or cold depending on how the NIC delivered them:
+//
+//   * stash delivery  -> lines installed in the LLC (upper levels
+//                        invalidated): post-arrival fetches pay LLC latency;
+//   * DRAM delivery   -> lines invalidated everywhere: post-arrival fetches
+//                        pay DRAM latency until the stream prefetcher trains.
+//
+// This asymmetry is the entire mechanism behind Figures 9-12 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache_level.hpp"
+#include "cache/config.hpp"
+#include "cache/prefetcher.hpp"
+#include "mem/address.hpp"
+
+namespace twochains::cache {
+
+/// Hit/miss counters, one instance per hierarchy.
+struct HierarchyStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l3_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t prefetch_covered = 0;
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t stash_lines = 0;
+  std::uint64_t dma_invalidated_lines = 0;
+
+  std::uint64_t TotalAccesses() const noexcept {
+    return l1_hits + l2_hits + l3_hits + llc_hits + prefetch_covered +
+           dram_accesses;
+  }
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config);
+
+  const HierarchyConfig& config() const noexcept { return config_; }
+
+  /// CPU access from @p core touching [addr, addr+size). Returns total
+  /// latency in core cycles (per-line walk; the level that hits also
+  /// reports through @p last_level when non-null, for tests).
+  Cycles Access(std::uint32_t core, mem::VirtAddr addr, std::uint64_t size,
+                AccessKind kind, HitLevel* last_level = nullptr) noexcept;
+
+  /// Single-line access fast path used by the interpreter (addr need not be
+  /// aligned; only the containing line is charged).
+  Cycles AccessLine(std::uint32_t core, mem::VirtAddr addr, AccessKind kind,
+                    HitLevel* level = nullptr) noexcept;
+
+  /// Inbound-DMA delivery with LLC stashing: installs every line of
+  /// [addr,+size) into the LLC and invalidates upper-level copies.
+  void StashDeliver(mem::VirtAddr addr, std::uint64_t size) noexcept;
+
+  /// Inbound-DMA delivery to DRAM: invalidates every level (next CPU touch
+  /// misses all the way down).
+  void DramDeliver(mem::VirtAddr addr, std::uint64_t size) noexcept;
+
+  /// Per-DRAM-access extra cost (core cycles), used by the interference
+  /// model to inject memory-bandwidth contention. Called once per DRAM
+  /// access; may be stochastic.
+  void SetDramContentionHook(std::function<Cycles()> hook) {
+    dram_contention_ = std::move(hook);
+  }
+
+  /// Drops all cached state and prefetcher training (cold start).
+  void Clear() noexcept;
+
+  /// Drops only prefetcher training (e.g. between benchmark phases).
+  void ResetPrefetchers() noexcept;
+
+  const HierarchyStats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = {}; }
+
+  /// Test hooks: is this line present at the given level for this core?
+  bool ProbeL1(std::uint32_t core, mem::VirtAddr addr) const;
+  bool ProbeL2(std::uint32_t core, mem::VirtAddr addr) const;
+  bool ProbeL3(std::uint32_t core, mem::VirtAddr addr) const;
+  bool ProbeLLC(mem::VirtAddr addr) const;
+
+ private:
+  std::uint32_t ClusterOf(std::uint32_t core) const noexcept {
+    return core / config_.cores_per_cluster;
+  }
+
+  HierarchyConfig config_;
+  std::vector<CacheLevel> l1_;   // per core
+  std::vector<CacheLevel> l2_;   // per core
+  std::vector<CacheLevel> l3_;   // per cluster
+  CacheLevel llc_;
+  std::vector<StreamPrefetcher> prefetchers_;  // per core
+  std::function<Cycles()> dram_contention_;
+  HierarchyStats stats_;
+};
+
+}  // namespace twochains::cache

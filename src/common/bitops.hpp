@@ -1,0 +1,34 @@
+// Small bit/alignment helpers shared by the memory, cache, and codec layers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace twochains {
+
+/// True if @p v is a power of two (zero is not).
+constexpr bool IsPowerOfTwo(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Rounds @p v up to the next multiple of @p align (align must be pow2).
+constexpr std::uint64_t AlignUp(std::uint64_t v, std::uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Rounds @p v down to a multiple of @p align (align must be pow2).
+constexpr std::uint64_t AlignDown(std::uint64_t v, std::uint64_t align) noexcept {
+  return v & ~(align - 1);
+}
+
+/// log2 of a power of two.
+constexpr unsigned Log2(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Number of @p unit-sized chunks needed to cover @p bytes.
+constexpr std::uint64_t CeilDiv(std::uint64_t bytes, std::uint64_t unit) noexcept {
+  return (bytes + unit - 1) / unit;
+}
+
+}  // namespace twochains

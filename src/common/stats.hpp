@@ -1,0 +1,101 @@
+// Measurement collection for the benchmark harnesses.
+//
+// The paper reports median (50th) and tail (99.9th percentile) latencies,
+// message rates, bandwidths, and the derived "tail latency spread"
+// (tail - median) / median (its Eq. 1). LatencySample keeps the raw samples
+// (benchmark iteration counts here are modest) and computes exact order
+// statistics; RunningStat provides streaming mean/variance for tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace twochains {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects latency samples (picoseconds) and reports order statistics.
+class LatencySample {
+ public:
+  LatencySample() = default;
+  /// Reserves capacity when the iteration count is known up front.
+  explicit LatencySample(std::size_t expected) { samples_.reserve(expected); }
+
+  void Add(PicoTime latency) {
+    samples_.push_back(latency);
+    sorted_ = false;
+  }
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Exact percentile by nearest-rank (q in [0,1]); 0 on empty samples.
+  /// Sorts lazily on first query after new samples.
+  PicoTime Percentile(double q) const;
+
+  PicoTime Median() const { return Percentile(0.50); }
+  /// The paper's tail latency: the 99.9th percentile.
+  PicoTime Tail() const { return Percentile(0.999); }
+
+  /// Tail latency spread per the paper's Eq. 1: (tail - median) / median.
+  /// Returns 0 when the median is 0.
+  double TailSpread() const;
+
+  double MeanNanos() const;
+  PicoTime Min() const;
+  PicoTime Max() const;
+
+  /// Read-only view of raw samples (unsorted insertion order).
+  const std::vector<PicoTime>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<PicoTime> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-boundary histogram used by property tests to sanity-check the
+/// interference model's distribution shape.
+class Histogram {
+ public:
+  /// Buckets: [0,b0), [b0,b1), ..., [b_{n-1}, inf). Boundaries ascending.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void Add(double x) noexcept;
+  std::size_t BucketCount() const noexcept { return counts_.size(); }
+  std::uint64_t BucketValue(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t TotalCount() const noexcept { return total_; }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Converts bytes moved over a duration into MB/s (decimal megabytes,
+/// matching the paper's bandwidth plots).
+double MegabytesPerSecond(std::uint64_t bytes, PicoTime duration) noexcept;
+
+/// Converts a message count over a duration into messages/second.
+double MessagesPerSecond(std::uint64_t messages, PicoTime duration) noexcept;
+
+}  // namespace twochains

@@ -1,0 +1,156 @@
+// Status / StatusOr: lightweight error propagation for the Two-Chains stack.
+//
+// Hot paths in the simulator and runtime avoid exceptions; fallible
+// operations return Status (or StatusOr<T> when they produce a value).
+// The error taxonomy mirrors the failure classes the framework must surface:
+// permission violations, protocol/format errors, resource exhaustion, and
+// lookup failures (e.g. unresolved symbols).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace twochains {
+
+/// Error classification shared by every module.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    ///< caller passed something malformed
+  kNotFound,           ///< lookup failed (symbol, package, element, rkey ...)
+  kAlreadyExists,      ///< duplicate registration
+  kOutOfRange,         ///< address/index outside a valid region
+  kPermissionDenied,   ///< page-permission or rkey violation
+  kFailedPrecondition, ///< object not in the required state
+  kResourceExhausted,  ///< arena/bank/queue full
+  kDataLoss,           ///< corrupted frame, bad magic, truncated object
+  kUnimplemented,      ///< feature disabled by configuration
+  kInternal,           ///< invariant broken (a bug in this library)
+};
+
+/// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// Result of a fallible operation: a code plus, when not OK, a message.
+/// OK Status construction and copies are allocation-free.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  /// Constructs a status with @p code and a diagnostic @p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "CODE_NAME: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Factory helpers, one per error class, so call sites read as intent.
+inline Status InvalidArgument(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExists(std::string m) {
+  return {StatusCode::kAlreadyExists, std::move(m)};
+}
+inline Status OutOfRange(std::string m) {
+  return {StatusCode::kOutOfRange, std::move(m)};
+}
+inline Status PermissionDenied(std::string m) {
+  return {StatusCode::kPermissionDenied, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status DataLoss(std::string m) {
+  return {StatusCode::kDataLoss, std::move(m)};
+}
+inline Status Unimplemented(std::string m) {
+  return {StatusCode::kUnimplemented, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a non-OK status: failure. OK statuses are a caller bug
+  /// and are converted to kInternal to keep the invariant "ok() == has value".
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace twochains
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or StatusOr<T>.
+#define TC_RETURN_IF_ERROR(expr)                      \
+  do {                                                \
+    ::twochains::Status tc_status_ = (expr);          \
+    if (!tc_status_.ok()) return tc_status_;          \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating failure, else binds the value.
+#define TC_ASSIGN_OR_RETURN(lhs, expr)                \
+  TC_ASSIGN_OR_RETURN_IMPL_(TC_CONCAT_(tc_sor_, __LINE__), lhs, expr)
+#define TC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+#define TC_CONCAT_(a, b) TC_CONCAT_IMPL_(a, b)
+#define TC_CONCAT_IMPL_(a, b) a##b

@@ -1,0 +1,106 @@
+// Time and size units used throughout the simulator.
+//
+// Simulated time is an integer count of picoseconds (PicoTime). Picosecond
+// granularity represents every clock in the testbed exactly enough: the
+// 2.6 GHz core period is ~384.6 ps and the 1.6 GHz interconnect period is
+// 625 ps. 64-bit picoseconds overflow after ~213 days of simulated time,
+// far beyond any benchmark run.
+#pragma once
+
+#include <cstdint>
+
+namespace twochains {
+
+/// Absolute simulated time or a duration, in picoseconds.
+using PicoTime = std::uint64_t;
+
+/// Cycle counts for a specific clock domain.
+using Cycles = std::uint64_t;
+
+inline constexpr PicoTime kPicosPerNano = 1000;
+inline constexpr PicoTime kPicosPerMicro = 1000 * kPicosPerNano;
+inline constexpr PicoTime kPicosPerMilli = 1000 * kPicosPerMicro;
+inline constexpr PicoTime kPicosPerSecond = 1000 * kPicosPerMilli;
+
+constexpr PicoTime Nanoseconds(double ns) {
+  return static_cast<PicoTime>(ns * static_cast<double>(kPicosPerNano));
+}
+constexpr PicoTime Microseconds(double us) {
+  return static_cast<PicoTime>(us * static_cast<double>(kPicosPerMicro));
+}
+constexpr double ToNanoseconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerNano);
+}
+constexpr double ToMicroseconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
+}
+constexpr double ToSeconds(PicoTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSecond);
+}
+
+/// A fixed-frequency clock domain that converts between cycles and picoseconds
+/// using integer arithmetic (exact for the rational frequencies we model).
+class ClockDomain {
+ public:
+  /// Frequency expressed as a rational number of hertz: hz_num/hz_den.
+  /// 2.6 GHz is ClockDomain(13'000'000'000, 5); 1.6 GHz is (1'600'000'000, 1).
+  constexpr ClockDomain(std::uint64_t hz_num, std::uint64_t hz_den) noexcept
+      : hz_num_(hz_num), hz_den_(hz_den) {}
+
+  /// Convenience factory from GHz times 10 (26 -> 2.6 GHz) to stay integral.
+  static constexpr ClockDomain FromDeciGHz(std::uint64_t dghz) noexcept {
+    return ClockDomain(dghz * 100'000'000ull, 1);
+  }
+
+  /// Duration of @p cycles, rounded to the nearest picosecond.
+  constexpr PicoTime ToPicos(Cycles cycles) const noexcept {
+    // picos = cycles * 1e12 * den / num, computed as cycles*den*1e12/num.
+    // 1e12*den fits 64 bits for our domains; cycles stay < 2^40 per call in
+    // practice, so compute in long double only when the fast path overflows.
+    const std::uint64_t num = hz_num_;
+    const std::uint64_t scaled = kPicosPerSecond * hz_den_;
+    if (cycles <= UINT64_MAX / scaled) {
+      return (cycles * scaled + num / 2) / num;
+    }
+    const long double picos = static_cast<long double>(cycles) *
+                              static_cast<long double>(scaled) /
+                              static_cast<long double>(num);
+    return static_cast<PicoTime>(picos);
+  }
+
+  /// Number of whole cycles that fit in @p duration (rounded up so waiting
+  /// "at least" a duration is conservative).
+  constexpr Cycles ToCycles(PicoTime duration) const noexcept {
+    const std::uint64_t scaled = kPicosPerSecond * hz_den_;
+    if (duration <= UINT64_MAX / hz_num_) {
+      return (duration * hz_num_ + scaled - 1) / scaled;
+    }
+    const long double cycles = static_cast<long double>(duration) *
+                               static_cast<long double>(hz_num_) /
+                               static_cast<long double>(scaled);
+    return static_cast<Cycles>(cycles) + 1;
+  }
+
+  constexpr double GHz() const noexcept {
+    return static_cast<double>(hz_num_) /
+           (static_cast<double>(hz_den_) * 1e9);
+  }
+
+ private:
+  std::uint64_t hz_num_;
+  std::uint64_t hz_den_;
+};
+
+/// The two clock domains of the paper's testbed (§VI-C).
+inline constexpr ClockDomain kCoreClock{13'000'000'000ull, 5};       // 2.6 GHz
+inline constexpr ClockDomain kInterconnectClock{1'600'000'000ull, 1};  // 1.6 GHz
+
+// Size helpers.
+inline constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+inline constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+inline constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+/// Cache-line size of the modeled testbed; frame sizes round to this.
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+
+}  // namespace twochains

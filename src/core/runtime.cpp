@@ -1,0 +1,693 @@
+#include "core/runtime.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/strfmt.hpp"
+#include "jamvm/verifier.hpp"
+
+namespace twochains::core {
+
+namespace {
+
+/// Builds the contiguous injectable blob (text .. rodata, padded) from a
+/// jam image — the CODE section of an Injected Function frame.
+std::vector<std::uint8_t> CodeBlobOf(const jelf::LinkedImage& image) {
+  std::vector<std::uint8_t> blob(image.code_blob_size(), 0);
+  std::memcpy(blob.data(), image.text.data(), image.text.size());
+  if (!image.rodata.empty()) {
+    std::memcpy(blob.data() + image.rodata_offset, image.rodata.data(),
+                image.rodata.size());
+  }
+  return blob;
+}
+
+}  // namespace
+
+Runtime::Runtime(sim::Engine& engine, net::Host& host, net::Nic& nic,
+                 ucxs::Worker& worker, RuntimeConfig config)
+    : engine_(engine), host_(host), nic_(nic), worker_(worker),
+      config_(std::move(config)) {}
+
+Status Runtime::Initialize() {
+  if (initialized_) return FailedPrecondition("already initialized");
+  wait_model_ = std::make_unique<cpu::WaitModel>(
+      config_.wait, host_.core(config_.receiver_core).clock());
+  endpoint_ = std::make_unique<ucxs::Endpoint>(worker_, ucxs::PutMode::kUser);
+  config_.exec.enforce_exec_permission =
+      config_.security.enforce_exec_permission;
+
+  auto& memory = host_.memory();
+  const std::uint64_t mailbox_bytes =
+      static_cast<std::uint64_t>(TotalSlots()) * config_.mailbox_slot_bytes;
+
+  // Reactive mailboxes: pinned, remotely writable, and (paper default)
+  // executable — "we ... mark all mailbox pages with read, write, and
+  // execute permissions" (§III-A).
+  TC_ASSIGN_OR_RETURN(mailbox_base_,
+                      memory.Allocate(mailbox_bytes, mem::kPageSize,
+                                      mem::Perm::kRWX, "tc:mailboxes"));
+  TC_ASSIGN_OR_RETURN(const mem::RKey mbox_key,
+                      host_.regions().RegisterRegion(
+                          mailbox_base_, mailbox_bytes,
+                          mem::RemoteAccess::kWrite, "tc:mailboxes"));
+  mailbox_rkey_own_ = mbox_key;
+
+  // Sender-side bank flags, set remotely by the receiver.
+  TC_ASSIGN_OR_RETURN(flag_base_,
+                      memory.Allocate(config_.banks * 8ull, 64,
+                                      mem::Perm::kRW, "tc:bank-flags"));
+  TC_ASSIGN_OR_RETURN(const mem::RKey flag_key,
+                      host_.regions().RegisterRegion(
+                          flag_base_, config_.banks * 8ull,
+                          mem::RemoteAccess::kWrite, "tc:bank-flags"));
+  flag_rkey_own_ = flag_key;
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    TC_RETURN_IF_ERROR(memory.StoreU64(flag_base_ + 8ull * b, 1));
+  }
+  bank_open_.assign(config_.banks, 1);
+
+  // Send staging ring (one slot per mailbox).
+  TC_ASSIGN_OR_RETURN(staging_base_,
+                      memory.Allocate(mailbox_bytes, mem::kPageSize,
+                                      mem::Perm::kRW, "tc:staging"));
+
+  // Receiver execution stack.
+  TC_ASSIGN_OR_RETURN(const mem::VirtAddr stack,
+                      memory.Allocate(KiB(256), 16, mem::Perm::kRW,
+                                      "tc:recv-stack"));
+  stack_top_ = stack + KiB(256);
+
+  TC_RETURN_IF_ERROR(
+      vm::RegisterStandardNatives(natives_, {&print_sink_}));
+  for (std::uint32_t i = 0; i < natives_.size(); ++i) {
+    TC_RETURN_IF_ERROR(ns_.Define(std::string(natives_.NameOf(i)),
+                                  vm::MakeNativeHandle(i)));
+  }
+
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status Runtime::Wire(Runtime& a, Runtime& b) {
+  if (!a.initialized_ || !b.initialized_) {
+    return FailedPrecondition("initialize both runtimes before wiring");
+  }
+  a.peer_ = PeerInfo{&b, b.mailbox_base_, b.mailbox_rkey_own_, b.flag_base_,
+                     b.flag_rkey_own_};
+  b.peer_ = PeerInfo{&a, a.mailbox_base_, a.mailbox_rkey_own_, a.flag_base_,
+                     a.flag_rkey_own_};
+  return Status::Ok();
+}
+
+Status Runtime::LoadPackage(const pkg::Package& package) {
+  if (!initialized_) return FailedPrecondition("not initialized");
+
+  // Rieds first: they provide the interfaces jams link against.
+  for (const auto& elem : package.elements) {
+    if (elem.kind != pkg::ElementKind::kRied) continue;
+    jelf::LoadOptions opts;
+    TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
+                        jelf::LoadLibrary(host_.memory(), elem.ried_image,
+                                          ns_, opts));
+    // Auto-init: "rieds ... are loaded and auto-initialized" (§IV-A).
+    const std::string init_symbol = elem.entry_symbol + "_init";
+    const auto init = lib.exports.find(init_symbol);
+    if (init != lib.exports.end()) {
+      vm::Interpreter interp(host_.memory(), host_.caches(),
+                             config_.receiver_core, &natives_, config_.exec);
+      const auto r = interp.Execute(init->second, {}, stack_top_);
+      if (!r.status.ok()) {
+        return Status(r.status.code(),
+                      StrFormat("ried init '%s' failed: %s",
+                                init_symbol.c_str(),
+                                r.status.message().c_str()));
+      }
+    }
+    loaded_libraries_.push_back(std::move(lib));
+
+    ElementInfo info;
+    info.kind = elem.kind;
+    info.elem_id = elem.element_id;
+    info.name = elem.name;
+    elements_.push_back(std::move(info));
+  }
+
+  // Jams: cache injectable images; load the Local Function library.
+  std::optional<jelf::LoadedLibrary> local_lib;
+  if (!package.local_library.text.empty()) {
+    jelf::LoadOptions opts;
+    TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
+                        jelf::LoadLibrary(host_.memory(),
+                                          package.local_library, ns_, opts));
+    local_lib = std::move(lib);
+  }
+  for (const auto& elem : package.elements) {
+    if (elem.kind != pkg::ElementKind::kJam) continue;
+    ElementInfo info;
+    info.kind = elem.kind;
+    info.elem_id = elem.element_id;
+    info.name = elem.name;
+    info.injected_image = elem.injected_image;
+    info.code_blob = CodeBlobOf(elem.injected_image);
+    const auto entry = elem.injected_image.exports.find(elem.entry_symbol);
+    if (entry == elem.injected_image.exports.end()) {
+      return NotFound(StrFormat("jam '%s' lacks entry '%s'",
+                                elem.name.c_str(),
+                                elem.entry_symbol.c_str()));
+    }
+    info.entry_offset = entry->second.offset;
+    if (local_lib.has_value()) {
+      const auto local = local_lib->exports.find(elem.entry_symbol);
+      if (local != local_lib->exports.end()) {
+        info.local_entry = local->second;
+      }
+    }
+    elements_.push_back(std::move(info));
+  }
+  if (local_lib.has_value()) {
+    loaded_libraries_.push_back(std::move(*local_lib));
+  }
+  return Status::Ok();
+}
+
+Status Runtime::SyncNamespaces(Runtime& a, Runtime& b) {
+  for (const auto& [name, value] : a.ns_.entries()) {
+    b.remote_ns_[name] = value;
+  }
+  for (const auto& [name, value] : b.ns_.entries()) {
+    a.remote_ns_[name] = value;
+  }
+  return Status::Ok();
+}
+
+StatusOr<const Runtime::ElementInfo*> Runtime::FindElement(
+    const std::string& name) const {
+  for (const auto& elem : elements_) {
+    if (elem.name == name && elem.kind == pkg::ElementKind::kJam) {
+      return &elem;
+    }
+  }
+  return NotFound(StrFormat("jam '%s' (package not loaded?)", name.c_str()));
+}
+
+StatusOr<FrameLayout> Runtime::LayoutFor(const std::string& name, Invoke mode,
+                                         std::uint64_t args_bytes,
+                                         std::uint64_t usr_bytes) const {
+  TC_ASSIGN_OR_RETURN(const ElementInfo* elem, FindElement(name));
+  FrameSpec spec;
+  spec.injected = mode == Invoke::kInjected;
+  spec.args_size = args_bytes;
+  spec.usr_size = usr_bytes;
+  spec.split_code_data = config_.security.split_code_data_pages;
+  if (spec.injected) {
+    spec.got_slots = elem->injected_image.got_slot_count();
+    spec.code_size = elem->code_blob.size();
+  }
+  return FrameLayout::Compute(spec);
+}
+
+bool Runtime::HasFreeSlot() const {
+  const std::uint32_t bank =
+      static_cast<std::uint32_t>((send_counter_ / config_.mailboxes_per_bank) %
+                                 config_.banks);
+  return bank_open_[bank] != 0;
+}
+
+void Runtime::NotifyWhenSlotFree(std::function<void()> cb) {
+  if (HasFreeSlot()) {
+    cb();
+    return;
+  }
+  slot_waiters_.push_back(std::move(cb));
+}
+
+StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
+                                    std::span<const std::uint64_t> args,
+                                    std::span<const std::uint8_t> usr,
+                                    std::uint16_t extra_flags) {
+  if (peer_.runtime == nullptr) return FailedPrecondition("not wired");
+  TC_ASSIGN_OR_RETURN(const ElementInfo* elem, FindElement(name));
+
+  const std::uint32_t in_bank =
+      static_cast<std::uint32_t>(send_counter_ % config_.mailboxes_per_bank);
+  const std::uint32_t bank =
+      static_cast<std::uint32_t>((send_counter_ / config_.mailboxes_per_bank) %
+                                 config_.banks);
+  if (bank_open_[bank] == 0) {
+    ++stats_.send_stalls;
+    return ResourceExhausted(StrFormat("bank %u flag not returned", bank));
+  }
+  const std::uint32_t slot = bank * config_.mailboxes_per_bank + in_bank;
+
+  // ---- build the frame ------------------------------------------------
+  FrameSpec spec;
+  spec.injected = mode == Invoke::kInjected;
+  spec.args_size = args.size() * 8;
+  spec.usr_size = usr.size();
+  spec.split_code_data = config_.security.split_code_data_pages;
+
+  std::vector<std::uint64_t> gotp;
+  std::span<const std::uint8_t> code;
+  if (spec.injected) {
+    spec.got_slots = elem->injected_image.got_slot_count();
+    spec.code_size = elem->code_blob.size();
+    code = elem->code_blob;
+    gotp.reserve(spec.got_slots);
+    for (const auto& symbol : elem->injected_image.got_symbols) {
+      if (config_.security.receiver_installs_got) {
+        gotp.push_back(0);
+        continue;
+      }
+      const auto it = remote_ns_.find(symbol);
+      if (it == remote_ns_.end()) {
+        return NotFound(StrFormat(
+            "remote symbol '%s' unknown — namespaces not synchronized?",
+            symbol.c_str()));
+      }
+      gotp.push_back(it->second);
+    }
+  }
+  // Local invocation needs the *receiver's* library binding; that is
+  // checked at receive time (the receiver owns its dispatch vector).
+
+  FrameHeader header;
+  header.sn = next_sn_++;
+  header.elem_id = elem->elem_id;
+  header.flags = extra_flags;
+
+  std::vector<std::uint8_t> args_bytes(args.size() * 8);
+  if (!args.empty()) {
+    std::memcpy(args_bytes.data(), args.data(), args_bytes.size());
+  }
+  TC_ASSIGN_OR_RETURN(std::vector<std::uint8_t> frame,
+                      PackFrame(spec, header, gotp, code, args_bytes, usr));
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  if (frame.size() > config_.mailbox_slot_bytes) {
+    return ResourceExhausted(
+        StrFormat("frame (%zu B) exceeds mailbox slot (%llu B)", frame.size(),
+                  static_cast<unsigned long long>(
+                      config_.mailbox_slot_bytes)));
+  }
+
+  const mem::VirtAddr remote_slot_addr =
+      peer_.mailbox_base +
+      static_cast<std::uint64_t>(slot) * config_.mailbox_slot_bytes;
+  if (spec.injected && !config_.security.receiver_installs_got) {
+    // PRE -> the GOTP table as it will sit in the *receiver's* mailbox.
+    TC_RETURN_IF_ERROR(
+        PatchPreSlot(frame, layout, remote_slot_addr + layout.gotp_off));
+  }
+
+  // Stage the frame in sender memory (the NIC DMA-reads from here) and
+  // charge the pack cost.
+  const mem::VirtAddr staging = StagingAddr(slot);
+  TC_RETURN_IF_ERROR(host_.memory().DmaWrite(staging, frame));
+  // Pack cost: the runtime writes the header, GOTP, PRE, code bytes, and
+  // the signal word. The payload (ARGS/USR) is framed zero-copy — the
+  // application produced it in place, exactly as a UCX perftest payload
+  // sits pre-staged in the send buffer — so it is not charged per byte.
+  Cycles pack_cycles =
+      config_.pack_base_cycles +
+      static_cast<Cycles>(spec.got_slots) * config_.got_lookup_cycles;
+  pack_cycles += host_.caches().Access(config_.sender_core, staging,
+                                       layout.args_off == 0 ? kHeaderBytes
+                                                            : layout.args_off,
+                                       cache::AccessKind::kStore);
+  pack_cycles += host_.caches().Access(config_.sender_core,
+                                       staging + layout.sig_off, 8,
+                                       cache::AccessKind::kStore);
+  const PicoTime pack_time =
+      sender_cpu().Charge(pack_cycles, cpu::CycleClass::kPack);
+
+  // ---- post -----------------------------------------------------------
+  // Packing happens on the sender CPU before the doorbell, so the actual
+  // put is scheduled after the pack time.
+  Runtime* peer_rt = peer_.runtime;
+  auto on_signal_delivered = [peer_rt, slot](const net::PutCompletion& c) {
+    if (!c.status.ok()) {
+      TC_WARN << "frame delivery failed: " << c.status;
+      return;
+    }
+    peer_rt->OnFrameDelivered(slot, c.delivered_at);
+  };
+
+  // Compute the protocol now (for the receipt); the endpoint recomputes it
+  // at post time with the same inputs.
+  const ucxs::Protocol protocol = endpoint_->SelectProtocol(frame.size());
+  const std::uint64_t frame_size = frame.size();
+  const bool separate_signal = config_.separate_signal_put;
+  const std::uint64_t sig_word = SignalWord(header.sn);
+  const std::uint64_t sig_off = layout.sig_off;
+  const PicoTime proto_overhead = endpoint_->EstimateOverhead(frame.size());
+  auto mailbox_rkey = peer_.mailbox_rkey;
+  auto* endpoint = endpoint_.get();
+  engine_.ScheduleAfter(
+      pack_time,
+      [endpoint, staging, remote_slot_addr, frame_size, mailbox_rkey,
+       separate_signal, sig_word, sig_off,
+       cb = std::move(on_signal_delivered)]() mutable {
+        if (separate_signal) {
+          // Payload put (everything before SIG), then a fenced signal put —
+          // the configuration for transports without ordering guarantees.
+          auto p1 = endpoint->PutNbi(staging, remote_slot_addr, sig_off,
+                                     mailbox_rkey, /*fence=*/false, nullptr);
+          if (!p1.ok()) {
+            TC_WARN << "payload put failed: " << p1.status();
+            return;
+          }
+          auto p2 = endpoint->PutInline(sig_word, remote_slot_addr + sig_off,
+                                        mailbox_rkey, /*fence=*/true,
+                                        std::move(cb));
+          if (!p2.ok()) TC_WARN << "signal put failed: " << p2.status();
+        } else {
+          auto p = endpoint->PutNbi(staging, remote_slot_addr, frame_size,
+                                    mailbox_rkey, /*fence=*/false,
+                                    std::move(cb));
+          if (!p.ok()) TC_WARN << "frame put failed: " << p.status();
+        }
+      },
+      "tc.post");
+  ucxs::PutReceipt put_receipt;
+  put_receipt.protocol = protocol;
+  put_receipt.sender_overhead = proto_overhead;
+
+  // Flow control: after filling a bank, close it until the flag returns.
+  if (in_bank == config_.mailboxes_per_bank - 1) {
+    bank_open_[bank] = 0;
+    TC_RETURN_IF_ERROR(host_.memory().StoreU64(flag_base_ + 8ull * bank, 0));
+  }
+  ++send_counter_;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += frame.size();
+
+  SendReceipt receipt;
+  receipt.sn = header.sn;
+  receipt.frame_len = frame.size();
+  receipt.protocol = put_receipt.protocol;
+  receipt.sender_cost = pack_time + put_receipt.sender_overhead;
+  return receipt;
+}
+
+Status Runtime::StartReceiver() {
+  if (!initialized_) return FailedPrecondition("not initialized");
+  if (receiver_started_) return Status::Ok();
+  receiver_started_ = true;
+  idle_since_ = engine_.Now();
+  return Status::Ok();
+}
+
+void Runtime::OnFrameDelivered(std::uint32_t slot, PicoTime delivered_at) {
+  ++stats_.messages_delivered;
+  ready_[slot] = ReadyFrame{slot, delivered_at};
+  MaybeBeginNext();
+}
+
+void Runtime::OnBankFlag(std::uint32_t bank) {
+  if (bank >= config_.banks) return;
+  bank_open_[bank] = 1;
+  if (!slot_waiters_.empty()) {
+    auto waiters = std::move(slot_waiters_);
+    slot_waiters_.clear();
+    for (auto& w : waiters) w();
+  }
+}
+
+void Runtime::MaybeBeginNext() {
+  if (!receiver_started_ || processing_) return;
+  const auto it = ready_.find(next_recv_slot_);
+  if (it == ready_.end()) {
+    if (!idle_since_.has_value()) idle_since_ = engine_.Now();
+    return;
+  }
+  const ReadyFrame frame = it->second;
+  PicoTime waited = 0;
+  if (idle_since_.has_value() && frame.delivered_at >= *idle_since_) {
+    waited = frame.delivered_at - *idle_since_;
+  }
+  idle_since_.reset();
+  processing_ = true;
+  BeginProcess(frame, waited);
+}
+
+void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
+  auto& core = receiver_cpu();
+  const cpu::WaitOutcome outcome = wait_model_->Wait(waited);
+  core.Charge(outcome.cycles_burned, cpu::CycleClass::kWait);
+  ++stats_.wait_episodes;
+  // Detection happens detection_delay after the signal became visible; we
+  // may already be past that point if the frame arrived while busy.
+  PicoTime wake =
+      std::max(engine_.Now(), frame.delivered_at + outcome.detection_delay);
+  if (preemption_hook_) wake += preemption_hook_();
+  engine_.ScheduleAt(
+      wake, [this, frame] { ProcessFrame(frame); }, "tc.process");
+}
+
+void Runtime::ProcessFrame(const ReadyFrame& frame) {
+  ReceivedMessage msg;
+  msg.delivered_at = frame.delivered_at;
+  Cycles cycles = config_.validate_cycles;
+  auto& caches = host_.caches();
+  const std::uint32_t core = config_.receiver_core;
+  const mem::VirtAddr frame_addr = SlotAddr(frame.slot);
+
+  // The poll/WFE loop re-reads the signal line; its final read plus the
+  // header fetch go through the cache hierarchy (this is where stashing
+  // vs DRAM delivery first shows up).
+  auto hdr_span = host_.memory().RawSpan(frame_addr, kHeaderBytes);
+  if (!hdr_span.ok()) {
+    ++stats_.security_rejections;
+    CompleteFrame(msg, cycles);
+    return;
+  }
+  cycles += caches.Access(core, frame_addr, kHeaderBytes,
+                          cache::AccessKind::kLoad);
+  auto header = ReadHeader(*hdr_span);
+  if (!header.ok()) {
+    ++stats_.security_rejections;
+    TC_WARN << "frame rejected: " << header.status();
+    CompleteFrame(msg, cycles);
+    return;
+  }
+  msg.sn = header->sn;
+  msg.elem_id = header->elem_id;
+  msg.frame_len = header->frame_len;
+  msg.injected = (header->flags & kFlagInjected) != 0;
+
+  // Signal word check (magic + SN echo). The signal line access cost.
+  cycles += caches.Access(core, frame_addr + header->frame_len - 8, 8,
+                          cache::AccessKind::kLoad);
+  auto sig = host_.memory().LoadU64(frame_addr + header->frame_len - 8);
+  if (!sig.ok() || *sig != SignalWord(header->sn)) {
+    ++stats_.security_rejections;
+    TC_WARN << "bad signal word for sn " << header->sn;
+    CompleteFrame(msg, cycles);
+    return;
+  }
+  if (!config_.fixed_size_frames) {
+    // Variable-size frames: the first wait only covered the header magic;
+    // model the second wait phase on the end-of-frame signal as one more
+    // poll iteration (same put => already visible).
+    cycles += config_.wait.poll_iteration_cycles;
+  }
+
+  auto invoke_cycles = InvokeFrame(frame, *header, msg);
+  if (!invoke_cycles.ok()) {
+    ++stats_.security_rejections;
+    TC_WARN << "invoke failed: " << invoke_cycles.status();
+  } else {
+    cycles += *invoke_cycles;
+  }
+  CompleteFrame(msg, cycles);
+}
+
+StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
+                                      const FrameHeader& header,
+                                      ReceivedMessage& msg) {
+  Cycles cycles = 0;
+  const mem::VirtAddr frame_addr = SlotAddr(frame.slot);
+  auto& caches = host_.caches();
+  auto& memory = host_.memory();
+  const std::uint32_t core = config_.receiver_core;
+
+  ElementInfo* elem = nullptr;
+  for (auto& e : elements_) {
+    if (e.elem_id == header.elem_id && e.kind == pkg::ElementKind::kJam) {
+      elem = &e;
+    }
+  }
+  if (elem == nullptr) {
+    return NotFound(StrFormat("unknown element id %u", header.elem_id));
+  }
+
+  FrameSpec spec;
+  spec.injected = msg.injected;
+  spec.args_size = header.args_size;
+  spec.usr_size = header.usr_size;
+  spec.split_code_data = config_.security.split_code_data_pages;
+  if (spec.injected) {
+    spec.got_slots = elem->injected_image.got_slot_count();
+    spec.code_size = elem->code_blob.size();
+  }
+  const FrameLayout layout = FrameLayout::Compute(spec);
+
+  mem::VirtAddr entry = 0;
+  if (msg.injected) {
+    if (config_.security.verify_injected_code) {
+      TC_ASSIGN_OR_RETURN(const auto code_span,
+                          memory.RawSpan(frame_addr + layout.code_off,
+                                         elem->injected_image.text.size()));
+      vm::VerifyLimits limits;
+      limits.got_slots = spec.got_slots;
+      limits.rodata_bytes = spec.code_size - elem->injected_image.text.size();
+      TC_RETURN_IF_ERROR(vm::VerifyCode(code_span, limits));
+      cycles += elem->injected_image.text.size() / 4;  // ~2 cy / instruction
+    }
+    if (config_.security.receiver_installs_got) {
+      // §V: receiver inserts the GOT pointer from a secure location.
+      TC_ASSIGN_OR_RETURN(const mem::VirtAddr table, ReceiverGotFor(*elem));
+      cycles += caches.Access(core, frame_addr + layout.pre_off, 8,
+                              cache::AccessKind::kStore);
+      TC_RETURN_IF_ERROR(
+          memory.DmaWrite(frame_addr + layout.pre_off,
+                          std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(&table),
+                              8)));
+    }
+    if (config_.security.split_code_data_pages) {
+      // W^X around execution: code pages RX, data pages RW.
+      cycles += 2 * config_.mprotect_cycles;
+      TC_RETURN_IF_ERROR(memory.Protect(frame_addr, layout.args_off,
+                                        mem::Perm::kRX));
+      TC_RETURN_IF_ERROR(memory.Protect(
+          frame_addr + layout.args_off, layout.frame_len - layout.args_off,
+          config_.security.read_only_args ? mem::Perm::kRead
+                                          : mem::Perm::kRW));
+    }
+    entry = frame_addr + layout.code_off + elem->entry_offset;
+  } else {
+    if (elem->local_entry == 0) {
+      return FailedPrecondition(
+          StrFormat("jam '%s' has no local-function binding on this host",
+                    elem->name.c_str()));
+    }
+    cycles += config_.dispatch_cycles;
+    entry = elem->local_entry;
+  }
+
+  if ((header.flags & kFlagNoExecute) == 0) {
+    vm::Interpreter interp(memory, caches, core, &natives_, config_.exec);
+    const std::uint64_t args[3] = {frame_addr + layout.args_off,
+                                   frame_addr + layout.usr_off,
+                                   header.usr_size};
+    const vm::ExecResult result = interp.Execute(entry, args, stack_top_);
+    receiver_cpu().CountInstructions(result.instructions);
+    msg.instructions = result.instructions;
+    if (!result.status.ok()) {
+      // Restore mailbox permissions before surfacing the fault.
+      if (config_.security.split_code_data_pages) {
+        (void)memory.Protect(frame_addr, layout.frame_len, mem::Perm::kRWX);
+      }
+      return Status(result.status.code(),
+                    StrFormat("jam '%s' faulted: %s", elem->name.c_str(),
+                              result.status.message().c_str()));
+    }
+    cycles += result.cycles;
+    msg.executed = true;
+    msg.return_value = result.return_value;
+  }
+
+  if (config_.security.split_code_data_pages) {
+    cycles += config_.mprotect_cycles;
+    TC_RETURN_IF_ERROR(
+        memory.Protect(frame_addr, layout.frame_len, mem::Perm::kRWX));
+  }
+  return cycles;
+}
+
+StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem) {
+  if (elem.receiver_got != 0) return elem.receiver_got;
+  const auto& symbols = elem.injected_image.got_symbols;
+  const std::uint64_t bytes = std::max<std::uint64_t>(symbols.size() * 8, 8);
+  TC_ASSIGN_OR_RETURN(const mem::VirtAddr table,
+                      host_.memory().Allocate(bytes, 64, mem::Perm::kRW,
+                                              "tc:recv-got:" + elem.name));
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    auto value = ns_.Lookup(symbols[i]);
+    if (!value.ok()) {
+      return Status(value.status().code(),
+                    StrFormat("receiver GOT for '%s': %s", elem.name.c_str(),
+                              value.status().message().c_str()));
+    }
+    TC_RETURN_IF_ERROR(host_.memory().StoreU64(table + 8ull * i, *value));
+  }
+  // "from a secure read-only location" — seal the table.
+  TC_RETURN_IF_ERROR(
+      host_.memory().Protect(table, bytes, mem::Perm::kRead));
+  receiver_cpu().Charge(
+      static_cast<Cycles>(symbols.size()) * config_.got_lookup_cycles,
+      cpu::CycleClass::kExecute);
+  elem.receiver_got = table;
+  return table;
+}
+
+void Runtime::CompleteFrame(const ReceivedMessage& msg_in, Cycles cycles) {
+  ReceivedMessage msg = msg_in;
+  auto& core = receiver_cpu();
+  const PicoTime busy = core.Charge(cycles, cpu::CycleClass::kExecute);
+  core.CountMessage();
+
+  engine_.ScheduleAfter(
+      busy,
+      [this, msg]() mutable {
+        msg.completed_at = engine_.Now();
+        if (msg.executed) ++stats_.messages_executed;
+
+        // Bank recycling: after draining a bank, return its flag.
+        const std::uint32_t bank =
+            next_recv_slot_ / config_.mailboxes_per_bank;
+        const std::uint32_t in_bank =
+            next_recv_slot_ % config_.mailboxes_per_bank;
+        if (in_bank == config_.mailboxes_per_bank - 1) {
+          Status st = ReturnBankFlag(bank);
+          if (!st.ok()) TC_WARN << "flag return failed: " << st;
+        }
+        ready_.erase(next_recv_slot_);
+        next_recv_slot_ = (next_recv_slot_ + 1) % TotalSlots();
+        processing_ = false;
+        if (on_executed_) on_executed_(msg);
+        MaybeBeginNext();
+      },
+      "tc.complete");
+}
+
+Status Runtime::ReturnBankFlag(std::uint32_t bank) {
+  if (peer_.runtime == nullptr) return FailedPrecondition("not wired");
+  Runtime* peer_rt = peer_.runtime;
+  ++stats_.bank_flags_returned;
+  TC_ASSIGN_OR_RETURN(
+      const ucxs::PutReceipt receipt,
+      endpoint_->PutInline(
+          1, peer_.flag_base + 8ull * bank, peer_.flag_rkey, false,
+          [peer_rt, bank](const net::PutCompletion& c) {
+            if (c.status.ok()) peer_rt->OnBankFlag(bank);
+          }));
+  (void)receipt;
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> Runtime::PeekU64(const std::string& symbol,
+                                         std::uint64_t index) const {
+  TC_ASSIGN_OR_RETURN(const std::uint64_t addr, ns_.Lookup(symbol));
+  if (vm::IsNativeHandle(addr)) {
+    return InvalidArgument("symbol is a native function");
+  }
+  TC_ASSIGN_OR_RETURN(const auto span,
+                      host_.memory().RawSpan(addr + 8 * index, 8));
+  std::uint64_t value;
+  std::memcpy(&value, span.data(), 8);
+  return value;
+}
+
+}  // namespace twochains::core

@@ -1,0 +1,293 @@
+// The Two-Chains runtime: one instance per host process.
+//
+// Responsibilities (§III-§IV of the paper):
+//   * reactive mailboxes — pinned, RDMA-writable mailbox banks plus the
+//     sender-side bank flags that implement the paper's own flow control
+//     ("the receiver has M banks, where each bank has N mailboxes; ...
+//     the sender will not send new messages to a bank until the flag for
+//     that bank is set", §VI-A2);
+//   * package management — loading rieds (auto-running their inits),
+//     loading the Local Function library and building the element-ID ->
+//     function-pointer vector, and caching each jam's injectable image;
+//   * namespace synchronization — after packages load, peers exchange
+//     their export tables so a sender can pack a patched GOT (GOTP) with
+//     *receiver* virtual addresses;
+//   * sending — packing Injected or Local frames, patching the PRE slot,
+//     posting one-sided puts through the ucxs endpoint (kUser mode: the
+//     runtime's own flow control, not UCX's);
+//   * receiving — the reactive receiver agent: waits on the next mailbox
+//     signal with POLL or WFE, validates, links (PRE/GOT handling per the
+//     security policy), executes through the cache-charged interpreter,
+//     and recycles mailbox banks.
+//
+// Everything runs on one sim::Engine; two Runtimes wired back-to-back are
+// the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "core/frame.hpp"
+#include "core/security.hpp"
+#include "cpu/core.hpp"
+#include "cpu/spinwait.hpp"
+#include "jamvm/interpreter.hpp"
+#include "jelf/loader.hpp"
+#include "net/host.hpp"
+#include "net/nic.hpp"
+#include "pkg/package.hpp"
+#include "sim/engine.hpp"
+#include "ucxs/ucxs.hpp"
+
+namespace twochains::core {
+
+struct RuntimeConfig {
+  std::uint32_t banks = 2;
+  std::uint32_t mailboxes_per_bank = 8;
+  /// Fixed per-slot capacity; frames must fit.
+  std::uint64_t mailbox_slot_bytes = KiB(64);
+  cpu::WaitModelConfig wait{};
+  std::uint32_t receiver_core = 0;
+  std::uint32_t sender_core = 1;
+  SecurityPolicy security{};
+  /// Fixed-size frames (one put per message, §VI: "we use fixed-size
+  /// frames for this study"). Variable mode waits on the header first,
+  /// then on the signal, costing an extra wait phase.
+  bool fixed_size_frames = true;
+  /// Send the signal word as a separate fenced put (required when the
+  /// transport does not guarantee write ordering, Fig. 1).
+  bool separate_signal_put = false;
+  vm::ExecConfig exec{};
+  /// Receiver bookkeeping costs (cycles).
+  Cycles validate_cycles = 30;
+  Cycles dispatch_cycles = 40;
+  Cycles pack_base_cycles = 40;
+  Cycles got_lookup_cycles = 18;   ///< per GOTP slot packed / installed
+  Cycles mprotect_cycles = 700;    ///< per permission flip (split-page mode)
+};
+
+/// How a jam is invoked (§IV-B).
+enum class Invoke : std::uint8_t { kInjected, kLocal };
+
+struct SendReceipt {
+  std::uint32_t sn = 0;
+  std::uint64_t frame_len = 0;
+  ucxs::Protocol protocol = ucxs::Protocol::kShort;
+  /// Sender CPU time consumed (pack + protocol setup).
+  PicoTime sender_cost = 0;
+};
+
+struct ReceivedMessage {
+  std::uint32_t sn = 0;
+  std::uint32_t elem_id = 0;
+  bool injected = false;
+  bool executed = false;
+  std::uint64_t frame_len = 0;
+  std::uint64_t return_value = 0;
+  std::uint64_t instructions = 0;
+  PicoTime delivered_at = 0;  ///< signal visible in mailbox memory
+  PicoTime completed_at = 0;  ///< processing finished
+};
+
+struct RuntimeStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_executed = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bank_flags_returned = 0;
+  std::uint64_t send_stalls = 0;       ///< sends refused: bank flag clear
+  std::uint64_t security_rejections = 0;
+  std::uint64_t wait_episodes = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Engine& engine, net::Host& host, net::Nic& nic,
+          ucxs::Worker& worker, RuntimeConfig config);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Allocates mailboxes/flags/staging, registers RDMA regions, registers
+  /// the standard natives. Must be called before Wire().
+  Status Initialize();
+
+  /// Exchanges mailbox/flag addresses + rkeys between two runtimes (the
+  /// out-of-band wireup of §V) and links their delivery paths.
+  static Status Wire(Runtime& a, Runtime& b);
+
+  /// Loads a package on this host: rieds first (with auto-init), then the
+  /// Local Function library; caches injectable jam images.
+  Status LoadPackage(const pkg::Package& package);
+
+  /// Copies each peer's export table into the other's remote namespace —
+  /// the "exchange with the receiver" that lets senders pack GOTP with
+  /// receiver VAs (§III-B). Call after both sides loaded packages.
+  static Status SyncNamespaces(Runtime& a, Runtime& b);
+
+  // ------------------------------------------------------------- send
+
+  /// True when the current bank accepts another message.
+  bool HasFreeSlot() const;
+
+  /// Runs @p cb (once) as soon as a bank flag returns. If a slot is
+  /// already free, runs it immediately.
+  void NotifyWhenSlotFree(std::function<void()> cb);
+
+  /// Sends jam @p name with the given argument block and user payload.
+  /// Fails with kResourceExhausted when flow control blocks (no free bank).
+  StatusOr<SendReceipt> Send(const std::string& name, Invoke mode,
+                             std::span<const std::uint64_t> args,
+                             std::span<const std::uint8_t> usr,
+                             std::uint16_t extra_flags = 0);
+
+  /// Frame length a Send of this shape would produce (bench sizing).
+  StatusOr<FrameLayout> LayoutFor(const std::string& name, Invoke mode,
+                                  std::uint64_t args_bytes,
+                                  std::uint64_t usr_bytes) const;
+
+  // ----------------------------------------------------------- receive
+
+  /// Arms the receiver agent (idempotent).
+  Status StartReceiver();
+
+  /// Hook invoked (in simulated time) after each message completes.
+  void SetOnExecuted(std::function<void(const ReceivedMessage&)> cb) {
+    on_executed_ = std::move(cb);
+  }
+
+  /// Interference hook: extra delay injected before each message is
+  /// processed (models scheduler preemption of the receiver thread by a
+  /// co-located stress workload — the Figures 11/12 setup). Return 0 for
+  /// "not preempted this time".
+  void SetPreemptionHook(std::function<PicoTime()> hook) {
+    preemption_hook_ = std::move(hook);
+  }
+
+  // ------------------------------------------------------------- intro
+
+  net::Host& host() noexcept { return host_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+  RuntimeConfig& mutable_config() noexcept { return config_; }
+  const RuntimeStats& stats() const noexcept { return stats_; }
+  jelf::HostNamespace& ns() noexcept { return ns_; }
+  vm::NativeTable& natives() noexcept { return natives_; }
+  /// Output of tc_print_* natives executed on this host.
+  const std::string& print_output() const noexcept { return print_sink_; }
+  cpu::CpuCore& receiver_cpu() { return host_.core(config_.receiver_core); }
+  cpu::CpuCore& sender_cpu() { return host_.core(config_.sender_core); }
+  /// Reads a value from this host's memory (test/bench verification).
+  StatusOr<std::uint64_t> PeekU64(const std::string& symbol,
+                                  std::uint64_t index = 0) const;
+
+ private:
+  struct ElementInfo {
+    pkg::ElementKind kind;
+    std::uint32_t elem_id = 0;
+    std::string name;
+    jelf::LinkedImage injected_image;     // jams
+    std::vector<std::uint8_t> code_blob;  // text..rodata, frame CODE bytes
+    std::uint64_t entry_offset = 0;       // within the injected blob
+    mem::VirtAddr local_entry = 0;        // in the local library (receiver)
+    mem::VirtAddr receiver_got = 0;       // hardened: receiver-side table
+  };
+
+  struct PeerInfo {
+    Runtime* runtime = nullptr;
+    mem::VirtAddr mailbox_base = 0;
+    mem::RKey mailbox_rkey;
+    mem::VirtAddr flag_base = 0;
+    mem::RKey flag_rkey;
+  };
+
+  struct ReadyFrame {
+    std::uint32_t slot = 0;
+    PicoTime delivered_at = 0;
+  };
+
+  std::uint32_t TotalSlots() const {
+    return config_.banks * config_.mailboxes_per_bank;
+  }
+  mem::VirtAddr SlotAddr(std::uint32_t slot) const {
+    return mailbox_base_ + static_cast<std::uint64_t>(slot) *
+                               config_.mailbox_slot_bytes;
+  }
+  mem::VirtAddr StagingAddr(std::uint32_t slot) const {
+    return staging_base_ + static_cast<std::uint64_t>(slot) *
+                               config_.mailbox_slot_bytes;
+  }
+
+  StatusOr<const ElementInfo*> FindElement(const std::string& name) const;
+
+  // Receiver pipeline.
+  void OnFrameDelivered(std::uint32_t slot, PicoTime delivered_at);
+  void OnBankFlag(std::uint32_t bank);
+  void MaybeBeginNext();
+  void BeginProcess(const ReadyFrame& frame, PicoTime waited);
+  void ProcessFrame(const ReadyFrame& frame);
+  void CompleteFrame(const ReceivedMessage& msg, Cycles cycles);
+  Status ReturnBankFlag(std::uint32_t bank);
+
+  /// Executes the frame body; returns cycles burned and fills @p msg.
+  StatusOr<Cycles> InvokeFrame(const ReadyFrame& frame,
+                               const FrameHeader& header,
+                               ReceivedMessage& msg);
+
+  /// Hardened mode: per-element receiver-side GOT table.
+  StatusOr<mem::VirtAddr> ReceiverGotFor(ElementInfo& elem);
+
+  sim::Engine& engine_;
+  net::Host& host_;
+  net::Nic& nic_;
+  ucxs::Worker& worker_;
+  RuntimeConfig config_;
+  std::unique_ptr<ucxs::Endpoint> endpoint_;
+  std::unique_ptr<cpu::WaitModel> wait_model_;
+
+  // Receiver-side resources.
+  mem::VirtAddr mailbox_base_ = 0;
+  mem::RKey mailbox_rkey_own_;
+  mem::VirtAddr stack_top_ = 0;
+  // Sender-side resources.
+  mem::VirtAddr staging_base_ = 0;
+  mem::VirtAddr flag_base_ = 0;  ///< this host's bank flags (peer sets them)
+  mem::RKey flag_rkey_own_;
+
+  PeerInfo peer_;
+
+  jelf::HostNamespace ns_;
+  vm::NativeTable natives_;
+  std::string print_sink_;
+  std::map<std::string, std::uint64_t> remote_ns_;  ///< peer exports
+  std::vector<ElementInfo> elements_;
+  std::vector<jelf::LoadedLibrary> loaded_libraries_;
+
+  // Sender flow-control state.
+  std::uint64_t send_counter_ = 0;
+  std::uint32_t next_sn_ = 1;
+  std::vector<std::uint8_t> bank_open_;  ///< local mirror of flag words
+  std::vector<std::function<void()>> slot_waiters_;
+
+  // Receiver state.
+  bool receiver_started_ = false;
+  bool processing_ = false;
+  std::uint32_t next_recv_slot_ = 0;
+  std::optional<PicoTime> idle_since_;
+  std::map<std::uint32_t, ReadyFrame> ready_;  ///< by slot
+
+  std::function<void(const ReceivedMessage&)> on_executed_;
+  std::function<PicoTime()> preemption_hook_;
+  RuntimeStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace twochains::core

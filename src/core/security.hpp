@@ -1,0 +1,52 @@
+// Security policy: the §V mitigation matrix as configuration.
+//
+// The paper's default is the fastest, least-hardened configuration: all
+// mailbox pages RWX, the sender supplies the patched GOT inside the frame,
+// and the receiver trusts the frame after magic/sequence checks. Each knob
+// below enables one of the §V mitigations; the abl_security_modes bench
+// measures what each costs.
+#pragma once
+
+#include <cstdint>
+
+namespace twochains::core {
+
+struct SecurityPolicy {
+  /// Run the static verifier over injected code before first execution.
+  bool verify_injected_code = false;
+
+  /// "Do not accept GOT pointer indirection in the message from a sender.
+  /// Have the receiver insert the GOT pointer on message arrival from a
+  /// secure read-only location." The receiver keeps a per-element GOT built
+  /// from its own namespace and patches PRE itself; sender GOTP bytes are
+  /// ignored.
+  bool receiver_installs_got = false;
+
+  /// "Separate the user data payload area from the rest of the message ...
+  /// writable data will not reside on executable pages." Frames pad
+  /// ARGS/USR to a fresh page; the receiver flips the code pages to RX and
+  /// the data pages to RW around execution instead of leaving RWX.
+  bool split_code_data_pages = false;
+
+  /// Make the ARGS block read-only during execution.
+  bool read_only_args = false;
+
+  /// Enforce the X page bit on instruction fetch (costs a page-permission
+  /// check per executed page; off reproduces the paper's RWX mailboxes,
+  /// on is required for the split_code_data_pages mode to mean anything).
+  bool enforce_exec_permission = false;
+
+  static SecurityPolicy PaperDefault() { return SecurityPolicy{}; }
+
+  static SecurityPolicy Hardened() {
+    SecurityPolicy p;
+    p.verify_injected_code = true;
+    p.receiver_installs_got = true;
+    p.split_code_data_pages = true;
+    p.read_only_args = true;
+    p.enforce_exec_permission = true;
+    return p;
+  }
+};
+
+}  // namespace twochains::core

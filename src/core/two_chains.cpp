@@ -1,0 +1,45 @@
+#include "core/two_chains.hpp"
+
+namespace twochains::core {
+
+Testbed::Testbed(TestbedOptions options)
+    : options_(std::move(options)),
+      host0_(options_.host0),
+      host1_(options_.host1),
+      nic0_(engine_, host0_, options_.nic),
+      nic1_(engine_, host1_, options_.nic),
+      ctx0_(engine_, host0_, nic0_, options_.protocol),
+      ctx1_(engine_, host1_, nic1_, options_.protocol),
+      worker0_(ctx0_),
+      worker1_(ctx1_) {
+  nic0_.ConnectTo(nic1_);
+  runtime0_ = std::make_unique<Runtime>(engine_, host0_, nic0_, worker0_,
+                                        options_.runtime);
+  runtime1_ = std::make_unique<Runtime>(engine_, host1_, nic1_, worker1_,
+                                        options_.runtime);
+}
+
+Status Testbed::BuildAndLoad(const pkg::PackageBuilder& builder,
+                             const std::string& package_name) {
+  TC_ASSIGN_OR_RETURN(const pkg::Package package, builder.Build(package_name));
+  return LoadPackage(package);
+}
+
+Status Testbed::LoadPackage(const pkg::Package& package) {
+  return LoadPackages(package, package);
+}
+
+Status Testbed::LoadPackages(const pkg::Package& for_host0,
+                             const pkg::Package& for_host1) {
+  TC_RETURN_IF_ERROR(runtime0_->Initialize());
+  TC_RETURN_IF_ERROR(runtime1_->Initialize());
+  TC_RETURN_IF_ERROR(Runtime::Wire(*runtime0_, *runtime1_));
+  TC_RETURN_IF_ERROR(runtime0_->LoadPackage(for_host0));
+  TC_RETURN_IF_ERROR(runtime1_->LoadPackage(for_host1));
+  TC_RETURN_IF_ERROR(Runtime::SyncNamespaces(*runtime0_, *runtime1_));
+  TC_RETURN_IF_ERROR(runtime0_->StartReceiver());
+  TC_RETURN_IF_ERROR(runtime1_->StartReceiver());
+  return Status::Ok();
+}
+
+}  // namespace twochains::core

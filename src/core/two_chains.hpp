@@ -1,0 +1,101 @@
+// Public API facade: a complete two-host Two-Chains deployment in one
+// object. This is the header applications and benchmarks include.
+//
+//   two_chains::Testbed tb(two_chains::TestbedOptions{});
+//   tb.BuildAndLoad(builder, "mypkg");           // compile + load both hosts
+//   tb.runtime(0).Send("append", Invoke::kInjected, args, payload);
+//   tb.Run();                                    // advance simulated time
+//
+// The Testbed owns the discrete-event engine, both simulated hosts
+// (memory, caches, cores), the back-to-back NIC pair, the ucxs workers, and
+// the two runtimes — the exact shape of the paper's evaluation platform
+// (§VI-C), fully deterministic.
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "net/host.hpp"
+#include "net/nic.hpp"
+#include "pkg/package.hpp"
+#include "sim/engine.hpp"
+#include "ucxs/ucxs.hpp"
+
+namespace twochains::core {
+
+struct TestbedOptions {
+  net::HostConfig host0{};
+  net::HostConfig host1{};
+  net::NicConfig nic{};
+  ucxs::ProtocolConfig protocol{};
+  RuntimeConfig runtime{};
+
+  TestbedOptions() {
+    host0.host_id = 0;
+    host1.host_id = 1;
+  }
+
+  /// Firmware-style toggle: deliver inbound DMA into the LLC or to DRAM.
+  TestbedOptions& WithStashing(bool on) {
+    nic.stash_to_llc = on;
+    return *this;
+  }
+  TestbedOptions& WithWaitMode(cpu::WaitMode mode) {
+    runtime.wait.mode = mode;
+    return *this;
+  }
+  TestbedOptions& WithSecurity(const SecurityPolicy& policy) {
+    runtime.security = policy;
+    return *this;
+  }
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = {});
+
+  /// Compiles the package and loads it on both hosts, then synchronizes
+  /// namespaces and starts both receivers.
+  Status BuildAndLoad(const pkg::PackageBuilder& builder,
+                      const std::string& package_name);
+
+  /// Loads an already-built package the same way.
+  Status LoadPackage(const pkg::Package& package);
+
+  /// Loads a *different* package on each host (same element names, possibly
+  /// different implementations — the paper's per-process "function
+  /// overloading", §IV), then synchronizes namespaces and starts receivers.
+  Status LoadPackages(const pkg::Package& for_host0,
+                      const pkg::Package& for_host1);
+
+  sim::Engine& engine() noexcept { return engine_; }
+  Runtime& runtime(int host) { return host == 0 ? *runtime0_ : *runtime1_; }
+  net::Host& host(int i) { return i == 0 ? host0_ : host1_; }
+  net::Nic& nic(int i) { return i == 0 ? nic0_ : nic1_; }
+
+  /// Runs the engine until it drains.
+  void Run() { engine_.Run(); }
+  /// Runs until @p done holds (or the event queue drains). True iff held.
+  bool RunUntil(const std::function<bool()>& done) {
+    return engine_.RunUntilCondition(done);
+  }
+
+ private:
+  TestbedOptions options_;
+  sim::Engine engine_;
+  net::Host host0_;
+  net::Host host1_;
+  net::Nic nic0_;
+  net::Nic nic1_;
+  ucxs::Context ctx0_;
+  ucxs::Context ctx1_;
+  ucxs::Worker worker0_;
+  ucxs::Worker worker1_;
+  std::unique_ptr<Runtime> runtime0_;
+  std::unique_ptr<Runtime> runtime1_;
+};
+
+}  // namespace twochains::core
+
+/// Convenience namespace alias for applications.
+namespace two_chains = twochains::core;

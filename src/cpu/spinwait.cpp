@@ -1,0 +1,35 @@
+#include "cpu/spinwait.hpp"
+
+namespace twochains::cpu {
+
+WaitOutcome WaitModel::Wait(PicoTime wait_duration) const noexcept {
+  WaitOutcome out;
+  switch (config_.mode) {
+    case WaitMode::kPoll: {
+      // The loop re-checks every poll_iteration_cycles; the write becomes
+      // visible partway through an iteration, so detection lands at the next
+      // iteration boundary. Cycles burn for the full wait plus the final
+      // check.
+      const PicoTime iter = clock_.ToPicos(config_.poll_iteration_cycles);
+      const PicoTime phase = iter == 0 ? 0 : wait_duration % iter;
+      const PicoTime to_boundary = phase == 0 ? 0 : iter - phase;
+      out.detection_delay = to_boundary;
+      out.cycles_burned = clock_.ToCycles(wait_duration + to_boundary) +
+                          config_.poll_iteration_cycles;
+      break;
+    }
+    case WaitMode::kWfe: {
+      // Arm the monitor, halt, wake on the DMA write to the monitored line.
+      out.detection_delay = clock_.ToPicos(config_.wfe_wakeup_cycles);
+      const std::uint64_t waited_us =
+          wait_duration / kPicosPerMicro;
+      out.cycles_burned = config_.wfe_entry_cycles +
+                          config_.wfe_wakeup_cycles +
+                          waited_us * config_.wfe_halted_cycles_per_us;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace twochains::cpu

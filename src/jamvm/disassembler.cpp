@@ -1,0 +1,80 @@
+#include "jamvm/disassembler.hpp"
+
+#include <cstring>
+
+#include "common/strfmt.hpp"
+
+namespace twochains::vm {
+
+std::string FormatInstr(const Instr& i) {
+  const std::string op(OpcodeName(i.op));
+  switch (i.op) {
+    case Opcode::kHalt:
+    case Opcode::kNop:
+      return op;
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kDivu: case Opcode::kRem:
+    case Opcode::kRemu: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl:
+    case Opcode::kSra: case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kSeq: case Opcode::kSne:
+      return StrFormat("%s %s, %s, %s", op.c_str(), RegName(i.rd).c_str(),
+                       RegName(i.rs1).c_str(), RegName(i.rs2).c_str());
+    case Opcode::kAddi: case Opcode::kMuli: case Opcode::kAndi:
+    case Opcode::kOri: case Opcode::kXori: case Opcode::kSlli:
+    case Opcode::kSrli: case Opcode::kSrai: case Opcode::kSlti:
+    case Opcode::kSltiu: case Opcode::kSeqi: case Opcode::kSnei:
+      return StrFormat("%s %s, %s, %d", op.c_str(), RegName(i.rd).c_str(),
+                       RegName(i.rs1).c_str(), i.imm);
+    case Opcode::kMovi: case Opcode::kMovhi:
+      return StrFormat("%s %s, %d", op.c_str(), RegName(i.rd).c_str(), i.imm);
+    case Opcode::kLdb: case Opcode::kLdbu: case Opcode::kLdh:
+    case Opcode::kLdhu: case Opcode::kLdw: case Opcode::kLdwu:
+    case Opcode::kLdd:
+      return StrFormat("%s %s, [%s%+d]", op.c_str(), RegName(i.rd).c_str(),
+                       RegName(i.rs1).c_str(), i.imm);
+    case Opcode::kStb: case Opcode::kSth: case Opcode::kStw:
+    case Opcode::kStd:
+      return StrFormat("%s %s, [%s%+d]", op.c_str(), RegName(i.rs2).c_str(),
+                       RegName(i.rs1).c_str(), i.imm);
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      return StrFormat("%s %s, %s, %d", op.c_str(), RegName(i.rs1).c_str(),
+                       RegName(i.rs2).c_str(), i.imm);
+    case Opcode::kJal:
+      return StrFormat("%s %s, %d", op.c_str(), RegName(i.rd).c_str(), i.imm);
+    case Opcode::kJalr:
+      return StrFormat("%s %s, %s, %d", op.c_str(), RegName(i.rd).c_str(),
+                       RegName(i.rs1).c_str(), i.imm);
+    case Opcode::kLea:
+      return StrFormat("%s %s, %d", op.c_str(), RegName(i.rd).c_str(), i.imm);
+    case Opcode::kLdgFix:
+      return StrFormat("ldg.fix %s, %d", RegName(i.rd).c_str(), i.imm);
+    case Opcode::kLdgPre:
+      return StrFormat("ldg.pre %s, %u, %d", RegName(i.rd).c_str(),
+                       static_cast<unsigned>(i.rs2), i.imm);
+    default:
+      return StrFormat("<op%u>", static_cast<unsigned>(i.op));
+  }
+}
+
+StatusOr<std::string> Disassemble(std::span<const std::uint8_t> code) {
+  if (code.size() % kInstrBytes != 0) {
+    return InvalidArgument("code size not a multiple of 8");
+  }
+  std::string out;
+  for (std::size_t off = 0; off < code.size(); off += kInstrBytes) {
+    const auto instr = Decode(code.data() + off);
+    if (instr) {
+      out += StrFormat("%6zu: %s\n", off, FormatInstr(*instr).c_str());
+    } else {
+      std::uint64_t raw;
+      std::memcpy(&raw, code.data() + off, 8);
+      out += StrFormat("%6zu: .quad 0x%016llx\n", off,
+                       static_cast<unsigned long long>(raw));
+    }
+  }
+  return out;
+}
+
+}  // namespace twochains::vm

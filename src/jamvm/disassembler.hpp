@@ -1,0 +1,20 @@
+// Disassembler: instruction stream -> readable text, for diagnostics, tests
+// (round-trip properties), and the toolchain's --dump mode.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "jamvm/isa.hpp"
+
+namespace twochains::vm {
+
+/// Renders one instruction ("add a0, a1, a2", "ldw t0, [sp+16]", ...).
+std::string FormatInstr(const Instr& instr);
+
+/// Disassembles @p code (size must be a multiple of 8); one instruction per
+/// line, prefixed by its byte offset. Undecodable slots render as ".quad".
+StatusOr<std::string> Disassemble(std::span<const std::uint8_t> code);
+
+}  // namespace twochains::vm

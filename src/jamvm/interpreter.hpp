@@ -1,0 +1,164 @@
+// The jam interpreter: executes jam code out of simulated host memory,
+// charging every instruction fetch and data access to the host's cache
+// hierarchy. This is what makes "code arrived cold in DRAM" vs "code was
+// stashed into the LLC" measurable — the interpreter *is* the receiving CPU
+// for timing purposes.
+//
+// External linkage: GOT slots hold either the virtual address of jam code
+// (a ried function loaded on this host, or another jam) or a tagged native
+// handle (bit 63 set) indexing the host runtime's NativeTable. JALR to a
+// tagged value dispatches the native function; everything else is
+// interpreted. Natives model receiver-runtime primitives (memcpy, print)
+// and charge their memory traffic through the same cache model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mem/host_memory.hpp"
+#include "jamvm/isa.hpp"
+
+namespace twochains::vm {
+
+/// Bit 63 tags a GOT value as a native-function handle (host virtual
+/// addresses in the simulator never reach that bit).
+inline constexpr std::uint64_t kNativeTagBit = 1ull << 63;
+
+constexpr bool IsNativeHandle(std::uint64_t v) noexcept {
+  return (v & kNativeTagBit) != 0;
+}
+constexpr std::uint64_t MakeNativeHandle(std::uint32_t index) noexcept {
+  return kNativeTagBit | index;
+}
+constexpr std::uint32_t NativeIndexOf(std::uint64_t v) noexcept {
+  return static_cast<std::uint32_t>(v & 0xFFFFFFFF);
+}
+
+/// Jam code returns to this sentinel address to finish execution.
+inline constexpr mem::VirtAddr kReturnSentinel = 0x7FFFFFFFFFFFFF00ull;
+
+class Interpreter;
+
+/// View of the machine state handed to a native function.
+class NativeFrame {
+ public:
+  NativeFrame(Interpreter& interp, std::uint64_t* regs)
+      : interp_(interp), regs_(regs) {}
+
+  /// i-th argument register (a0..a7).
+  std::uint64_t Arg(unsigned i) const { return regs_[kA0 + i]; }
+  /// Sets the return value (a0).
+  void SetResult(std::uint64_t v) { regs_[kA0] = v; }
+
+  /// Cache-charged memory accesses into the executing host.
+  StatusOr<std::uint64_t> Load(mem::VirtAddr addr, unsigned bytes);
+  Status Store(mem::VirtAddr addr, std::uint64_t value, unsigned bytes);
+  /// Cache-charged bulk copy (reads src, writes dst, per-line costs).
+  Status CopyBytes(mem::VirtAddr dst, mem::VirtAddr src, std::uint64_t n);
+  /// Reads a NUL-terminated string (bounded by @p max).
+  StatusOr<std::string> LoadCString(mem::VirtAddr addr, std::uint64_t max = 4096);
+
+  /// Adds pure-compute cycles on top of the charged memory traffic.
+  void ChargeCycles(Cycles cycles);
+
+  mem::HostMemory& memory();
+  cache::CacheHierarchy& caches();
+  std::uint32_t core() const;
+
+ private:
+  Interpreter& interp_;
+  std::uint64_t* regs_;
+};
+
+using NativeFn = std::function<Status(NativeFrame&)>;
+
+/// Per-host registry of native functions callable from jam code.
+class NativeTable {
+ public:
+  /// Registers @p fn under @p name; returns the index to embed in a handle.
+  StatusOr<std::uint32_t> Register(std::string name, NativeFn fn);
+
+  StatusOr<std::uint32_t> IndexOf(std::string_view name) const;
+  const NativeFn* Get(std::uint32_t index) const;
+  std::string_view NameOf(std::uint32_t index) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    NativeFn fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+struct ExecConfig {
+  /// Hard cap on interpreted instructions (runaway-jam failsafe).
+  std::uint64_t max_instructions = 50'000'000;
+  /// Fixed pipeline cost per instruction, on top of memory-system cycles.
+  Cycles base_cycles_per_instr = 1;
+  /// Check the X permission of the page containing the PC (the W^X
+  /// security mode relies on this; the paper's default mailbox is RWX).
+  bool enforce_exec_permission = true;
+};
+
+struct ExecResult {
+  Status status;
+  std::uint64_t instructions = 0;
+  Cycles cycles = 0;          ///< base + memory + native cycles
+  std::uint64_t return_value = 0;  ///< a0 at completion
+};
+
+class Interpreter {
+ public:
+  Interpreter(mem::HostMemory& memory, cache::CacheHierarchy& caches,
+              std::uint32_t core, const NativeTable* natives,
+              ExecConfig config = {});
+
+  /// Runs code at @p entry with @p args in a0..a7 and sp set to
+  /// @p stack_top. Returns when the code returns to the sentinel, halts, or
+  /// faults.
+  ExecResult Execute(mem::VirtAddr entry, std::span<const std::uint64_t> args,
+                     mem::VirtAddr stack_top);
+
+  const ExecConfig& config() const noexcept { return config_; }
+
+ private:
+  friend class NativeFrame;
+
+  Cycles ChargeAccess(mem::VirtAddr addr, std::uint64_t size,
+                      cache::AccessKind kind) {
+    const Cycles c = caches_.Access(core_, addr, size, kind);
+    cycles_ += c;
+    return c;
+  }
+
+  mem::HostMemory& memory_;
+  cache::CacheHierarchy& caches_;
+  std::uint32_t core_;
+  const NativeTable* natives_;
+  ExecConfig config_;
+  Cycles cycles_ = 0;  // accumulates during Execute
+};
+
+/// Options for the standard native set.
+struct StandardNativesOptions {
+  /// Where tc_print_* output goes (may be nullptr to discard).
+  std::string* print_sink = nullptr;
+};
+
+/// Registers the baseline receiver-runtime natives:
+///   tc_memcpy(dst, src, n)          -> dst
+///   tc_memset(dst, byte, n)         -> dst
+///   tc_print_str(ptr)               -> 0     (NUL-terminated)
+///   tc_print_u64(v)                 -> 0
+///   tc_hash64(x)                    -> splitmix64(x)
+Status RegisterStandardNatives(NativeTable& table,
+                               const StandardNativesOptions& options);
+
+}  // namespace twochains::vm

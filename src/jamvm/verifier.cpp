@@ -1,0 +1,62 @@
+#include "jamvm/verifier.hpp"
+
+#include "common/strfmt.hpp"
+#include "jamvm/isa.hpp"
+
+namespace twochains::vm {
+
+Status VerifyCode(std::span<const std::uint8_t> code,
+                  const VerifyLimits& limits) {
+  if (code.empty()) return InvalidArgument("empty code image");
+  if (code.size() % kInstrBytes != 0) {
+    return DataLoss("code size not a multiple of the instruction width");
+  }
+  const std::int64_t code_size = static_cast<std::int64_t>(code.size());
+
+  for (std::size_t off = 0; off < code.size(); off += kInstrBytes) {
+    const auto decoded = Decode(code.data() + off);
+    if (!decoded) {
+      return DataLoss(StrFormat("undecodable instruction at +%zu", off));
+    }
+    const Instr& i = *decoded;
+    const auto site = static_cast<std::int64_t>(off);
+
+    if (IsBranch(i.op) || i.op == Opcode::kJal) {
+      const std::int64_t target = site + i.imm;
+      if (target < 0 || target >= code_size) {
+        return OutOfRange(
+            StrFormat("branch at +%zu targets %lld, outside [0,%lld)", off,
+                      static_cast<long long>(target),
+                      static_cast<long long>(code_size)));
+      }
+      if (target % static_cast<std::int64_t>(kInstrBytes) != 0) {
+        return DataLoss(StrFormat("branch at +%zu targets misaligned %lld",
+                                  off, static_cast<long long>(target)));
+      }
+    }
+    if (i.op == Opcode::kLea) {
+      // lea may form addresses of code or the trailing rodata blob.
+      const std::int64_t target = site + i.imm;
+      if (target < 0 ||
+          target >= code_size + static_cast<std::int64_t>(limits.rodata_bytes)) {
+        return OutOfRange(StrFormat("lea at +%zu escapes the image", off));
+      }
+    }
+    if (i.op == Opcode::kLdgPre) {
+      if (i.rs2 >= limits.got_slots) {
+        return OutOfRange(
+            StrFormat("ldg.pre at +%zu uses GOT slot %u of %u", off,
+                      static_cast<unsigned>(i.rs2), limits.got_slots));
+      }
+    }
+    if ((i.op == Opcode::kDiv || i.op == Opcode::kDivu ||
+         i.op == Opcode::kRem || i.op == Opcode::kRemu) &&
+        i.rs2 == kZr) {
+      return DataLoss(
+          StrFormat("division by hardwired zero register at +%zu", off));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace twochains::vm

@@ -1,0 +1,30 @@
+// Static verifier for jam code images.
+//
+// Run by the receiver runtime before executing injected code (one of the §V
+// hardening layers): all instruction slots must decode, control flow must
+// stay inside the image, and GOT indices must stay inside the declared GOT.
+// The verifier is conservative — it rejects code the interpreter might
+// actually survive — because the receiver cannot trust the sender.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+
+namespace twochains::vm {
+
+struct VerifyLimits {
+  /// Number of 8-byte GOT slots the executing context provides.
+  std::uint32_t got_slots = 0;
+  /// Bytes of read-only data appended after the code (lea targets may point
+  /// into it).
+  std::uint64_t rodata_bytes = 0;
+};
+
+/// Verifies @p code (a contiguous .text image). Returns OK or the first
+/// violation found.
+Status VerifyCode(std::span<const std::uint8_t> code,
+                  const VerifyLimits& limits);
+
+}  // namespace twochains::vm

@@ -1,0 +1,58 @@
+#include "jelf/got_rewriter.hpp"
+
+#include "common/strfmt.hpp"
+#include "jamvm/isa.hpp"
+
+namespace twochains::jelf {
+
+StatusOr<RewriteStats> RewriteGotAccesses(LinkedImage& image) {
+  RewriteStats stats;
+  for (std::size_t off = 0; off < image.text.size(); off += vm::kInstrBytes) {
+    auto decoded = vm::Decode(image.text.data() + off);
+    if (!decoded) {
+      return DataLoss(StrFormat("undecodable instruction at +%zu", off));
+    }
+    if (decoded->op != vm::Opcode::kLdgFix) continue;
+
+    // Recover the slot index this fixed access referenced.
+    const std::int64_t target =
+        static_cast<std::int64_t>(off) + decoded->imm;
+    const auto got_begin = static_cast<std::int64_t>(image.got_offset);
+    const auto got_end = got_begin + 8ll * image.got_slot_count();
+    if (target < got_begin || target >= got_end || (target - got_begin) % 8) {
+      return DataLoss(
+          StrFormat("ldg.fix at +%zu does not address a GOT slot", off));
+    }
+    const std::int64_t slot = (target - got_begin) / 8;
+    if (slot > 255) {
+      return OutOfRange(
+          StrFormat("GOT slot %lld exceeds the ldg.pre index range "
+                    "(jams support at most 256 external symbols)",
+                    static_cast<long long>(slot)));
+    }
+
+    vm::Instr rewritten;
+    rewritten.op = vm::Opcode::kLdgPre;
+    rewritten.rd = decoded->rd;
+    rewritten.rs2 = static_cast<std::uint8_t>(slot);
+    // PC-relative offset from this instruction to the preamble slot, which
+    // sits at kPreambleSlotOffset bytes before the code start.
+    const std::int64_t pre_delta =
+        kPreambleSlotOffset - static_cast<std::int64_t>(off);
+    if (pre_delta < INT32_MIN) return OutOfRange("preamble offset overflow");
+    rewritten.imm = static_cast<std::int32_t>(pre_delta);
+    vm::Encode(rewritten, image.text.data() + off);
+    ++stats.rewritten;
+  }
+  return stats;
+}
+
+bool IsFullyRewritten(const LinkedImage& image) {
+  for (std::size_t off = 0; off < image.text.size(); off += vm::kInstrBytes) {
+    const auto decoded = vm::Decode(image.text.data() + off);
+    if (decoded && decoded->op == vm::Opcode::kLdgFix) return false;
+  }
+  return true;
+}
+
+}  // namespace twochains::jelf

@@ -1,0 +1,43 @@
+// The static GOT rewrite — the binary transformation at the heart of the
+// paper's remote-linking mechanism (§III-B):
+//
+//   "At compile time, the binary is modified so that all references to the
+//    global offset table (GOT) will redirect through a pointer stored a
+//    fixed PC-relative location that we choose."
+//
+// Concretely: every `ldg.fix rd, imm` (a PC-relative load from the image's
+// own GOT, the -fPIC -fno-plt idiom) is rewritten into
+// `ldg.pre rd, slot, imm'`, which loads a GOT *pointer* from a preamble
+// slot at a fixed offset before the code start and indexes it with the
+// slot number. After the rewrite, the code no longer cares where its GOT
+// lives — the sender packs a patched GOT (GOTP) into the message, or, in
+// the hardened configuration, the receiver installs a pointer to its own
+// securely built table on arrival.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "jelf/image.hpp"
+
+namespace twochains::jelf {
+
+/// Byte offset of the preamble GOT-pointer slot relative to the start of
+/// the code blob ("the GOT redirect is located just before the code in the
+/// message", §III-B). The frame codec places the PRE slot here.
+inline constexpr std::int64_t kPreambleSlotOffset = -16;
+
+struct RewriteStats {
+  std::uint32_t rewritten = 0;  ///< ldg.fix instructions converted
+};
+
+/// Rewrites @p image's text in place. Fails if any GOT slot index exceeds
+/// 255 (the ldg.pre index field) or an ldg.fix does not point into the
+/// image's GOT.
+StatusOr<RewriteStats> RewriteGotAccesses(LinkedImage& image);
+
+/// True if the image's text contains no ldg.fix (i.e. it is safe to inject:
+/// all GOT accesses go through the preamble pointer).
+bool IsFullyRewritten(const LinkedImage& image);
+
+}  // namespace twochains::jelf

@@ -1,0 +1,36 @@
+// Static linker: ObjectCode units -> LinkedImage.
+//
+// Responsibilities (the subset of a real ELF linker that remote linking
+// needs): section merging with alignment, symbol resolution across objects,
+// GOT construction (one slot per symbol referenced through ldg), PC-relative
+// patching, and conversion of absolute-address data relocations into
+// load-time fixups.
+//
+// External references are only legal through the GOT (the toolchain's
+// equivalent of -fno-plt); a PC-relative relocation against an undefined
+// symbol is a link error, matching how the paper's pipeline forces every
+// cross-library reference through GOT indirection so it can be rebound.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+#include "jelf/image.hpp"
+#include "jamvm/program.hpp"
+
+namespace twochains::jelf {
+
+struct LinkOptions {
+  std::string image_name = "a.jso";
+  /// Page-align sections so the loader can enforce W^X (ried libraries).
+  bool page_align_sections = true;
+  /// Forbid .data (jams must be stateless mobile code).
+  bool forbid_writable_data = false;
+};
+
+/// Links @p objects into one image.
+StatusOr<LinkedImage> Link(std::span<const vm::ObjectCode> objects,
+                           const LinkOptions& options);
+
+}  // namespace twochains::jelf

@@ -1,0 +1,174 @@
+#include "jelf/loader.hpp"
+
+#include <span>
+
+#include "common/strfmt.hpp"
+
+namespace twochains::jelf {
+
+Status HostNamespace::Define(const std::string& name, std::uint64_t value,
+                             bool allow_redefine) {
+  const auto it = values_.find(name);
+  if (it != values_.end()) {
+    if (!allow_redefine) {
+      return AlreadyExists(StrFormat("symbol '%s'", name.c_str()));
+    }
+    it->second = value;
+    return Status::Ok();
+  }
+  values_.emplace(name, value);
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> HostNamespace::Lookup(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return NotFound(StrFormat("unresolved symbol '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Status HostNamespace::Remove(const std::string& name) {
+  if (values_.erase(name) == 0) {
+    return NotFound(StrFormat("symbol '%s'", name.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<LoadedLibrary> LoadLibrary(mem::HostMemory& memory,
+                                    const LinkedImage& image,
+                                    HostNamespace& ns,
+                                    const LoadOptions& options) {
+  if (options.enforce_section_permissions && !image.page_aligned) {
+    return FailedPrecondition(
+        "section permissions require a page-aligned image "
+        "(link with page_align_sections)");
+  }
+
+  // Allocate and populate, writable during relocation.
+  TC_ASSIGN_OR_RETURN(
+      const mem::VirtAddr base,
+      memory.Allocate(image.total_size, mem::kPageSize, mem::Perm::kRW,
+                      "lib:" + image.name));
+  TC_RETURN_IF_ERROR(memory.Write(base, image.text));
+  if (!image.rodata.empty()) {
+    TC_RETURN_IF_ERROR(memory.Write(base + image.rodata_offset, image.rodata));
+  }
+  if (!image.data.empty()) {
+    TC_RETURN_IF_ERROR(memory.Write(base + image.data_offset, image.data));
+  }
+
+  LoadedLibrary lib;
+  lib.name = image.name;
+  lib.base = base;
+  lib.size = image.total_size;
+  lib.got_addr = base + image.got_offset;
+  lib.got_slots = image.got_slot_count();
+  lib.got_symbols = image.got_symbols;
+
+  // Bind-now GOT resolution. Note: a library may reference its own exports
+  // through the GOT; make them visible first so self-references resolve,
+  // but keep a rollback list in case binding fails midway.
+  std::vector<std::string> defined_now;
+  auto rollback = [&] {
+    for (const auto& name : defined_now) (void)ns.Remove(name);
+    (void)memory.Free(base);
+  };
+  for (const auto& [name, entry] : image.exports) {
+    const mem::VirtAddr addr = base + entry.offset;
+    Status st = ns.Define(name, addr, options.allow_export_override);
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+    defined_now.push_back(name);
+    lib.exports.emplace(name, addr);
+  }
+
+  for (std::uint32_t slot = 0; slot < lib.got_slots; ++slot) {
+    auto value = ns.Lookup(image.got_symbols[slot]);
+    if (!value.ok()) {
+      rollback();
+      return Status(value.status().code(),
+                    StrFormat("binding %s: %s", image.name.c_str(),
+                              value.status().message().c_str()));
+    }
+    Status st = memory.StoreU64(lib.got_addr + 8ull * slot, *value);
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+
+  for (const auto& fixup : image.fixups) {
+    std::uint64_t value;
+    if (fixup.internal) {
+      value = base + fixup.target_offset;
+    } else {
+      auto resolved = ns.Lookup(fixup.symbol);
+      if (!resolved.ok()) {
+        rollback();
+        return resolved.status();
+      }
+      value = *resolved + static_cast<std::uint64_t>(fixup.addend);
+    }
+    Status st = memory.StoreU64(base + fixup.image_offset, value);
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+
+  // Seal section permissions: text RX, rodata R, GOT RW|R, data RW.
+  if (options.enforce_section_permissions) {
+    TC_RETURN_IF_ERROR(
+        memory.Protect(base, image.rodata_offset, mem::Perm::kRX));
+    if (image.got_offset > image.rodata_offset) {
+      TC_RETURN_IF_ERROR(memory.Protect(base + image.rodata_offset,
+                                        image.got_offset - image.rodata_offset,
+                                        mem::Perm::kRead));
+    }
+    const std::uint64_t got_span = image.data_offset - image.got_offset;
+    if (got_span > 0) {
+      TC_RETURN_IF_ERROR(memory.Protect(
+          base + image.got_offset, got_span,
+          options.got_read_only ? mem::Perm::kRead : mem::Perm::kRW));
+    }
+    if (image.total_size > image.data_offset) {
+      TC_RETURN_IF_ERROR(memory.Protect(base + image.data_offset,
+                                        image.total_size - image.data_offset,
+                                        mem::Perm::kRW));
+    }
+  }
+
+  return lib;
+}
+
+Status RebindGot(mem::HostMemory& memory, const LoadedLibrary& lib,
+                 const HostNamespace& ns) {
+  if (lib.got_slots == 0) return Status::Ok();
+  // The GOT may have been sealed read-only; lift and restore around the
+  // rebinding (what a real loader does with mprotect during lazy updates).
+  TC_ASSIGN_OR_RETURN(const mem::Perm old_perm,
+                      memory.PagePerms(lib.got_addr));
+  TC_RETURN_IF_ERROR(
+      memory.Protect(lib.got_addr, 8ull * lib.got_slots, mem::Perm::kRW));
+  Status result = Status::Ok();
+  for (std::uint32_t slot = 0; slot < lib.got_slots; ++slot) {
+    auto value = ns.Lookup(lib.got_symbols[slot]);
+    if (!value.ok()) {
+      result = value.status();
+      break;
+    }
+    Status st = memory.StoreU64(lib.got_addr + 8ull * slot, *value);
+    if (!st.ok()) {
+      result = st;
+      break;
+    }
+  }
+  TC_RETURN_IF_ERROR(
+      memory.Protect(lib.got_addr, 8ull * lib.got_slots, old_perm));
+  return result;
+}
+
+}  // namespace twochains::jelf

@@ -1,0 +1,63 @@
+// Virtual address conventions of the simulated hosts.
+//
+// Each simulated host owns a disjoint slice of one global 64-bit virtual
+// address space: host h's arena starts at (h+1) << 40. Disjoint bases make
+// cross-host pointer confusion detectable — a sender-side VA dereferenced on
+// the receiver faults instead of silently aliasing, exactly the class of bug
+// remote linking exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace twochains::mem {
+
+/// A virtual address within the simulated global address space.
+using VirtAddr = std::uint64_t;
+
+/// Page size of the simulated hosts (matches the Linux default on the
+/// paper's testbed).
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/// Spacing between host arenas (1 TiB); arenas are far smaller.
+inline constexpr std::uint64_t kHostAddressStride = 1ull << 40;
+
+/// Base virtual address of host @p host_id's arena.
+constexpr VirtAddr HostBase(int host_id) noexcept {
+  return (static_cast<VirtAddr>(host_id) + 1) * kHostAddressStride;
+}
+
+/// Which host's address range contains @p addr, or -1 if below any host base.
+constexpr int HostOfAddress(VirtAddr addr) noexcept {
+  if (addr < kHostAddressStride) return -1;
+  return static_cast<int>(addr / kHostAddressStride) - 1;
+}
+
+/// Page access permission bits (combinable).
+enum class Perm : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kRW = kRead | kWrite,
+  kRX = kRead | kExec,
+  kRWX = kRead | kWrite | kExec,
+};
+
+constexpr Perm operator|(Perm a, Perm b) noexcept {
+  return static_cast<Perm>(static_cast<std::uint8_t>(a) |
+                           static_cast<std::uint8_t>(b));
+}
+constexpr Perm operator&(Perm a, Perm b) noexcept {
+  return static_cast<Perm>(static_cast<std::uint8_t>(a) &
+                           static_cast<std::uint8_t>(b));
+}
+constexpr bool HasPerm(Perm have, Perm need) noexcept {
+  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(need)) ==
+         static_cast<std::uint8_t>(need);
+}
+
+/// "r-x", "rw-", ... for diagnostics.
+std::string PermString(Perm p);
+
+}  // namespace twochains::mem

@@ -1,0 +1,190 @@
+#include "mem/host_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.hpp"
+#include "common/strfmt.hpp"
+
+namespace twochains::mem {
+
+std::string PermString(Perm p) {
+  std::string s = "---";
+  if (HasPerm(p, Perm::kRead)) s[0] = 'r';
+  if (HasPerm(p, Perm::kWrite)) s[1] = 'w';
+  if (HasPerm(p, Perm::kExec)) s[2] = 'x';
+  return s;
+}
+
+HostMemory::HostMemory(int host_id, std::uint64_t size)
+    : host_id_(host_id),
+      base_(HostBase(host_id)),
+      arena_(AlignUp(size, kPageSize)),
+      page_perms_(arena_.size() / kPageSize, Perm::kNone),
+      bump_(base_) {}
+
+bool HostMemory::Contains(VirtAddr addr, std::uint64_t size) const noexcept {
+  if (addr < base_) return false;
+  const std::uint64_t off = addr - base_;
+  return off <= arena_.size() && size <= arena_.size() - off;
+}
+
+StatusOr<VirtAddr> HostMemory::Allocate(std::uint64_t size,
+                                        std::uint64_t align, Perm perms,
+                                        std::string_view tag) {
+  if (size == 0) return InvalidArgument("zero-size allocation");
+  if (!IsPowerOfTwo(align)) return InvalidArgument("alignment must be pow2");
+  // Page-granular bump allocator: each allocation gets whole pages so that
+  // Protect() on it cannot disturb neighbours. Freed ranges are not reused
+  // (hosts in benchmarks allocate a fixed working set up front).
+  const std::uint64_t eff_align = std::max<std::uint64_t>(align, kPageSize);
+  const VirtAddr start = AlignUp(bump_, eff_align);
+  const std::uint64_t page_span = AlignUp(size, kPageSize);
+  if (!Contains(start, page_span)) {
+    return ResourceExhausted(
+        StrFormat("host %d arena exhausted: want %llu bytes (tag=%.*s)",
+                  host_id_, static_cast<unsigned long long>(size),
+                  static_cast<int>(tag.size()), tag.data()));
+  }
+  bump_ = start + page_span;
+  allocs_.emplace(start, Allocation{size, page_span, std::string(tag)});
+  allocated_bytes_ += size;
+  TC_RETURN_IF_ERROR(Protect(start, page_span, perms));
+  return start;
+}
+
+Status HostMemory::Free(VirtAddr addr) {
+  const auto it = allocs_.find(addr);
+  if (it == allocs_.end()) {
+    return NotFound(StrFormat("no allocation at 0x%llx",
+                              static_cast<unsigned long long>(addr)));
+  }
+  allocated_bytes_ -= it->second.size;
+  TC_RETURN_IF_ERROR(Protect(addr, it->second.page_span, Perm::kNone));
+  allocs_.erase(it);
+  return Status::Ok();
+}
+
+Status HostMemory::Protect(VirtAddr addr, std::uint64_t size, Perm perms) {
+  if (!Contains(addr, size)) {
+    return OutOfRange(StrFormat("protect [0x%llx,+%llu) outside arena",
+                                static_cast<unsigned long long>(addr),
+                                static_cast<unsigned long long>(size)));
+  }
+  const std::uint64_t first = OffsetOf(AlignDown(addr, kPageSize)) / kPageSize;
+  const std::uint64_t last =
+      OffsetOf(AlignUp(addr + size, kPageSize)) / kPageSize;
+  for (std::uint64_t p = first; p < last; ++p) page_perms_[p] = perms;
+  return Status::Ok();
+}
+
+StatusOr<Perm> HostMemory::PagePerms(VirtAddr addr) const {
+  if (!Contains(addr, 1)) return OutOfRange("address outside arena");
+  return page_perms_[OffsetOf(addr) / kPageSize];
+}
+
+Status HostMemory::CheckPerms(VirtAddr addr, std::uint64_t size,
+                              Perm need) const {
+  if (size == 0) return Status::Ok();
+  if (!Contains(addr, size)) {
+    return OutOfRange(StrFormat("access [0x%llx,+%llu) outside host %d arena",
+                                static_cast<unsigned long long>(addr),
+                                static_cast<unsigned long long>(size),
+                                host_id_));
+  }
+  const std::uint64_t first = OffsetOf(AlignDown(addr, kPageSize)) / kPageSize;
+  const std::uint64_t last =
+      OffsetOf(AlignUp(addr + size, kPageSize)) / kPageSize;
+  for (std::uint64_t p = first; p < last; ++p) {
+    if (!HasPerm(page_perms_[p], need)) {
+      return PermissionDenied(
+          StrFormat("page 0x%llx is %s, need %s",
+                    static_cast<unsigned long long>(base_ + p * kPageSize),
+                    PermString(page_perms_[p]).c_str(),
+                    PermString(need).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status HostMemory::Read(VirtAddr addr, std::span<std::uint8_t> out) const {
+  TC_RETURN_IF_ERROR(CheckPerms(addr, out.size(), Perm::kRead));
+  std::memcpy(out.data(), arena_.data() + OffsetOf(addr), out.size());
+  return Status::Ok();
+}
+
+Status HostMemory::Write(VirtAddr addr, std::span<const std::uint8_t> data) {
+  TC_RETURN_IF_ERROR(CheckPerms(addr, data.size(), Perm::kWrite));
+  std::memcpy(arena_.data() + OffsetOf(addr), data.data(), data.size());
+  return Status::Ok();
+}
+
+namespace {
+template <typename T>
+StatusOr<T> LoadScalar(const HostMemory& mem, VirtAddr addr) {
+  T v;
+  std::uint8_t buf[sizeof(T)];
+  TC_RETURN_IF_ERROR(mem.Read(addr, std::span<std::uint8_t>(buf, sizeof(T))));
+  std::memcpy(&v, buf, sizeof(T));
+  return v;
+}
+template <typename T>
+Status StoreScalar(HostMemory& mem, VirtAddr addr, T v) {
+  std::uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  return mem.Write(addr, std::span<const std::uint8_t>(buf, sizeof(T)));
+}
+}  // namespace
+
+StatusOr<std::uint8_t> HostMemory::LoadU8(VirtAddr a) const {
+  return LoadScalar<std::uint8_t>(*this, a);
+}
+StatusOr<std::uint16_t> HostMemory::LoadU16(VirtAddr a) const {
+  return LoadScalar<std::uint16_t>(*this, a);
+}
+StatusOr<std::uint32_t> HostMemory::LoadU32(VirtAddr a) const {
+  return LoadScalar<std::uint32_t>(*this, a);
+}
+StatusOr<std::uint64_t> HostMemory::LoadU64(VirtAddr a) const {
+  return LoadScalar<std::uint64_t>(*this, a);
+}
+Status HostMemory::StoreU8(VirtAddr a, std::uint8_t v) {
+  return StoreScalar(*this, a, v);
+}
+Status HostMemory::StoreU16(VirtAddr a, std::uint16_t v) {
+  return StoreScalar(*this, a, v);
+}
+Status HostMemory::StoreU32(VirtAddr a, std::uint32_t v) {
+  return StoreScalar(*this, a, v);
+}
+Status HostMemory::StoreU64(VirtAddr a, std::uint64_t v) {
+  return StoreScalar(*this, a, v);
+}
+
+Status HostMemory::DmaRead(VirtAddr addr, std::span<std::uint8_t> out) const {
+  if (!Contains(addr, out.size())) return OutOfRange("DMA read outside arena");
+  std::memcpy(out.data(), arena_.data() + OffsetOf(addr), out.size());
+  return Status::Ok();
+}
+
+Status HostMemory::DmaWrite(VirtAddr addr, std::span<const std::uint8_t> data) {
+  if (!Contains(addr, data.size())) {
+    return OutOfRange("DMA write outside arena");
+  }
+  std::memcpy(arena_.data() + OffsetOf(addr), data.data(), data.size());
+  return Status::Ok();
+}
+
+StatusOr<std::span<std::uint8_t>> HostMemory::RawSpan(VirtAddr addr,
+                                                      std::uint64_t size) {
+  if (!Contains(addr, size)) return OutOfRange("raw span outside arena");
+  return std::span<std::uint8_t>(arena_.data() + OffsetOf(addr), size);
+}
+
+StatusOr<std::span<const std::uint8_t>> HostMemory::RawSpan(
+    VirtAddr addr, std::uint64_t size) const {
+  if (!Contains(addr, size)) return OutOfRange("raw span outside arena");
+  return std::span<const std::uint8_t>(arena_.data() + OffsetOf(addr), size);
+}
+
+}  // namespace twochains::mem

@@ -1,0 +1,105 @@
+// Simulated per-host memory: a byte arena with page-granular permissions,
+// a first-fit allocator, and bounds/permission-checked access paths.
+//
+// Two access planes exist on purpose:
+//   * CPU accesses (Read/Write/Load*/Store*) enforce page permissions —
+//     these model loads/stores issued by jam code and the runtime, and are
+//     what the security-mode tests exercise (W^X, read-only ARGS pages).
+//   * DMA accesses (DmaRead/DmaWrite) bypass page permissions — an RDMA HCA
+//     is bounds-checked by its registered regions (rkeys, see region.hpp),
+//     not by CPU page tables. The NIC model performs rkey validation before
+//     touching memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mem/address.hpp"
+
+namespace twochains::mem {
+
+class HostMemory {
+ public:
+  /// Creates the arena for @p host_id with @p size bytes (rounded up to a
+  /// whole number of pages) based at HostBase(host_id).
+  HostMemory(int host_id, std::uint64_t size);
+
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
+
+  int host_id() const noexcept { return host_id_; }
+  VirtAddr base() const noexcept { return base_; }
+  std::uint64_t size() const noexcept { return arena_.size(); }
+
+  /// Allocates @p size bytes aligned to @p align (pow2, >= 1) with initial
+  /// page permissions @p perms. Allocations are page-granular internally so
+  /// Protect() on one allocation cannot affect a neighbour.
+  /// @p tag labels the allocation in diagnostics.
+  StatusOr<VirtAddr> Allocate(std::uint64_t size, std::uint64_t align,
+                              Perm perms, std::string_view tag);
+
+  /// Releases an allocation previously returned by Allocate().
+  Status Free(VirtAddr addr);
+
+  /// Changes permissions on all pages covering [addr, addr+size).
+  Status Protect(VirtAddr addr, std::uint64_t size, Perm perms);
+
+  /// Permissions of the page containing @p addr.
+  StatusOr<Perm> PagePerms(VirtAddr addr) const;
+
+  /// True when [addr, addr+size) lies inside the arena.
+  bool Contains(VirtAddr addr, std::uint64_t size) const noexcept;
+
+  // --- CPU plane (permission checked) ---------------------------------
+  Status Read(VirtAddr addr, std::span<std::uint8_t> out) const;
+  Status Write(VirtAddr addr, std::span<const std::uint8_t> data);
+
+  StatusOr<std::uint8_t> LoadU8(VirtAddr addr) const;
+  StatusOr<std::uint16_t> LoadU16(VirtAddr addr) const;
+  StatusOr<std::uint32_t> LoadU32(VirtAddr addr) const;
+  StatusOr<std::uint64_t> LoadU64(VirtAddr addr) const;
+  Status StoreU8(VirtAddr addr, std::uint8_t v);
+  Status StoreU16(VirtAddr addr, std::uint16_t v);
+  Status StoreU32(VirtAddr addr, std::uint32_t v);
+  Status StoreU64(VirtAddr addr, std::uint64_t v);
+
+  /// Checks that every page in [addr, addr+size) carries @p need.
+  Status CheckPerms(VirtAddr addr, std::uint64_t size, Perm need) const;
+
+  // --- DMA plane (bounds checked only) --------------------------------
+  Status DmaRead(VirtAddr addr, std::span<std::uint8_t> out) const;
+  Status DmaWrite(VirtAddr addr, std::span<const std::uint8_t> data);
+
+  /// Borrow a mutable view of arena bytes (internal plumbing for the
+  /// interpreter's hot path; bounds checked, no permission check).
+  StatusOr<std::span<std::uint8_t>> RawSpan(VirtAddr addr, std::uint64_t size);
+  StatusOr<std::span<const std::uint8_t>> RawSpan(VirtAddr addr,
+                                                  std::uint64_t size) const;
+
+  /// Bytes currently allocated (for leak checks in tests).
+  std::uint64_t allocated_bytes() const noexcept { return allocated_bytes_; }
+
+ private:
+  struct Allocation {
+    std::uint64_t size;        // requested size
+    std::uint64_t page_span;   // bytes of whole pages reserved
+    std::string tag;
+  };
+
+  std::uint64_t OffsetOf(VirtAddr addr) const noexcept { return addr - base_; }
+
+  int host_id_;
+  VirtAddr base_;
+  std::vector<std::uint8_t> arena_;
+  std::vector<Perm> page_perms_;             // one entry per page
+  std::map<VirtAddr, Allocation> allocs_;    // live allocations by start VA
+  VirtAddr bump_;                            // next never-used address
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace twochains::mem

@@ -1,0 +1,62 @@
+// A simulated host: memory arena, cache hierarchy, CPU cores, and the RDMA
+// region registry its NIC validates against.
+//
+// The paper's testbed is two of these, connected back-to-back (§VI-C).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/core.hpp"
+#include "mem/host_memory.hpp"
+#include "mem/region.hpp"
+
+namespace twochains::net {
+
+struct HostConfig {
+  int host_id = 0;
+  std::uint64_t memory_bytes = MiB(256);
+  cache::HierarchyConfig cache{};
+};
+
+class Host {
+ public:
+  explicit Host(const HostConfig& config)
+      : config_(config),
+        memory_(config.host_id, config.memory_bytes),
+        caches_(config.cache) {
+    cores_.reserve(config.cache.cores);
+    for (std::uint32_t c = 0; c < config.cache.cores; ++c) {
+      cores_.emplace_back(c, config.cache.core_clock);
+    }
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  int id() const noexcept { return config_.host_id; }
+  const HostConfig& config() const noexcept { return config_; }
+
+  mem::HostMemory& memory() noexcept { return memory_; }
+  const mem::HostMemory& memory() const noexcept { return memory_; }
+  cache::CacheHierarchy& caches() noexcept { return caches_; }
+  const cache::CacheHierarchy& caches() const noexcept { return caches_; }
+  mem::RegionRegistry& regions() noexcept { return regions_; }
+  const mem::RegionRegistry& regions() const noexcept { return regions_; }
+
+  cpu::CpuCore& core(std::uint32_t i) { return cores_.at(i); }
+  std::uint32_t core_count() const noexcept {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+ private:
+  HostConfig config_;
+  mem::HostMemory memory_;
+  cache::CacheHierarchy caches_;
+  mem::RegionRegistry regions_;
+  std::vector<cpu::CpuCore> cores_;
+};
+
+}  // namespace twochains::net

@@ -1,0 +1,171 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/strfmt.hpp"
+
+namespace twochains::net {
+
+Nic::Nic(sim::Engine& engine, Host& host, NicConfig config)
+    : engine_(engine), host_(host), config_(config) {}
+
+void Nic::ConnectTo(Nic& peer) noexcept {
+  peer_ = &peer;
+  peer.peer_ = this;
+}
+
+Status Nic::PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
+                    std::uint64_t size, mem::RKey rkey, bool fence,
+                    DeliveredFn on_delivered) {
+  if (peer_ == nullptr) return FailedPrecondition("NIC not connected");
+  if (size == 0) return InvalidArgument("zero-length put");
+  Op op;
+  op.bytes.resize(size);
+  op.remote_addr = remote_addr;
+  op.rkey = rkey;
+  op.fence = fence;
+  op.inline_op = false;
+  op.on_delivered = std::move(on_delivered);
+  return PostOp(std::move(op), local_addr);
+}
+
+Status Nic::PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
+                          mem::RKey rkey, bool fence,
+                          DeliveredFn on_delivered) {
+  if (peer_ == nullptr) return FailedPrecondition("NIC not connected");
+  Op op;
+  op.bytes.resize(sizeof(value));
+  std::memcpy(op.bytes.data(), &value, sizeof(value));
+  op.remote_addr = remote_addr;
+  op.rkey = rkey;
+  op.fence = fence;
+  op.inline_op = true;
+  op.on_delivered = std::move(on_delivered);
+  return PostOp(std::move(op), /*local_addr=*/0);
+}
+
+Status Nic::PostOp(Op op, mem::VirtAddr local_addr) {
+  const PicoTime now = engine_.Now();
+  const std::uint64_t size = op.bytes.size();
+
+  // Doorbell: the posting CPU writes the WQE to the HCA over PCIe.
+  PicoTime t = now + Nanoseconds(config_.doorbell_ns);
+
+  // Fence: the HCA holds this WQE until every prior op has been delivered.
+  if (op.fence) t = std::max(t, last_delivery_at_);
+
+  // Send engine occupancy (one WQE at a time) + payload DMA read.
+  t = std::max(t, tx_free_at_);
+  t += Nanoseconds(config_.per_message_ns);
+  if (!op.inline_op) {
+    t += Nanoseconds(config_.dma_read_overhead_ns);
+    t += GbpsToDuration(config_.pcie_gbps, size);
+    // Capture the payload bytes *now* in simulation order: schedule the
+    // snapshot at DMA time would race with CPU writes scheduled in between,
+    // so the model snapshots at post time — the sender contract for put_nbi
+    // is that the buffer must be stable until local completion anyway.
+    TC_RETURN_IF_ERROR(host_.memory().DmaRead(
+        local_addr, std::span<std::uint8_t>(op.bytes.data(), size)));
+  }
+  tx_free_at_ = t;
+
+  // Wire: serialize after the link direction frees up.
+  PicoTime wire_start = std::max(t, wire_free_at_);
+  PicoTime wire_end = wire_start + GbpsToDuration(config_.wire_gbps, size);
+  wire_free_at_ = wire_end;
+
+  // Arrival: propagation + receiver HCA processing.
+  PicoTime deliver_at =
+      wire_end + Nanoseconds(config_.wire_latency_ns + config_.rx_processing_ns);
+
+  if (!config_.enforce_write_ordering && !op.fence) {
+    // Relaxed ordering: this op may be skewed past ops posted after it.
+    deliver_at += Nanoseconds(static_cast<double>(
+        reorder_rng_.NextBelow(static_cast<std::uint64_t>(
+            std::max(1.0, config_.reorder_window_ns)))));
+  } else {
+    // In-order delivery: never before anything already scheduled.
+    deliver_at = std::max(deliver_at, last_sched_delivery_);
+  }
+  last_sched_delivery_ = std::max(last_sched_delivery_, deliver_at);
+  last_delivery_at_ = std::max(last_delivery_at_, deliver_at);
+
+  ++puts_posted_;
+  DeliverAt(deliver_at, std::move(op));
+  return Status::Ok();
+}
+
+void Nic::DeliverAt(PicoTime when, Op op) {
+  Nic* dst = peer_;
+  engine_.ScheduleAt(
+      when,
+      [this, dst, op = std::move(op)]() mutable {
+        const std::uint64_t size = op.bytes.size();
+        PutCompletion completion;
+        completion.delivered_at = engine_.Now();
+
+        // Hardware-level rkey validation at the target HCA.
+        auto region = dst->host_.regions().Validate(
+            op.rkey, op.remote_addr, size, mem::RemoteAccess::kWrite);
+        if (!region.ok()) {
+          ++dst->rkey_rejections_;
+          completion.status = region.status();
+          TC_DEBUG << "put rejected: " << region.status();
+          if (op.on_delivered) op.on_delivered(completion);
+          return;
+        }
+
+        // DMA write into target memory, then the cache action that the
+        // whole paper hinges on: stash into LLC or push to DRAM.
+        Status wr = dst->host_.memory().DmaWrite(
+            op.remote_addr,
+            std::span<const std::uint8_t>(op.bytes.data(), size));
+        if (!wr.ok()) {
+          completion.status = wr;
+          if (op.on_delivered) op.on_delivered(completion);
+          return;
+        }
+        if (dst->config_.stash_to_llc) {
+          dst->host_.caches().StashDeliver(op.remote_addr, size);
+        } else {
+          dst->host_.caches().DramDeliver(op.remote_addr, size);
+        }
+        dst->bytes_delivered_ += size;
+        if (op.on_delivered) op.on_delivered(completion);
+      },
+      "nic.deliver");
+}
+
+void ControlChannel::SetHandler(int host_id, Handler handler) {
+  for (auto& [id, h] : handlers_) {
+    if (id == host_id) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  handlers_.emplace_back(host_id, std::move(handler));
+}
+
+Status ControlChannel::Send(int dst_host, std::vector<std::uint8_t> payload) {
+  Handler* handler = nullptr;
+  for (auto& [id, h] : handlers_) {
+    if (id == dst_host) handler = &h;
+  }
+  if (handler == nullptr || !*handler) {
+    return NotFound(StrFormat("no control handler for host %d", dst_host));
+  }
+  const PicoTime when = std::max(engine_.Now() + latency_, next_free_);
+  next_free_ = when;  // in-order delivery
+  Handler h = *handler;  // copy: handler may be replaced before delivery
+  engine_.ScheduleAt(
+      when,
+      [h = std::move(h), payload = std::move(payload)]() mutable {
+        h(std::move(payload));
+      },
+      "control.deliver");
+  return Status::Ok();
+}
+
+}  // namespace twochains::net

@@ -1,0 +1,162 @@
+// RDMA NIC + link model (ConnectX-6-class HCA over PCIe Gen4, 200 Gb/s,
+// back-to-back — the paper's interconnect, §VI-C).
+//
+// A one-sided put moves through a fixed pipeline:
+//
+//   doorbell -> sender DMA read (PCIe) -> wire serialization + propagation
+//            -> receiver HCA processing -> rkey check -> DMA write
+//            -> cache action (LLC stash or DRAM delivery) -> delivered
+//
+// Bytes are captured at DMA-read time (so later sender-side writes cannot
+// corrupt an in-flight message) and become visible in receiver memory at
+// delivery time. Stage occupancy is tracked per NIC and per link direction,
+// which is what limits streaming message rate and bandwidth.
+//
+// Ordering: when `enforce_write_ordering` is set (true for the paper's
+// testbed: "Modern servers like the one we use ... enforce ordering"),
+// deliveries on a link direction happen in post order. When cleared, each
+// delivery suffers an extra deterministic pseudo-random skew, so a signal
+// written in the same put train can land before its payload — unless the
+// posting NIC was told to fence. This is the configuration the mailbox
+// protocol's separate-signal-put mode exists for (Fig. 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mem/region.hpp"
+#include "net/host.hpp"
+#include "sim/engine.hpp"
+
+namespace twochains::net {
+
+struct NicConfig {
+  double wire_gbps = 200.0;          ///< link bandwidth (Gb/s)
+  double pcie_gbps = 252.0;          ///< PCIe Gen4 x16 effective (Gb/s)
+  double doorbell_ns = 70.0;         ///< CPU MMIO post to HCA
+  double dma_read_overhead_ns = 180.0;  ///< PCIe round trip to fetch payload
+  double wire_latency_ns = 250.0;    ///< propagation, back-to-back cable
+  double rx_processing_ns = 160.0;   ///< receiver HCA packet processing
+  double per_message_ns = 40.0;      ///< per-WQE send engine occupancy
+  bool enforce_write_ordering = true;
+  /// Max skew added to deliveries when ordering is NOT enforced.
+  double reorder_window_ns = 400.0;
+  /// Deliver inbound bytes into the LLC (cache stashing) or DRAM.
+  bool stash_to_llc = true;
+};
+
+/// Sender-visible completion of a posted operation.
+struct PutCompletion {
+  Status status = Status::Ok();
+  PicoTime delivered_at = 0;
+};
+
+class Nic {
+ public:
+  using DeliveredFn = std::function<void(const PutCompletion&)>;
+
+  Nic(sim::Engine& engine, Host& host, NicConfig config);
+
+  /// Wires this NIC back-to-back with @p peer (both directions).
+  void ConnectTo(Nic& peer) noexcept;
+
+  Host& host() noexcept { return host_; }
+  const NicConfig& config() const noexcept { return config_; }
+  /// Reconfigures delivery mode (the paper's firmware stashing toggle).
+  void set_stash_to_llc(bool on) noexcept { config_.stash_to_llc = on; }
+
+  /// Posts a one-sided RDMA put of [local_addr, +size) from this host into
+  /// [remote_addr, +size) on the connected peer, authorized by @p rkey.
+  ///
+  /// @p fence orders this put after every previously posted put has been
+  /// delivered (IBTA fence semantics).
+  /// @p on_delivered fires at the simulated instant the bytes are visible in
+  /// remote memory (or with an error status if the rkey check failed).
+  Status PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
+                 std::uint64_t size, mem::RKey rkey, bool fence = false,
+                 DeliveredFn on_delivered = nullptr);
+
+  /// Posts an 8-byte immediate put (value supplied inline, no sender DMA
+  /// read) — used for signals and flow-control flags.
+  Status PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
+                       mem::RKey rkey, bool fence = false,
+                       DeliveredFn on_delivered = nullptr);
+
+  /// Number of puts posted since construction.
+  std::uint64_t puts_posted() const noexcept { return puts_posted_; }
+  /// Number of deliveries rejected by rkey validation.
+  std::uint64_t rkey_rejections() const noexcept { return rkey_rejections_; }
+  /// Total payload bytes delivered into this NIC's host.
+  std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+
+  /// Simulated time at which the send engine becomes free (tests).
+  PicoTime send_engine_free_at() const noexcept { return tx_free_at_; }
+
+ private:
+  struct Op {
+    std::vector<std::uint8_t> bytes;
+    mem::VirtAddr remote_addr;
+    mem::RKey rkey;
+    bool fence;
+    bool inline_op;
+    DeliveredFn on_delivered;
+  };
+
+  Status PostOp(Op op, mem::VirtAddr local_addr);
+  void DeliverAt(PicoTime when, Op op);
+
+  PicoTime GbpsToDuration(double gbps, std::uint64_t bytes) const noexcept {
+    if (gbps <= 0) return 0;
+    const double ns = static_cast<double>(bytes) * 8.0 / gbps;
+    return Nanoseconds(ns);
+  }
+
+  sim::Engine& engine_;
+  Host& host_;
+  NicConfig config_;
+  Nic* peer_ = nullptr;
+
+  PicoTime tx_free_at_ = 0;      ///< send engine (DMA read + WQE processing)
+  PicoTime wire_free_at_ = 0;    ///< outbound link direction
+  PicoTime last_delivery_at_ = 0;  ///< for fence semantics
+  PicoTime last_sched_delivery_ = 0;  ///< for in-order delivery
+  Xoshiro256 reorder_rng_{0x0dd5eedull};
+
+  std::uint64_t puts_posted_ = 0;
+  std::uint64_t rkey_rejections_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+/// Reliable, in-order, out-of-band control channel between two hosts
+/// (models the TCP/management-network bootstrap path used to exchange rkeys
+/// and synchronize namespaces; §V: "the target process has to provide the
+/// RKEY to the RDMA initiator through an out-of-band channel").
+class ControlChannel {
+ public:
+  using Handler = std::function<void(std::vector<std::uint8_t>)>;
+
+  ControlChannel(sim::Engine& engine, double latency_us = 15.0)
+      : engine_(engine), latency_(Microseconds(latency_us)) {}
+
+  /// Registers the message handler for @p host_id.
+  void SetHandler(int host_id, Handler handler);
+
+  /// Sends @p payload to @p dst_host; its handler runs after the channel
+  /// latency, in send order.
+  Status Send(int dst_host, std::vector<std::uint8_t> payload);
+
+ private:
+  sim::Engine& engine_;
+  PicoTime latency_;
+  PicoTime next_free_ = 0;
+  std::vector<std::pair<int, Handler>> handlers_;
+};
+
+}  // namespace twochains::net

@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace twochains::sim {
+
+EventId Engine::ScheduleAt(PicoTime when, Callback cb, std::string tag) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(cb),
+                    std::move(tag)});
+  ++live_events_;
+  return id;
+}
+
+bool Engine::Cancel(EventId id) {
+  // Events stay in the priority queue; cancellation is recorded and checked
+  // at pop time. The cancelled list is expected to stay small (flow-control
+  // timeouts that usually fire).
+  if (id == 0 || id >= next_id_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool Engine::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // skip cancelled event, try next
+    }
+    now_ = ev.when;
+    --live_events_;
+    ++processed_;
+    if (hook_) hook_(now_, ev.tag);
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Engine::RunUntil(PicoTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= deadline) {
+    if (!Step()) break;
+  }
+  // Even with no events at/below the deadline, time advances to it so
+  // callers can measure elapsed windows.
+  now_ = std::max(now_, deadline);
+}
+
+bool Engine::RunUntilCondition(const std::function<bool()>& done) {
+  stopped_ = false;
+  if (done()) return true;
+  while (!stopped_ && Step()) {
+    if (done()) return true;
+  }
+  return done();
+}
+
+}  // namespace twochains::sim

@@ -1,0 +1,108 @@
+// Discrete-event simulation engine.
+//
+// The whole testbed (two hosts, NICs, link, receiver agents, noise process)
+// runs on one Engine. Components schedule callbacks at absolute or relative
+// simulated times; the engine pops them in (time, sequence) order, so
+// same-timestamp events fire in scheduling order and every run is
+// deterministic. Callbacks may schedule further events and may call Stop().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace twochains::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Advances only inside Run*().
+  PicoTime Now() const noexcept { return now_; }
+
+  /// Schedules @p cb at absolute time @p when (>= Now(); earlier times are
+  /// clamped to Now() so causality cannot run backwards).
+  EventId ScheduleAt(PicoTime when, Callback cb, std::string tag = {});
+
+  /// Schedules @p cb @p delay picoseconds from now.
+  EventId ScheduleAfter(PicoTime delay, Callback cb, std::string tag = {}) {
+    return ScheduleAt(now_ + delay, std::move(cb), std::move(tag));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue is empty (or Stop()).
+  void Run();
+
+  /// Runs until simulated time would exceed @p deadline; events at exactly
+  /// the deadline still fire. Pending later events remain queued.
+  void RunUntil(PicoTime deadline);
+
+  /// Runs until @p done() returns true (checked after every event), the
+  /// queue drains, or Stop() is called. Returns true iff @p done() held.
+  bool RunUntilCondition(const std::function<bool()>& done);
+
+  /// Requests that the current Run*() call return after the in-flight
+  /// callback finishes.
+  void Stop() noexcept { stopped_ = true; }
+
+  /// True when no events are pending.
+  bool Idle() const noexcept { return live_events_ == 0; }
+
+  /// Number of pending (not yet fired, not cancelled) events.
+  std::size_t PendingEvents() const noexcept { return live_events_; }
+
+  /// Total callbacks executed since construction.
+  std::uint64_t EventsProcessed() const noexcept { return processed_; }
+
+  /// Optional observation hook called before each event executes
+  /// (time, tag). Used by tests and the trace tooling.
+  void SetEventHook(std::function<void(PicoTime, const std::string&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  struct Event {
+    PicoTime when;
+    std::uint64_t seq;  // tiebreak: FIFO among equal timestamps
+    EventId id;
+    Callback cb;
+    std::string tag;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next event. Returns false when the queue is empty
+  /// or only cancelled events remained.
+  bool Step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily; usually tiny
+  PicoTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::function<void(PicoTime, const std::string&)> hook_;
+};
+
+}  // namespace twochains::sim

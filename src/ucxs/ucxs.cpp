@@ -1,0 +1,191 @@
+#include "ucxs/ucxs.hpp"
+
+#include <algorithm>
+
+namespace twochains::ucxs {
+
+std::string_view ProtocolName(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kShort: return "short";
+    case Protocol::kBcopy: return "bcopy";
+    case Protocol::kZcopy: return "zcopy";
+    case Protocol::kRndv: return "rndv";
+  }
+  return "?";
+}
+
+Protocol Endpoint::SelectProtocol(std::uint64_t size) const noexcept {
+  const ProtocolConfig& cfg = worker_.context().config();
+  if (size <= cfg.short_max) return Protocol::kShort;
+  if (size <= cfg.bcopy_max) return Protocol::kBcopy;
+  if (size <= cfg.zcopy_max) return Protocol::kZcopy;
+  return Protocol::kRndv;
+}
+
+PicoTime Endpoint::OverheadFor(Protocol protocol, std::uint64_t size,
+                               bool include_tracking) const {
+  const ProtocolConfig& cfg = worker_.context().config();
+  double ns = 0;
+  switch (protocol) {
+    case Protocol::kShort: ns = cfg.short_overhead_ns; break;
+    case Protocol::kBcopy:
+      ns = cfg.bcopy_overhead_ns +
+           cfg.bcopy_ns_per_byte * static_cast<double>(size);
+      break;
+    case Protocol::kZcopy: ns = cfg.zcopy_overhead_ns; break;
+    case Protocol::kRndv: ns = cfg.rndv_overhead_ns; break;
+  }
+  if (include_tracking && mode_ == PutMode::kUcx) {
+    ns += cfg.tracking_ns_per_op;
+  }
+  return Nanoseconds(ns);
+}
+
+StatusOr<PutReceipt> Endpoint::PutNbi(mem::VirtAddr local,
+                                      mem::VirtAddr remote,
+                                      std::uint64_t size, mem::RKey rkey,
+                                      bool fence,
+                                      net::Nic::DeliveredFn on_delivered) {
+  if (size == 0) return InvalidArgument("zero-length put");
+  Pending op;
+  op.inline_op = false;
+  op.inline_value = 0;
+  op.local = local;
+  op.remote = remote;
+  op.size = size;
+  op.rkey = rkey;
+  op.fence = fence;
+  op.on_delivered = std::move(on_delivered);
+
+  const Protocol protocol = SelectProtocol(size);
+  op.overhead = OverheadFor(protocol, size);
+
+  PutReceipt receipt;
+  receipt.protocol = protocol;
+  receipt.sender_overhead = op.overhead;
+
+  const ProtocolConfig& cfg = worker_.context().config();
+  if (mode_ == PutMode::kUcx && outstanding_ >= cfg.max_outstanding) {
+    receipt.queued = true;
+    queue_.push_back(std::move(op));
+    return receipt;
+  }
+  TC_RETURN_IF_ERROR(PostNow(std::move(op)));
+  return receipt;
+}
+
+StatusOr<PutReceipt> Endpoint::PutInline(std::uint64_t value,
+                                         mem::VirtAddr remote, mem::RKey rkey,
+                                         bool fence,
+                                         net::Nic::DeliveredFn on_delivered) {
+  Pending op;
+  op.inline_op = true;
+  op.inline_value = value;
+  op.local = 0;
+  op.remote = remote;
+  op.size = 8;
+  op.rkey = rkey;
+  op.fence = fence;
+  op.on_delivered = std::move(on_delivered);
+  op.overhead = OverheadFor(Protocol::kShort, 8);
+
+  PutReceipt receipt;
+  receipt.protocol = Protocol::kShort;
+  receipt.sender_overhead = op.overhead;
+
+  const ProtocolConfig& cfg = worker_.context().config();
+  if (mode_ == PutMode::kUcx && outstanding_ >= cfg.max_outstanding) {
+    receipt.queued = true;
+    queue_.push_back(std::move(op));
+    return receipt;
+  }
+  TC_RETURN_IF_ERROR(PostNow(std::move(op)));
+  return receipt;
+}
+
+Status Endpoint::PostNow(Pending op) {
+  ++outstanding_;
+  ++worker_.ops_posted_;
+  auto& engine = worker_.context().engine();
+  auto& nic = worker_.context().nic();
+
+  // The protocol setup runs on the sender CPU before the doorbell; model it
+  // as a scheduling delay (callers separately account the CPU busy time via
+  // the receipt).
+  auto wrapped = [this, user_cb = std::move(op.on_delivered)](
+                     const net::PutCompletion& completion) mutable {
+    OnComplete();
+    if (user_cb) user_cb(completion);
+  };
+
+  // Serialize NIC posting in submission order: a WQE posted later must not
+  // reach the HCA before an earlier one, even if its setup is cheaper.
+  // Only the protocol setup delays the doorbell; completion tracking runs
+  // after it.
+  const PicoTime post_delay =
+      OverheadFor(op.inline_op ? Protocol::kShort : SelectProtocol(op.size),
+                  op.size, /*include_tracking=*/false);
+  const PicoTime post_at = std::max(engine.Now() + post_delay, post_serial_);
+  post_serial_ = post_at;
+
+  if (op.inline_op) {
+    const std::uint64_t value = op.inline_value;
+    const auto remote = op.remote;
+    const auto rkey = op.rkey;
+    const bool fence = op.fence;
+    engine.ScheduleAt(
+        post_at,
+        [&nic, value, remote, rkey, fence,
+         wrapped = std::move(wrapped)]() mutable {
+          // Delivery errors surface through the completion callback.
+          Status st =
+              nic.PostInlinePut(value, remote, rkey, fence, std::move(wrapped));
+          (void)st;
+        },
+        "ucxs.inline");
+    return Status::Ok();
+  }
+  const auto local = op.local;
+  const auto remote = op.remote;
+  const auto size = op.size;
+  const auto rkey = op.rkey;
+  const bool fence = op.fence;
+  engine.ScheduleAt(
+      post_at,
+      [&nic, local, remote, size, rkey, fence,
+       wrapped = std::move(wrapped)]() mutable {
+        Status st =
+            nic.PostPut(local, remote, size, rkey, fence, std::move(wrapped));
+        (void)st;
+      },
+      "ucxs.put");
+  return Status::Ok();
+}
+
+void Endpoint::OnComplete() {
+  if (outstanding_ > 0) --outstanding_;
+  ++worker_.ops_completed_;
+  // Drain the window queue.
+  const ProtocolConfig& cfg = worker_.context().config();
+  while (!queue_.empty() && outstanding_ < cfg.max_outstanding) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    Status st = PostNow(std::move(next));
+    (void)st;
+  }
+  if (outstanding_ == 0 && queue_.empty() && !flush_waiters_.empty()) {
+    auto waiters = std::move(flush_waiters_);
+    flush_waiters_.clear();
+    for (auto& w : waiters) w();
+  }
+}
+
+void Endpoint::Flush(std::function<void()> done) {
+  if (outstanding_ == 0 && queue_.empty()) {
+    done();
+    return;
+  }
+  flush_waiters_.push_back(std::move(done));
+}
+
+}  // namespace twochains::ucxs

@@ -1,0 +1,187 @@
+// ucxs: a UCX-shaped communication shim over the NIC model.
+//
+// Two-Chains is "implemented as a plugin to the UCX communication
+// framework" (§I); its benchmarks compare against plain UCX puts (§VII).
+// This shim reproduces the two UCX behaviours those experiments depend on:
+//
+//  1. *Size-dependent protocol selection.* UCX switches wire protocols as
+//     message size grows (short -> eager bcopy -> eager zcopy ->
+//     rendezvous). Each protocol trades higher fixed setup cost for lower
+//     per-byte cost, so a message that has *just* crossed a threshold pays
+//     the new protocol's setup without amortizing it — the latency bumps
+//     the paper calls out at the 8- and 256-integer Injected Function
+//     sizes (§VII-A).
+//
+//  2. *Flow-control / completion-tracking overhead.* The standard put path
+//     tracks completions and enforces an outstanding-operation window;
+//     Two-Chains bypasses it with its own mailbox-bank flow control ("the
+//     standard UCX put operation has more library overhead for flow
+//     control and detecting message completion", §VII). PutMode selects
+//     which cost model applies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mem/region.hpp"
+#include "net/host.hpp"
+#include "net/nic.hpp"
+#include "sim/engine.hpp"
+
+namespace twochains::ucxs {
+
+enum class Protocol : std::uint8_t { kShort, kBcopy, kZcopy, kRndv };
+
+std::string_view ProtocolName(Protocol p) noexcept;
+
+struct ProtocolConfig {
+  /// Upper size bounds (inclusive) per protocol; sizes above zcopy_max use
+  /// rendezvous. Defaults are placed so that the Injected Function frames
+  /// of the paper's Indirect Put (1472 B + 64 B per 16 ints) cross into
+  /// bcopy->zcopy at the 8-integer frame (1536 B) and into rendezvous at
+  /// the 256-integer frame (2496 B), reproducing Fig. 7's bumps.
+  std::uint64_t short_max = 192;
+  std::uint64_t bcopy_max = 1535;
+  std::uint64_t zcopy_max = 2495;
+
+  /// Fixed sender-side setup cost per protocol (ns).
+  double short_overhead_ns = 20;
+  double bcopy_overhead_ns = 90;
+  double zcopy_overhead_ns = 260;
+  double rndv_overhead_ns = 650;
+
+  /// bcopy copies through a bounce buffer: extra per-byte cost (ns/byte).
+  double bcopy_ns_per_byte = 0.012;
+
+  /// UCX-mode completion tracking: extra sender cost per op (ns) and the
+  /// outstanding-operation window. Tracking does not delay the wire post
+  /// (the CQ is polled after posting, and overlaps the wait in ping-pong)
+  /// but it fully paces back-to-back streaming — which is exactly why the
+  /// paper sees put *bandwidth* collapse while put *latency* stays fine.
+  /// kUser mode (Two-Chains' own bank flow control) pays neither.
+  double tracking_ns_per_op = 1050;
+  std::uint32_t max_outstanding = 16;
+};
+
+/// Which flow-control stack a put goes through.
+enum class PutMode : std::uint8_t {
+  kUcx,   ///< standard UCX put: tracking cost + window
+  kUser,  ///< Two-Chains path: bare protocol + NIC (own flow control)
+};
+
+/// UCX-like context: one per (host, nic).
+class Context {
+ public:
+  Context(sim::Engine& engine, net::Host& host, net::Nic& nic,
+          ProtocolConfig config = {})
+      : engine_(engine), host_(host), nic_(nic), config_(config) {}
+
+  sim::Engine& engine() noexcept { return engine_; }
+  net::Host& host() noexcept { return host_; }
+  net::Nic& nic() noexcept { return nic_; }
+  const ProtocolConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::Engine& engine_;
+  net::Host& host_;
+  net::Nic& nic_;
+  ProtocolConfig config_;
+};
+
+/// Worker: progress engine wrapper (progress is implicit in the DES; the
+/// worker carries counters and flush bookkeeping).
+class Worker {
+ public:
+  explicit Worker(Context& context) : context_(context) {}
+  Context& context() noexcept { return context_; }
+
+  std::uint64_t ops_posted() const noexcept { return ops_posted_; }
+  std::uint64_t ops_completed() const noexcept { return ops_completed_; }
+
+ private:
+  friend class Endpoint;
+  Context& context_;
+  std::uint64_t ops_posted_ = 0;
+  std::uint64_t ops_completed_ = 0;
+};
+
+struct PutReceipt {
+  Protocol protocol = Protocol::kShort;
+  /// Sender CPU time consumed before the NIC doorbell (protocol setup +
+  /// tracking). Callers model their busy time with this.
+  PicoTime sender_overhead = 0;
+  /// True if the op was queued behind the outstanding window instead of
+  /// being posted immediately (kUcx mode only).
+  bool queued = false;
+};
+
+class Endpoint {
+ public:
+  Endpoint(Worker& worker, PutMode mode) : worker_(worker), mode_(mode) {}
+
+  PutMode mode() const noexcept { return mode_; }
+
+  /// Selects the protocol a message of @p size would use.
+  Protocol SelectProtocol(std::uint64_t size) const noexcept;
+
+  /// Sender-side setup cost a put of @p size will pay (protocol setup plus
+  /// tracking in kUcx mode) — for callers that model CPU busy time.
+  PicoTime EstimateOverhead(std::uint64_t size) const {
+    return OverheadFor(SelectProtocol(size), size);
+  }
+  /// Setup cost that delays the wire post (protocol only; completion
+  /// tracking happens after the doorbell).
+  PicoTime EstimatePostDelay(std::uint64_t size) const {
+    return OverheadFor(SelectProtocol(size), size, /*include_tracking=*/false);
+  }
+
+  /// One-sided put into the connected peer. @p on_delivered fires when the
+  /// bytes are visible remotely.
+  StatusOr<PutReceipt> PutNbi(mem::VirtAddr local, mem::VirtAddr remote,
+                              std::uint64_t size, mem::RKey rkey,
+                              bool fence = false,
+                              net::Nic::DeliveredFn on_delivered = nullptr);
+
+  /// 8-byte immediate put (signals, flags).
+  StatusOr<PutReceipt> PutInline(std::uint64_t value, mem::VirtAddr remote,
+                                 mem::RKey rkey, bool fence = false,
+                                 net::Nic::DeliveredFn on_delivered = nullptr);
+
+  /// Invokes @p done once every op posted so far has been delivered.
+  void Flush(std::function<void()> done);
+
+  std::uint32_t outstanding() const noexcept { return outstanding_; }
+
+ private:
+  struct Pending {
+    bool inline_op;
+    std::uint64_t inline_value;
+    mem::VirtAddr local;
+    mem::VirtAddr remote;
+    std::uint64_t size;
+    mem::RKey rkey;
+    bool fence;
+    net::Nic::DeliveredFn on_delivered;
+    PicoTime overhead;
+  };
+
+  PicoTime OverheadFor(Protocol protocol, std::uint64_t size,
+                       bool include_tracking = true) const;
+  Status PostNow(Pending op);
+  void OnComplete();
+
+  Worker& worker_;
+  PutMode mode_;
+  std::uint32_t outstanding_ = 0;
+  /// NIC posting is serialized in submission order (WQEs reach the HCA in
+  /// the order the sender posted them, regardless of per-op setup time).
+  PicoTime post_serial_ = 0;
+  std::deque<Pending> queue_;
+  std::vector<std::function<void()>> flush_waiters_;
+};
+
+}  // namespace twochains::ucxs

@@ -1,0 +1,352 @@
+// Tests for the cache hierarchy timing model: LRU tag behaviour, hierarchy
+// walks, stashing vs DRAM delivery, and the stream prefetcher — the
+// machinery behind Figures 9-12 of the paper.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_level.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/prefetcher.hpp"
+#include "common/rng.hpp"
+
+namespace twochains::cache {
+namespace {
+
+constexpr std::uint64_t kLine = 64;
+
+LevelConfig TinyLevel(std::uint64_t size, std::uint32_t ways, Cycles lat) {
+  return LevelConfig{"tiny", size, ways, lat};
+}
+
+// ------------------------------------------------------------ CacheLevel
+
+TEST(CacheLevelTest, MissThenHit) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 7), kLine);
+  EXPECT_FALSE(c.Lookup(0x1000));
+  c.Insert(0x1000);
+  EXPECT_TRUE(c.Lookup(0x1000));
+  EXPECT_TRUE(c.Lookup(0x1001));  // same line
+  EXPECT_FALSE(c.Lookup(0x1040)); // next line
+  EXPECT_EQ(c.hit_cycles(), 7u);
+}
+
+TEST(CacheLevelTest, LruEvictionOrder) {
+  // 4-way, and addresses chosen to land in the same set: stride = sets*line.
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  const std::uint64_t stride = c.sets() * kLine;
+  // Fill the set with 4 lines.
+  for (std::uint64_t i = 0; i < 4; ++i) c.Insert(i * stride);
+  // Touch line 0 so line 1 becomes LRU.
+  EXPECT_TRUE(c.Lookup(0));
+  // Insert a 5th line; line 1 (LRU) must be evicted.
+  c.Insert(4 * stride);
+  EXPECT_TRUE(c.Probe(0));
+  EXPECT_FALSE(c.Probe(1 * stride));
+  EXPECT_TRUE(c.Probe(2 * stride));
+  EXPECT_TRUE(c.Probe(3 * stride));
+  EXPECT_TRUE(c.Probe(4 * stride));
+}
+
+TEST(CacheLevelTest, InsertIsIdempotentForPresentLine) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  c.Insert(0x2000);
+  c.Insert(0x2000);
+  EXPECT_EQ(c.PopulationCount(), 1u);
+}
+
+TEST(CacheLevelTest, InvalidateRemovesLine) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  c.Insert(0x3000);
+  EXPECT_TRUE(c.Invalidate(0x3000));
+  EXPECT_FALSE(c.Probe(0x3000));
+  EXPECT_FALSE(c.Invalidate(0x3000));
+}
+
+TEST(CacheLevelTest, InvalidateRangeCoversPartialLines) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  c.Insert(0x1000);
+  c.Insert(0x1040);
+  c.Insert(0x1080);
+  // Range [0x1030, 0x1050) touches lines 0x1000 and 0x1040 but not 0x1080.
+  c.InvalidateRange(0x1030, 0x20);
+  EXPECT_FALSE(c.Probe(0x1000));
+  EXPECT_FALSE(c.Probe(0x1040));
+  EXPECT_TRUE(c.Probe(0x1080));
+}
+
+TEST(CacheLevelTest, ClearEmptiesEverything) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  for (std::uint64_t i = 0; i < 32; ++i) c.Insert(i * kLine);
+  EXPECT_GT(c.PopulationCount(), 0u);
+  c.Clear();
+  EXPECT_EQ(c.PopulationCount(), 0u);
+}
+
+TEST(CacheLevelTest, PopulationNeverExceedsCapacity) {
+  CacheLevel c(TinyLevel(KiB(4), 4, 1), kLine);
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    c.Insert(rng.NextBelow(1 << 20) * kLine);
+  }
+  EXPECT_LE(c.PopulationCount(), KiB(4) / kLine);
+}
+
+// Property: after inserting N distinct lines mapping to one set of a
+// W-way cache, exactly the last W survive, in LRU order.
+class CacheLevelPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheLevelPropertyTest, SetKeepsMostRecentWays) {
+  const std::uint32_t ways = GetParam();
+  CacheLevel c(TinyLevel(ways * 8 * kLine, ways, 1), kLine);  // 8 sets
+  const std::uint64_t stride = c.sets() * kLine;
+  const int n = static_cast<int>(ways) + 5;
+  for (int i = 0; i < n; ++i) c.Insert(static_cast<std::uint64_t>(i) * stride);
+  for (int i = 0; i < n; ++i) {
+    const bool expect_present = i >= n - static_cast<int>(ways);
+    EXPECT_EQ(c.Probe(static_cast<std::uint64_t>(i) * stride), expect_present)
+        << "line " << i << " ways=" << ways;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheLevelPropertyTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// ------------------------------------------------------------ Prefetcher
+
+TEST(PrefetcherTest, CoversAfterTraining) {
+  PrefetcherConfig cfg;
+  cfg.train_misses = 2;
+  StreamPrefetcher p(cfg, kLine);
+  EXPECT_FALSE(p.OnDemandMiss(0x0));     // run=1
+  EXPECT_TRUE(p.OnDemandMiss(0x40));     // run=2: trained, covered
+  EXPECT_TRUE(p.OnDemandMiss(0x80));
+  EXPECT_EQ(p.covered_count(), 2u);
+  EXPECT_EQ(p.trained_streams_formed(), 1u);
+}
+
+TEST(PrefetcherTest, NonSequentialMissesNeverCover) {
+  PrefetcherConfig cfg;
+  cfg.train_misses = 2;
+  StreamPrefetcher p(cfg, kLine);
+  Xoshiro256 rng(3);
+  int covered = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Random lines with huge stride jumps: no stream should train.
+    covered += p.OnDemandMiss(rng.NextBelow(1 << 30) * kLine * 3 + kLine * 7);
+  }
+  EXPECT_EQ(covered, 0);
+}
+
+TEST(PrefetcherTest, TracksMultipleConcurrentStreams) {
+  PrefetcherConfig cfg;
+  cfg.train_misses = 2;
+  cfg.streams = 4;
+  StreamPrefetcher p(cfg, kLine);
+  // Interleave two streams; both should train and cover.
+  EXPECT_FALSE(p.OnDemandMiss(0x0));
+  EXPECT_FALSE(p.OnDemandMiss(0x100000));
+  EXPECT_TRUE(p.OnDemandMiss(0x40));
+  EXPECT_TRUE(p.OnDemandMiss(0x100040));
+  EXPECT_TRUE(p.OnDemandMiss(0x80));
+  EXPECT_TRUE(p.OnDemandMiss(0x100080));
+}
+
+TEST(PrefetcherTest, DisabledNeverCovers) {
+  PrefetcherConfig cfg;
+  cfg.enabled = false;
+  StreamPrefetcher p(cfg, kLine);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(p.OnDemandMiss(static_cast<std::uint64_t>(i) * kLine));
+  }
+}
+
+TEST(PrefetcherTest, ResetForgetsTraining) {
+  PrefetcherConfig cfg;
+  cfg.train_misses = 2;
+  StreamPrefetcher p(cfg, kLine);
+  p.OnDemandMiss(0x0);
+  p.OnDemandMiss(0x40);
+  p.Reset();
+  EXPECT_FALSE(p.OnDemandMiss(0x80));  // stream forgotten
+}
+
+// ------------------------------------------------------------ Hierarchy
+
+HierarchyConfig SmallHierarchy() {
+  HierarchyConfig cfg;
+  cfg.cores = 4;
+  cfg.cores_per_cluster = 2;
+  cfg.l1 = LevelConfig{"L1", KiB(4), 4, 2};
+  cfg.l2 = LevelConfig{"L2", KiB(16), 8, 12};
+  cfg.l3 = LevelConfig{"L3", KiB(32), 16, 30};
+  cfg.llc = LevelConfig{"LLC", KiB(64), 16, 55};
+  cfg.dram_latency_ns = 88.0;
+  cfg.prefetch.enabled = false;  // most tests want raw level behaviour
+  return cfg;
+}
+
+TEST(HierarchyTest, ColdAccessGoesToDram) {
+  CacheHierarchy h(SmallHierarchy());
+  HitLevel level;
+  const Cycles cost = h.AccessLine(0, 0x10000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+  EXPECT_EQ(cost, h.config().DramCycles());
+  EXPECT_EQ(h.stats().dram_accesses, 1u);
+}
+
+TEST(HierarchyTest, SecondAccessHitsL1) {
+  CacheHierarchy h(SmallHierarchy());
+  h.AccessLine(0, 0x10000, AccessKind::kLoad);
+  HitLevel level;
+  const Cycles cost = h.AccessLine(0, 0x10000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kL1);
+  EXPECT_EQ(cost, 2u);
+}
+
+TEST(HierarchyTest, OtherCoreHitsSharedLLC) {
+  CacheHierarchy h(SmallHierarchy());
+  h.AccessLine(0, 0x10000, AccessKind::kLoad);  // fills core 0 path + LLC
+  HitLevel level;
+  // Core 3 is in the other cluster: misses L1/L2/L3, hits shared LLC.
+  const Cycles cost = h.AccessLine(3, 0x10000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kLLC);
+  EXPECT_EQ(cost, 55u);
+}
+
+TEST(HierarchyTest, ClusterSiblingHitsL3) {
+  CacheHierarchy h(SmallHierarchy());
+  h.AccessLine(0, 0x10000, AccessKind::kLoad);
+  HitLevel level;
+  // Core 1 shares the L3 with core 0.
+  const Cycles cost = h.AccessLine(1, 0x10000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kL3);
+  EXPECT_EQ(cost, 30u);
+}
+
+TEST(HierarchyTest, StashDeliverPlacesLinesInLLCOnly) {
+  CacheHierarchy h(SmallHierarchy());
+  // Warm core 0's caches with the target lines, then deliver: upper levels
+  // must be invalidated (stale), LLC populated.
+  h.AccessLine(0, 0x20000, AccessKind::kLoad);
+  EXPECT_TRUE(h.ProbeL1(0, 0x20000));
+  h.StashDeliver(0x20000, 128);
+  EXPECT_FALSE(h.ProbeL1(0, 0x20000));
+  EXPECT_FALSE(h.ProbeL2(0, 0x20000));
+  EXPECT_FALSE(h.ProbeL3(0, 0x20000));
+  EXPECT_TRUE(h.ProbeLLC(0x20000));
+  EXPECT_TRUE(h.ProbeLLC(0x20040));
+  EXPECT_EQ(h.stats().stash_lines, 2u);
+
+  HitLevel level;
+  const Cycles cost = h.AccessLine(0, 0x20000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kLLC);
+  EXPECT_EQ(cost, 55u);
+}
+
+TEST(HierarchyTest, DramDeliverInvalidatesEverywhere) {
+  CacheHierarchy h(SmallHierarchy());
+  h.AccessLine(0, 0x30000, AccessKind::kLoad);
+  h.AccessLine(3, 0x30000, AccessKind::kLoad);
+  h.DramDeliver(0x30000, 64);
+  EXPECT_FALSE(h.ProbeL1(0, 0x30000));
+  EXPECT_FALSE(h.ProbeLLC(0x30000));
+  HitLevel level;
+  h.AccessLine(0, 0x30000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+}
+
+TEST(HierarchyTest, StashedDeliveryIsCheaperThanDramDelivery) {
+  // The core claim of the paper in one assertion: reading a freshly
+  // delivered message costs less when the NIC stashed it into the LLC.
+  auto cfg = SmallHierarchy();
+  CacheHierarchy stash(cfg), nostash(cfg);
+  stash.StashDeliver(0x40000, 1024);
+  nostash.DramDeliver(0x40000, 1024);
+  const Cycles stash_cost =
+      stash.Access(0, 0x40000, 1024, AccessKind::kLoad);
+  const Cycles nostash_cost =
+      nostash.Access(0, 0x40000, 1024, AccessKind::kLoad);
+  EXPECT_LT(stash_cost, nostash_cost);
+  // 16 lines at LLC (55) vs DRAM (229ish): ratio must be substantial.
+  EXPECT_GT(static_cast<double>(nostash_cost) /
+                static_cast<double>(stash_cost),
+            2.0);
+}
+
+TEST(HierarchyTest, PrefetcherNarrowsTheStashGapOnLongStreams) {
+  // Fig 9's "narrowing": with the prefetcher on, long linear scans converge
+  // to similar cost with and without stashing.
+  auto cfg = SmallHierarchy();
+  cfg.prefetch.enabled = true;
+  cfg.prefetch.train_misses = 2;
+  const std::uint64_t big = KiB(32);
+  CacheHierarchy stash(cfg), nostash(cfg);
+  stash.StashDeliver(0x80000, big);
+  nostash.DramDeliver(0x80000, big);
+  const auto stash_cost =
+      static_cast<double>(stash.Access(0, 0x80000, big, AccessKind::kLoad));
+  const auto nostash_cost = static_cast<double>(
+      nostash.Access(0, 0x80000, big, AccessKind::kLoad));
+  // Within 25% of each other once the stream is trained.
+  EXPECT_LT(nostash_cost / stash_cost, 1.25);
+}
+
+TEST(HierarchyTest, MultiLineAccessChargesPerLine) {
+  CacheHierarchy h(SmallHierarchy());
+  // 256 bytes = 4 lines, all cold -> 4 DRAM accesses.
+  h.Access(0, 0x50000, 256, AccessKind::kLoad);
+  EXPECT_EQ(h.stats().dram_accesses, 4u);
+  // Unaligned range straddling one extra line.
+  h.ResetStats();
+  h.Access(0, 0x60020, 64, AccessKind::kLoad);  // crosses 2 lines
+  EXPECT_EQ(h.stats().TotalAccesses(), 2u);
+}
+
+TEST(HierarchyTest, ZeroSizeAccessFree) {
+  CacheHierarchy h(SmallHierarchy());
+  EXPECT_EQ(h.Access(0, 0x1000, 0, AccessKind::kLoad), 0u);
+  EXPECT_EQ(h.stats().TotalAccesses(), 0u);
+}
+
+TEST(HierarchyTest, DramContentionHookAddsCost) {
+  CacheHierarchy h(SmallHierarchy());
+  h.SetDramContentionHook([] { return Cycles{1000}; });
+  HitLevel level;
+  const Cycles cost = h.AccessLine(0, 0x90000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+  EXPECT_EQ(cost, h.config().DramCycles() + 1000);
+  // LLC hits are immune to DRAM contention — the stashing tail-latency
+  // mechanism of Figures 11/12.
+  const Cycles again = h.AccessLine(0, 0x90000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kL1);
+  EXPECT_EQ(again, 2u);
+}
+
+TEST(HierarchyTest, ClearColdStartsEverything) {
+  CacheHierarchy h(SmallHierarchy());
+  h.AccessLine(0, 0xA0000, AccessKind::kLoad);
+  h.Clear();
+  HitLevel level;
+  h.AccessLine(0, 0xA0000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+}
+
+TEST(HierarchyTest, PaperGeometryDramCycles) {
+  HierarchyConfig cfg;  // paper defaults: 88 ns @ 2.6 GHz ~ 229 cycles
+  EXPECT_NEAR(static_cast<double>(cfg.DramCycles()), 88e-9 * 2.6e9, 2.0);
+}
+
+TEST(HierarchyTest, StoreMissesBehaveLikeLoads) {
+  CacheHierarchy h(SmallHierarchy());
+  HitLevel level;
+  h.AccessLine(0, 0xB0000, AccessKind::kStore, &level);
+  EXPECT_EQ(level, HitLevel::kDram);  // write-allocate
+  h.AccessLine(0, 0xB0000, AccessKind::kStore, &level);
+  EXPECT_EQ(level, HitLevel::kL1);
+}
+
+}  // namespace
+}  // namespace twochains::cache

@@ -1,0 +1,426 @@
+// Integration tests for the Two-Chains core: frame codec, end-to-end
+// injected + local invocation over the simulated RDMA testbed, flow
+// control, security modes, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "benchlib/workloads.hpp"
+#include "core/frame.hpp"
+#include "core/two_chains.hpp"
+
+namespace twochains::core {
+namespace {
+
+// ------------------------------------------------------------ frame codec
+
+TEST(FrameLayoutTest, LocalFrameIsCompact) {
+  FrameSpec spec;
+  spec.injected = false;
+  spec.args_size = 8;
+  spec.usr_size = 4;
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  EXPECT_EQ(layout.code_off, 0u);
+  EXPECT_EQ(layout.args_off, kHeaderBytes);
+  EXPECT_EQ(layout.frame_len, 64u);  // paper: 1-int local frame is 64 B
+  EXPECT_EQ(layout.sig_off, 56u);
+}
+
+TEST(FrameLayoutTest, InjectedFrameCarriesGotpAndCode) {
+  FrameSpec spec;
+  spec.injected = true;
+  spec.got_slots = 3;
+  spec.code_size = 1408;  // the paper's Indirect Put code size
+  spec.args_size = 8;
+  spec.usr_size = 4;
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  EXPECT_EQ(layout.gotp_off, kHeaderBytes);
+  EXPECT_EQ(layout.pre_off, layout.code_off - 16);
+  EXPECT_GE(layout.code_off, layout.gotp_off + 3 * 8 + 16);
+  EXPECT_EQ(layout.code_off % 16, 0u);
+  EXPECT_GE(layout.args_off, layout.code_off + spec.code_size);
+  EXPECT_EQ(layout.frame_len % 64, 0u);
+  EXPECT_GT(layout.frame_len, 1408u);
+}
+
+TEST(FrameLayoutTest, SplitModePutsDataOnFreshPage) {
+  FrameSpec spec;
+  spec.injected = true;
+  spec.got_slots = 1;
+  spec.code_size = 256;
+  spec.args_size = 8;
+  spec.usr_size = 64;
+  spec.split_code_data = true;
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  EXPECT_EQ(layout.args_off % mem::kPageSize, 0u);
+  EXPECT_GT(layout.args_off, layout.code_off + spec.code_size - 1);
+}
+
+TEST(FrameCodecTest, PackAndParseRoundTrip) {
+  FrameSpec spec;
+  spec.injected = true;
+  spec.got_slots = 2;
+  spec.code_size = 16;
+  spec.args_size = 16;
+  spec.usr_size = 5;
+  FrameHeader header;
+  header.sn = 42;
+  header.elem_id = 7;
+  const std::vector<std::uint64_t> gotp = {0x1111, 0x2222};
+  const std::vector<std::uint8_t> code = {1, 2, 3, 4, 5, 6, 7, 8,
+                                          9, 10, 11, 12, 13, 14, 15, 16};
+  const std::vector<std::uint8_t> args(16, 0xAA);
+  const std::vector<std::uint8_t> usr = {9, 8, 7, 6, 5};
+  auto frame = PackFrame(spec, header, gotp, code, args, usr);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+
+  auto parsed = ReadHeader(*frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->sn, 42u);
+  EXPECT_EQ(parsed->elem_id, 7u);
+  EXPECT_TRUE(parsed->flags & kFlagInjected);
+  EXPECT_EQ(parsed->frame_len, frame->size());
+  EXPECT_EQ(parsed->usr_size, 5u);
+
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  std::uint64_t sig;
+  std::memcpy(&sig, frame->data() + layout.sig_off, 8);
+  EXPECT_EQ(sig, SignalWord(42));
+  EXPECT_EQ((*frame)[layout.code_off], 1);
+  EXPECT_EQ((*frame)[layout.usr_off], 9);
+}
+
+TEST(FrameCodecTest, SizeMismatchesRejected) {
+  FrameSpec spec;
+  spec.injected = false;
+  spec.args_size = 8;
+  spec.usr_size = 0;
+  const std::vector<std::uint8_t> args(16, 0);  // wrong size
+  EXPECT_FALSE(PackFrame(spec, {}, {}, {}, args, {}).ok());
+  // Local frames cannot carry code.
+  const std::vector<std::uint8_t> good_args(8, 0);
+  const std::vector<std::uint8_t> code(8, 0);
+  EXPECT_FALSE(PackFrame(spec, {}, {}, code, good_args, {}).ok());
+}
+
+TEST(FrameCodecTest, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes(kHeaderBytes, 0);
+  EXPECT_EQ(ReadHeader(bytes).status().code(), StatusCode::kDataLoss);
+  std::vector<std::uint8_t> tiny(4, 0);
+  EXPECT_EQ(ReadHeader(tiny).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, PreSlotPatching) {
+  FrameSpec spec;
+  spec.injected = true;
+  spec.got_slots = 1;
+  spec.code_size = 8;
+  const std::vector<std::uint64_t> gotp = {0};
+  const std::vector<std::uint8_t> code(8, 0);
+  auto frame = PackFrame(spec, {}, gotp, code, {}, {});
+  ASSERT_TRUE(frame.ok());
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  ASSERT_TRUE(PatchPreSlot(*frame, layout, 0xFEEDFACE).ok());
+  std::uint64_t pre;
+  std::memcpy(&pre, frame->data() + layout.pre_off, 8);
+  EXPECT_EQ(pre, 0xFEEDFACEu);
+  // Local layout has no PRE slot.
+  FrameSpec local;
+  const FrameLayout local_layout = FrameLayout::Compute(local);
+  EXPECT_EQ(PatchPreSlot(*frame, local_layout, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// -------------------------------------------------------------- testbed
+
+class TwoChainsTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Options() {
+    TestbedOptions options;
+    options.runtime.banks = 2;
+    options.runtime.mailboxes_per_bank = 4;
+    options.runtime.mailbox_slot_bytes = KiB(64);
+    return options;
+  }
+
+  void SetUpTestbed(TestbedOptions options = Options()) {
+    testbed_ = std::make_unique<Testbed>(options);
+    auto pkg = bench::BuildBenchPackage();
+    ASSERT_TRUE(pkg.ok()) << pkg.status();
+    ASSERT_TRUE(testbed_->LoadPackage(*pkg).ok());
+  }
+
+  /// Sends one jam and runs until it executes; returns the result.
+  StatusOr<ReceivedMessage> SendAndRun(const std::string& jam, Invoke mode,
+                                       std::vector<std::uint64_t> args,
+                                       std::vector<std::uint8_t> usr,
+                                       std::uint16_t flags = 0) {
+    std::optional<ReceivedMessage> received;
+    testbed_->runtime(1).SetOnExecuted(
+        [&](const ReceivedMessage& msg) { received = msg; });
+    TC_ASSIGN_OR_RETURN(const SendReceipt receipt,
+                        testbed_->runtime(0).Send(jam, mode, args, usr,
+                                                  flags));
+    last_receipt_ = receipt;
+    testbed_->RunUntil([&] { return received.has_value(); });
+    testbed_->runtime(1).SetOnExecuted(nullptr);
+    if (!received.has_value()) return Internal("message never executed");
+    return *received;
+  }
+
+  std::unique_ptr<Testbed> testbed_;
+  SendReceipt last_receipt_;
+};
+
+TEST_F(TwoChainsTest, InjectedServerSideSum) {
+  SetUpTestbed();
+  // Payload: 8 longs summing to 36, like the paper's Server-Side Sum.
+  std::vector<std::uint8_t> usr(64);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t v = i + 1;
+    std::memcpy(usr.data() + 8 * i, &v, 8);
+    expect += v;
+  }
+  auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(msg->executed);
+  EXPECT_TRUE(msg->injected);
+  EXPECT_EQ(msg->return_value, expect);
+  // The result landed in the server-resident ried array.
+  EXPECT_EQ(testbed_->runtime(1).PeekU64("sum_results", 0).value(), expect);
+  EXPECT_EQ(testbed_->runtime(1).PeekU64("sum_cursor").value(), 1u);
+}
+
+TEST_F(TwoChainsTest, LocalServerSideSumMatchesInjected) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(32);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::uint64_t v = 10 * (i + 1);
+    std::memcpy(usr.data() + 8 * i, &v, 8);
+    expect += v;
+  }
+  auto injected = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+  ASSERT_TRUE(injected.ok()) << injected.status();
+  auto local = SendAndRun("ssum", Invoke::kLocal, {0}, usr);
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_EQ(injected->return_value, expect);
+  EXPECT_EQ(local->return_value, expect);
+  EXPECT_FALSE(local->injected);
+  // The local frame is much smaller than the injected one (no code).
+  auto local_layout =
+      testbed_->runtime(0).LayoutFor("ssum", Invoke::kLocal, 8, 32);
+  auto injected_layout =
+      testbed_->runtime(0).LayoutFor("ssum", Invoke::kInjected, 8, 32);
+  ASSERT_TRUE(local_layout.ok());
+  ASSERT_TRUE(injected_layout.ok());
+  EXPECT_LT(local_layout->frame_len + 512, injected_layout->frame_len);
+}
+
+TEST_F(TwoChainsTest, IndirectPutStoresPayloadAtHashedOffset) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(16);
+  for (std::size_t i = 0; i < usr.size(); ++i) {
+    usr[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  auto msg = SendAndRun("iput", Invoke::kInjected, {12345}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  ASSERT_TRUE(msg->executed);
+  const std::uint64_t offset = msg->return_value;
+  EXPECT_NE(offset, static_cast<std::uint64_t>(-1));
+  // Server heap holds the payload at the returned offset.
+  auto heap_word =
+      testbed_->runtime(1).PeekU64("ht_heap", offset / 8);
+  ASSERT_TRUE(heap_word.ok());
+  std::uint64_t expect;
+  std::memcpy(&expect, usr.data(), 8);
+  EXPECT_EQ(*heap_word, expect);
+  // Re-putting the same key reuses the offset (hash-table hit path).
+  auto again = SendAndRun("iput", Invoke::kInjected, {12345}, usr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->return_value, offset);
+  // A different key gets a different offset.
+  auto other = SendAndRun("iput", Invoke::kInjected, {999}, usr);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->return_value, offset);
+}
+
+TEST_F(TwoChainsTest, WithoutExecutionSkipsInvocation) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(64, 1);
+  auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr, kFlagNoExecute);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_FALSE(msg->executed);
+  EXPECT_EQ(msg->instructions, 0u);
+  EXPECT_EQ(testbed_->runtime(1).PeekU64("sum_cursor").value(), 0u);
+}
+
+TEST_F(TwoChainsTest, ManyMessagesExerciseBankRecycling) {
+  SetUpTestbed();  // 2 banks x 4 slots
+  const int total = 50;  // > 6 bank cycles
+  int executed = 0;
+  std::uint64_t sum_of_returns = 0;
+  testbed_->runtime(1).SetOnExecuted([&](const ReceivedMessage& msg) {
+    ++executed;
+    sum_of_returns += msg.return_value;
+  });
+  std::vector<std::uint8_t> usr(8);
+  int sent = 0;
+  // Pump sends through flow control.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&, pump] {
+    while (sent < total) {
+      if (!testbed_->runtime(0).HasFreeSlot()) {
+        testbed_->runtime(0).NotifyWhenSlotFree([pump] { (*pump)(); });
+        return;
+      }
+      const std::uint64_t v = static_cast<std::uint64_t>(sent + 1);
+      std::memcpy(usr.data(), &v, 8);
+      auto receipt =
+          testbed_->runtime(0).Send("ssum", Invoke::kInjected, {}, usr);
+      ASSERT_TRUE(receipt.ok()) << receipt.status();
+      ++sent;
+    }
+  };
+  (*pump)();
+  testbed_->RunUntil([&] { return executed == total; });
+  EXPECT_EQ(executed, total);
+  // sum of 1..50
+  EXPECT_EQ(sum_of_returns, 50u * 51 / 2);
+  EXPECT_GE(testbed_->runtime(1).stats().bank_flags_returned, 10u);
+}
+
+TEST_F(TwoChainsTest, SendWithoutFreeSlotFails) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(8, 0);
+  // Fill both banks without letting the receiver drain (don't run engine).
+  int ok_sends = 0;
+  while (testbed_->runtime(0).HasFreeSlot()) {
+    auto r = testbed_->runtime(0).Send("ssum", Invoke::kInjected, {}, usr);
+    ASSERT_TRUE(r.ok());
+    ++ok_sends;
+  }
+  EXPECT_EQ(ok_sends, 8);  // 2 banks x 4 slots
+  auto blocked = testbed_->runtime(0).Send("ssum", Invoke::kInjected, {}, usr);
+  EXPECT_EQ(blocked.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(TwoChainsTest, UnknownJamRejected) {
+  SetUpTestbed();
+  auto r = testbed_->runtime(0).Send("nope", Invoke::kInjected, {}, {});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TwoChainsTest, PingPongBothDirections) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(8, 2);
+  // 0 -> 1
+  auto there = SendAndRun("nop", Invoke::kInjected, {7}, usr);
+  ASSERT_TRUE(there.ok()) << there.status();
+  EXPECT_EQ(there->return_value, 7u);
+  // 1 -> 0
+  std::optional<ReceivedMessage> received;
+  testbed_->runtime(0).SetOnExecuted(
+      [&](const ReceivedMessage& msg) { received = msg; });
+  const std::vector<std::uint64_t> args = {9};
+  ASSERT_TRUE(
+      testbed_->runtime(1).Send("nop", Invoke::kInjected, args, usr).ok());
+  testbed_->RunUntil([&] { return received.has_value(); });
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->return_value, 9u);
+}
+
+TEST_F(TwoChainsTest, InjectedCodeExecutesFromMailbox) {
+  SetUpTestbed();
+  // The executed code's instructions must be fetched from the mailbox
+  // region (i.e. code really travelled): check instruction counts.
+  std::vector<std::uint8_t> usr(256, 1);
+  auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_GT(msg->instructions, 100u);  // the sum loop ran in the interpreter
+}
+
+// ----------------------------------------------------------- security
+
+TEST_F(TwoChainsTest, ReceiverInstalledGotMode) {
+  TestbedOptions options = Options();
+  options.runtime.security.receiver_installs_got = true;
+  SetUpTestbed(options);
+  std::vector<std::uint8_t> usr(16, 3);
+  auto msg = SendAndRun("iput", Invoke::kInjected, {42}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(msg->executed);
+  EXPECT_NE(msg->return_value, static_cast<std::uint64_t>(-1));
+}
+
+TEST_F(TwoChainsTest, HardenedPolicyEndToEnd) {
+  TestbedOptions options = Options();
+  options.runtime.security = SecurityPolicy::Hardened();
+  SetUpTestbed(options);
+  std::vector<std::uint8_t> usr(64);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    std::memcpy(usr.data() + 8 * i, &i, 8);
+    expect += i;
+  }
+  auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(msg->executed);
+  EXPECT_EQ(msg->return_value, expect);
+}
+
+TEST_F(TwoChainsTest, VerifierModeExecutes) {
+  TestbedOptions options = Options();
+  options.runtime.security.verify_injected_code = true;
+  SetUpTestbed(options);
+  std::vector<std::uint8_t> usr(8, 1);
+  auto msg = SendAndRun("nop", Invoke::kInjected, {1}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(msg->executed);
+}
+
+TEST_F(TwoChainsTest, SeparateSignalPutStillDelivers) {
+  TestbedOptions options = Options();
+  options.runtime.separate_signal_put = true;
+  options.nic.enforce_write_ordering = false;  // the mode that needs it
+  SetUpTestbed(options);
+  std::vector<std::uint8_t> usr(16, 4);
+  auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(msg->executed);
+  EXPECT_EQ(msg->return_value, 4ull * 0x0404040404040404ull / 4 * 2 == 0
+                ? 0
+                : msg->return_value);  // value checked below
+  // 16 bytes of 0x04 = two longs of 0x0404040404040404.
+  EXPECT_EQ(msg->return_value, 2ull * 0x0404040404040404ull);
+}
+
+TEST_F(TwoChainsTest, StatsAccumulate) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(8, 1);
+  ASSERT_TRUE(SendAndRun("ssum", Invoke::kInjected, {}, usr).ok());
+  ASSERT_TRUE(SendAndRun("ssum", Invoke::kLocal, {}, usr).ok());
+  const auto& tx = testbed_->runtime(0).stats();
+  const auto& rx = testbed_->runtime(1).stats();
+  EXPECT_EQ(tx.messages_sent, 2u);
+  EXPECT_EQ(rx.messages_executed, 2u);
+  EXPECT_EQ(rx.messages_delivered, 2u);
+  EXPECT_GT(tx.bytes_sent, 0u);
+  EXPECT_GT(rx.wait_episodes, 0u);
+}
+
+TEST_F(TwoChainsTest, ReceiverCountersTrackWork) {
+  SetUpTestbed();
+  std::vector<std::uint8_t> usr(1024, 1);
+  ASSERT_TRUE(SendAndRun("ssum", Invoke::kInjected, {}, usr).ok());
+  const auto& counters = testbed_->runtime(1).receiver_cpu().counters();
+  EXPECT_GT(counters.Of(cpu::CycleClass::kWait), 0u);
+  EXPECT_GT(counters.Of(cpu::CycleClass::kExecute), 0u);
+  EXPECT_GT(counters.instructions, 0u);
+  EXPECT_EQ(counters.messages_handled, 1u);
+}
+
+}  // namespace
+}  // namespace twochains::core

@@ -1,0 +1,123 @@
+// Tests for CPU cycle accounting and the POLL / WFE wait models — the
+// substrate of Figures 13 and 14 (latency parity, large cycle savings).
+#include <gtest/gtest.h>
+
+#include "cpu/core.hpp"
+#include "cpu/spinwait.hpp"
+
+namespace twochains::cpu {
+namespace {
+
+TEST(CpuCoreTest, ChargeAccumulatesPerClass) {
+  CpuCore core(0);
+  const PicoTime d1 = core.Charge(260, CycleClass::kExecute);
+  core.Charge(130, CycleClass::kWait);
+  core.Charge(10, CycleClass::kExecute);
+  EXPECT_EQ(core.counters().Of(CycleClass::kExecute), 270u);
+  EXPECT_EQ(core.counters().Of(CycleClass::kWait), 130u);
+  EXPECT_EQ(core.counters().Total(), 400u);
+  // 260 cycles at 2.6 GHz = exactly 100 ns.
+  EXPECT_EQ(d1, Nanoseconds(100.0));
+}
+
+TEST(CpuCoreTest, InstructionAndMessageCounters) {
+  CpuCore core(1);
+  core.CountInstructions(100);
+  core.CountInstructions(23);
+  core.CountMessage();
+  EXPECT_EQ(core.counters().instructions, 123u);
+  EXPECT_EQ(core.counters().messages_handled, 1u);
+  core.ResetCounters();
+  EXPECT_EQ(core.counters().Total(), 0u);
+  EXPECT_EQ(core.counters().instructions, 0u);
+}
+
+WaitModelConfig PollConfig() {
+  WaitModelConfig cfg;
+  cfg.mode = WaitMode::kPoll;
+  cfg.poll_iteration_cycles = 10;
+  return cfg;
+}
+
+WaitModelConfig WfeConfig() {
+  WaitModelConfig cfg;
+  cfg.mode = WaitMode::kWfe;
+  cfg.wfe_wakeup_cycles = 130;
+  cfg.wfe_entry_cycles = 24;
+  cfg.wfe_halted_cycles_per_us = 12;
+  return cfg;
+}
+
+TEST(WaitModelTest, PollBurnsTheFullWaitInCycles) {
+  WaitModel poll(PollConfig(), kCoreClock);
+  const PicoTime wait = Microseconds(1.0);  // 2600 cycles
+  const WaitOutcome out = poll.Wait(wait);
+  // Burned at least the full wait duration.
+  EXPECT_GE(out.cycles_burned, kCoreClock.ToCycles(wait));
+  // Detection at the next iteration boundary: strictly less than one
+  // iteration away.
+  EXPECT_LT(out.detection_delay, kCoreClock.ToPicos(10));
+}
+
+TEST(WaitModelTest, WfeBurnsAlmostNothing) {
+  WaitModel wfe(WfeConfig(), kCoreClock);
+  const PicoTime wait = Microseconds(1.0);
+  const WaitOutcome out = wfe.Wait(wait);
+  // entry + wakeup + 1us of halted residual = 24 + 130 + 12.
+  EXPECT_EQ(out.cycles_burned, 24u + 130u + 12u);
+  EXPECT_EQ(out.detection_delay, kCoreClock.ToPicos(130));
+}
+
+TEST(WaitModelTest, WfeCycleAdvantageGrowsWithWaitTime) {
+  WaitModel poll(PollConfig(), kCoreClock);
+  WaitModel wfe(WfeConfig(), kCoreClock);
+  double prev_ratio = 0.0;
+  for (double us : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const auto p = poll.Wait(Microseconds(us));
+    const auto w = wfe.Wait(Microseconds(us));
+    const double ratio = static_cast<double>(p.cycles_burned) /
+                         static_cast<double>(w.cycles_burned);
+    EXPECT_GT(ratio, prev_ratio);  // monotone in wait length
+    prev_ratio = ratio;
+  }
+  // At 10 us the advantage is enormous (paper sees 2.5-3.8x for *whole-run*
+  // counts which include execution; the wait portion alone is far larger).
+  EXPECT_GT(prev_ratio, 50.0);
+}
+
+TEST(WaitModelTest, WfeLatencyPenaltyIsBounded) {
+  // The paper: "up to 1.5% latency penalty". For a 2 us one-way message the
+  // fixed wake-up penalty must stay in single-digit percent.
+  WaitModel poll(PollConfig(), kCoreClock);
+  WaitModel wfe(WfeConfig(), kCoreClock);
+  const PicoTime wait = Microseconds(2.0);
+  const auto p = poll.Wait(wait);
+  const auto w = wfe.Wait(wait);
+  const double base = ToNanoseconds(wait + p.detection_delay);
+  const double with_wfe = ToNanoseconds(wait + w.detection_delay);
+  EXPECT_LT((with_wfe - base) / base, 0.03);
+}
+
+TEST(WaitModelTest, PollDetectionAlignsToIterationBoundary) {
+  WaitModel poll(PollConfig(), kCoreClock);
+  const PicoTime iter = kCoreClock.ToPicos(10);
+  // A wait of exactly k iterations is detected with zero added delay.
+  const auto exact = poll.Wait(iter * 3);
+  EXPECT_EQ(exact.detection_delay, 0u);
+  // A wait of k iterations + 1 ps waits out the remainder of the iteration.
+  const auto off = poll.Wait(iter * 3 + 1);
+  EXPECT_EQ(off.detection_delay, iter - 1);
+}
+
+TEST(WaitModelTest, ZeroWaitEdgeCases) {
+  WaitModel poll(PollConfig(), kCoreClock);
+  WaitModel wfe(WfeConfig(), kCoreClock);
+  const auto p = poll.Wait(0);
+  EXPECT_EQ(p.detection_delay, 0u);
+  EXPECT_EQ(p.cycles_burned, 10u);  // one final check
+  const auto w = wfe.Wait(0);
+  EXPECT_EQ(w.cycles_burned, 24u + 130u);
+}
+
+}  // namespace
+}  // namespace twochains::cpu

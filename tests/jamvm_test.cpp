@@ -1,0 +1,720 @@
+// Tests for the jam VM: ISA encode/decode round trips, the assembler, the
+// disassembler, the verifier, and the cache-charged interpreter including
+// the native bridge and both GOT addressing modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "jamvm/assembler.hpp"
+#include "jamvm/disassembler.hpp"
+#include "jamvm/interpreter.hpp"
+#include "jamvm/isa.hpp"
+#include "jamvm/verifier.hpp"
+#include "mem/host_memory.hpp"
+
+namespace twochains::vm {
+namespace {
+
+// ----------------------------------------------------------------- ISA
+
+TEST(IsaTest, EncodeDecodeRoundTripAllOpcodes) {
+  for (std::uint8_t op = 0;
+       op < static_cast<std::uint8_t>(Opcode::kOpcodeCount); ++op) {
+    Instr in;
+    in.op = static_cast<Opcode>(op);
+    in.rd = 3;
+    in.rs1 = 17;
+    in.rs2 = 31;
+    in.imm = -123456;
+    std::uint8_t buf[kInstrBytes];
+    Encode(in, buf);
+    const auto out = Decode(buf);
+    ASSERT_TRUE(out.has_value()) << "opcode " << int(op);
+    EXPECT_EQ(*out, in);
+  }
+}
+
+TEST(IsaTest, DecodeRejectsBadOpcodeAndRegisters) {
+  std::uint8_t buf[kInstrBytes] = {};
+  buf[0] = static_cast<std::uint8_t>(Opcode::kOpcodeCount);
+  EXPECT_FALSE(Decode(buf).has_value());
+  buf[0] = static_cast<std::uint8_t>(Opcode::kAdd);
+  buf[1] = 32;  // rd out of range
+  EXPECT_FALSE(Decode(buf).has_value());
+}
+
+TEST(IsaTest, EncodeDecodeRandomizedProperty) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Instr in;
+    in.op = static_cast<Opcode>(rng.NextBelow(
+        static_cast<std::uint64_t>(Opcode::kOpcodeCount)));
+    in.rd = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+    in.rs1 = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+    in.rs2 = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+    in.imm = static_cast<std::int32_t>(rng.Next());
+    std::uint8_t buf[kInstrBytes];
+    Encode(in, buf);
+    const auto out = Decode(buf);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in);
+  }
+}
+
+TEST(IsaTest, RegisterNamesRoundTrip) {
+  for (std::uint8_t r = 0; r < kNumRegs; ++r) {
+    const auto back = RegFromName(RegName(r));
+    ASSERT_TRUE(back.has_value()) << RegName(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(RegFromName("sp"), kSp);
+  EXPECT_EQ(RegFromName("a0"), kA0);
+  EXPECT_FALSE(RegFromName("a9").has_value());
+  EXPECT_FALSE(RegFromName("x3").has_value());
+  EXPECT_FALSE(RegFromName("r32").has_value());
+}
+
+TEST(IsaTest, OpcodeNamesRoundTrip) {
+  for (std::uint8_t op = 0;
+       op < static_cast<std::uint8_t>(Opcode::kOpcodeCount); ++op) {
+    const auto name = OpcodeName(static_cast<Opcode>(op));
+    const auto back = OpcodeFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, static_cast<Opcode>(op));
+  }
+}
+
+TEST(IsaTest, Classification) {
+  EXPECT_TRUE(IsBranch(Opcode::kBeq));
+  EXPECT_FALSE(IsBranch(Opcode::kJal));
+  EXPECT_TRUE(IsLoad(Opcode::kLdd));
+  EXPECT_TRUE(IsStore(Opcode::kStw));
+  EXPECT_TRUE(IsMemAccess(Opcode::kLdb));
+  EXPECT_FALSE(IsMemAccess(Opcode::kAdd));
+  EXPECT_TRUE(WritesRd(Opcode::kAdd));
+  EXPECT_FALSE(WritesRd(Opcode::kStd));
+  EXPECT_FALSE(WritesRd(Opcode::kBne));
+}
+
+// ------------------------------------------------------------ assembler
+
+TEST(AssemblerTest, MinimalFunction) {
+  auto obj = Assemble(R"(
+    .global f
+    f:
+      addi a0, a0, 5
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  EXPECT_EQ(obj->text.size(), 2 * kInstrBytes);
+  const auto* sym = obj->FindSymbol("f");
+  ASSERT_NE(sym, nullptr);
+  EXPECT_TRUE(sym->defined);
+  EXPECT_TRUE(sym->global);
+  EXPECT_EQ(sym->offset, 0u);
+}
+
+TEST(AssemblerTest, BranchToLocalLabelResolvesDirectly) {
+  auto obj = Assemble(R"(
+    f:
+      beq a0, zr, .done
+      addi a0, a0, -1
+      jmp f
+    .done:
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  // No relocations: all targets are local text labels.
+  EXPECT_TRUE(obj->relocs.empty());
+  const auto beq = Decode(obj->text.data());
+  ASSERT_TRUE(beq.has_value());
+  EXPECT_EQ(beq->op, Opcode::kBeq);
+  EXPECT_EQ(beq->imm, 24);  // 3 instructions forward
+  const auto jmp = Decode(obj->text.data() + 16);
+  ASSERT_TRUE(jmp.has_value());
+  EXPECT_EQ(jmp->op, Opcode::kJal);
+  EXPECT_EQ(jmp->imm, -16);
+}
+
+TEST(AssemblerTest, GotReferenceEmitsReloc) {
+  auto obj = Assemble(R"(
+    .extern helper
+    f:
+      ldg t0, @helper
+      jalr lr, t0, 0
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  ASSERT_EQ(obj->relocs.size(), 1u);
+  EXPECT_EQ(obj->relocs[0].kind, RelocKind::kGotSlot);
+  EXPECT_EQ(obj->relocs[0].symbol, "helper");
+  EXPECT_EQ(obj->relocs[0].offset, 0u);
+}
+
+TEST(AssemblerTest, RodataAndLea) {
+  auto obj = Assemble(R"(
+    .rodata
+    greeting: .asciz "hey\n"
+    .align 8
+    table: .quad 1, 2, 3
+    .text
+    f:
+      lea a0, greeting
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  EXPECT_EQ(obj->rodata.size(), 8u + 24u);  // "hey\n\0" padded to 8, 3 quads
+  EXPECT_EQ(std::memcmp(obj->rodata.data(), "hey\n", 5), 0);
+  // lea to another section leaves a pcrel reloc.
+  ASSERT_EQ(obj->relocs.size(), 1u);
+  EXPECT_EQ(obj->relocs[0].kind, RelocKind::kPcrel32);
+  EXPECT_EQ(obj->relocs[0].symbol, "greeting");
+}
+
+TEST(AssemblerTest, QuadWithSymbolEmitsAbs64) {
+  auto obj = Assemble(R"(
+    .data
+    ptr: .quad target+8
+    .text
+    target:
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  ASSERT_EQ(obj->relocs.size(), 1u);
+  EXPECT_EQ(obj->relocs[0].kind, RelocKind::kAbs64);
+  EXPECT_EQ(obj->relocs[0].symbol, "target");
+  EXPECT_EQ(obj->relocs[0].addend, 8);
+  EXPECT_EQ(obj->relocs[0].section, SectionKind::kData);
+}
+
+TEST(AssemblerTest, PseudoInstructions) {
+  auto obj = Assemble(R"(
+    f:
+      li t0, 0x123456789ABCDEF0
+      mov a1, t0
+      not a2, a1
+      neg a3, a2
+      seqz a4, a3
+      snez a5, a3
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  // li = 2 slots, others 1 each.
+  EXPECT_EQ(obj->text.size(), 8 * kInstrBytes);
+  const auto movi = Decode(obj->text.data());
+  const auto movhi = Decode(obj->text.data() + 8);
+  ASSERT_TRUE(movi && movhi);
+  EXPECT_EQ(movi->op, Opcode::kMovi);
+  EXPECT_EQ(movhi->op, Opcode::kMovhi);
+  EXPECT_EQ(static_cast<std::uint32_t>(movi->imm), 0x9ABCDEF0u);
+  EXPECT_EQ(static_cast<std::uint32_t>(movhi->imm), 0x12345678u);
+}
+
+TEST(AssemblerTest, MemoryOperands) {
+  auto obj = Assemble(R"(
+    f:
+      ldd t0, [sp+16]
+      ldw t1, [a0]
+      std t0, [sp-8]
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  const auto ldd = Decode(obj->text.data());
+  ASSERT_TRUE(ldd.has_value());
+  EXPECT_EQ(ldd->rs1, kSp);
+  EXPECT_EQ(ldd->imm, 16);
+  const auto std_i = Decode(obj->text.data() + 16);
+  ASSERT_TRUE(std_i.has_value());
+  EXPECT_EQ(std_i->op, Opcode::kStd);
+  EXPECT_EQ(std_i->rs2, kT0);
+  EXPECT_EQ(std_i->imm, -8);
+}
+
+TEST(AssemblerTest, Errors) {
+  EXPECT_FALSE(Assemble("frobnicate a0, a1").ok());
+  EXPECT_FALSE(Assemble("add a0, a1").ok());            // operand count
+  EXPECT_FALSE(Assemble("add a0, a1, q9").ok());        // bad register
+  EXPECT_FALSE(Assemble("x: ret\nx: ret").ok());        // duplicate label
+  EXPECT_FALSE(Assemble(".align 3").ok());              // not pow2
+  EXPECT_FALSE(Assemble("ldg t0, helper").ok());        // missing '@'
+  EXPECT_FALSE(Assemble("ldd t0, sp+16").ok());         // missing brackets
+  const auto err = Assemble("add a0, a1", "unit.s").status();
+  EXPECT_NE(err.message().find("unit.s:1"), std::string::npos);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  auto obj = Assemble(R"(
+    ; full-line comment
+    # another
+    f: ret   ; trailing
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  EXPECT_EQ(obj->text.size(), kInstrBytes);
+}
+
+TEST(AssemblerTest, AlignPadsTextWithNops) {
+  auto obj = Assemble(R"(
+    f: ret
+    .align 32
+    g: ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  EXPECT_EQ(obj->FindSymbol("g")->offset, 32u);
+  const auto pad = Decode(obj->text.data() + 8);
+  ASSERT_TRUE(pad.has_value());
+  EXPECT_EQ(pad->op, Opcode::kNop);
+}
+
+// --------------------------------------------------------- disassembler
+
+TEST(DisassemblerTest, RoundTripMnemonics) {
+  auto obj = Assemble(R"(
+    f:
+      addi a0, a0, 42
+      ldw t1, [a0+4]
+      beq t1, zr, 16
+      jalr lr, t0, 0
+      ldg.pre t2, 3, -16
+      ret
+  )");
+  ASSERT_TRUE(obj.ok()) << obj.status();
+  auto text = Disassemble(obj->text);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("addi a0, a0, 42"), std::string::npos);
+  EXPECT_NE(text->find("ldw t1, [a0+4]"), std::string::npos);
+  EXPECT_NE(text->find("ldg.pre t2, 3, -16"), std::string::npos);
+  EXPECT_NE(text->find("jalr zr, lr, 0"), std::string::npos);  // ret
+}
+
+TEST(DisassemblerTest, RejectsMisalignedCode) {
+  std::vector<std::uint8_t> bytes(12, 0);
+  EXPECT_FALSE(Disassemble(bytes).ok());
+}
+
+// ------------------------------------------------------------- verifier
+
+std::vector<std::uint8_t> AssembleText(const std::string& src) {
+  auto obj = Assemble(src);
+  EXPECT_TRUE(obj.ok()) << obj.status();
+  return obj->text;
+}
+
+TEST(VerifierTest, AcceptsWellFormedCode) {
+  const auto code = AssembleText(R"(
+    f:
+      beq a0, zr, .out
+      addi a0, a0, -1
+      jmp f
+    .out:
+      ret
+  )");
+  EXPECT_TRUE(VerifyCode(code, {}).ok());
+}
+
+TEST(VerifierTest, RejectsBranchOutOfImage) {
+  const auto code = AssembleText("f: beq a0, zr, 4096\n ret");
+  EXPECT_EQ(VerifyCode(code, {}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(VerifierTest, RejectsMisalignedBranch) {
+  const auto code = AssembleText("f: beq a0, zr, 12\n ret\n ret");
+  EXPECT_EQ(VerifyCode(code, {}).code(), StatusCode::kDataLoss);
+}
+
+TEST(VerifierTest, RejectsGotIndexBeyondTable) {
+  const auto code = AssembleText("f: ldg.pre t0, 7, -16\n ret");
+  VerifyLimits limits;
+  limits.got_slots = 4;
+  EXPECT_EQ(VerifyCode(code, limits).code(), StatusCode::kOutOfRange);
+  limits.got_slots = 8;
+  EXPECT_TRUE(VerifyCode(code, limits).ok());
+}
+
+TEST(VerifierTest, RejectsUndecodableSlot) {
+  std::vector<std::uint8_t> code(16, 0xFF);
+  EXPECT_EQ(VerifyCode(code, {}).code(), StatusCode::kDataLoss);
+}
+
+TEST(VerifierTest, RejectsEmptyAndMisaligned) {
+  EXPECT_FALSE(VerifyCode({}, {}).ok());
+  std::vector<std::uint8_t> odd(9, 0);
+  EXPECT_EQ(VerifyCode(odd, {}).code(), StatusCode::kDataLoss);
+}
+
+TEST(VerifierTest, LeaMayTargetTrailingRodata) {
+  const auto code = AssembleText("f: lea a0, 16\n ret");  // +16 > code end
+  VerifyLimits limits;
+  EXPECT_FALSE(VerifyCode(code, limits).ok());
+  limits.rodata_bytes = 64;
+  EXPECT_TRUE(VerifyCode(code, limits).ok());
+}
+
+// ---------------------------------------------------------- interpreter
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest() : mem_(0, MiB(8)), caches_(CacheConfig()) {}
+
+  static cache::HierarchyConfig CacheConfig() {
+    cache::HierarchyConfig cfg;
+    cfg.l1 = {"L1", KiB(16), 4, 2};
+    cfg.l2 = {"L2", KiB(64), 8, 12};
+    cfg.l3 = {"L3", KiB(128), 16, 30};
+    cfg.llc = {"LLC", KiB(256), 16, 55};
+    return cfg;
+  }
+
+  /// Assembles, links nothing — places raw text at an RWX allocation.
+  mem::VirtAddr LoadRaw(const std::string& src, mem::Perm perm = mem::Perm::kRWX) {
+    auto obj = Assemble(src);
+    EXPECT_TRUE(obj.ok()) << obj.status();
+    auto addr = mem_.Allocate(obj->text.size(), 64, perm, "code");
+    EXPECT_TRUE(addr.ok());
+    EXPECT_TRUE(mem_.DmaWrite(*addr, obj->text).ok());
+    return *addr;
+  }
+
+  mem::VirtAddr MakeStack() {
+    auto addr = mem_.Allocate(KiB(64), 16, mem::Perm::kRW, "stack");
+    EXPECT_TRUE(addr.ok());
+    return *addr + KiB(64);
+  }
+
+  ExecResult Run(mem::VirtAddr entry, std::vector<std::uint64_t> args,
+                 const NativeTable* natives = nullptr,
+                 ExecConfig cfg = {}) {
+    Interpreter interp(mem_, caches_, 0, natives, cfg);
+    return interp.Execute(entry, args, MakeStack());
+  }
+
+  mem::HostMemory mem_;
+  cache::CacheHierarchy caches_;
+};
+
+TEST_F(InterpreterTest, ArithmeticAndReturn) {
+  const auto entry = LoadRaw(R"(
+    f:
+      addi a0, a0, 10
+      muli a0, a0, 3
+      ret
+  )");
+  const auto r = Run(entry, {4});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 42u);
+  EXPECT_EQ(r.instructions, 3u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(InterpreterTest, LoopSumsIota) {
+  // sum 1..n via a loop.
+  const auto entry = LoadRaw(R"(
+    f:
+      mov t0, zr
+    .loop:
+      beq a0, zr, .done
+      add t0, t0, a0
+      addi a0, a0, -1
+      jmp .loop
+    .done:
+      mov a0, t0
+      ret
+  )");
+  const auto r = Run(entry, {100});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 5050u);
+}
+
+TEST_F(InterpreterTest, RecursiveCallsUseStack) {
+  // factorial via recursion: tests jal/jalr/stack discipline.
+  const auto entry = LoadRaw(R"(
+    fact:
+      bne a0, zr, .rec
+      movi a0, 1
+      ret
+    .rec:
+      addi sp, sp, -16
+      std lr, [sp+0]
+      std a0, [sp+8]
+      addi a0, a0, -1
+      call fact
+      ldd t0, [sp+8]
+      mul a0, a0, t0
+      ldd lr, [sp+0]
+      addi sp, sp, 16
+      ret
+  )");
+  const auto r = Run(entry, {10});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 3628800u);
+}
+
+TEST_F(InterpreterTest, LoadStoreWidthsAndSignExtension) {
+  const auto buf = mem_.Allocate(64, 64, mem::Perm::kRW, "buf");
+  ASSERT_TRUE(buf.ok());
+  const auto entry = LoadRaw(R"(
+    f:
+      ; a0 = buffer
+      movi t0, -2
+      stw t0, [a0+0]      ; 0xFFFFFFFE
+      ldw t1, [a0+0]      ; sign-extended -> -2
+      ldwu t2, [a0+0]     ; zero-extended -> 0xFFFFFFFE
+      sub a0, t1, t2      ; -2 - 0xFFFFFFFE
+      ret
+  )");
+  const auto r = Run(entry, {*buf});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(static_cast<std::int64_t>(r.return_value),
+            -2ll - 0xFFFFFFFEll);
+}
+
+TEST_F(InterpreterTest, ByteAndHalfAccesses) {
+  const auto buf = mem_.Allocate(64, 64, mem::Perm::kRW, "buf");
+  ASSERT_TRUE(buf.ok());
+  const auto entry = LoadRaw(R"(
+    f:
+      movi t0, 0x80
+      stb t0, [a0]
+      ldb t1, [a0]       ; sign extend: -128
+      ldbu t2, [a0]      ; 128
+      add a0, t1, t2     ; 0
+      ret
+  )");
+  const auto r = Run(entry, {*buf});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 0u);
+}
+
+TEST_F(InterpreterTest, Movi64BitConstant) {
+  const auto entry = LoadRaw(R"(
+    f:
+      li a0, 0xDEADBEEFCAFED00D
+      ret
+  )");
+  const auto r = Run(entry, {});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 0xDEADBEEFCAFED00Dull);
+}
+
+TEST_F(InterpreterTest, DivisionByZeroFaults) {
+  const auto entry = LoadRaw("f: div a0, a0, zr\n ret");
+  const auto r = Run(entry, {8});
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InterpreterTest, SignedDivisionSemantics) {
+  const auto entry = LoadRaw(R"(
+    f:
+      movi t0, -7
+      movi t1, 2
+      div a0, t0, t1     ; -3 (trunc toward zero)
+      rem a1, t0, t1     ; -1
+      sub a0, a0, a1     ; -3 - -1 = -2
+      ret
+  )");
+  const auto r = Run(entry, {});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(static_cast<std::int64_t>(r.return_value), -2);
+}
+
+TEST_F(InterpreterTest, InstructionBudgetStopsRunaway) {
+  const auto entry = LoadRaw("f: jmp f");
+  ExecConfig cfg;
+  cfg.max_instructions = 1000;
+  const auto r = Run(entry, {}, nullptr, cfg);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST_F(InterpreterTest, ExecPermissionEnforced) {
+  const auto entry = LoadRaw("f: ret", mem::Perm::kRW);  // no X
+  const auto r = Run(entry, {});
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+  // Disabling enforcement (the paper's default RWX mailbox mode) runs fine.
+  ExecConfig cfg;
+  cfg.enforce_exec_permission = false;
+  const auto r2 = Run(entry, {}, nullptr, cfg);
+  EXPECT_TRUE(r2.status.ok());
+}
+
+TEST_F(InterpreterTest, StorePermissionFaultSurfaces) {
+  const auto ro = mem_.Allocate(64, 64, mem::Perm::kRead, "ro");
+  ASSERT_TRUE(ro.ok());
+  const auto entry = LoadRaw("f: std zr, [a0]\n ret");
+  const auto r = Run(entry, {*ro});
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(InterpreterTest, NativeBridgeCallAndReturn) {
+  NativeTable natives;
+  std::string out;
+  ASSERT_TRUE(RegisterStandardNatives(natives, {&out}).ok());
+  // Build a GOT in memory holding the native handle for tc_hash64.
+  const auto got = mem_.Allocate(64, 64, mem::Perm::kRW, "got");
+  ASSERT_TRUE(got.ok());
+  const auto idx = natives.IndexOf("tc_hash64");
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(mem_.StoreU64(*got, MakeNativeHandle(*idx)).ok());
+
+  const auto entry = LoadRaw(R"(
+    f:
+      ; a0 = input, a1 = got address
+      ldd t0, [a1]
+      addi sp, sp, -16
+      std lr, [sp]
+      jalr lr, t0, 0
+      ldd lr, [sp]
+      addi sp, sp, 16
+      ret
+  )");
+  const auto r = Run(entry, {123, *got}, &natives);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  // tc_hash64 is splitmix64's mix of the input.
+  std::uint64_t z = 123 + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  EXPECT_EQ(r.return_value, z ^ (z >> 31));
+}
+
+TEST_F(InterpreterTest, NativePrintCollectsIntoSink) {
+  NativeTable natives;
+  std::string out;
+  ASSERT_TRUE(RegisterStandardNatives(natives, {&out}).ok());
+  const auto got = mem_.Allocate(64, 64, mem::Perm::kRW, "got");
+  const auto str = mem_.Allocate(64, 64, mem::Perm::kRW, "str");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(str.ok());
+  const char* msg = "jam says hi";
+  ASSERT_TRUE(mem_.Write(*str, std::span<const std::uint8_t>(
+                                   reinterpret_cast<const std::uint8_t*>(msg),
+                                   std::strlen(msg) + 1))
+                  .ok());
+  ASSERT_TRUE(
+      mem_.StoreU64(*got,
+                    MakeNativeHandle(*natives.IndexOf("tc_print_str")))
+          .ok());
+  const auto entry = LoadRaw(R"(
+    f:
+      mov a0, a1       ; string address was passed in a1
+      ldd t0, [a2]     ; got address in a2
+      addi sp, sp, -16
+      std lr, [sp]
+      jalr lr, t0, 0
+      ldd lr, [sp]
+      addi sp, sp, 16
+      ret
+  )");
+  const auto r = Run(entry, {0, *str, *got}, &natives);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(out, "jam says hi");
+}
+
+TEST_F(InterpreterTest, MissingNativeTableFaults) {
+  const auto got = mem_.Allocate(64, 64, mem::Perm::kRW, "got");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(mem_.StoreU64(*got, MakeNativeHandle(0)).ok());
+  const auto entry = LoadRaw(R"(
+    f:
+      ldd t0, [a0]
+      jalr lr, t0, 0
+      ret
+  )");
+  const auto r = Run(entry, {*got}, nullptr);
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InterpreterTest, GotFixAndPreModesAgree) {
+  // Build: [PRE slot][pad][code ...][got table] — execute the same logical
+  // access via ldg.fix (PC-relative direct) and ldg.pre (via preamble).
+  const auto region = mem_.Allocate(KiB(4), 64, mem::Perm::kRWX, "jam");
+  ASSERT_TRUE(region.ok());
+  const mem::VirtAddr pre = *region;       // preamble slot
+  const mem::VirtAddr code = *region + 16; // code starts at +16
+  const mem::VirtAddr got = *region + 512; // table
+  ASSERT_TRUE(mem_.StoreU64(got + 8, 0x1234567890ull).ok());  // slot 1
+  ASSERT_TRUE(mem_.StoreU64(pre, got).ok());
+
+  // ldg.fix a0, imm -> target got+8 ; ldg.pre a1, 1, imm -> via pre.
+  std::vector<std::uint8_t> text;
+  {
+    Instr fix{Opcode::kLdgFix, kA0, 0, 0,
+              static_cast<std::int32_t>(got + 8 - code)};
+    Instr prei{Opcode::kLdgPre, kA0 + 1, 0, 1,
+               static_cast<std::int32_t>(
+                   static_cast<std::int64_t>(pre) -
+                   static_cast<std::int64_t>(code + 8))};
+    Instr sub{Opcode::kSub, kA0, kA0 + 1, kA0, 0};  // a0 = a1 - a0 (0 if same)
+    Instr retq{Opcode::kJalr, kZr, kLr, 0, 0};
+    std::uint8_t buf[8];
+    for (const auto& i : {fix, prei, sub, retq}) {
+      Encode(i, buf);
+      text.insert(text.end(), buf, buf + 8);
+    }
+  }
+  ASSERT_TRUE(mem_.DmaWrite(code, text).ok());
+  const auto r = Run(code, {});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 0u);  // both modes read the same slot value
+}
+
+TEST_F(InterpreterTest, CyclesReflectCacheState) {
+  // Cold first run vs warm second run of the same code: the warm run must
+  // burn fewer cycles (all ifetches hit L1).
+  const auto entry = LoadRaw(R"(
+    f:
+      mov t0, zr
+      movi t1, 64
+    .loop:
+      beq t1, zr, .done
+      add t0, t0, t1
+      addi t1, t1, -1
+      jmp .loop
+    .done:
+      mov a0, t0
+      ret
+  )");
+  const auto cold = Run(entry, {});
+  ASSERT_TRUE(cold.status.ok());
+  const auto warm = Run(entry, {});
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(cold.return_value, warm.return_value);
+  EXPECT_EQ(cold.instructions, warm.instructions);
+  EXPECT_GT(cold.cycles, warm.cycles);
+}
+
+TEST_F(InterpreterTest, ZeroRegisterIsImmutable) {
+  const auto entry = LoadRaw(R"(
+    f:
+      movi zr, 999
+      mov a0, zr
+      ret
+  )");
+  const auto r = Run(entry, {});
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.return_value, 0u);
+}
+
+TEST_F(InterpreterTest, ShiftAndCompareOps) {
+  const auto entry = LoadRaw(R"(
+    f:
+      movi t0, 1
+      slli t0, t0, 40      ; 2^40
+      srli t1, t0, 8       ; 2^32
+      movi t2, -16
+      srai t2, t2, 2       ; -4
+      sltu t3, t1, t0      ; 1
+      slt  t4, t2, zr      ; 1 (-4 < 0)
+      add a0, t3, t4
+      ret
+  )");
+  const auto r = Run(entry, {});
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_EQ(r.return_value, 2u);
+}
+
+}  // namespace
+}  // namespace twochains::vm

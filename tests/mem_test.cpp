@@ -1,0 +1,283 @@
+// Unit tests for simulated host memory: allocation, permissions, CPU vs DMA
+// access planes, and the RDMA region/rkey registry.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "mem/address.hpp"
+#include "mem/host_memory.hpp"
+#include "mem/region.hpp"
+
+namespace twochains::mem {
+namespace {
+
+TEST(AddressTest, HostBasesAreDisjoint) {
+  EXPECT_EQ(HostBase(0), 1ull << 40);
+  EXPECT_EQ(HostBase(1), 2ull << 40);
+  EXPECT_EQ(HostOfAddress(HostBase(0)), 0);
+  EXPECT_EQ(HostOfAddress(HostBase(1) + 123), 1);
+  EXPECT_EQ(HostOfAddress(100), -1);
+}
+
+TEST(AddressTest, PermStrings) {
+  EXPECT_EQ(PermString(Perm::kNone), "---");
+  EXPECT_EQ(PermString(Perm::kRead), "r--");
+  EXPECT_EQ(PermString(Perm::kRW), "rw-");
+  EXPECT_EQ(PermString(Perm::kRWX), "rwx");
+  EXPECT_EQ(PermString(Perm::kRX), "r-x");
+}
+
+TEST(AddressTest, PermAlgebra) {
+  EXPECT_TRUE(HasPerm(Perm::kRWX, Perm::kExec));
+  EXPECT_TRUE(HasPerm(Perm::kRW, Perm::kRead));
+  EXPECT_FALSE(HasPerm(Perm::kRW, Perm::kExec));
+  EXPECT_FALSE(HasPerm(Perm::kNone, Perm::kRead));
+  EXPECT_TRUE(HasPerm(Perm::kRead | Perm::kWrite, Perm::kRW));
+}
+
+class HostMemoryTest : public ::testing::Test {
+ protected:
+  HostMemory mem_{0, MiB(4)};
+};
+
+TEST_F(HostMemoryTest, ArenaGeometry) {
+  EXPECT_EQ(mem_.base(), HostBase(0));
+  EXPECT_EQ(mem_.size(), MiB(4));
+  EXPECT_TRUE(mem_.Contains(mem_.base(), MiB(4)));
+  EXPECT_FALSE(mem_.Contains(mem_.base(), MiB(4) + 1));
+  EXPECT_FALSE(mem_.Contains(mem_.base() - 1, 1));
+}
+
+TEST_F(HostMemoryTest, AllocateAlignsAndGrantsPerms) {
+  auto a = mem_.Allocate(100, 64, Perm::kRW, "buf");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a % kPageSize, 0u);  // page granular
+  EXPECT_EQ(mem_.PagePerms(*a).value(), Perm::kRW);
+  EXPECT_EQ(mem_.allocated_bytes(), 100u);
+}
+
+TEST_F(HostMemoryTest, AllocationsDoNotOverlap) {
+  auto a = mem_.Allocate(KiB(8), 64, Perm::kRW, "a");
+  auto b = mem_.Allocate(KiB(8), 64, Perm::kRW, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(*b, *a + KiB(8));
+}
+
+TEST_F(HostMemoryTest, ZeroSizeAllocationRejected) {
+  EXPECT_EQ(mem_.Allocate(0, 8, Perm::kRW, "z").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(HostMemoryTest, NonPow2AlignmentRejected) {
+  EXPECT_EQ(mem_.Allocate(64, 3, Perm::kRW, "z").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(HostMemoryTest, ExhaustionIsResourceExhausted) {
+  auto a = mem_.Allocate(MiB(8), 64, Perm::kRW, "big");
+  EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(HostMemoryTest, FreeReleasesAndProtectsNone) {
+  auto a = mem_.Allocate(KiB(4), 64, Perm::kRW, "a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mem_.Free(*a).ok());
+  EXPECT_EQ(mem_.allocated_bytes(), 0u);
+  EXPECT_EQ(mem_.PagePerms(*a).value(), Perm::kNone);
+  EXPECT_EQ(mem_.Free(*a).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HostMemoryTest, ReadWriteRoundTrip) {
+  auto a = mem_.Allocate(256, 64, Perm::kRW, "rw");
+  ASSERT_TRUE(a.ok());
+  std::array<std::uint8_t, 4> data = {1, 2, 3, 4};
+  ASSERT_TRUE(mem_.Write(*a, data).ok());
+  std::array<std::uint8_t, 4> out{};
+  ASSERT_TRUE(mem_.Read(*a, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(HostMemoryTest, TypedAccessors) {
+  auto a = mem_.Allocate(64, 64, Perm::kRW, "t");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mem_.StoreU64(*a, 0x1122334455667788ull).ok());
+  EXPECT_EQ(mem_.LoadU64(*a).value(), 0x1122334455667788ull);
+  EXPECT_EQ(mem_.LoadU32(*a).value(), 0x55667788u);   // little endian
+  EXPECT_EQ(mem_.LoadU16(*a).value(), 0x7788u);
+  EXPECT_EQ(mem_.LoadU8(*a).value(), 0x88u);
+  ASSERT_TRUE(mem_.StoreU16(*a + 8, 0xBEEF).ok());
+  EXPECT_EQ(mem_.LoadU16(*a + 8).value(), 0xBEEF);
+}
+
+TEST_F(HostMemoryTest, WriteToReadOnlyPageDenied) {
+  auto a = mem_.Allocate(64, 64, Perm::kRead, "ro");
+  ASSERT_TRUE(a.ok());
+  std::array<std::uint8_t, 1> b = {9};
+  EXPECT_EQ(mem_.Write(*a, b).code(), StatusCode::kPermissionDenied);
+  std::array<std::uint8_t, 1> out{};
+  EXPECT_TRUE(mem_.Read(*a, out).ok());
+}
+
+TEST_F(HostMemoryTest, ReadFromWriteOnlyDenied) {
+  auto a = mem_.Allocate(64, 64, Perm::kWrite, "wo");
+  ASSERT_TRUE(a.ok());
+  std::array<std::uint8_t, 1> out{};
+  EXPECT_EQ(mem_.Read(*a, out).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(HostMemoryTest, ProtectFlipsPermissionsAtPageGranularity) {
+  auto a = mem_.Allocate(2 * kPageSize, 64, Perm::kRW, "two-pages");
+  ASSERT_TRUE(a.ok());
+  // W^X split: first page stays RW, second becomes RX.
+  ASSERT_TRUE(mem_.Protect(*a + kPageSize, kPageSize, Perm::kRX).ok());
+  EXPECT_EQ(mem_.PagePerms(*a).value(), Perm::kRW);
+  EXPECT_EQ(mem_.PagePerms(*a + kPageSize).value(), Perm::kRX);
+  // A write spanning both pages must fail (second page not writable).
+  std::array<std::uint8_t, 8> data{};
+  EXPECT_EQ(mem_.Write(*a + kPageSize - 4, data).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(HostMemoryTest, CheckPermsExecPages) {
+  auto a = mem_.Allocate(kPageSize, 64, Perm::kRX, "code");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(mem_.CheckPerms(*a, 100, Perm::kExec).ok());
+  ASSERT_TRUE(mem_.Protect(*a, kPageSize, Perm::kRW).ok());
+  EXPECT_EQ(mem_.CheckPerms(*a, 100, Perm::kExec).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(HostMemoryTest, OutOfRangeAccess) {
+  std::array<std::uint8_t, 16> out{};
+  EXPECT_EQ(mem_.Read(mem_.base() + mem_.size() - 8, out).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(mem_.Read(HostBase(3), out).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(HostMemoryTest, DmaBypassesPagePermissions) {
+  // DMA plane models the HCA writing registered memory: page perms do not
+  // apply (rkey validation guards that path instead).
+  auto a = mem_.Allocate(64, 64, Perm::kRead, "dma-target");
+  ASSERT_TRUE(a.ok());
+  std::array<std::uint8_t, 4> data = {7, 7, 7, 7};
+  EXPECT_TRUE(mem_.DmaWrite(*a, data).ok());
+  std::array<std::uint8_t, 4> out{};
+  EXPECT_TRUE(mem_.DmaRead(*a, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(HostMemoryTest, DmaStillBoundsChecked) {
+  std::array<std::uint8_t, 8> buf{};
+  EXPECT_EQ(mem_.DmaWrite(mem_.base() + mem_.size(), buf).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(HostMemoryTest, RawSpanViewsArena) {
+  auto a = mem_.Allocate(64, 64, Perm::kRW, "raw");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mem_.StoreU8(*a, 0x5A).ok());
+  auto span = mem_.RawSpan(*a, 8);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ((*span)[0], 0x5A);
+}
+
+// ---------------------------------------------------------------- regions
+
+class RegionTest : public ::testing::Test {
+ protected:
+  RegionRegistry reg_;
+  static constexpr VirtAddr kBase = 0x1000;
+};
+
+TEST_F(RegionTest, RegisterAndValidate) {
+  auto key = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "mbox");
+  ASSERT_TRUE(key.ok());
+  EXPECT_NE(key->value, 0u);
+  auto r = reg_.Validate(*key, kBase + 100, 64, RemoteAccess::kWrite);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->addr, kBase);
+}
+
+TEST_F(RegionTest, InvalidKeyRejected) {
+  auto key = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "mbox");
+  ASSERT_TRUE(key.ok());
+  RKey bogus{key->value ^ 0xFFFF};
+  EXPECT_EQ(reg_.Validate(bogus, kBase, 64, RemoteAccess::kWrite)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(RegionTest, RangeMustBeFullyCovered) {
+  auto key = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "mbox");
+  ASSERT_TRUE(key.ok());
+  EXPECT_FALSE(reg_.Validate(*key, kBase + 4000, 200, RemoteAccess::kWrite)
+                   .ok());  // runs past the end
+  EXPECT_FALSE(
+      reg_.Validate(*key, kBase - 8, 16, RemoteAccess::kWrite).ok());
+}
+
+TEST_F(RegionTest, AccessClassEnforced) {
+  auto key = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kRead, "ro");
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(reg_.Validate(*key, kBase, 64, RemoteAccess::kRead).ok());
+  EXPECT_EQ(
+      reg_.Validate(*key, kBase, 64, RemoteAccess::kWrite).status().code(),
+      StatusCode::kPermissionDenied);
+}
+
+TEST_F(RegionTest, CombinedAccessClasses) {
+  auto key = reg_.RegisterRegion(
+      kBase, 4096, RemoteAccess::kRead | RemoteAccess::kWrite, "rw");
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(reg_.Validate(*key, kBase, 64, RemoteAccess::kRead).ok());
+  EXPECT_TRUE(reg_.Validate(*key, kBase, 64, RemoteAccess::kWrite).ok());
+  EXPECT_FALSE(reg_.Validate(*key, kBase, 64, RemoteAccess::kAtomic).ok());
+}
+
+TEST_F(RegionTest, ExecutableAccessClassExtension) {
+  // §V of the paper proposes extending IBTA with an executable permission;
+  // the registry supports it as a first-class access class.
+  auto key = reg_.RegisterRegion(kBase, 4096,
+                                 RemoteAccess::kWrite | RemoteAccess::kExec,
+                                 "injectable");
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(reg_.Validate(*key, kBase, 64, RemoteAccess::kExec).ok());
+}
+
+TEST_F(RegionTest, DeregisterInvalidates) {
+  auto key = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "mbox");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(reg_.Deregister(*key).ok());
+  EXPECT_EQ(reg_.Validate(*key, kBase, 64, RemoteAccess::kWrite)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(reg_.Deregister(*key).code(), StatusCode::kNotFound);
+  EXPECT_EQ(reg_.LiveRegions(), 0u);
+}
+
+TEST_F(RegionTest, KeysAreUniquePerRegistration) {
+  // Same address + permissions registered repeatedly must yield distinct
+  // keys (the serial mixes in), so a stale key from a prior registration
+  // cannot authorize access to a new one.
+  auto k1 = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "a");
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(reg_.Deregister(*k1).ok());
+  auto k2 = reg_.RegisterRegion(kBase, 4096, RemoteAccess::kWrite, "b");
+  ASSERT_TRUE(k2.ok());
+  EXPECT_NE(k1->value, k2->value);
+  EXPECT_FALSE(reg_.Validate(*k1, kBase, 64, RemoteAccess::kWrite).ok());
+}
+
+TEST_F(RegionTest, ZeroSizeRegionRejected) {
+  EXPECT_EQ(
+      reg_.RegisterRegion(kBase, 0, RemoteAccess::kRead, "z").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace twochains::mem

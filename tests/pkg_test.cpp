@@ -1,0 +1,181 @@
+// Tests for the package builder: canonical naming, dual-variant jam builds
+// (local + GOT-rewritten injected), ried libraries, header generation, and
+// package serialization round trips.
+#include <gtest/gtest.h>
+
+#include "jelf/got_rewriter.hpp"
+#include "pkg/package.hpp"
+
+namespace twochains::pkg {
+namespace {
+
+constexpr const char* kJamAppend = R"(
+extern long store_next(long v);
+long jam_append(long* args, char* usr, long usr_bytes) {
+  return store_next(args[0]);
+}
+)";
+
+constexpr const char* kRiedArray = R"(
+long values[64];
+long cursor = 0;
+long ried_array(void) { return 0; }
+long ried_array_init(void) { cursor = 0; return 0; }
+long store_next(long v) {
+  values[cursor % 64] = v;
+  cursor = cursor + 1;
+  return cursor;
+}
+)";
+
+TEST(PackageBuilderTest, CanonicalNamingEnforced) {
+  PackageBuilder builder;
+  EXPECT_TRUE(builder.AddSourceFile("jam_append.amc", kJamAppend).ok());
+  EXPECT_TRUE(builder.AddSourceFile("ried_array.rdc", kRiedArray).ok());
+  EXPECT_EQ(builder.AddSourceFile("append.amc", "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddSourceFile("jam_x.rdc", "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddSourceFile("jam_append.amc", kJamAppend).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PackageBuilderTest, EmptyBuildRejected) {
+  PackageBuilder builder;
+  EXPECT_EQ(builder.Build("p").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class BuiltPackageTest : public ::testing::Test {
+ protected:
+  BuiltPackageTest() {
+    PackageBuilder builder;
+    EXPECT_TRUE(builder.AddSourceFile("ried_array.rdc", kRiedArray).ok());
+    EXPECT_TRUE(builder.AddSourceFile("jam_append.amc", kJamAppend).ok());
+    auto pkg = builder.Build("demo");
+    EXPECT_TRUE(pkg.ok()) << pkg.status();
+    pkg_ = std::move(pkg).value();
+  }
+  Package pkg_;
+};
+
+TEST_F(BuiltPackageTest, ElementsAndIds) {
+  ASSERT_EQ(pkg_.elements.size(), 2u);
+  const auto* jam = pkg_.Find(ElementKind::kJam, "append");
+  const auto* ried = pkg_.Find(ElementKind::kRied, "array");
+  ASSERT_NE(jam, nullptr);
+  ASSERT_NE(ried, nullptr);
+  EXPECT_EQ(jam->entry_symbol, "jam_append");
+  EXPECT_EQ(ried->entry_symbol, "ried_array");
+  EXPECT_NE(jam->element_id, ried->element_id);
+  EXPECT_EQ(pkg_.FindById(jam->element_id), jam);
+  EXPECT_EQ(pkg_.Find(ElementKind::kJam, "array"), nullptr);
+}
+
+TEST_F(BuiltPackageTest, InjectedImageIsRewrittenAndCompact) {
+  const auto* jam = pkg_.Find(ElementKind::kJam, "append");
+  ASSERT_NE(jam, nullptr);
+  // The injected image must contain no ldg.fix (fully rewritten) and no
+  // page alignment bloat.
+  EXPECT_TRUE(jelf::IsFullyRewritten(jam->injected_image));
+  EXPECT_FALSE(jam->injected_image.page_aligned);
+  EXPECT_TRUE(jam->injected_image.exports.contains("jam_append"));
+  // The jam references the ried's store_next through the GOT.
+  ASSERT_EQ(jam->injected_image.got_symbols.size(), 1u);
+  EXPECT_EQ(jam->injected_image.got_symbols[0], "store_next");
+}
+
+TEST_F(BuiltPackageTest, LocalLibraryContainsUnmodifiedJams) {
+  EXPECT_FALSE(pkg_.local_library.text.empty());
+  EXPECT_TRUE(pkg_.local_library.exports.contains("jam_append"));
+  // Unmodified: still uses fixed GOT addressing.
+  EXPECT_FALSE(jelf::IsFullyRewritten(pkg_.local_library));
+  EXPECT_TRUE(pkg_.local_library.page_aligned);
+}
+
+TEST_F(BuiltPackageTest, RiedImagePageAligned) {
+  const auto* ried = pkg_.Find(ElementKind::kRied, "array");
+  ASSERT_NE(ried, nullptr);
+  EXPECT_TRUE(ried->ried_image.page_aligned);
+  EXPECT_TRUE(ried->ried_image.exports.contains("store_next"));
+  EXPECT_TRUE(ried->ried_image.exports.contains("ried_array_init"));
+}
+
+TEST_F(BuiltPackageTest, GeneratedHeaderListsElements) {
+  const std::string header = pkg_.GeneratedHeader();
+  EXPECT_NE(header.find("TC_PACKAGE_demo"), std::string::npos);
+  EXPECT_NE(header.find("TC_ELEM_demo_append"), std::string::npos);
+  EXPECT_NE(header.find("TC_ELEM_demo_array"), std::string::npos);
+  EXPECT_NE(header.find("jam_append"), std::string::npos);
+}
+
+TEST_F(BuiltPackageTest, SerializationRoundTrip) {
+  const auto bytes = SerializePackage(pkg_);
+  auto parsed = ParsePackage(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name, pkg_.name);
+  ASSERT_EQ(parsed->elements.size(), pkg_.elements.size());
+  for (std::size_t i = 0; i < pkg_.elements.size(); ++i) {
+    EXPECT_EQ(parsed->elements[i].name, pkg_.elements[i].name);
+    EXPECT_EQ(parsed->elements[i].entry_symbol,
+              pkg_.elements[i].entry_symbol);
+    EXPECT_EQ(parsed->elements[i].injected_image.text,
+              pkg_.elements[i].injected_image.text);
+  }
+  EXPECT_EQ(parsed->local_library.text, pkg_.local_library.text);
+}
+
+TEST_F(BuiltPackageTest, CorruptedBlobDetected) {
+  auto bytes = SerializePackage(pkg_);
+  bytes[1] ^= 0xFF;
+  EXPECT_FALSE(ParsePackage(bytes).ok());
+}
+
+TEST_F(BuiltPackageTest, InstallRegistry) {
+  InstallRegistry registry;
+  ASSERT_TRUE(registry.Install(pkg_).ok());
+  EXPECT_EQ(registry.Install(pkg_).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(registry.Contains("demo"));
+  EXPECT_FALSE(registry.Contains("nope"));
+  auto loaded = registry.Load("demo");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name, "demo");
+  EXPECT_EQ(registry.Load("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(registry.Blob("demo").ok());
+}
+
+TEST(PackageBuilderErrorsTest, MissingEntrySymbol) {
+  PackageBuilder builder;
+  // File claims to define jam_foo but defines jam_bar.
+  ASSERT_TRUE(builder
+                  .AddSourceFile("jam_foo.amc",
+                                 "long jam_bar(long* a, char* u, long n) "
+                                 "{ return 0; }")
+                  .ok());
+  auto pkg = builder.Build("p");
+  ASSERT_FALSE(pkg.ok());
+  EXPECT_EQ(pkg.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PackageBuilderErrorsTest, JamWithWritableGlobalRejected) {
+  PackageBuilder builder;
+  // Jams are stateless mobile code: writable globals must be refused.
+  ASSERT_TRUE(builder
+                  .AddSourceFile("jam_stateful.amc",
+                                 "long counter = 0;\n"
+                                 "long jam_stateful(long* a, char* u, long n)"
+                                 " { counter += 1; return counter; }")
+                  .ok());
+  auto pkg = builder.Build("p");
+  ASSERT_FALSE(pkg.ok());
+  EXPECT_EQ(pkg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PackageBuilderErrorsTest, CompileErrorPropagates) {
+  PackageBuilder builder;
+  ASSERT_TRUE(builder.AddSourceFile("jam_bad.amc", "long jam_bad( {").ok());
+  EXPECT_FALSE(builder.Build("p").ok());
+}
+
+}  // namespace
+}  // namespace twochains::pkg

@@ -1,0 +1,184 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, stop conditions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace twochains::sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZeroAndIdle) {
+  Engine e;
+  EXPECT_EQ(e.Now(), 0u);
+  EXPECT_TRUE(e.Idle());
+  e.Run();  // no events: returns immediately
+  EXPECT_EQ(e.EventsProcessed(), 0u);
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(300, [&] { order.push_back(3); });
+  e.ScheduleAt(100, [&] { order.push_back(1); });
+  e.ScheduleAt(200, [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), 300u);
+}
+
+TEST(EngineTest, EqualTimestampsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, CallbackCanScheduleMore) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(10, [&] {
+    ++fired;
+    e.ScheduleAfter(5, [&] { ++fired; });
+  });
+  e.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.Now(), 15u);
+}
+
+TEST(EngineTest, PastTimesClampToNow) {
+  Engine e;
+  PicoTime seen = 12345;
+  e.ScheduleAt(100, [&] {
+    e.ScheduleAt(10, [&] { seen = e.Now(); });  // 10 < now: clamp
+  });
+  e.Run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(e.Cancel(id));
+  EXPECT_FALSE(e.Cancel(id));  // double cancel is a no-op
+  e.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.EventsProcessed(), 0u);
+}
+
+TEST(EngineTest, CancelUnknownIdReturnsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.Cancel(0));
+  EXPECT_FALSE(e.Cancel(999));
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(100, [&] { ++fired; });
+  e.ScheduleAt(200, [&] { ++fired; });
+  e.ScheduleAt(300, [&] { ++fired; });
+  e.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.Now(), 200u);
+  EXPECT_EQ(e.PendingEvents(), 1u);
+  e.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Engine e;
+  e.RunUntil(5000);
+  EXPECT_EQ(e.Now(), 5000u);
+}
+
+TEST(EngineTest, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  e.ScheduleAt(10, [&] {
+    ++fired;
+    e.Stop();
+  });
+  e.ScheduleAt(20, [&] { ++fired; });
+  e.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.PendingEvents(), 1u);
+}
+
+TEST(EngineTest, RunUntilConditionStopsEarly) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    e.ScheduleAt(static_cast<PicoTime>(i * 10), [&] { ++count; });
+  }
+  const bool met = e.RunUntilCondition([&] { return count >= 4; });
+  EXPECT_TRUE(met);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(e.Now(), 40u);
+}
+
+TEST(EngineTest, RunUntilConditionReturnsFalseWhenQueueDrains) {
+  Engine e;
+  int count = 0;
+  e.ScheduleAt(10, [&] { ++count; });
+  const bool met = e.RunUntilCondition([&] { return count >= 5; });
+  EXPECT_FALSE(met);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EngineTest, ConditionAlreadyTrueDoesNotRunEvents) {
+  Engine e;
+  int count = 0;
+  e.ScheduleAt(10, [&] { ++count; });
+  EXPECT_TRUE(e.RunUntilCondition([] { return true; }));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(EngineTest, EventHookObservesTags) {
+  Engine e;
+  std::vector<std::string> tags;
+  e.SetEventHook([&](PicoTime, const std::string& tag) { tags.push_back(tag); });
+  e.ScheduleAt(1, [] {}, "alpha");
+  e.ScheduleAt(2, [] {}, "beta");
+  e.Run();
+  EXPECT_EQ(tags, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(EngineTest, ManyEventsDeterministicOrder) {
+  // Schedule a shuffled batch; the pop order must be fully determined by
+  // (time, schedule-sequence).
+  Engine e1, e2;
+  std::vector<int> o1, o2;
+  auto schedule = [](Engine& e, std::vector<int>& o) {
+    for (int i = 0; i < 500; ++i) {
+      const PicoTime t = static_cast<PicoTime>((i * 7919) % 100);
+      e.ScheduleAt(t, [&o, i] { o.push_back(i); });
+    }
+  };
+  schedule(e1, o1);
+  schedule(e2, o2);
+  e1.Run();
+  e2.Run();
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(o1.size(), 500u);
+}
+
+TEST(EngineTest, PendingEventsTracksQueue) {
+  Engine e;
+  EXPECT_EQ(e.PendingEvents(), 0u);
+  const EventId a = e.ScheduleAt(10, [] {});
+  e.ScheduleAt(20, [] {});
+  EXPECT_EQ(e.PendingEvents(), 2u);
+  e.Cancel(a);
+  EXPECT_EQ(e.PendingEvents(), 1u);
+  e.Run();
+  EXPECT_EQ(e.PendingEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace twochains::sim
