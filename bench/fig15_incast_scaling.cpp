@@ -1,0 +1,119 @@
+// Incast scaling (beyond the paper's two-host testbed): 1, 2, 4, 8 senders
+// inject Indirect Puts into one receiver through a star fabric. Each sender
+// is paced only by its own per-peer bank flow control, so the sweep shows
+//   * how aggregate injection rate saturates at the receiver (one reactive
+//     receiver agent drains every peer's mailbox slice in delivery order),
+//   * per-sender fairness under contention (the receiver's round sweep plus
+//     per-peer bank recycling should share the drain evenly), and
+//   * how the send-to-completion tail stretches as queueing at the
+//     receiver deepens — the serverless many-clients deployment shape.
+#include "fig_common.hpp"
+
+namespace twochains::bench {
+namespace {
+
+struct Point {
+  std::uint32_t senders = 0;
+  IncastResult result;
+};
+
+int Main() {
+  Banner("fig15", "incast scaling: N senders -> 1 receiver");
+  std::printf("Indirect Put, 64 B payload, %u messages per sender\n", 600u);
+
+  const std::uint32_t kSenderCounts[] = {1, 2, 4, 8};
+  std::vector<Point> points;
+
+  for (const std::uint32_t n : kSenderCounts) {
+    // Star fabric: hub 0 is the incast receiver, spokes 1..n send.
+    core::Fabric fabric(PaperFabric(n + 1, core::Topology::kStar, 0));
+    auto package = BuildBenchPackage();
+    if (!package.ok() || !fabric.LoadPackage(*package).ok()) {
+      std::fprintf(stderr, "fabric setup failed\n");
+      std::abort();
+    }
+
+    IncastConfig config;
+    config.jam = "iput";
+    config.mode = core::Invoke::kInjected;
+    config.usr_bytes = 64;
+    config.iterations_per_sender = 600;
+    // Distinct key ranges per iteration keep the hash index warm but
+    // bounded, as in the two-host rate benches.
+    config.args = [](std::uint64_t iter) {
+      return std::vector<std::uint64_t>{iter & 127};
+    };
+
+    std::vector<std::uint32_t> senders;
+    for (std::uint32_t s = 1; s <= n; ++s) senders.push_back(s);
+    Point point;
+    point.senders = n;
+    point.result = MustOk(RunIncastRate(fabric, 0, senders, config),
+                          "incast run");
+    points.push_back(std::move(point));
+
+    if (n == kSenderCounts[std::size(kSenderCounts) - 1]) {
+      std::printf("\nreceiver per-peer counters at %u senders:\n", n);
+      PeerStatsTable(fabric.runtime(0)).Print();
+    }
+  }
+
+  Table table({"senders", "agg Kmsg/s", "agg MB/s", "per-sender Kmsg/s",
+               "min/max Kmsg/s", "fairness", "p50 us", "p99 us",
+               "fc waits"});
+  for (const Point& p : points) {
+    double min_rate = 0, max_rate = 0;
+    std::uint64_t waits = 0;
+    for (const auto& s : p.result.per_sender) {
+      if (min_rate == 0 || s.messages_per_second < min_rate) {
+        min_rate = s.messages_per_second;
+      }
+      max_rate = std::max(max_rate, s.messages_per_second);
+      waits += s.flow_control_waits;
+    }
+    table.AddRow(
+        {FmtU64(p.senders),
+         FmtF(p.result.aggregate_messages_per_second / 1e3),
+         FmtF(p.result.aggregate_megabytes_per_second),
+         FmtF(p.result.aggregate_messages_per_second / 1e3 / p.senders),
+         FmtF(min_rate / 1e3) + "/" + FmtF(max_rate / 1e3),
+         FmtF(p.result.fairness, "%.3f"),
+         FmtUs(p.result.latency.Percentile(0.50)),
+         FmtUs(p.result.latency.Percentile(0.99)), FmtU64(waits)});
+  }
+  table.Print();
+
+  const Point& one = points.front();
+  const Point& eight = points.back();
+  bool ok = true;
+  ok &= ShapeCheck(
+      "aggregate rate does not collapse under incast (8-sender aggregate "
+      ">= 80% of single-sender)",
+      eight.result.aggregate_messages_per_second >=
+          0.8 * one.result.aggregate_messages_per_second);
+  ok &= ShapeCheck(
+      "receiver drain is shared fairly (Jain fairness >= 0.95 at every "
+      "sender count)",
+      [&] {
+        for (const Point& p : points) {
+          if (p.result.fairness < 0.95) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "completion tail stretches with incast depth (p99 grows "
+      "monotonically from 1 to 8 senders)",
+      eight.result.latency.Percentile(0.99) >
+          one.result.latency.Percentile(0.99));
+  ok &= ShapeCheck(
+      "per-sender throughput degrades under contention (8-sender "
+      "per-sender rate < single-sender rate)",
+      eight.result.aggregate_messages_per_second / 8.0 <
+          one.result.aggregate_messages_per_second);
+  return FinishChecks(ok);
+}
+
+}  // namespace
+}  // namespace twochains::bench
+
+int main() { return twochains::bench::Main(); }

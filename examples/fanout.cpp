@@ -1,0 +1,197 @@
+// Fan-out / gather over an N-host fabric: one coordinator injects a jam
+// into every worker, each worker executes it against its own resident
+// state, and the workers inject their results back into the coordinator —
+// a scatter/gather built entirely from Two-Chains function injection.
+//
+//   * Star topology: the coordinator is the hub; each worker only knows
+//     the coordinator (peer 0 from the worker's point of view).
+//   * Phase 1 configures the workers by injecting "set_scale": worker w's
+//     resident state ends up different even though every host loaded the
+//     same package.
+//   * Phase 2 scatters the work jam ("shard_sum"), which sums the payload
+//     and scales it by that worker-resident factor.
+//   * Each worker replies by injecting "gather" into the coordinator,
+//     which records (worker, value) in a coordinator-resident ried array.
+//
+// Build & run:  ./build/examples/fanout
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/fabric.hpp"
+
+namespace {
+
+constexpr std::uint32_t kWorkers = 4;
+
+// Shared resident state: the gather array (only the coordinator's copy is
+// written) and the per-worker scale factor (phase 1 sets it remotely).
+constexpr const char* kRiedFanout = R"(
+long gather_results[16];
+long gather_count = 0;
+long shard_scale = 1;
+
+long ried_fanout(void) { return 0; }
+long ried_fanout_init(void) {
+  long i = 0;
+  for (i = 0; i < 16; ++i) gather_results[i] = 0;
+  gather_count = 0;
+  shard_scale = 1;
+  return 0;
+}
+)";
+
+// Phase 1: remote configuration by function injection.
+constexpr const char* kJamSetScale = R"(
+extern long shard_scale;
+
+long jam_set_scale(long* args, long* usr, long usr_bytes) {
+  shard_scale = args[0];
+  return shard_scale;
+}
+)";
+
+// Phase 2: the scattered work — sum payload, scale by resident state.
+constexpr const char* kJamShardSum = R"(
+extern long shard_scale;
+
+long jam_shard_sum(long* args, long* usr, long usr_bytes) {
+  long n = usr_bytes / 8;
+  long total = 0;
+  for (long i = 0; i < n; ++i) total = total + usr[i];
+  return total * shard_scale;
+}
+)";
+
+// The gathered reply: record (worker, value) on the coordinator.
+constexpr const char* kJamGather = R"(
+extern long gather_results[16];
+extern long gather_count;
+
+long jam_gather(long* args, long* usr, long usr_bytes) {
+  gather_results[args[0]] = args[1];
+  gather_count = gather_count + 1;
+  return args[1];
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace twochains;
+
+  pkg::PackageBuilder builder;
+  if (!builder.AddSourceFile("ried_fanout.rdc", kRiedFanout).ok() ||
+      !builder.AddSourceFile("jam_set_scale.amc", kJamSetScale).ok() ||
+      !builder.AddSourceFile("jam_shard_sum.amc", kJamShardSum).ok() ||
+      !builder.AddSourceFile("jam_gather.amc", kJamGather).ok()) {
+    std::fprintf(stderr, "bad sources\n");
+    return 1;
+  }
+
+  // Star fabric: host 0 coordinates, hosts 1..kWorkers work.
+  core::FabricOptions options;
+  options.hosts = kWorkers + 1;
+  options.topology = core::Topology::kStar;
+  options.hub = 0;
+  core::Fabric fabric(options);
+  Status st = fabric.BuildAndLoad(builder, "fanout");
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  core::Runtime& coordinator = fabric.runtime(0);
+
+  bool work_phase = false;
+  std::uint64_t configured = 0;
+
+  // Each worker, once a shard executes in phase 2, injects the result back
+  // into the coordinator (the worker's only peer is the hub).
+  for (std::uint32_t w = 1; w <= kWorkers; ++w) {
+    core::Runtime& worker = fabric.runtime(w);
+    worker.SetOnExecuted([&worker, &work_phase, &configured,
+                          w](const core::ReceivedMessage& m) {
+      if (!m.executed) return;
+      if (!work_phase) {
+        ++configured;
+        return;
+      }
+      const std::vector<std::uint64_t> reply = {w, m.return_value};
+      auto receipt = worker.Send("gather", core::Invoke::kInjected, reply, {});
+      if (!receipt.ok()) {
+        std::fprintf(stderr, "worker %u gather send failed: %s\n", w,
+                     receipt.status().ToString().c_str());
+      }
+    });
+  }
+
+  std::uint64_t gathered = 0;
+  coordinator.SetOnExecuted([&](const core::ReceivedMessage& m) {
+    if (m.executed) ++gathered;
+  });
+
+  // ---- phase 1: configure every worker by injection -------------------
+  for (std::uint32_t w = 1; w <= kWorkers; ++w) {
+    auto peer = fabric.PeerIdFor(0, w);
+    if (!peer.ok()) return 1;
+    const std::vector<std::uint64_t> scale = {w + 1};
+    auto receipt = coordinator.Send(*peer, "set_scale",
+                                    core::Invoke::kInjected, scale, {});
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "set_scale to worker %u failed: %s\n", w,
+                   receipt.status().ToString().c_str());
+      return 1;
+    }
+  }
+  fabric.RunUntil([&] { return configured >= kWorkers; });
+  if (configured < kWorkers) {
+    std::fprintf(stderr, "configuration incomplete\n");
+    return 1;
+  }
+  std::printf("configured %u workers via injected set_scale\n", kWorkers);
+
+  // ---- phase 2: scatter the work, gather the replies ------------------
+  work_phase = true;
+  // Payload: 1..8, summing to 36; worker w returns 36 * (w + 1).
+  std::vector<std::uint8_t> payload(8 * 8);
+  long expect_base = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t v = i + 1;
+    std::memcpy(payload.data() + 8 * i, &v, 8);
+    expect_base += static_cast<long>(v);
+  }
+  for (std::uint32_t w = 1; w <= kWorkers; ++w) {
+    auto peer = fabric.PeerIdFor(0, w);
+    if (!peer.ok()) return 1;
+    auto receipt = coordinator.Send(*peer, "shard_sum",
+                                    core::Invoke::kInjected, {}, payload);
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "scatter to worker %u failed: %s\n", w,
+                   receipt.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("scattered shard_sum to worker %u (%llu B frame)\n", w,
+                static_cast<unsigned long long>(receipt->frame_len));
+  }
+
+  fabric.RunUntil([&] { return gathered >= kWorkers; });
+  if (gathered < kWorkers) {
+    std::fprintf(stderr, "gather incomplete: %llu/%u\n",
+                 static_cast<unsigned long long>(gathered), kWorkers);
+    return 1;
+  }
+
+  std::printf("\ngathered results on coordinator:\n");
+  bool all_ok = true;
+  for (std::uint32_t w = 1; w <= kWorkers; ++w) {
+    const auto value = coordinator.PeekU64("gather_results", w);
+    if (!value.ok()) return 1;
+    const long expect = expect_base * static_cast<long>(w + 1);
+    const bool ok = static_cast<long>(*value) == expect;
+    all_ok &= ok;
+    std::printf("  worker %u: payload_sum * scale(%u) = %lld  [%s]\n", w,
+                w + 1, static_cast<long long>(*value), ok ? "ok" : "WRONG");
+  }
+  std::printf("fanout %s\n", all_ok ? "OK" : "FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "benchlib/perftest.hpp"
 
+#include <map>
 #include <memory>
 
 #include "common/strfmt.hpp"
@@ -148,6 +149,172 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
   result.megabytes_per_second =
       MegabytesPerSecond(total * result.frame_len, result.duration);
   return result;
+}
+
+namespace {
+
+/// Shared run state for RunIncastRate. Heap-allocated and captured by
+/// shared_ptr in every pump/waiter callback, so events or slot-waiters
+/// that outlive the call (e.g. after an early Stop()) stay harmless.
+struct IncastCtx {
+  struct Sender {
+    core::Runtime* runtime = nullptr;
+    core::PeerId to_receiver = core::kInvalidPeer;  // on the sender
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t flow_control_waits = 0;
+    std::map<std::uint32_t, PicoTime> send_time;  // by sn (sns may be sparse)
+  };
+  std::vector<Sender> senders;
+  std::map<core::PeerId, std::size_t> by_rx_peer;  // receiver-side id -> idx
+  std::vector<std::uint8_t> usr;
+  ArgsFn args;
+  std::string jam;
+  core::Invoke mode = core::Invoke::kInjected;
+  std::uint64_t per_sender = 0;
+  std::uint64_t total = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t frame_len = 0;
+  PicoTime first_send = 0;
+  PicoTime last_complete = 0;
+  bool started = false;
+  bool done = false;
+  bool active = true;  ///< cleared when RunIncastRate returns
+  Status failure;
+  LatencySample latency;
+};
+
+}  // namespace
+
+StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
+                                     std::uint32_t receiver,
+                                     const std::vector<std::uint32_t>& senders,
+                                     const IncastConfig& config) {
+  if (senders.empty()) return InvalidArgument("no senders");
+  core::Runtime& rx = fabric.runtime(receiver);
+
+  auto ctx = std::make_shared<IncastCtx>();
+  ctx->usr.assign(config.usr_bytes, 0xC3);
+  ctx->args = config.args ? config.args : DefaultArgs;
+  ctx->jam = config.jam;
+  ctx->mode = config.mode;
+  ctx->per_sender = config.iterations_per_sender;
+  ctx->total = ctx->per_sender * senders.size();
+  ctx->latency = LatencySample(ctx->total);
+  ctx->senders.resize(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    if (senders[i] == receiver) {
+      return InvalidArgument("receiver cannot also be a sender");
+    }
+    ctx->senders[i].runtime = &fabric.runtime(senders[i]);
+    TC_ASSIGN_OR_RETURN(ctx->senders[i].to_receiver,
+                        fabric.PeerIdFor(senders[i], receiver));
+    TC_ASSIGN_OR_RETURN(const core::PeerId rx_peer,
+                        fabric.PeerIdFor(receiver, senders[i]));
+    if (!ctx->by_rx_peer.emplace(rx_peer, i).second) {
+      return InvalidArgument("duplicate sender host");
+    }
+  }
+
+  // One pump per sender, each paced by its own sender CPU and its own
+  // per-peer flow control toward the receiver.
+  std::vector<std::shared_ptr<std::function<void()>>> pumps;
+  pumps.reserve(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [ctx, &fabric, i, pump]() {
+      if (!ctx->active) return;
+      IncastCtx::Sender& s = ctx->senders[i];
+      if (s.sent >= ctx->per_sender || !ctx->failure.ok()) return;
+      if (!s.runtime->HasFreeSlot(s.to_receiver)) {
+        ++s.flow_control_waits;
+        s.runtime->NotifyWhenSlotFree(s.to_receiver, [pump] { (*pump)(); });
+        return;
+      }
+      if (!ctx->started) {
+        ctx->started = true;
+        ctx->first_send = fabric.engine().Now();
+      }
+      auto receipt = s.runtime->Send(s.to_receiver, ctx->jam, ctx->mode,
+                                     ctx->args(s.sent), ctx->usr);
+      if (!receipt.ok()) {
+        ctx->failure = receipt.status();
+        fabric.engine().Stop();
+        return;
+      }
+      s.send_time[receipt->sn] = fabric.engine().Now();
+      ctx->frame_len = receipt->frame_len;
+      ++s.sent;
+      fabric.engine().ScheduleAfter(receipt->sender_cost,
+                                    [pump] { (*pump)(); }, "incast.send");
+    };
+    pumps.push_back(std::move(pump));
+  }
+
+  rx.SetOnExecuted([ctx, &fabric](const core::ReceivedMessage& msg) {
+    const auto it = ctx->by_rx_peer.find(msg.from);
+    if (it == ctx->by_rx_peer.end()) return;  // not one of our senders
+    IncastCtx::Sender& s = ctx->senders[it->second];
+    ++s.completed;
+    ++ctx->completed;
+    ctx->last_complete = msg.completed_at;
+    const auto sent_at = s.send_time.find(msg.sn);
+    if (sent_at != s.send_time.end()) {
+      ctx->latency.Add(msg.completed_at - sent_at->second);
+      s.send_time.erase(sent_at);
+    }
+    if (ctx->completed >= ctx->total) {
+      ctx->done = true;
+      fabric.engine().Stop();
+    }
+  });
+
+  for (auto& pump : pumps) (*pump)();
+  fabric.RunUntil([&] { return ctx->done || !ctx->failure.ok(); });
+  rx.SetOnExecuted(nullptr);
+  ctx->active = false;  // defuse any still-parked pump callbacks
+  if (!ctx->failure.ok()) return ctx->failure;
+  if (!ctx->done) return Internal("incast run stalled (flow control deadlock?)");
+
+  IncastResult result;
+  result.frame_len = ctx->frame_len;
+  result.latency = std::move(ctx->latency);
+  result.duration = ctx->last_complete - ctx->first_send;
+  result.aggregate_messages_per_second =
+      MessagesPerSecond(ctx->total, result.duration);
+  result.aggregate_megabytes_per_second =
+      MegabytesPerSecond(ctx->total * result.frame_len, result.duration);
+
+  double sum = 0, sum_sq = 0;
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    IncastSenderResult sr;
+    sr.host = senders[i];
+    sr.messages = ctx->senders[i].completed;
+    sr.messages_per_second =
+        MessagesPerSecond(ctx->senders[i].completed, result.duration);
+    sr.flow_control_waits = ctx->senders[i].flow_control_waits;
+    sum += sr.messages_per_second;
+    sum_sq += sr.messages_per_second * sr.messages_per_second;
+    result.per_sender.push_back(sr);
+  }
+  if (sum_sq > 0) {
+    result.fairness =
+        (sum * sum) / (static_cast<double>(senders.size()) * sum_sq);
+  }
+  return result;
+}
+
+Table PeerStatsTable(const core::Runtime& runtime) {
+  Table table({"peer", "sent", "delivered", "executed", "stalls",
+               "flags_returned"});
+  const auto& per_peer = runtime.stats().per_peer;
+  for (std::size_t i = 0; i < per_peer.size(); ++i) {
+    const core::PeerStats& p = per_peer[i];
+    table.AddRow({FmtU64(i), FmtU64(p.messages_sent),
+                  FmtU64(p.messages_delivered), FmtU64(p.messages_executed),
+                  FmtU64(p.send_stalls), FmtU64(p.bank_flags_returned)});
+  }
+  return table;
 }
 
 // ------------------------------------------------------------- raw puts

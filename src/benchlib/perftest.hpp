@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "benchlib/table.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
+#include "core/fabric.hpp"
 #include "core/two_chains.hpp"
 #include "ucxs/ucxs.hpp"
 
@@ -54,6 +56,49 @@ struct RateResult {
 /// fast as its banks allow; the receiver drains and recycles.
 StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
                                         const AmConfig& config);
+
+// ----------------------------------------------------------------- incast
+
+struct IncastConfig {
+  std::string jam = "iput";
+  core::Invoke mode = core::Invoke::kInjected;
+  std::uint64_t usr_bytes = 64;
+  ArgsFn args;                            ///< defaults to {iter & 127}
+  std::uint32_t iterations_per_sender = 1000;
+};
+
+struct IncastSenderResult {
+  std::uint32_t host = 0;                 ///< fabric host index
+  std::uint64_t messages = 0;
+  double messages_per_second = 0;
+  /// Times this sender's pump had to park on NotifyWhenSlotFree (its bank
+  /// flags toward the receiver were all out).
+  std::uint64_t flow_control_waits = 0;
+};
+
+struct IncastResult {
+  std::vector<IncastSenderResult> per_sender;
+  double aggregate_messages_per_second = 0;
+  double aggregate_megabytes_per_second = 0;
+  /// Jain's fairness index over per-sender completion rates (1 = fair).
+  double fairness = 1.0;
+  /// Send-to-completion latency across all messages (p99 = the incast tail).
+  LatencySample latency;
+  PicoTime duration = 0;
+  std::uint64_t frame_len = 0;
+};
+
+/// N senders inject into one receiver, each paced only by its own per-peer
+/// bank flow control — the many-to-one deployment shape. All senders start
+/// at the same simulated instant and push `iterations_per_sender` messages.
+StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
+                                     std::uint32_t receiver,
+                                     const std::vector<std::uint32_t>& senders,
+                                     const IncastConfig& config);
+
+/// Per-peer counter table for @p runtime (one row per PeerId) — how the
+/// incast bench reports per-sender fairness from the receiver's view.
+Table PeerStatsTable(const core::Runtime& runtime);
 
 // ---------------------------------------------------------------- raw UCX
 

@@ -3,6 +3,7 @@
 // deviates (e.g. toggling stashing or the wait mode).
 #pragma once
 
+#include "core/fabric.hpp"
 #include "core/two_chains.hpp"
 
 namespace twochains::bench {
@@ -19,6 +20,24 @@ inline core::TestbedOptions PaperTestbed() {
   options.runtime.sender_core = 0;
   options.host0.memory_bytes = MiB(512);
   options.host1.memory_bytes = MiB(512);
+  return options;
+}
+
+/// The same simulated machine, scaled out to an N-host fabric (the
+/// incast / fan-out scenarios beyond the paper's two-server testbed).
+inline core::FabricOptions PaperFabric(
+    std::uint32_t hosts,
+    core::Topology topology = core::Topology::kFullMesh,
+    std::uint32_t hub = 0) {
+  const core::TestbedOptions paper = PaperTestbed();
+  core::FabricOptions options;
+  options.hosts = hosts;
+  options.topology = topology;
+  options.hub = hub;
+  options.host = paper.host0;
+  options.nic = paper.nic;
+  options.protocol = paper.protocol;
+  options.runtime = paper.runtime;
   return options;
 }
 

@@ -1,0 +1,138 @@
+#include "core/fabric.hpp"
+
+#include "common/log.hpp"
+#include "common/strfmt.hpp"
+
+namespace twochains::core {
+
+Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
+  if (options_.hosts == 0) {
+    TC_WARN << "fabric: hosts=0 is not a fabric; building 1 host";
+    options_.hosts = 1;
+  }
+  if (!options_.host_overrides.empty() &&
+      options_.host_overrides.size() != options_.hosts) {
+    TC_WARN << "fabric: " << options_.host_overrides.size()
+            << " host_overrides for " << options_.hosts
+            << " hosts — ignoring overrides, using the host template";
+    options_.host_overrides.clear();
+  }
+  if (options_.hub >= options_.hosts) {
+    TC_WARN << "fabric: hub " << options_.hub << " out of range; using 0";
+    options_.hub = 0;
+  }
+
+  nodes_.reserve(options_.hosts);
+  for (std::uint32_t i = 0; i < options_.hosts; ++i) {
+    net::HostConfig host_cfg = options_.host_overrides.empty()
+                                   ? options_.host
+                                   : options_.host_overrides[i];
+    host_cfg.host_id = static_cast<int>(i);
+    Node node;
+    node.host = std::make_unique<net::Host>(host_cfg);
+    node.nic = std::make_unique<net::Nic>(engine_, *node.host, options_.nic);
+    node.context = std::make_unique<ucxs::Context>(engine_, *node.host,
+                                                   *node.nic,
+                                                   options_.protocol);
+    node.worker = std::make_unique<ucxs::Worker>(*node.context);
+    node.runtime = std::make_unique<Runtime>(engine_, *node.host, *node.nic,
+                                             *node.worker, options_.runtime);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Cable the NICs: one dedicated back-to-back link per topology edge.
+  for (const auto& [a, b] : Edges()) {
+    nodes_[a].nic->ConnectTo(*nodes_[b].nic);
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> Fabric::Edges() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = static_cast<std::uint32_t>(
+      nodes_.empty() ? options_.hosts : nodes_.size());
+  switch (options_.topology) {
+    case Topology::kFullMesh:
+      for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+      }
+      break;
+    case Topology::kStar:
+      for (std::uint32_t b = 0; b < n; ++b) {
+        if (b == options_.hub) continue;
+        edges.emplace_back(std::min(options_.hub, b),
+                           std::max(options_.hub, b));
+      }
+      break;
+  }
+  return edges;
+}
+
+bool Fabric::Connected(std::uint32_t a, std::uint32_t b) const noexcept {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) return false;
+  return nodes_[a].nic->ConnectedTo(*nodes_[b].nic);
+}
+
+StatusOr<PeerId> Fabric::PeerIdFor(std::uint32_t src,
+                                   std::uint32_t dst) const {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    return InvalidArgument("host index out of range");
+  }
+  const PeerId id = nodes_[src].runtime->PeerIdOf(*nodes_[dst].runtime);
+  if (id == kInvalidPeer) {
+    return NotFound(StrFormat(
+        "hosts %u and %u are not connected in this topology", src, dst));
+  }
+  return id;
+}
+
+Status Fabric::WireUp() {
+  if (wired_) return Status::Ok();
+  for (auto& node : nodes_) {
+    TC_RETURN_IF_ERROR(node.runtime->Initialize());
+  }
+  for (const auto& [a, b] : Edges()) {
+    TC_RETURN_IF_ERROR(
+        Runtime::Connect(*nodes_[a].runtime, *nodes_[b].runtime).status());
+  }
+  wired_ = true;
+  return Status::Ok();
+}
+
+Status Fabric::BuildAndLoad(const pkg::PackageBuilder& builder,
+                            const std::string& package_name) {
+  TC_ASSIGN_OR_RETURN(const pkg::Package package, builder.Build(package_name));
+  return LoadPackage(package);
+}
+
+Status Fabric::LoadPackage(const pkg::Package& package) {
+  std::vector<const pkg::Package*> per_host(nodes_.size(), &package);
+  return LoadPackages(per_host);
+}
+
+Status Fabric::LoadPackages(const std::vector<const pkg::Package*>& per_host) {
+  if (per_host.size() != nodes_.size()) {
+    return InvalidArgument(StrFormat("need %zu packages, got %zu",
+                                     nodes_.size(), per_host.size()));
+  }
+  TC_RETURN_IF_ERROR(WireUp());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (per_host[i] == nullptr) return InvalidArgument("null package");
+    TC_RETURN_IF_ERROR(nodes_[i].runtime->LoadPackage(*per_host[i]));
+  }
+  TC_RETURN_IF_ERROR(SyncNamespaces());
+  for (auto& node : nodes_) {
+    TC_RETURN_IF_ERROR(node.runtime->StartReceiver());
+  }
+  return Status::Ok();
+}
+
+Status Fabric::SyncNamespaces() {
+  TC_RETURN_IF_ERROR(WireUp());
+  for (const auto& [a, b] : Edges()) {
+    TC_RETURN_IF_ERROR(
+        Runtime::SyncNamespaces(*nodes_[a].runtime, *nodes_[b].runtime));
+  }
+  return Status::Ok();
+}
+
+}  // namespace twochains::core

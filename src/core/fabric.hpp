@@ -1,0 +1,132 @@
+// core::Fabric: an N-host Two-Chains deployment in one object.
+//
+// The paper's testbed is two hosts wired back-to-back; a production
+// deployment serves many clients, which needs many-to-one (incast) and
+// all-to-all injection topologies. Fabric owns the discrete-event engine
+// and, per simulated host, the memory/caches/cores (net::Host), the NIC,
+// the ucxs context/worker, and the Two-Chains runtime. It cables the NICs
+// per the chosen topology, connects every linked runtime pair (each side
+// gets a dedicated mailbox-bank slice and per-peer flow control), loads
+// packages, synchronizes namespaces cluster-wide, and starts the
+// receivers.
+//
+//   core::FabricOptions opts;
+//   opts.hosts = 9;
+//   opts.topology = core::Topology::kStar;   // hub 0 = incast receiver
+//   core::Fabric fabric(opts);
+//   fabric.BuildAndLoad(builder, "mypkg");
+//   auto peer = fabric.PeerIdFor(3, 0);      // host 3's handle on host 0
+//   fabric.runtime(3).Send(*peer, "iput", Invoke::kInjected, args, usr);
+//   fabric.Run();
+//
+// The two-host Testbed (core/two_chains.hpp) is a thin wrapper over a
+// 2-host full-mesh Fabric, so every figure bench measures the same code
+// path the N-host scenarios run.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "net/host.hpp"
+#include "net/nic.hpp"
+#include "pkg/package.hpp"
+#include "sim/engine.hpp"
+#include "ucxs/ucxs.hpp"
+
+namespace twochains::core {
+
+/// Which host pairs get a back-to-back cable (and a runtime peer link).
+enum class Topology : std::uint8_t {
+  kFullMesh,  ///< every pair connected: all-to-all injection
+  kStar,      ///< every spoke connected to the hub only: incast / fan-out
+};
+
+struct FabricOptions {
+  std::uint32_t hosts = 2;
+  Topology topology = Topology::kFullMesh;
+  /// Center of a kStar fabric (ignored for kFullMesh).
+  std::uint32_t hub = 0;
+  /// Template for every host; host_id is overridden per host.
+  net::HostConfig host{};
+  /// Optional per-host overrides; when non-empty must have `hosts` entries
+  /// (a size mismatch is logged and the overrides are ignored).
+  std::vector<net::HostConfig> host_overrides;
+  net::NicConfig nic{};
+  ucxs::ProtocolConfig protocol{};
+  RuntimeConfig runtime{};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricOptions options = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Compiles the package and loads it on every host, then wires peers,
+  /// synchronizes namespaces cluster-wide, and starts all receivers.
+  Status BuildAndLoad(const pkg::PackageBuilder& builder,
+                      const std::string& package_name);
+
+  /// Loads an already-built package the same way (same package everywhere).
+  Status LoadPackage(const pkg::Package& package);
+
+  /// Loads a *different* package on each host (same element names, possibly
+  /// different implementations — the paper's per-process "function
+  /// overloading", §IV). @p per_host must have one entry per host.
+  Status LoadPackages(const std::vector<const pkg::Package*>& per_host);
+
+  /// Re-runs the cluster-wide namespace exchange over every connected pair
+  /// (idempotent; LoadPackage* already does it once).
+  Status SyncNamespaces();
+
+  // ------------------------------------------------------------ topology
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  const FabricOptions& options() const noexcept { return options_; }
+  /// True when hosts @p a and @p b share a link in this topology.
+  bool Connected(std::uint32_t a, std::uint32_t b) const noexcept;
+  /// PeerId under which host @p dst is reachable from host @p src (i.e.
+  /// the id to pass to runtime(src).Send). Error when not connected.
+  StatusOr<PeerId> PeerIdFor(std::uint32_t src, std::uint32_t dst) const;
+
+  // -------------------------------------------------------------- access
+
+  sim::Engine& engine() noexcept { return engine_; }
+  Runtime& runtime(std::uint32_t i) { return *nodes_.at(i).runtime; }
+  net::Host& host(std::uint32_t i) { return *nodes_.at(i).host; }
+  net::Nic& nic(std::uint32_t i) { return *nodes_.at(i).nic; }
+
+  /// Runs the engine until it drains.
+  void Run() { engine_.Run(); }
+  /// Runs until @p done holds (or the event queue drains). True iff held.
+  bool RunUntil(const std::function<bool()>& done) {
+    return engine_.RunUntilCondition(done);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<net::Host> host;
+    std::unique_ptr<net::Nic> nic;
+    std::unique_ptr<ucxs::Context> context;
+    std::unique_ptr<ucxs::Worker> worker;
+    std::unique_ptr<Runtime> runtime;
+  };
+
+  /// The topology's edge list as ordered (a, b) pairs with a < b.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> Edges() const;
+
+  /// Initializes runtimes and connects every edge (idempotent).
+  Status WireUp();
+
+  FabricOptions options_;
+  sim::Engine engine_;
+  std::vector<Node> nodes_;
+  bool wired_ = false;
+};
+
+}  // namespace twochains::core

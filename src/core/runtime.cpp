@@ -33,49 +33,13 @@ Status Runtime::Initialize() {
   if (initialized_) return FailedPrecondition("already initialized");
   wait_model_ = std::make_unique<cpu::WaitModel>(
       config_.wait, host_.core(config_.receiver_core).clock());
-  endpoint_ = std::make_unique<ucxs::Endpoint>(worker_, ucxs::PutMode::kUser);
   config_.exec.enforce_exec_permission =
       config_.security.enforce_exec_permission;
 
-  auto& memory = host_.memory();
-  const std::uint64_t mailbox_bytes =
-      static_cast<std::uint64_t>(TotalSlots()) * config_.mailbox_slot_bytes;
-
-  // Reactive mailboxes: pinned, remotely writable, and (paper default)
-  // executable — "we ... mark all mailbox pages with read, write, and
-  // execute permissions" (§III-A).
-  TC_ASSIGN_OR_RETURN(mailbox_base_,
-                      memory.Allocate(mailbox_bytes, mem::kPageSize,
-                                      mem::Perm::kRWX, "tc:mailboxes"));
-  TC_ASSIGN_OR_RETURN(const mem::RKey mbox_key,
-                      host_.regions().RegisterRegion(
-                          mailbox_base_, mailbox_bytes,
-                          mem::RemoteAccess::kWrite, "tc:mailboxes"));
-  mailbox_rkey_own_ = mbox_key;
-
-  // Sender-side bank flags, set remotely by the receiver.
-  TC_ASSIGN_OR_RETURN(flag_base_,
-                      memory.Allocate(config_.banks * 8ull, 64,
-                                      mem::Perm::kRW, "tc:bank-flags"));
-  TC_ASSIGN_OR_RETURN(const mem::RKey flag_key,
-                      host_.regions().RegisterRegion(
-                          flag_base_, config_.banks * 8ull,
-                          mem::RemoteAccess::kWrite, "tc:bank-flags"));
-  flag_rkey_own_ = flag_key;
-  for (std::uint32_t b = 0; b < config_.banks; ++b) {
-    TC_RETURN_IF_ERROR(memory.StoreU64(flag_base_ + 8ull * b, 1));
-  }
-  bank_open_.assign(config_.banks, 1);
-
-  // Send staging ring (one slot per mailbox).
-  TC_ASSIGN_OR_RETURN(staging_base_,
-                      memory.Allocate(mailbox_bytes, mem::kPageSize,
-                                      mem::Perm::kRW, "tc:staging"));
-
   // Receiver execution stack.
   TC_ASSIGN_OR_RETURN(const mem::VirtAddr stack,
-                      memory.Allocate(KiB(256), 16, mem::Perm::kRW,
-                                      "tc:recv-stack"));
+                      host_.memory().Allocate(KiB(256), 16, mem::Perm::kRW,
+                                              "tc:recv-stack"));
   stack_top_ = stack + KiB(256);
 
   TC_RETURN_IF_ERROR(
@@ -89,15 +53,98 @@ Status Runtime::Initialize() {
   return Status::Ok();
 }
 
-Status Runtime::Wire(Runtime& a, Runtime& b) {
-  if (!a.initialized_ || !b.initialized_) {
-    return FailedPrecondition("initialize both runtimes before wiring");
+StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  auto& memory = host_.memory();
+  const std::uint64_t mailbox_bytes =
+      static_cast<std::uint64_t>(TotalSlots()) * config_.mailbox_slot_bytes;
+  const std::string suffix = StrFormat(":p%u", id);
+
+  PeerState peer;
+  peer.runtime = &remote;
+
+  // Reactive mailbox slice for this peer: pinned, remotely writable, and
+  // (paper default) executable — "we ... mark all mailbox pages with read,
+  // write, and execute permissions" (§III-A).
+  TC_ASSIGN_OR_RETURN(peer.mailbox_base,
+                      memory.Allocate(mailbox_bytes, mem::kPageSize,
+                                      mem::Perm::kRWX,
+                                      "tc:mailboxes" + suffix));
+  TC_ASSIGN_OR_RETURN(peer.mailbox_rkey_own,
+                      host_.regions().RegisterRegion(
+                          peer.mailbox_base, mailbox_bytes,
+                          mem::RemoteAccess::kWrite,
+                          "tc:mailboxes" + suffix));
+
+  // Sender-side bank flags for this peer, set remotely by its receiver.
+  TC_ASSIGN_OR_RETURN(peer.flag_base,
+                      memory.Allocate(config_.banks * 8ull, 64,
+                                      mem::Perm::kRW,
+                                      "tc:bank-flags" + suffix));
+  TC_ASSIGN_OR_RETURN(peer.flag_rkey_own,
+                      host_.regions().RegisterRegion(
+                          peer.flag_base, config_.banks * 8ull,
+                          mem::RemoteAccess::kWrite,
+                          "tc:bank-flags" + suffix));
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    TC_RETURN_IF_ERROR(memory.StoreU64(peer.flag_base + 8ull * b, 1));
   }
-  a.peer_ = PeerInfo{&b, b.mailbox_base_, b.mailbox_rkey_own_, b.flag_base_,
-                     b.flag_rkey_own_};
-  b.peer_ = PeerInfo{&a, a.mailbox_base_, a.mailbox_rkey_own_, a.flag_base_,
-                     a.flag_rkey_own_};
-  return Status::Ok();
+  peer.bank_open.assign(config_.banks, 1);
+
+  // Send staging ring toward this peer (one slot per mailbox).
+  TC_ASSIGN_OR_RETURN(peer.staging_base,
+                      memory.Allocate(mailbox_bytes, mem::kPageSize,
+                                      mem::Perm::kRW, "tc:staging" + suffix));
+
+  // One endpoint per peer, targeting the peer's NIC (kUser mode: the
+  // runtime's own bank flow control, not UCX's).
+  peer.endpoint = std::make_unique<ucxs::Endpoint>(
+      worker_, ucxs::PutMode::kUser, &remote.nic_);
+
+  peers_.push_back(std::move(peer));
+  stats_.per_peer.emplace_back();
+  return id;
+}
+
+StatusOr<std::pair<PeerId, PeerId>> Runtime::Connect(Runtime& a, Runtime& b) {
+  if (!a.initialized_ || !b.initialized_) {
+    return FailedPrecondition("initialize both runtimes before connecting");
+  }
+  if (&a == &b) return InvalidArgument("cannot connect a runtime to itself");
+  if (a.PeerIdOf(b) != kInvalidPeer) {
+    return FailedPrecondition("runtimes already connected");
+  }
+  if (!a.nic_.ConnectedTo(b.nic_)) {
+    return FailedPrecondition("NICs not cabled (net::Nic::ConnectTo first)");
+  }
+  TC_ASSIGN_OR_RETURN(const PeerId id_of_b, a.AttachPeer(b));
+  TC_ASSIGN_OR_RETURN(const PeerId id_of_a, b.AttachPeer(a));
+
+  // Out-of-band address + rkey exchange (§V).
+  PeerState& pa = a.peers_[id_of_b];
+  PeerState& pb = b.peers_[id_of_a];
+  pa.remote_id = id_of_a;
+  pb.remote_id = id_of_b;
+  pa.remote_mailbox_base = pb.mailbox_base;
+  pa.remote_mailbox_rkey = pb.mailbox_rkey_own;
+  pa.peer_flag_base = pb.flag_base;
+  pa.peer_flag_rkey = pb.flag_rkey_own;
+  pb.remote_mailbox_base = pa.mailbox_base;
+  pb.remote_mailbox_rkey = pa.mailbox_rkey_own;
+  pb.peer_flag_base = pa.flag_base;
+  pb.peer_flag_rkey = pa.flag_rkey_own;
+  return std::make_pair(id_of_b, id_of_a);
+}
+
+Status Runtime::Wire(Runtime& a, Runtime& b) {
+  return Connect(a, b).status();
+}
+
+PeerId Runtime::PeerIdOf(const Runtime& other) const noexcept {
+  for (PeerId i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].runtime == &other) return i;
+  }
+  return kInvalidPeer;
 }
 
 Status Runtime::LoadPackage(const pkg::Package& package) {
@@ -172,11 +219,16 @@ Status Runtime::LoadPackage(const pkg::Package& package) {
 }
 
 Status Runtime::SyncNamespaces(Runtime& a, Runtime& b) {
+  const PeerId a_to_b = a.PeerIdOf(b);
+  const PeerId b_to_a = b.PeerIdOf(a);
+  if (a_to_b == kInvalidPeer || b_to_a == kInvalidPeer) {
+    return FailedPrecondition("runtimes not connected");
+  }
   for (const auto& [name, value] : a.ns_.entries()) {
-    b.remote_ns_[name] = value;
+    b.peers_[b_to_a].remote_ns[name] = value;
   }
   for (const auto& [name, value] : b.ns_.entries()) {
-    a.remote_ns_[name] = value;
+    a.peers_[a_to_b].remote_ns[name] = value;
   }
   return Status::Ok();
 }
@@ -207,35 +259,48 @@ StatusOr<FrameLayout> Runtime::LayoutFor(const std::string& name, Invoke mode,
   return FrameLayout::Compute(spec);
 }
 
-bool Runtime::HasFreeSlot() const {
+bool Runtime::HasFreeSlot(PeerId peer) const {
+  if (peer >= peers_.size()) return false;
+  const PeerState& p = peers_[peer];
   const std::uint32_t bank =
-      static_cast<std::uint32_t>((send_counter_ / config_.mailboxes_per_bank) %
+      static_cast<std::uint32_t>((p.send_counter / config_.mailboxes_per_bank) %
                                  config_.banks);
-  return bank_open_[bank] != 0;
+  return p.bank_open[bank] != 0;
 }
 
-void Runtime::NotifyWhenSlotFree(std::function<void()> cb) {
-  if (HasFreeSlot()) {
+void Runtime::NotifyWhenSlotFree(PeerId peer, std::function<void()> cb) {
+  if (HasFreeSlot(peer)) {
     cb();
     return;
   }
-  slot_waiters_.push_back(std::move(cb));
+  if (peer >= peers_.size()) return;  // never wired: nothing will free up
+  peers_[peer].slot_waiters.push_back(std::move(cb));
 }
 
-StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
+StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
+                                    Invoke mode,
                                     std::span<const std::uint64_t> args,
                                     std::span<const std::uint8_t> usr,
                                     std::uint16_t extra_flags) {
-  if (peer_.runtime == nullptr) return FailedPrecondition("not wired");
+  if (peer_id >= peers_.size()) {
+    return FailedPrecondition(
+        StrFormat("peer %u not wired (peer_count=%zu)", peer_id,
+                  peers_.size()));
+  }
+  PeerState& peer = peers_[peer_id];
+  PeerStats& pstats = stats_.per_peer[peer_id];
   TC_ASSIGN_OR_RETURN(const ElementInfo* elem, FindElement(name));
 
   const std::uint32_t in_bank =
-      static_cast<std::uint32_t>(send_counter_ % config_.mailboxes_per_bank);
+      static_cast<std::uint32_t>(peer.send_counter %
+                                 config_.mailboxes_per_bank);
   const std::uint32_t bank =
-      static_cast<std::uint32_t>((send_counter_ / config_.mailboxes_per_bank) %
+      static_cast<std::uint32_t>((peer.send_counter /
+                                  config_.mailboxes_per_bank) %
                                  config_.banks);
-  if (bank_open_[bank] == 0) {
+  if (peer.bank_open[bank] == 0) {
     ++stats_.send_stalls;
+    ++pstats.send_stalls;
     return ResourceExhausted(StrFormat("bank %u flag not returned", bank));
   }
   const std::uint32_t slot = bank * config_.mailboxes_per_bank + in_bank;
@@ -259,8 +324,8 @@ StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
         gotp.push_back(0);
         continue;
       }
-      const auto it = remote_ns_.find(symbol);
-      if (it == remote_ns_.end()) {
+      const auto it = peer.remote_ns.find(symbol);
+      if (it == peer.remote_ns.end()) {
         return NotFound(StrFormat(
             "remote symbol '%s' unknown — namespaces not synchronized?",
             symbol.c_str()));
@@ -291,7 +356,7 @@ StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
   }
 
   const mem::VirtAddr remote_slot_addr =
-      peer_.mailbox_base +
+      peer.remote_mailbox_base +
       static_cast<std::uint64_t>(slot) * config_.mailbox_slot_bytes;
   if (spec.injected && !config_.security.receiver_installs_got) {
     // PRE -> the GOTP table as it will sit in the *receiver's* mailbox.
@@ -301,7 +366,7 @@ StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
 
   // Stage the frame in sender memory (the NIC DMA-reads from here) and
   // charge the pack cost.
-  const mem::VirtAddr staging = StagingAddr(slot);
+  const mem::VirtAddr staging = StagingAddr(peer, slot);
   TC_RETURN_IF_ERROR(host_.memory().DmaWrite(staging, frame));
   // Pack cost: the runtime writes the header, GOTP, PRE, code bytes, and
   // the signal word. The payload (ARGS/USR) is framed zero-copy — the
@@ -323,25 +388,27 @@ StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
   // ---- post -----------------------------------------------------------
   // Packing happens on the sender CPU before the doorbell, so the actual
   // put is scheduled after the pack time.
-  Runtime* peer_rt = peer_.runtime;
-  auto on_signal_delivered = [peer_rt, slot](const net::PutCompletion& c) {
+  Runtime* peer_rt = peer.runtime;
+  const PeerId our_id_at_peer = peer.remote_id;
+  auto on_signal_delivered = [peer_rt, our_id_at_peer,
+                              slot](const net::PutCompletion& c) {
     if (!c.status.ok()) {
       TC_WARN << "frame delivery failed: " << c.status;
       return;
     }
-    peer_rt->OnFrameDelivered(slot, c.delivered_at);
+    peer_rt->OnFrameDelivered(our_id_at_peer, slot, c.delivered_at);
   };
 
   // Compute the protocol now (for the receipt); the endpoint recomputes it
   // at post time with the same inputs.
-  const ucxs::Protocol protocol = endpoint_->SelectProtocol(frame.size());
+  ucxs::Endpoint* endpoint = peer.endpoint.get();
+  const ucxs::Protocol protocol = endpoint->SelectProtocol(frame.size());
   const std::uint64_t frame_size = frame.size();
   const bool separate_signal = config_.separate_signal_put;
   const std::uint64_t sig_word = SignalWord(header.sn);
   const std::uint64_t sig_off = layout.sig_off;
-  const PicoTime proto_overhead = endpoint_->EstimateOverhead(frame.size());
-  auto mailbox_rkey = peer_.mailbox_rkey;
-  auto* endpoint = endpoint_.get();
+  const PicoTime proto_overhead = endpoint->EstimateOverhead(frame.size());
+  auto mailbox_rkey = peer.remote_mailbox_rkey;
   engine_.ScheduleAfter(
       pack_time,
       [endpoint, staging, remote_slot_addr, frame_size, mailbox_rkey,
@@ -374,12 +441,15 @@ StatusOr<SendReceipt> Runtime::Send(const std::string& name, Invoke mode,
 
   // Flow control: after filling a bank, close it until the flag returns.
   if (in_bank == config_.mailboxes_per_bank - 1) {
-    bank_open_[bank] = 0;
-    TC_RETURN_IF_ERROR(host_.memory().StoreU64(flag_base_ + 8ull * bank, 0));
+    peer.bank_open[bank] = 0;
+    TC_RETURN_IF_ERROR(
+        host_.memory().StoreU64(peer.flag_base + 8ull * bank, 0));
   }
-  ++send_counter_;
+  ++peer.send_counter;
   ++stats_.messages_sent;
+  ++pstats.messages_sent;
   stats_.bytes_sent += frame.size();
+  pstats.bytes_sent += frame.size();
 
   SendReceipt receipt;
   receipt.sn = header.sn;
@@ -397,30 +467,44 @@ Status Runtime::StartReceiver() {
   return Status::Ok();
 }
 
-void Runtime::OnFrameDelivered(std::uint32_t slot, PicoTime delivered_at) {
+void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
+                               PicoTime delivered_at) {
+  if (from >= peers_.size()) return;
   ++stats_.messages_delivered;
-  ready_[slot] = ReadyFrame{slot, delivered_at};
+  ++stats_.per_peer[from].messages_delivered;
+  peers_[from].ready[slot] = ReadyFrame{from, slot, delivered_at};
   MaybeBeginNext();
 }
 
-void Runtime::OnBankFlag(std::uint32_t bank) {
-  if (bank >= config_.banks) return;
-  bank_open_[bank] = 1;
-  if (!slot_waiters_.empty()) {
-    auto waiters = std::move(slot_waiters_);
-    slot_waiters_.clear();
+void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
+  if (peer >= peers_.size() || bank >= config_.banks) return;
+  PeerState& p = peers_[peer];
+  p.bank_open[bank] = 1;
+  if (!p.slot_waiters.empty()) {
+    auto waiters = std::move(p.slot_waiters);
+    p.slot_waiters.clear();
     for (auto& w : waiters) w();
   }
 }
 
 void Runtime::MaybeBeginNext() {
   if (!receiver_started_ || processing_) return;
-  const auto it = ready_.find(next_recv_slot_);
-  if (it == ready_.end()) {
+  // The receiver agent scans every peer's mailbox slice for its next
+  // in-order slot and serves the earliest-delivered one — a fair sweep
+  // across senders under incast.
+  const ReadyFrame* best = nullptr;
+  for (PeerState& p : peers_) {
+    const auto it = p.ready.find(p.next_recv_slot);
+    if (it == p.ready.end()) continue;
+    if (best == nullptr || it->second.delivered_at < best->delivered_at) {
+      best = &it->second;
+    }
+  }
+  if (best == nullptr) {
     if (!idle_since_.has_value()) idle_since_ = engine_.Now();
     return;
   }
-  const ReadyFrame frame = it->second;
+  const ReadyFrame frame = *best;
   PicoTime waited = 0;
   if (idle_since_.has_value() && frame.delivered_at >= *idle_since_) {
     waited = frame.delivered_at - *idle_since_;
@@ -447,10 +531,11 @@ void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
 void Runtime::ProcessFrame(const ReadyFrame& frame) {
   ReceivedMessage msg;
   msg.delivered_at = frame.delivered_at;
+  msg.from = frame.peer;
   Cycles cycles = config_.validate_cycles;
   auto& caches = host_.caches();
   const std::uint32_t core = config_.receiver_core;
-  const mem::VirtAddr frame_addr = SlotAddr(frame.slot);
+  const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
 
   // The poll/WFE loop re-reads the signal line; its final read plus the
   // header fetch go through the cache hierarchy (this is where stashing
@@ -458,7 +543,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   auto hdr_span = host_.memory().RawSpan(frame_addr, kHeaderBytes);
   if (!hdr_span.ok()) {
     ++stats_.security_rejections;
-    CompleteFrame(msg, cycles);
+    CompleteFrame(frame, msg, cycles);
     return;
   }
   cycles += caches.Access(core, frame_addr, kHeaderBytes,
@@ -467,7 +552,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   if (!header.ok()) {
     ++stats_.security_rejections;
     TC_WARN << "frame rejected: " << header.status();
-    CompleteFrame(msg, cycles);
+    CompleteFrame(frame, msg, cycles);
     return;
   }
   msg.sn = header->sn;
@@ -482,7 +567,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   if (!sig.ok() || *sig != SignalWord(header->sn)) {
     ++stats_.security_rejections;
     TC_WARN << "bad signal word for sn " << header->sn;
-    CompleteFrame(msg, cycles);
+    CompleteFrame(frame, msg, cycles);
     return;
   }
   if (!config_.fixed_size_frames) {
@@ -499,14 +584,14 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   } else {
     cycles += *invoke_cycles;
   }
-  CompleteFrame(msg, cycles);
+  CompleteFrame(frame, msg, cycles);
 }
 
 StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
                                       const FrameHeader& header,
                                       ReceivedMessage& msg) {
   Cycles cycles = 0;
-  const mem::VirtAddr frame_addr = SlotAddr(frame.slot);
+  const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
   auto& caches = host_.caches();
   auto& memory = host_.memory();
   const std::uint32_t core = config_.receiver_core;
@@ -632,7 +717,8 @@ StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem) {
   return table;
 }
 
-void Runtime::CompleteFrame(const ReceivedMessage& msg_in, Cycles cycles) {
+void Runtime::CompleteFrame(const ReadyFrame& frame,
+                            const ReceivedMessage& msg_in, Cycles cycles) {
   ReceivedMessage msg = msg_in;
   auto& core = receiver_cpu();
   const PicoTime busy = core.Charge(cycles, cpu::CycleClass::kExecute);
@@ -640,21 +726,26 @@ void Runtime::CompleteFrame(const ReceivedMessage& msg_in, Cycles cycles) {
 
   engine_.ScheduleAfter(
       busy,
-      [this, msg]() mutable {
+      [this, frame, msg]() mutable {
         msg.completed_at = engine_.Now();
-        if (msg.executed) ++stats_.messages_executed;
+        if (msg.executed) {
+          ++stats_.messages_executed;
+          ++stats_.per_peer[frame.peer].messages_executed;
+        }
 
-        // Bank recycling: after draining a bank, return its flag.
+        // Bank recycling: after draining a bank of this peer's slice,
+        // return its flag to that peer — and only that peer.
+        PeerState& p = peers_[frame.peer];
         const std::uint32_t bank =
-            next_recv_slot_ / config_.mailboxes_per_bank;
+            p.next_recv_slot / config_.mailboxes_per_bank;
         const std::uint32_t in_bank =
-            next_recv_slot_ % config_.mailboxes_per_bank;
+            p.next_recv_slot % config_.mailboxes_per_bank;
         if (in_bank == config_.mailboxes_per_bank - 1) {
-          Status st = ReturnBankFlag(bank);
+          Status st = ReturnBankFlag(frame.peer, bank);
           if (!st.ok()) TC_WARN << "flag return failed: " << st;
         }
-        ready_.erase(next_recv_slot_);
-        next_recv_slot_ = (next_recv_slot_ + 1) % TotalSlots();
+        p.ready.erase(p.next_recv_slot);
+        p.next_recv_slot = (p.next_recv_slot + 1) % TotalSlots();
         processing_ = false;
         if (on_executed_) on_executed_(msg);
         MaybeBeginNext();
@@ -662,16 +753,19 @@ void Runtime::CompleteFrame(const ReceivedMessage& msg_in, Cycles cycles) {
       "tc.complete");
 }
 
-Status Runtime::ReturnBankFlag(std::uint32_t bank) {
-  if (peer_.runtime == nullptr) return FailedPrecondition("not wired");
-  Runtime* peer_rt = peer_.runtime;
+Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank) {
+  if (peer_id >= peers_.size()) return FailedPrecondition("not wired");
+  PeerState& peer = peers_[peer_id];
+  Runtime* peer_rt = peer.runtime;
+  const PeerId our_id_at_peer = peer.remote_id;
   ++stats_.bank_flags_returned;
+  ++stats_.per_peer[peer_id].bank_flags_returned;
   TC_ASSIGN_OR_RETURN(
       const ucxs::PutReceipt receipt,
-      endpoint_->PutInline(
-          1, peer_.flag_base + 8ull * bank, peer_.flag_rkey, false,
-          [peer_rt, bank](const net::PutCompletion& c) {
-            if (c.status.ok()) peer_rt->OnBankFlag(bank);
+      peer.endpoint->PutInline(
+          1, peer.peer_flag_base + 8ull * bank, peer.peer_flag_rkey, false,
+          [peer_rt, our_id_at_peer, bank](const net::PutCompletion& c) {
+            if (c.status.ok()) peer_rt->OnBankFlag(our_id_at_peer, bank);
           }));
   (void)receipt;
   return Status::Ok();

@@ -13,15 +13,22 @@
 //     their export tables so a sender can pack a patched GOT (GOTP) with
 //     *receiver* virtual addresses;
 //   * sending — packing Injected or Local frames, patching the PRE slot,
-//     posting one-sided puts through the ucxs endpoint (kUser mode: the
-//     runtime's own flow control, not UCX's);
+//     posting one-sided puts through the per-peer ucxs endpoint (kUser
+//     mode: the runtime's own flow control, not UCX's);
 //   * receiving — the reactive receiver agent: waits on the next mailbox
 //     signal with POLL or WFE, validates, links (PRE/GOT handling per the
 //     security policy), executes through the cache-charged interpreter,
-//     and recycles mailbox banks.
+//     and recycles mailbox banks back to the owning sender.
 //
-// Everything runs on one sim::Engine; two Runtimes wired back-to-back are
-// the paper's testbed.
+// Peer model: a runtime holds a PeerId-indexed peer table. Each connected
+// peer gets its own ucxs endpoint, its own slice of inbound mailbox banks
+// (so an incast of senders cannot corrupt each other's slots), its own
+// sender-side bank-flag mirror, and its own remote-namespace snapshot. The
+// paper's testbed is the 2-host special case: two runtimes, one peer each,
+// wired back-to-back. N-host fabrics (full mesh, star/incast) are built by
+// core::Fabric from the same pairwise Connect() primitive.
+//
+// Everything runs on one sim::Engine.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +55,12 @@
 #include "ucxs/ucxs.hpp"
 
 namespace twochains::core {
+
+/// Index into a runtime's peer table (dense, assigned at Connect time).
+using PeerId = std::uint32_t;
+inline constexpr PeerId kInvalidPeer = ~PeerId{0};
+/// The peer single-peer callers mean: the first (often only) one wired.
+inline constexpr PeerId kDefaultPeer = 0;
 
 struct RuntimeConfig {
   std::uint32_t banks = 2;
@@ -88,6 +101,8 @@ struct SendReceipt {
 struct ReceivedMessage {
   std::uint32_t sn = 0;
   std::uint32_t elem_id = 0;
+  /// Peer table index of the sender on the *receiving* runtime.
+  PeerId from = kInvalidPeer;
   bool injected = false;
   bool executed = false;
   std::uint64_t frame_len = 0;
@@ -95,6 +110,16 @@ struct ReceivedMessage {
   std::uint64_t instructions = 0;
   PicoTime delivered_at = 0;  ///< signal visible in mailbox memory
   PicoTime completed_at = 0;  ///< processing finished
+};
+
+/// Per-peer traffic counters (one entry per peer table slot).
+struct PeerStats {
+  std::uint64_t messages_sent = 0;      ///< sends *to* this peer
+  std::uint64_t messages_delivered = 0; ///< frames delivered *from* this peer
+  std::uint64_t messages_executed = 0;  ///< frames executed *from* this peer
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t send_stalls = 0;        ///< sends to this peer refused
+  std::uint64_t bank_flags_returned = 0;///< flags recycled back to this peer
 };
 
 struct RuntimeStats {
@@ -106,6 +131,8 @@ struct RuntimeStats {
   std::uint64_t send_stalls = 0;       ///< sends refused: bank flag clear
   std::uint64_t security_rejections = 0;
   std::uint64_t wait_episodes = 0;
+  /// Counters keyed by PeerId (index == peer table slot).
+  std::vector<PeerStats> per_peer;
 };
 
 class Runtime {
@@ -116,38 +143,59 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Allocates mailboxes/flags/staging, registers RDMA regions, registers
-  /// the standard natives. Must be called before Wire().
+  /// Allocates the execution stack, registers the standard natives. Must be
+  /// called before Connect().
   Status Initialize();
 
-  /// Exchanges mailbox/flag addresses + rkeys between two runtimes (the
-  /// out-of-band wireup of §V) and links their delivery paths.
+  /// Connects two runtimes pairwise: each side allocates a dedicated slice
+  /// of mailbox banks + bank flags + staging for the other, builds a
+  /// per-peer endpoint, and exchanges addresses + rkeys (the out-of-band
+  /// wireup of §V). Returns the PeerId each side assigned the other:
+  /// `first` is b's id within a, `second` is a's id within b. Their NICs
+  /// must already be cabled (net::Nic::ConnectTo).
+  static StatusOr<std::pair<PeerId, PeerId>> Connect(Runtime& a, Runtime& b);
+
+  /// Back-compat two-host wireup: Connect() discarding the peer ids.
   static Status Wire(Runtime& a, Runtime& b);
 
   /// Loads a package on this host: rieds first (with auto-init), then the
   /// Local Function library; caches injectable jam images.
   Status LoadPackage(const pkg::Package& package);
 
-  /// Copies each peer's export table into the other's remote namespace —
-  /// the "exchange with the receiver" that lets senders pack GOTP with
-  /// receiver VAs (§III-B). Call after both sides loaded packages.
+  /// Copies each runtime's export table into the other's per-peer remote
+  /// namespace — the "exchange with the receiver" that lets senders pack
+  /// GOTP with receiver VAs (§III-B). Call after both sides loaded
+  /// packages; requires Connect() first. Fabric::SyncNamespaces runs this
+  /// over every connected pair.
   static Status SyncNamespaces(Runtime& a, Runtime& b);
 
   // ------------------------------------------------------------- send
 
-  /// True when the current bank accepts another message.
-  bool HasFreeSlot() const;
+  /// True when the current bank toward @p peer accepts another message.
+  bool HasFreeSlot(PeerId peer) const;
+  bool HasFreeSlot() const { return HasFreeSlot(kDefaultPeer); }
 
-  /// Runs @p cb (once) as soon as a bank flag returns. If a slot is
-  /// already free, runs it immediately.
-  void NotifyWhenSlotFree(std::function<void()> cb);
+  /// Runs @p cb (once) as soon as a bank flag returns from @p peer. If a
+  /// slot is already free, runs it immediately. Flow control is per peer:
+  /// exhausting one peer's banks never blocks sends to another.
+  void NotifyWhenSlotFree(PeerId peer, std::function<void()> cb);
+  void NotifyWhenSlotFree(std::function<void()> cb) {
+    NotifyWhenSlotFree(kDefaultPeer, std::move(cb));
+  }
 
-  /// Sends jam @p name with the given argument block and user payload.
-  /// Fails with kResourceExhausted when flow control blocks (no free bank).
-  StatusOr<SendReceipt> Send(const std::string& name, Invoke mode,
+  /// Sends jam @p name to @p peer with the given argument block and user
+  /// payload. Fails with kResourceExhausted when flow control blocks (no
+  /// free bank toward that peer).
+  StatusOr<SendReceipt> Send(PeerId peer, const std::string& name, Invoke mode,
                              std::span<const std::uint64_t> args,
                              std::span<const std::uint8_t> usr,
                              std::uint16_t extra_flags = 0);
+  StatusOr<SendReceipt> Send(const std::string& name, Invoke mode,
+                             std::span<const std::uint64_t> args,
+                             std::span<const std::uint8_t> usr,
+                             std::uint16_t extra_flags = 0) {
+    return Send(kDefaultPeer, name, mode, args, usr, extra_flags);
+  }
 
   /// Frame length a Send of this shape would produce (bench sizing).
   StatusOr<FrameLayout> LayoutFor(const std::string& name, Invoke mode,
@@ -179,6 +227,12 @@ class Runtime {
   const RuntimeConfig& config() const noexcept { return config_; }
   RuntimeConfig& mutable_config() noexcept { return config_; }
   const RuntimeStats& stats() const noexcept { return stats_; }
+  /// Number of connected peers (== size of stats().per_peer).
+  std::uint32_t peer_count() const noexcept {
+    return static_cast<std::uint32_t>(peers_.size());
+  }
+  /// The PeerId under which @p other is connected, or kInvalidPeer.
+  PeerId PeerIdOf(const Runtime& other) const noexcept;
   jelf::HostNamespace& ns() noexcept { return ns_; }
   vm::NativeTable& natives() noexcept { return natives_; }
   /// Output of tc_print_* natives executed on this host.
@@ -201,41 +255,69 @@ class Runtime {
     mem::VirtAddr receiver_got = 0;       // hardened: receiver-side table
   };
 
-  struct PeerInfo {
-    Runtime* runtime = nullptr;
-    mem::VirtAddr mailbox_base = 0;
-    mem::RKey mailbox_rkey;
-    mem::VirtAddr flag_base = 0;
-    mem::RKey flag_rkey;
-  };
-
   struct ReadyFrame {
+    PeerId peer = kInvalidPeer;
     std::uint32_t slot = 0;
     PicoTime delivered_at = 0;
+  };
+
+  /// Everything this runtime holds per connected peer: the outbound path
+  /// (endpoint, staging ring, bank-flag mirror, remote mailbox window,
+  /// remote namespace) and the inbound path (this runtime's mailbox slice
+  /// that the peer writes, plus where to return that peer's bank flags).
+  struct PeerState {
+    Runtime* runtime = nullptr;
+    PeerId remote_id = kInvalidPeer;  ///< our slot in the peer's table
+    std::unique_ptr<ucxs::Endpoint> endpoint;
+
+    // Outbound: sending to this peer.
+    mem::VirtAddr remote_mailbox_base = 0;  ///< peer memory (our slice there)
+    mem::RKey remote_mailbox_rkey;
+    mem::VirtAddr staging_base = 0;         ///< own memory
+    mem::VirtAddr flag_base = 0;   ///< own memory; the peer sets these words
+    mem::RKey flag_rkey_own;
+    std::vector<std::uint8_t> bank_open;  ///< local mirror of flag words
+    std::uint64_t send_counter = 0;
+    std::vector<std::function<void()>> slot_waiters;
+    std::map<std::string, std::uint64_t> remote_ns;  ///< peer exports
+
+    // Inbound: receiving from this peer.
+    mem::VirtAddr mailbox_base = 0;  ///< own memory; the peer puts here
+    mem::RKey mailbox_rkey_own;
+    mem::VirtAddr peer_flag_base = 0;  ///< peer memory (flag return target)
+    mem::RKey peer_flag_rkey;
+    std::uint32_t next_recv_slot = 0;
+    std::map<std::uint32_t, ReadyFrame> ready;  ///< by slot
   };
 
   std::uint32_t TotalSlots() const {
     return config_.banks * config_.mailboxes_per_bank;
   }
-  mem::VirtAddr SlotAddr(std::uint32_t slot) const {
-    return mailbox_base_ + static_cast<std::uint64_t>(slot) *
-                               config_.mailbox_slot_bytes;
+  mem::VirtAddr SlotAddr(const PeerState& peer, std::uint32_t slot) const {
+    return peer.mailbox_base + static_cast<std::uint64_t>(slot) *
+                                   config_.mailbox_slot_bytes;
   }
-  mem::VirtAddr StagingAddr(std::uint32_t slot) const {
-    return staging_base_ + static_cast<std::uint64_t>(slot) *
-                               config_.mailbox_slot_bytes;
+  mem::VirtAddr StagingAddr(const PeerState& peer, std::uint32_t slot) const {
+    return peer.staging_base + static_cast<std::uint64_t>(slot) *
+                                   config_.mailbox_slot_bytes;
   }
+
+  /// Allocates this side's resources for a new peer (mailbox slice, flags,
+  /// staging, endpoint); address exchange happens in Connect().
+  StatusOr<PeerId> AttachPeer(Runtime& remote);
 
   StatusOr<const ElementInfo*> FindElement(const std::string& name) const;
 
   // Receiver pipeline.
-  void OnFrameDelivered(std::uint32_t slot, PicoTime delivered_at);
-  void OnBankFlag(std::uint32_t bank);
+  void OnFrameDelivered(PeerId from, std::uint32_t slot,
+                        PicoTime delivered_at);
+  void OnBankFlag(PeerId peer, std::uint32_t bank);
   void MaybeBeginNext();
   void BeginProcess(const ReadyFrame& frame, PicoTime waited);
   void ProcessFrame(const ReadyFrame& frame);
-  void CompleteFrame(const ReceivedMessage& msg, Cycles cycles);
-  Status ReturnBankFlag(std::uint32_t bank);
+  void CompleteFrame(const ReadyFrame& frame, const ReceivedMessage& msg,
+                     Cycles cycles);
+  Status ReturnBankFlag(PeerId peer, std::uint32_t bank);
 
   /// Executes the frame body; returns cycles burned and fills @p msg.
   StatusOr<Cycles> InvokeFrame(const ReadyFrame& frame,
@@ -250,39 +332,25 @@ class Runtime {
   net::Nic& nic_;
   ucxs::Worker& worker_;
   RuntimeConfig config_;
-  std::unique_ptr<ucxs::Endpoint> endpoint_;
   std::unique_ptr<cpu::WaitModel> wait_model_;
 
-  // Receiver-side resources.
-  mem::VirtAddr mailbox_base_ = 0;
-  mem::RKey mailbox_rkey_own_;
+  // Receiver execution stack.
   mem::VirtAddr stack_top_ = 0;
-  // Sender-side resources.
-  mem::VirtAddr staging_base_ = 0;
-  mem::VirtAddr flag_base_ = 0;  ///< this host's bank flags (peer sets them)
-  mem::RKey flag_rkey_own_;
 
-  PeerInfo peer_;
+  std::vector<PeerState> peers_;
 
   jelf::HostNamespace ns_;
   vm::NativeTable natives_;
   std::string print_sink_;
-  std::map<std::string, std::uint64_t> remote_ns_;  ///< peer exports
   std::vector<ElementInfo> elements_;
   std::vector<jelf::LoadedLibrary> loaded_libraries_;
 
-  // Sender flow-control state.
-  std::uint64_t send_counter_ = 0;
   std::uint32_t next_sn_ = 1;
-  std::vector<std::uint8_t> bank_open_;  ///< local mirror of flag words
-  std::vector<std::function<void()>> slot_waiters_;
 
   // Receiver state.
   bool receiver_started_ = false;
   bool processing_ = false;
-  std::uint32_t next_recv_slot_ = 0;
   std::optional<PicoTime> idle_since_;
-  std::map<std::uint32_t, ReadyFrame> ready_;  ///< by slot
 
   std::function<void(const ReceivedMessage&)> on_executed_;
   std::function<PicoTime()> preemption_hook_;

@@ -2,44 +2,32 @@
 
 namespace twochains::core {
 
-Testbed::Testbed(TestbedOptions options)
-    : options_(std::move(options)),
-      host0_(options_.host0),
-      host1_(options_.host1),
-      nic0_(engine_, host0_, options_.nic),
-      nic1_(engine_, host1_, options_.nic),
-      ctx0_(engine_, host0_, nic0_, options_.protocol),
-      ctx1_(engine_, host1_, nic1_, options_.protocol),
-      worker0_(ctx0_),
-      worker1_(ctx1_) {
-  nic0_.ConnectTo(nic1_);
-  runtime0_ = std::make_unique<Runtime>(engine_, host0_, nic0_, worker0_,
-                                        options_.runtime);
-  runtime1_ = std::make_unique<Runtime>(engine_, host1_, nic1_, worker1_,
-                                        options_.runtime);
+FabricOptions Testbed::ToFabricOptions(TestbedOptions options) {
+  FabricOptions fabric;
+  fabric.hosts = 2;
+  fabric.topology = Topology::kFullMesh;
+  fabric.host_overrides = {options.host0, options.host1};
+  fabric.nic = options.nic;
+  fabric.protocol = options.protocol;
+  fabric.runtime = options.runtime;
+  return fabric;
 }
+
+Testbed::Testbed(TestbedOptions options)
+    : fabric_(ToFabricOptions(std::move(options))) {}
 
 Status Testbed::BuildAndLoad(const pkg::PackageBuilder& builder,
                              const std::string& package_name) {
-  TC_ASSIGN_OR_RETURN(const pkg::Package package, builder.Build(package_name));
-  return LoadPackage(package);
+  return fabric_.BuildAndLoad(builder, package_name);
 }
 
 Status Testbed::LoadPackage(const pkg::Package& package) {
-  return LoadPackages(package, package);
+  return fabric_.LoadPackage(package);
 }
 
 Status Testbed::LoadPackages(const pkg::Package& for_host0,
                              const pkg::Package& for_host1) {
-  TC_RETURN_IF_ERROR(runtime0_->Initialize());
-  TC_RETURN_IF_ERROR(runtime1_->Initialize());
-  TC_RETURN_IF_ERROR(Runtime::Wire(*runtime0_, *runtime1_));
-  TC_RETURN_IF_ERROR(runtime0_->LoadPackage(for_host0));
-  TC_RETURN_IF_ERROR(runtime1_->LoadPackage(for_host1));
-  TC_RETURN_IF_ERROR(Runtime::SyncNamespaces(*runtime0_, *runtime1_));
-  TC_RETURN_IF_ERROR(runtime0_->StartReceiver());
-  TC_RETURN_IF_ERROR(runtime1_->StartReceiver());
-  return Status::Ok();
+  return fabric_.LoadPackages({&for_host0, &for_host1});
 }
 
 }  // namespace twochains::core

@@ -6,14 +6,16 @@
 //   tb.runtime(0).Send("append", Invoke::kInjected, args, payload);
 //   tb.Run();                                    // advance simulated time
 //
-// The Testbed owns the discrete-event engine, both simulated hosts
-// (memory, caches, cores), the back-to-back NIC pair, the ucxs workers, and
-// the two runtimes — the exact shape of the paper's evaluation platform
-// (§VI-C), fully deterministic.
+// The Testbed is the paper's evaluation platform (§VI-C): two simulated
+// hosts (memory, caches, cores), a back-to-back NIC pair, the ucxs
+// workers, and the two runtimes — fully deterministic. It is implemented
+// as the 2-host full-mesh special case of core::Fabric, so every figure
+// bench exercises exactly the code path the N-host fabrics scale up.
 #pragma once
 
 #include <memory>
 
+#include "core/fabric.hpp"
 #include "core/runtime.hpp"
 #include "net/host.hpp"
 #include "net/nic.hpp"
@@ -68,31 +70,28 @@ class Testbed {
   Status LoadPackages(const pkg::Package& for_host0,
                       const pkg::Package& for_host1);
 
-  sim::Engine& engine() noexcept { return engine_; }
-  Runtime& runtime(int host) { return host == 0 ? *runtime0_ : *runtime1_; }
-  net::Host& host(int i) { return i == 0 ? host0_ : host1_; }
-  net::Nic& nic(int i) { return i == 0 ? nic0_ : nic1_; }
+  sim::Engine& engine() noexcept { return fabric_.engine(); }
+  Runtime& runtime(int host) {
+    return fabric_.runtime(static_cast<std::uint32_t>(host));
+  }
+  net::Host& host(int i) {
+    return fabric_.host(static_cast<std::uint32_t>(i));
+  }
+  net::Nic& nic(int i) { return fabric_.nic(static_cast<std::uint32_t>(i)); }
+  /// The underlying 2-host fabric.
+  Fabric& fabric() noexcept { return fabric_; }
 
   /// Runs the engine until it drains.
-  void Run() { engine_.Run(); }
+  void Run() { fabric_.Run(); }
   /// Runs until @p done holds (or the event queue drains). True iff held.
   bool RunUntil(const std::function<bool()>& done) {
-    return engine_.RunUntilCondition(done);
+    return fabric_.RunUntil(done);
   }
 
  private:
-  TestbedOptions options_;
-  sim::Engine engine_;
-  net::Host host0_;
-  net::Host host1_;
-  net::Nic nic0_;
-  net::Nic nic1_;
-  ucxs::Context ctx0_;
-  ucxs::Context ctx1_;
-  ucxs::Worker worker0_;
-  ucxs::Worker worker1_;
-  std::unique_ptr<Runtime> runtime0_;
-  std::unique_ptr<Runtime> runtime1_;
+  static FabricOptions ToFabricOptions(TestbedOptions options);
+
+  Fabric fabric_;
 };
 
 }  // namespace twochains::core

@@ -12,14 +12,30 @@ Nic::Nic(sim::Engine& engine, Host& host, NicConfig config)
     : engine_(engine), host_(host), config_(config) {}
 
 void Nic::ConnectTo(Nic& peer) noexcept {
-  peer_ = &peer;
-  peer.peer_ = this;
+  if (FindLink(&peer) != nullptr) return;
+  links_.push_back(Link{&peer});
+  peer.links_.push_back(Link{this});
 }
 
-Status Nic::PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
-                    std::uint64_t size, mem::RKey rkey, bool fence,
-                    DeliveredFn on_delivered) {
-  if (peer_ == nullptr) return FailedPrecondition("NIC not connected");
+bool Nic::ConnectedTo(const Nic& peer) const noexcept {
+  for (const auto& link : links_) {
+    if (link.peer == &peer) return true;
+  }
+  return false;
+}
+
+Nic::Link* Nic::FindLink(const Nic* dst) noexcept {
+  for (auto& link : links_) {
+    if (link.peer == dst) return &link;
+  }
+  return nullptr;
+}
+
+Status Nic::PostPut(Nic& dst, mem::VirtAddr local_addr,
+                    mem::VirtAddr remote_addr, std::uint64_t size,
+                    mem::RKey rkey, bool fence, DeliveredFn on_delivered) {
+  Link* link = FindLink(&dst);
+  if (link == nullptr) return FailedPrecondition("NIC not connected");
   if (size == 0) return InvalidArgument("zero-length put");
   Op op;
   op.bytes.resize(size);
@@ -28,13 +44,14 @@ Status Nic::PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
   op.fence = fence;
   op.inline_op = false;
   op.on_delivered = std::move(on_delivered);
-  return PostOp(std::move(op), local_addr);
+  return PostOp(std::move(op), local_addr, *link);
 }
 
-Status Nic::PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
-                          mem::RKey rkey, bool fence,
-                          DeliveredFn on_delivered) {
-  if (peer_ == nullptr) return FailedPrecondition("NIC not connected");
+Status Nic::PostInlinePut(Nic& dst, std::uint64_t value,
+                          mem::VirtAddr remote_addr, mem::RKey rkey,
+                          bool fence, DeliveredFn on_delivered) {
+  Link* link = FindLink(&dst);
+  if (link == nullptr) return FailedPrecondition("NIC not connected");
   Op op;
   op.bytes.resize(sizeof(value));
   std::memcpy(op.bytes.data(), &value, sizeof(value));
@@ -43,12 +60,29 @@ Status Nic::PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
   op.fence = fence;
   op.inline_op = true;
   op.on_delivered = std::move(on_delivered);
-  return PostOp(std::move(op), /*local_addr=*/0);
+  return PostOp(std::move(op), /*local_addr=*/0, *link);
 }
 
-Status Nic::PostOp(Op op, mem::VirtAddr local_addr) {
+Status Nic::PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
+                    std::uint64_t size, mem::RKey rkey, bool fence,
+                    DeliveredFn on_delivered) {
+  if (links_.empty()) return FailedPrecondition("NIC not connected");
+  return PostPut(*links_.front().peer, local_addr, remote_addr, size, rkey,
+                 fence, std::move(on_delivered));
+}
+
+Status Nic::PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
+                          mem::RKey rkey, bool fence,
+                          DeliveredFn on_delivered) {
+  if (links_.empty()) return FailedPrecondition("NIC not connected");
+  return PostInlinePut(*links_.front().peer, value, remote_addr, rkey, fence,
+                       std::move(on_delivered));
+}
+
+Status Nic::PostOp(Op op, mem::VirtAddr local_addr, Link& link) {
   const PicoTime now = engine_.Now();
   const std::uint64_t size = op.bytes.size();
+  Nic* dst = link.peer;
 
   // Doorbell: the posting CPU writes the WQE to the HCA over PCIe.
   PicoTime t = now + Nanoseconds(config_.doorbell_ns);
@@ -56,7 +90,8 @@ Status Nic::PostOp(Op op, mem::VirtAddr local_addr) {
   // Fence: the HCA holds this WQE until every prior op has been delivered.
   if (op.fence) t = std::max(t, last_delivery_at_);
 
-  // Send engine occupancy (one WQE at a time) + payload DMA read.
+  // Send engine occupancy (one WQE at a time, shared across all links) +
+  // payload DMA read.
   t = std::max(t, tx_free_at_);
   t += Nanoseconds(config_.per_message_ns);
   if (!op.inline_op) {
@@ -71,14 +106,18 @@ Status Nic::PostOp(Op op, mem::VirtAddr local_addr) {
   }
   tx_free_at_ = t;
 
-  // Wire: serialize after the link direction frees up.
-  PicoTime wire_start = std::max(t, wire_free_at_);
+  // Wire: serialize after this cable's transmit direction frees up.
+  PicoTime wire_start = std::max(t, link.wire_free_at);
   PicoTime wire_end = wire_start + GbpsToDuration(config_.wire_gbps, size);
-  wire_free_at_ = wire_end;
+  link.wire_free_at = wire_end;
 
-  // Arrival: propagation + receiver HCA processing.
-  PicoTime deliver_at =
-      wire_end + Nanoseconds(config_.wire_latency_ns + config_.rx_processing_ns);
+  // Arrival: propagation to the destination HCA. The uncontended delivery
+  // estimate (arrival + rx processing) drives ordering and fence state;
+  // contention for the destination's inbound DMA-write engine is resolved
+  // at the arrival instant below, in true arrival order.
+  const PicoTime arrival = wire_end + Nanoseconds(config_.wire_latency_ns);
+  const PicoTime rx_proc = Nanoseconds(config_.rx_processing_ns);
+  PicoTime deliver_at = arrival + rx_proc;
 
   if (!config_.enforce_write_ordering && !op.fence) {
     // Relaxed ordering: this op may be skewed past ops posted after it.
@@ -86,19 +125,36 @@ Status Nic::PostOp(Op op, mem::VirtAddr local_addr) {
         reorder_rng_.NextBelow(static_cast<std::uint64_t>(
             std::max(1.0, config_.reorder_window_ns)))));
   } else {
-    // In-order delivery: never before anything already scheduled.
-    deliver_at = std::max(deliver_at, last_sched_delivery_);
+    // In-order delivery: never before anything already scheduled on this
+    // link direction.
+    deliver_at = std::max(deliver_at, link.last_sched_delivery);
   }
-  last_sched_delivery_ = std::max(last_sched_delivery_, deliver_at);
+  link.last_sched_delivery = std::max(link.last_sched_delivery, deliver_at);
   last_delivery_at_ = std::max(last_delivery_at_, deliver_at);
 
   ++puts_posted_;
-  DeliverAt(deliver_at, std::move(op));
+
+  // Inbound DMA-write engine at the destination: occupancy is shared across
+  // every link delivering into @p dst — the incast bottleneck at the PCIe
+  // write path. Arbitrated when the frame actually arrives (events fire in
+  // time order), so an incast of senders queues first-come-first-served
+  // regardless of how far ahead any one sender's wire is backed up.
+  const PicoTime rx_occupancy =
+      dst->GbpsToDuration(dst->config_.pcie_gbps, size);
+  engine_.ScheduleAt(
+      deliver_at - rx_proc,
+      [this, dst, rx_occupancy, rx_proc, op = std::move(op)]() mutable {
+        const PicoTime rx_start = std::max(engine_.Now(), dst->rx_busy_until_);
+        dst->rx_busy_until_ = rx_start + rx_occupancy;
+        const PicoTime deliver = rx_start + rx_proc;
+        last_delivery_at_ = std::max(last_delivery_at_, deliver);
+        DeliverAt(deliver, std::move(op), dst);
+      },
+      "nic.rx");
   return Status::Ok();
 }
 
-void Nic::DeliverAt(PicoTime when, Op op) {
-  Nic* dst = peer_;
+void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
   engine_.ScheduleAt(
       when,
       [this, dst, op = std::move(op)]() mutable {

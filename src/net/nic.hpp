@@ -12,6 +12,14 @@
 // delivery time. Stage occupancy is tracked per NIC and per link direction,
 // which is what limits streaming message rate and bandwidth.
 //
+// Topology: a NIC carries one back-to-back cable per ConnectTo() call, so
+// N-host fabrics (full mesh, star/incast) are built from pairwise links.
+// Outbound serialization and in-order delivery are tracked per link
+// direction; the send engine (doorbell/DMA-read path) is shared across all
+// of a NIC's links, and inbound DMA-write occupancy is shared across all
+// links delivering *into* a NIC — the PCIe write path is what an incast of
+// senders ultimately contends on.
+//
 // Ordering: when `enforce_write_ordering` is set (true for the paper's
 // testbed: "Modern servers like the one we use ... enforce ordering"),
 // deliveries on a link direction happen in post order. When cleared, each
@@ -64,7 +72,9 @@ class Nic {
 
   Nic(sim::Engine& engine, Host& host, NicConfig config);
 
-  /// Wires this NIC back-to-back with @p peer (both directions).
+  /// Wires this NIC back-to-back with @p peer (both directions). A NIC may
+  /// be connected to many peers, one dedicated cable each; re-connecting an
+  /// already-linked pair is a no-op.
   void ConnectTo(Nic& peer) noexcept;
 
   Host& host() noexcept { return host_; }
@@ -72,19 +82,34 @@ class Nic {
   /// Reconfigures delivery mode (the paper's firmware stashing toggle).
   void set_stash_to_llc(bool on) noexcept { config_.stash_to_llc = on; }
 
+  /// Number of back-to-back links this NIC carries.
+  std::size_t link_count() const noexcept { return links_.size(); }
+  /// True when a cable to @p peer exists.
+  bool ConnectedTo(const Nic& peer) const noexcept;
+
   /// Posts a one-sided RDMA put of [local_addr, +size) from this host into
-  /// [remote_addr, +size) on the connected peer, authorized by @p rkey.
+  /// [remote_addr, +size) on @p dst, authorized by @p rkey. @p dst must be
+  /// one of this NIC's connected peers.
   ///
   /// @p fence orders this put after every previously posted put has been
   /// delivered (IBTA fence semantics).
   /// @p on_delivered fires at the simulated instant the bytes are visible in
   /// remote memory (or with an error status if the rkey check failed).
-  Status PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
+  Status PostPut(Nic& dst, mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
                  std::uint64_t size, mem::RKey rkey, bool fence = false,
                  DeliveredFn on_delivered = nullptr);
 
-  /// Posts an 8-byte immediate put (value supplied inline, no sender DMA
-  /// read) — used for signals and flow-control flags.
+  /// Posts an 8-byte immediate put into @p dst (value supplied inline, no
+  /// sender DMA read) — used for signals and flow-control flags.
+  Status PostInlinePut(Nic& dst, std::uint64_t value,
+                       mem::VirtAddr remote_addr, mem::RKey rkey,
+                       bool fence = false, DeliveredFn on_delivered = nullptr);
+
+  /// Single-link conveniences: post to the first connected peer (the
+  /// two-host back-to-back shape of the paper's testbed).
+  Status PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
+                 std::uint64_t size, mem::RKey rkey, bool fence = false,
+                 DeliveredFn on_delivered = nullptr);
   Status PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
                        mem::RKey rkey, bool fence = false,
                        DeliveredFn on_delivered = nullptr);
@@ -109,8 +134,17 @@ class Nic {
     DeliveredFn on_delivered;
   };
 
-  Status PostOp(Op op, mem::VirtAddr local_addr);
-  void DeliverAt(PicoTime when, Op op);
+  /// One back-to-back cable: outbound serialization + in-order delivery
+  /// state for the direction this NIC transmits on.
+  struct Link {
+    Nic* peer = nullptr;
+    PicoTime wire_free_at = 0;        ///< outbound link direction
+    PicoTime last_sched_delivery = 0; ///< for in-order delivery
+  };
+
+  Link* FindLink(const Nic* dst) noexcept;
+  Status PostOp(Op op, mem::VirtAddr local_addr, Link& link);
+  void DeliverAt(PicoTime when, Op op, Nic* dst);
 
   PicoTime GbpsToDuration(double gbps, std::uint64_t bytes) const noexcept {
     if (gbps <= 0) return 0;
@@ -121,12 +155,13 @@ class Nic {
   sim::Engine& engine_;
   Host& host_;
   NicConfig config_;
-  Nic* peer_ = nullptr;
+  std::vector<Link> links_;
 
   PicoTime tx_free_at_ = 0;      ///< send engine (DMA read + WQE processing)
-  PicoTime wire_free_at_ = 0;    ///< outbound link direction
   PicoTime last_delivery_at_ = 0;  ///< for fence semantics
-  PicoTime last_sched_delivery_ = 0;  ///< for in-order delivery
+  /// Inbound DMA-write engine occupancy: shared across every link that
+  /// delivers into this NIC (the incast bottleneck at the PCIe write path).
+  PicoTime rx_busy_until_ = 0;
   Xoshiro256 reorder_rng_{0x0dd5eedull};
 
   std::uint64_t puts_posted_ = 0;

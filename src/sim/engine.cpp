@@ -8,6 +8,7 @@ EventId Engine::ScheduleAt(PicoTime when, Callback cb, std::string tag) {
   const EventId id = next_id_++;
   queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(cb),
                     std::move(tag)});
+  pending_.insert(id);
   ++live_events_;
   return id;
 }
@@ -15,11 +16,10 @@ EventId Engine::ScheduleAt(PicoTime when, Callback cb, std::string tag) {
 bool Engine::Cancel(EventId id) {
   // Events stay in the priority queue; cancellation is recorded and checked
   // at pop time. The cancelled list is expected to stay small (flow-control
-  // timeouts that usually fire).
-  if (id == 0 || id >= next_id_) return false;
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
-    return false;
-  }
+  // timeouts that usually fire). An event that already fired (or was never
+  // scheduled) is not pending, so cancelling it is a no-op returning false —
+  // without this check a stale id would corrupt the live-event count.
+  if (pending_.erase(id) == 0) return false;
   cancelled_.push_back(id);
   if (live_events_ > 0) --live_events_;
   return true;
@@ -34,6 +34,7 @@ bool Engine::Step() {
       cancelled_.erase(it);
       continue;  // skip cancelled event, try next
     }
+    pending_.erase(ev.id);
     now_ = ev.when;
     --live_events_;
     ++processed_;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -96,6 +97,7 @@ class Engine {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<EventId> cancelled_;  // sorted lazily; usually tiny
+  std::unordered_set<EventId> pending_;  // scheduled, not yet fired/cancelled
   PicoTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

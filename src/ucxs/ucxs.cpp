@@ -128,6 +128,7 @@ Status Endpoint::PostNow(Pending op) {
   const PicoTime post_at = std::max(engine.Now() + post_delay, post_serial_);
   post_serial_ = post_at;
 
+  net::Nic* dst = remote_;
   if (op.inline_op) {
     const std::uint64_t value = op.inline_value;
     const auto remote = op.remote;
@@ -135,11 +136,14 @@ Status Endpoint::PostNow(Pending op) {
     const bool fence = op.fence;
     engine.ScheduleAt(
         post_at,
-        [&nic, value, remote, rkey, fence,
+        [&nic, dst, value, remote, rkey, fence,
          wrapped = std::move(wrapped)]() mutable {
           // Delivery errors surface through the completion callback.
           Status st =
-              nic.PostInlinePut(value, remote, rkey, fence, std::move(wrapped));
+              dst ? nic.PostInlinePut(*dst, value, remote, rkey, fence,
+                                      std::move(wrapped))
+                  : nic.PostInlinePut(value, remote, rkey, fence,
+                                      std::move(wrapped));
           (void)st;
         },
         "ucxs.inline");
@@ -152,10 +156,12 @@ Status Endpoint::PostNow(Pending op) {
   const bool fence = op.fence;
   engine.ScheduleAt(
       post_at,
-      [&nic, local, remote, size, rkey, fence,
+      [&nic, dst, local, remote, size, rkey, fence,
        wrapped = std::move(wrapped)]() mutable {
-        Status st =
-            nic.PostPut(local, remote, size, rkey, fence, std::move(wrapped));
+        Status st = dst ? nic.PostPut(*dst, local, remote, size, rkey, fence,
+                                      std::move(wrapped))
+                        : nic.PostPut(local, remote, size, rkey, fence,
+                                      std::move(wrapped));
         (void)st;
       },
       "ucxs.put");

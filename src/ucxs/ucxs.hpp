@@ -121,9 +121,14 @@ struct PutReceipt {
 
 class Endpoint {
  public:
-  Endpoint(Worker& worker, PutMode mode) : worker_(worker), mode_(mode) {}
+  /// @p remote selects which connected peer NIC this endpoint posts to —
+  /// one endpoint per peer, like a UCX ep. nullptr (the two-host testbed
+  /// shape) targets the local NIC's first link.
+  Endpoint(Worker& worker, PutMode mode, net::Nic* remote = nullptr)
+      : worker_(worker), mode_(mode), remote_(remote) {}
 
   PutMode mode() const noexcept { return mode_; }
+  net::Nic* remote() const noexcept { return remote_; }
 
   /// Selects the protocol a message of @p size would use.
   Protocol SelectProtocol(std::uint64_t size) const noexcept;
@@ -176,6 +181,7 @@ class Endpoint {
 
   Worker& worker_;
   PutMode mode_;
+  net::Nic* remote_ = nullptr;
   std::uint32_t outstanding_ = 0;
   /// NIC posting is serialized in submission order (WQEs reach the HCA in
   /// the order the sender posted them, regardless of per-op setup time).

@@ -168,6 +168,114 @@ TEST(EngineTest, ManyEventsDeterministicOrder) {
   EXPECT_EQ(o1.size(), 500u);
 }
 
+TEST(EngineTest, CancelOfAlreadyFiredEventIsRejected) {
+  // The fabric cancels flow-control timeouts that usually fire first; a
+  // stale id must be a clean no-op.
+  Engine e;
+  int fired = 0;
+  const EventId id = e.ScheduleAt(10, [&] { ++fired; });
+  e.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.Cancel(id));  // already fired
+  EXPECT_FALSE(e.Cancel(id));  // still a no-op
+  EXPECT_EQ(e.PendingEvents(), 0u);
+  EXPECT_TRUE(e.Idle());
+  // The engine stays consistent: new events still schedule and fire.
+  e.ScheduleAt(20, [&] { ++fired; });
+  EXPECT_EQ(e.PendingEvents(), 1u);
+  e.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, CancelAfterFireDoesNotCorruptPendingCount) {
+  Engine e;
+  const EventId a = e.ScheduleAt(10, [] {});
+  e.ScheduleAt(20, [] {});
+  e.RunUntil(15);  // fires a, leaves b pending
+  EXPECT_FALSE(e.Cancel(a));
+  EXPECT_EQ(e.PendingEvents(), 1u);  // b must still be counted
+  EXPECT_FALSE(e.Idle());
+  e.Run();
+  EXPECT_EQ(e.PendingEvents(), 0u);
+}
+
+TEST(EngineTest, RunUntilConditionStopsInsideSameTimestampBurst) {
+  // All events land on one timestamp; the condition is evaluated after
+  // each event, so the run stops mid-burst in schedule order.
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.ScheduleAt(50, [&] { ++count; });
+  }
+  const bool met = e.RunUntilCondition([&] { return count >= 3; });
+  EXPECT_TRUE(met);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.Now(), 50u);
+  EXPECT_EQ(e.PendingEvents(), 7u);
+  // The rest of the burst still fires, in order, at the same time.
+  e.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.Now(), 50u);
+}
+
+TEST(EngineTest, RunUntilConditionBurstResumesDeterministically) {
+  // Two engines driven through the same burst via different stop/resume
+  // points must observe the same total order.
+  auto run_with_stops = [](int first_stop) {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      e.ScheduleAt(100, [&order, i] { order.push_back(i); });
+    }
+    e.RunUntilCondition([&] {
+      return static_cast<int>(order.size()) >= first_stop;
+    });
+    e.Run();
+    return order;
+  };
+  const auto a = run_with_stops(2);
+  const auto b = run_with_stops(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(EngineTest, ManyInterleavedSchedulersAreDeterministic) {
+  // K independent "schedulers" (self-rescheduling chains, like K receiver
+  // agents on one engine) interleave heavily, with frequent timestamp
+  // collisions. The (time, seq) order must make two engines agree on the
+  // full interleaving, and time must never run backwards.
+  auto drive = [](Engine& e, std::vector<std::pair<int, int>>& order) {
+    constexpr int kSchedulers = 8;
+    constexpr int kSteps = 60;
+    std::function<void(int, int)> chain = [&](int scheduler, int step) {
+      order.emplace_back(scheduler, step);
+      if (step >= kSteps) return;
+      // Collision-heavy delays: many chains land on the same timestamps.
+      const PicoTime delay = 10 * ((scheduler + step) % 4);
+      e.ScheduleAfter(delay,
+                      [&chain, scheduler, step] { chain(scheduler, step + 1); },
+                      "chain");
+    };
+    for (int s = 0; s < kSchedulers; ++s) {
+      e.ScheduleAt(5 * (s % 3), [&chain, s] { chain(s, 0); });
+    }
+    PicoTime last = 0;
+    bool monotonic = true;
+    e.SetEventHook([&](PicoTime t, const std::string&) {
+      monotonic &= t >= last;
+      last = t;
+    });
+    e.Run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(order.size(), kSchedulers * (kSteps + 1));
+  };
+  Engine e1, e2;
+  std::vector<std::pair<int, int>> o1, o2;
+  drive(e1, o1);
+  drive(e2, o2);
+  EXPECT_EQ(o1, o2);
+}
+
 TEST(EngineTest, PendingEventsTracksQueue) {
   Engine e;
   EXPECT_EQ(e.PendingEvents(), 0u);
