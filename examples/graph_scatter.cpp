@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "common/pump.hpp"
 #include "common/rng.hpp"
 #include "core/two_chains.hpp"
 
@@ -98,11 +99,11 @@ int main() {
     ++executed;
     if (static_cast<std::int64_t>(m.return_value) < 0) ++failures;
   });
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump] {
+  PumpLoop<> pump;
+  pump.Set([&, resume = pump.Handle()] {
     while (sent < edges.size()) {
       if (!testbed.runtime(0).HasFreeSlot()) {
-        testbed.runtime(0).NotifyWhenSlotFree([pump] { (*pump)(); });
+        testbed.runtime(0).NotifyWhenSlotFree(resume);
         return;
       }
       const std::vector<std::uint64_t> args = {
@@ -117,8 +118,8 @@ int main() {
       }
       ++sent;
     }
-  };
-  (*pump)();
+  });
+  pump();
   testbed.RunUntil([&] { return executed == kEdges; });
 
   std::printf("scattered %d edges; %d handler executions, %d row-capacity "

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "common/pump.hpp"
 #include "common/strfmt.hpp"
 #include "cpu/spinwait.hpp"
 
@@ -76,7 +77,7 @@ StatusOr<PingPongResult> RunAmPingPong(core::Testbed& testbed,
   testbed.RunUntil([&] { return done || !failure.ok(); });
   if (!failure.ok()) return failure;
   if (!done) return Internal("ping-pong stalled (flow control deadlock?)");
-  result.responder_counters = responder.receiver_cpu().counters();
+  result.responder_counters = responder.ReceiverPoolCounters();
   initiator.SetOnExecuted(nullptr);
   responder.SetOnExecuted(nullptr);
   return result;
@@ -103,11 +104,11 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
   bool done = false;
   Status failure;
 
-  auto send_loop = std::make_shared<std::function<void()>>();
-  *send_loop = [&, send_loop]() {
+  PumpLoop<> send_loop;
+  send_loop.Set([&, resume = send_loop.Handle()]() {
     if (sent >= total || !failure.ok()) return;
     if (!sender.HasFreeSlot()) {
-      sender.NotifyWhenSlotFree([send_loop] { (*send_loop)(); });
+      sender.NotifyWhenSlotFree(resume);
       return;
     }
     if (!started) {
@@ -124,10 +125,9 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
     result.frame_len = receipt->frame_len;
     ++sent;
     // The sender core is busy for sender_cost; next message after that.
-    testbed.engine().ScheduleAfter(receipt->sender_cost,
-                                   [send_loop] { (*send_loop)(); },
+    testbed.engine().ScheduleAfter(receipt->sender_cost, resume,
                                    "bench.send");
-  };
+  });
 
   receiver.SetOnExecuted([&](const core::ReceivedMessage& msg) {
     ++completed;
@@ -138,7 +138,7 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
     }
   });
 
-  (*send_loop)();
+  send_loop();
   testbed.RunUntil([&] { return done || !failure.ok(); });
   if (!failure.ok()) return failure;
   if (!done) return Internal("injection-rate run stalled");
@@ -218,17 +218,15 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
 
   // One pump per sender, each paced by its own sender CPU and its own
   // per-peer flow control toward the receiver.
-  std::vector<std::shared_ptr<std::function<void()>>> pumps;
-  pumps.reserve(senders.size());
+  std::vector<PumpLoop<>> pumps(senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    auto pump = std::make_shared<std::function<void()>>();
-    *pump = [ctx, &fabric, i, pump]() {
+    pumps[i].Set([ctx, &fabric, i, resume = pumps[i].Handle()]() {
       if (!ctx->active) return;
       IncastCtx::Sender& s = ctx->senders[i];
       if (s.sent >= ctx->per_sender || !ctx->failure.ok()) return;
       if (!s.runtime->HasFreeSlot(s.to_receiver)) {
         ++s.flow_control_waits;
-        s.runtime->NotifyWhenSlotFree(s.to_receiver, [pump] { (*pump)(); });
+        s.runtime->NotifyWhenSlotFree(s.to_receiver, resume);
         return;
       }
       if (!ctx->started) {
@@ -245,10 +243,9 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
       s.send_time[receipt->sn] = fabric.engine().Now();
       ctx->frame_len = receipt->frame_len;
       ++s.sent;
-      fabric.engine().ScheduleAfter(receipt->sender_cost,
-                                    [pump] { (*pump)(); }, "incast.send");
-    };
-    pumps.push_back(std::move(pump));
+      fabric.engine().ScheduleAfter(receipt->sender_cost, resume,
+                                    "incast.send");
+    });
   }
 
   rx.SetOnExecuted([ctx, &fabric](const core::ReceivedMessage& msg) {
@@ -269,7 +266,7 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     }
   });
 
-  for (auto& pump : pumps) (*pump)();
+  for (auto& pump : pumps) pump();
   fabric.RunUntil([&] { return ctx->done || !ctx->failure.ok(); });
   rx.SetOnExecuted(nullptr);
   ctx->active = false;  // defuse any still-parked pump callbacks
@@ -380,14 +377,14 @@ StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
   Status failure;
 
   // forward declaration of the mutually recursive send/receive steps.
-  auto send_from = std::make_shared<std::function<void(int)>>();
-  *send_from = [&, send_from](int from) {
+  PumpLoop<int> send_from;
+  send_from.Set([&, resume = send_from.Handle()](int from) {
     const int to = 1 - from;
     if (from == 0) ping_start = testbed.engine().Now();
     auto receipt = sides[from].endpoint->PutNbi(
         sides[from].send_buf, sides[to].recv_buf, config.size,
         sides[to].recv_rkey, false,
-        [&, send_from, to](const net::PutCompletion& c) {
+        [&, resume, to](const net::PutCompletion& c) {
           if (!c.status.ok()) {
             failure = c.status;
             testbed.engine().Stop();
@@ -408,11 +405,11 @@ StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
               cache::AccessKind::kLoad);
           const PicoTime busy =
               host.core(0).Charge(detect, cpu::CycleClass::kExecute);
-          const PicoTime resume =
+          const PicoTime wake =
               c.delivered_at + outcome.detection_delay + busy;
           testbed.engine().ScheduleAt(
-              resume,
-              [&, send_from, to] {
+              wake,
+              [&, resume, to] {
                 sides[to].idle_since = testbed.engine().Now();
                 if (to == 0) {
                   // pong landed back at the initiator: iteration done.
@@ -425,9 +422,9 @@ StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
                     testbed.engine().Stop();
                     return;
                   }
-                  (*send_from)(0);
+                  resume(0);
                 } else {
-                  (*send_from)(1);  // respond with pong
+                  resume(1);  // respond with pong
                 }
               },
               "raw.detect");
@@ -436,10 +433,10 @@ StatusOr<PingPongResult> RunRawPutPingPong(core::Testbed& testbed,
       failure = receipt.status();
       testbed.engine().Stop();
     }
-  };
+  });
 
   sides[0].idle_since = sides[1].idle_since = testbed.engine().Now();
-  (*send_from)(0);
+  send_from(0);
   testbed.RunUntil([&] { return done || !failure.ok(); });
   if (!failure.ok()) return failure;
   if (!done) return Internal("raw put ping-pong stalled");
@@ -479,8 +476,8 @@ StatusOr<RateResult> RunRawPutStream(core::Testbed& testbed,
   bool done = false;
   Status failure;
 
-  auto post_loop = std::make_shared<std::function<void()>>();
-  *post_loop = [&, post_loop]() {
+  PumpLoop<> post_loop;
+  post_loop.Set([&, resume = post_loop.Handle()]() {
     if (posted >= total || !failure.ok()) return;
     auto receipt = endpoint.PutNbi(
         src, dst, config.size, rkey, false,
@@ -506,12 +503,11 @@ StatusOr<RateResult> RunRawPutStream(core::Testbed& testbed,
       return;
     }
     ++posted;
-    testbed.engine().ScheduleAfter(
-        receipt->sender_overhead, [post_loop] { (*post_loop)(); },
-        "raw.post");
-  };
+    testbed.engine().ScheduleAfter(receipt->sender_overhead, resume,
+                                   "raw.post");
+  });
 
-  (*post_loop)();
+  post_loop();
   testbed.RunUntil([&] { return done || !failure.ok(); });
   if (!failure.ok()) return failure;
   if (!done) return Internal("raw put stream stalled");

@@ -6,13 +6,13 @@
 
 namespace twochains::bench {
 
-void ApplyStress(core::Testbed& testbed, const StressConfig& config) {
-  // One RNG per hook keeps the two hosts' noise streams independent and
+void ApplyStress(core::Fabric& fabric, const StressConfig& config) {
+  // One RNG per hook keeps every host's noise streams independent and
   // the whole run reproducible from the seed.
-  for (int i = 0; i < 2; ++i) {
+  for (std::uint32_t i = 0; i < fabric.size(); ++i) {
     auto dram_rng = std::make_shared<Xoshiro256>(config.seed + 11 * i);
     const StressConfig cfg = config;
-    testbed.host(i).caches().SetDramContentionHook(
+    fabric.host(i).caches().SetDramContentionHook(
         [dram_rng, cfg]() -> Cycles {
           double extra = dram_rng->NextExponential(cfg.dram_extra_mean_cycles);
           if (dram_rng->NextBernoulli(cfg.dram_spike_probability)) {
@@ -23,7 +23,7 @@ void ApplyStress(core::Testbed& testbed, const StressConfig& config) {
         });
 
     auto preempt_rng = std::make_shared<Xoshiro256>(config.seed + 101 * i);
-    testbed.runtime(i).SetPreemptionHook(
+    fabric.runtime(i).SetPreemptionHook(
         [preempt_rng, cfg]() -> PicoTime {
           if (!preempt_rng->NextBernoulli(cfg.preempt_probability)) return 0;
           return Microseconds(preempt_rng->NextPareto(cfg.preempt_scale_us,
@@ -32,11 +32,17 @@ void ApplyStress(core::Testbed& testbed, const StressConfig& config) {
   }
 }
 
-void ClearStress(core::Testbed& testbed) {
-  for (int i = 0; i < 2; ++i) {
-    testbed.host(i).caches().SetDramContentionHook(nullptr);
-    testbed.runtime(i).SetPreemptionHook(nullptr);
+void ApplyStress(core::Testbed& testbed, const StressConfig& config) {
+  ApplyStress(testbed.fabric(), config);
+}
+
+void ClearStress(core::Fabric& fabric) {
+  for (std::uint32_t i = 0; i < fabric.size(); ++i) {
+    fabric.host(i).caches().SetDramContentionHook(nullptr);
+    fabric.runtime(i).SetPreemptionHook(nullptr);
   }
 }
+
+void ClearStress(core::Testbed& testbed) { ClearStress(testbed.fabric()); }
 
 }  // namespace twochains::bench

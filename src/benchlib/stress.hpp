@@ -36,10 +36,15 @@ struct StressConfig {
   double preempt_alpha = 2.2;
 };
 
+/// Installs the interference hooks on every host of the fabric (seeded
+/// per host, so N-host soak runs stay reproducible).
+void ApplyStress(core::Fabric& fabric, const StressConfig& config);
+
 /// Installs the interference hooks on both hosts of the testbed.
 void ApplyStress(core::Testbed& testbed, const StressConfig& config);
 
 /// Removes all interference hooks.
+void ClearStress(core::Fabric& fabric);
 void ClearStress(core::Testbed& testbed);
 
 }  // namespace twochains::bench

@@ -17,6 +17,13 @@ Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
             << " hosts — ignoring overrides, using the host template";
     options_.host_overrides.clear();
   }
+  if (!options_.runtime_overrides.empty() &&
+      options_.runtime_overrides.size() != options_.hosts) {
+    TC_WARN << "fabric: " << options_.runtime_overrides.size()
+            << " runtime_overrides for " << options_.hosts
+            << " hosts — ignoring overrides, using the runtime template";
+    options_.runtime_overrides.clear();
+  }
   if (options_.hub >= options_.hosts) {
     TC_WARN << "fabric: hub " << options_.hub << " out of range; using 0";
     options_.hub = 0;
@@ -35,8 +42,11 @@ Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
                                                    *node.nic,
                                                    options_.protocol);
     node.worker = std::make_unique<ucxs::Worker>(*node.context);
+    const RuntimeConfig& runtime_cfg = options_.runtime_overrides.empty()
+                                           ? options_.runtime
+                                           : options_.runtime_overrides[i];
     node.runtime = std::make_unique<Runtime>(engine_, *node.host, *node.nic,
-                                             *node.worker, options_.runtime);
+                                             *node.worker, runtime_cfg);
     nodes_.push_back(std::move(node));
   }
 

@@ -56,6 +56,10 @@ struct FabricOptions {
   net::NicConfig nic{};
   ucxs::ProtocolConfig protocol{};
   RuntimeConfig runtime{};
+  /// Optional per-host runtime overrides (same contract as host_overrides):
+  /// lets e.g. an incast hub run a wide receiver pool while the spokes
+  /// keep a single receiver core.
+  std::vector<RuntimeConfig> runtime_overrides;
 };
 
 class Fabric {

@@ -85,9 +85,13 @@ StatusOr<std::vector<std::uint8_t>> PackFrame(
   WriteHeader(header, frame);
 
   if (spec.injected) {
-    std::memcpy(frame.data() + layout.gotp_off, gotp_values.data(),
-                8 * gotp_values.size());
-    std::memcpy(frame.data() + layout.code_off, code.data(), code.size());
+    if (!gotp_values.empty()) {
+      std::memcpy(frame.data() + layout.gotp_off, gotp_values.data(),
+                  8 * gotp_values.size());
+    }
+    if (!code.empty()) {
+      std::memcpy(frame.data() + layout.code_off, code.data(), code.size());
+    }
   }
   if (!args.empty()) {
     std::memcpy(frame.data() + layout.args_off, args.data(), args.size());

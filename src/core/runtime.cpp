@@ -31,16 +31,54 @@ Runtime::Runtime(sim::Engine& engine, net::Host& host, net::Nic& nic,
 
 Status Runtime::Initialize() {
   if (initialized_) return FailedPrecondition("already initialized");
-  wait_model_ = std::make_unique<cpu::WaitModel>(
-      config_.wait, host_.core(config_.receiver_core).clock());
   config_.exec.enforce_exec_permission =
       config_.security.enforce_exec_permission;
 
-  // Receiver execution stack.
-  TC_ASSIGN_OR_RETURN(const mem::VirtAddr stack,
-                      host_.memory().Allocate(KiB(256), 16, mem::Perm::kRW,
-                                              "tc:recv-stack"));
-  stack_top_ = stack + KiB(256);
+  // Receiver pool: cores receiver_core .. receiver_core+receiver_cores-1,
+  // clamped to what the host actually has. Each member gets its own wait
+  // model (its core's clock domain) and its own execution stack so pool
+  // cores can execute jams concurrently in simulated time.
+  if (config_.receiver_cores == 0) config_.receiver_cores = 1;
+  if (config_.receiver_core >= host_.core_count()) {
+    return InvalidArgument(StrFormat("receiver_core %u out of range (host "
+                                     "has %u cores)",
+                                     config_.receiver_core,
+                                     host_.core_count()));
+  }
+  const std::uint32_t max_pool = host_.core_count() - config_.receiver_core;
+  if (config_.receiver_cores > max_pool) {
+    TC_WARN << "receiver pool of " << config_.receiver_cores
+            << " does not fit above core " << config_.receiver_core
+            << " on a " << host_.core_count() << "-core host; clamping to "
+            << max_pool;
+    config_.receiver_cores = max_pool;
+  }
+  // sender_core == receiver_core is the paper's deliberate single-threaded
+  // perftest shape, but a *widened* pool swallowing the sender core is
+  // almost certainly a misconfiguration: sends would double-book simulated
+  // core time with a pool waiter and skew that core's counters.
+  if (config_.receiver_cores > 1 &&
+      config_.sender_core >= config_.receiver_core &&
+      config_.sender_core < config_.receiver_core + config_.receiver_cores) {
+    TC_WARN << "sender_core " << config_.sender_core
+            << " lies inside the receiver pool [" << config_.receiver_core
+            << ", " << config_.receiver_core + config_.receiver_cores
+            << "); sends will share a core with a pool waiter — set "
+               "sender_core outside the pool unless this is intentional";
+  }
+  pool_.resize(config_.receiver_cores);
+  for (std::uint32_t i = 0; i < config_.receiver_cores; ++i) {
+    PoolCore& member = pool_[i];
+    member.core_id = config_.receiver_core + i;
+    member.wait_model = std::make_unique<cpu::WaitModel>(
+        config_.wait, host_.core(member.core_id).clock());
+    TC_ASSIGN_OR_RETURN(
+        const mem::VirtAddr stack,
+        host_.memory().Allocate(KiB(256), 16, mem::Perm::kRW,
+                                StrFormat("tc:recv-stack:c%u",
+                                          member.core_id)));
+    member.stack_top = stack + KiB(256);
+  }
 
   TC_RETURN_IF_ERROR(
       vm::RegisterStandardNatives(natives_, {&print_sink_}));
@@ -100,6 +138,8 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
   // runtime's own bank flow control, not UCX's).
   peer.endpoint = std::make_unique<ucxs::Endpoint>(
       worker_, ucxs::PutMode::kUser, &remote.nic_);
+
+  peer.bank_cursor.assign(config_.banks, 0);
 
   peers_.push_back(std::move(peer));
   stats_.per_peer.emplace_back();
@@ -163,7 +203,7 @@ Status Runtime::LoadPackage(const pkg::Package& package) {
     if (init != lib.exports.end()) {
       vm::Interpreter interp(host_.memory(), host_.caches(),
                              config_.receiver_core, &natives_, config_.exec);
-      const auto r = interp.Execute(init->second, {}, stack_top_);
+      const auto r = interp.Execute(init->second, {}, pool_[0].stack_top);
       if (!r.status.ok()) {
         return Status(r.status.code(),
                       StrFormat("ried init '%s' failed: %s",
@@ -463,7 +503,7 @@ Status Runtime::StartReceiver() {
   if (!initialized_) return FailedPrecondition("not initialized");
   if (receiver_started_) return Status::Ok();
   receiver_started_ = true;
-  idle_since_ = engine_.Now();
+  for (PoolCore& member : pool_) member.idle_since = engine_.Now();
   return Status::Ok();
 }
 
@@ -473,7 +513,8 @@ void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
   ++stats_.messages_delivered;
   ++stats_.per_peer[from].messages_delivered;
   peers_[from].ready[slot] = ReadyFrame{from, slot, delivered_at};
-  MaybeBeginNext();
+  // Only the pool core the frame's bank is sharded to can serve it.
+  MaybeBeginNext(PoolIndexFor(from, slot / config_.mailboxes_per_bank));
 }
 
 void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
@@ -487,37 +528,51 @@ void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
   }
 }
 
-void Runtime::MaybeBeginNext() {
-  if (!receiver_started_ || processing_) return;
-  // The receiver agent scans every peer's mailbox slice for its next
-  // in-order slot and serves the earliest-delivered one — a fair sweep
-  // across senders under incast.
+void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
+  if (!receiver_started_) return;
+  PoolCore& member = pool_[pool_index];
+  if (member.processing) return;
+  // This pool core scans the heads of the banks sharded to it (across
+  // every peer's mailbox slice) and serves the earliest-delivered one —
+  // a fair sweep across senders under incast. Ties and the scan itself
+  // are resolved in (peer, bank) index order, so the choice never depends
+  // on host-side container iteration order.
   const ReadyFrame* best = nullptr;
-  for (PeerState& p : peers_) {
-    const auto it = p.ready.find(p.next_recv_slot);
-    if (it == p.ready.end()) continue;
-    if (best == nullptr || it->second.delivered_at < best->delivered_at) {
-      best = &it->second;
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    PeerState& p = peers_[peer];
+    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+      if (PoolIndexFor(peer, bank) != pool_index) continue;
+      const std::uint32_t head =
+          bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
+      const auto it = p.ready.find(head);
+      if (it == p.ready.end()) continue;
+      if (best == nullptr || it->second.delivered_at < best->delivered_at) {
+        best = &it->second;
+      }
     }
   }
   if (best == nullptr) {
-    if (!idle_since_.has_value()) idle_since_ = engine_.Now();
+    if (!member.idle_since.has_value()) member.idle_since = engine_.Now();
     return;
   }
-  const ReadyFrame frame = *best;
+  ReadyFrame frame = *best;
+  frame.pool = pool_index;
   PicoTime waited = 0;
-  if (idle_since_.has_value() && frame.delivered_at >= *idle_since_) {
-    waited = frame.delivered_at - *idle_since_;
+  if (member.idle_since.has_value() &&
+      frame.delivered_at >= *member.idle_since) {
+    waited = frame.delivered_at - *member.idle_since;
   }
-  idle_since_.reset();
-  processing_ = true;
+  member.idle_since.reset();
+  member.processing = true;
   BeginProcess(frame, waited);
 }
 
 void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
-  auto& core = receiver_cpu();
-  const cpu::WaitOutcome outcome = wait_model_->Wait(waited);
+  PoolCore& member = pool_[frame.pool];
+  auto& core = host_.core(member.core_id);
+  const cpu::WaitOutcome outcome = member.wait_model->Wait(waited);
   core.Charge(outcome.cycles_burned, cpu::CycleClass::kWait);
+  member.wait_stats.Record(waited, outcome);
   ++stats_.wait_episodes;
   // Detection happens detection_delay after the signal became visible; we
   // may already be past that point if the frame arrived while busy.
@@ -534,7 +589,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   msg.from = frame.peer;
   Cycles cycles = config_.validate_cycles;
   auto& caches = host_.caches();
-  const std::uint32_t core = config_.receiver_core;
+  const std::uint32_t core = pool_[frame.pool].core_id;
   const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
 
   // The poll/WFE loop re-reads the signal line; its final read plus the
@@ -594,7 +649,8 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
   const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
   auto& caches = host_.caches();
   auto& memory = host_.memory();
-  const std::uint32_t core = config_.receiver_core;
+  PoolCore& member = pool_[frame.pool];
+  const std::uint32_t core = member.core_id;
 
   ElementInfo* elem = nullptr;
   for (auto& e : elements_) {
@@ -631,7 +687,8 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
     }
     if (config_.security.receiver_installs_got) {
       // §V: receiver inserts the GOT pointer from a secure location.
-      TC_ASSIGN_OR_RETURN(const mem::VirtAddr table, ReceiverGotFor(*elem));
+      TC_ASSIGN_OR_RETURN(const mem::VirtAddr table,
+                          ReceiverGotFor(*elem, host_.core(core)));
       cycles += caches.Access(core, frame_addr + layout.pre_off, 8,
                               cache::AccessKind::kStore);
       TC_RETURN_IF_ERROR(
@@ -666,8 +723,9 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
     const std::uint64_t args[3] = {frame_addr + layout.args_off,
                                    frame_addr + layout.usr_off,
                                    header.usr_size};
-    const vm::ExecResult result = interp.Execute(entry, args, stack_top_);
-    receiver_cpu().CountInstructions(result.instructions);
+    const vm::ExecResult result =
+        interp.Execute(entry, args, member.stack_top);
+    host_.core(core).CountInstructions(result.instructions);
     msg.instructions = result.instructions;
     if (!result.status.ok()) {
       // Restore mailbox permissions before surfacing the fault.
@@ -691,7 +749,8 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
   return cycles;
 }
 
-StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem) {
+StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem,
+                                                cpu::CpuCore& core) {
   if (elem.receiver_got != 0) return elem.receiver_got;
   const auto& symbols = elem.injected_image.got_symbols;
   const std::uint64_t bytes = std::max<std::uint64_t>(symbols.size() * 8, 8);
@@ -710,9 +769,8 @@ StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem) {
   // "from a secure read-only location" — seal the table.
   TC_RETURN_IF_ERROR(
       host_.memory().Protect(table, bytes, mem::Perm::kRead));
-  receiver_cpu().Charge(
-      static_cast<Cycles>(symbols.size()) * config_.got_lookup_cycles,
-      cpu::CycleClass::kExecute);
+  core.Charge(static_cast<Cycles>(symbols.size()) * config_.got_lookup_cycles,
+              cpu::CycleClass::kExecute);
   elem.receiver_got = table;
   return table;
 }
@@ -720,7 +778,7 @@ StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem) {
 void Runtime::CompleteFrame(const ReadyFrame& frame,
                             const ReceivedMessage& msg_in, Cycles cycles) {
   ReceivedMessage msg = msg_in;
-  auto& core = receiver_cpu();
+  auto& core = host_.core(pool_[frame.pool].core_id);
   const PicoTime busy = core.Charge(cycles, cpu::CycleClass::kExecute);
   core.CountMessage();
 
@@ -734,23 +792,51 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
         }
 
         // Bank recycling: after draining a bank of this peer's slice,
-        // return its flag to that peer — and only that peer.
+        // return its flag to that peer — and only that peer. Banks drain
+        // independently (each on its owning pool core), so the cursor is
+        // per bank.
         PeerState& p = peers_[frame.peer];
-        const std::uint32_t bank =
-            p.next_recv_slot / config_.mailboxes_per_bank;
-        const std::uint32_t in_bank =
-            p.next_recv_slot % config_.mailboxes_per_bank;
-        if (in_bank == config_.mailboxes_per_bank - 1) {
+        const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
+        if (p.bank_cursor[bank] == config_.mailboxes_per_bank - 1) {
           Status st = ReturnBankFlag(frame.peer, bank);
           if (!st.ok()) TC_WARN << "flag return failed: " << st;
         }
-        p.ready.erase(p.next_recv_slot);
-        p.next_recv_slot = (p.next_recv_slot + 1) % TotalSlots();
-        processing_ = false;
+        p.ready.erase(frame.slot);
+        p.bank_cursor[bank] =
+            (p.bank_cursor[bank] + 1) % config_.mailboxes_per_bank;
+        pool_[frame.pool].processing = false;
         if (on_executed_) on_executed_(msg);
-        MaybeBeginNext();
+        MaybeBeginNext(frame.pool);
       },
       "tc.complete");
+}
+
+cpu::PerfCounters Runtime::ReceiverPoolCounters() const {
+  cpu::PerfCounters total;
+  for (const PoolCore& member : pool_) {
+    const cpu::PerfCounters& c = host_.core(member.core_id).counters();
+    for (std::size_t i = 0; i < total.cycles.size(); ++i) {
+      total.cycles[i] += c.cycles[i];
+    }
+    total.instructions += c.instructions;
+    total.messages_handled += c.messages_handled;
+  }
+  return total;
+}
+
+std::uint64_t Runtime::InFlightFrames() const noexcept {
+  std::uint64_t in_flight = 0;
+  for (const PeerState& p : peers_) in_flight += p.ready.size();
+  return in_flight;
+}
+
+std::uint32_t Runtime::ClosedSendBanks(PeerId peer) const noexcept {
+  if (peer >= peers_.size()) return 0;
+  std::uint32_t closed = 0;
+  for (const std::uint8_t open : peers_[peer].bank_open) {
+    if (open == 0) ++closed;
+  }
+  return closed;
 }
 
 Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank) {

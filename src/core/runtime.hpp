@@ -15,10 +15,18 @@
 //   * sending — packing Injected or Local frames, patching the PRE slot,
 //     posting one-sided puts through the per-peer ucxs endpoint (kUser
 //     mode: the runtime's own flow control, not UCX's);
-//   * receiving — the reactive receiver agent: waits on the next mailbox
-//     signal with POLL or WFE, validates, links (PRE/GOT handling per the
-//     security policy), executes through the cache-charged interpreter,
-//     and recycles mailbox banks back to the owning sender.
+//   * receiving — the reactive receiver agent, generalized to a *pool* of
+//     receiver cores: inbound mailbox banks are sharded across the pool
+//     (stable bank -> core affinity, so LLC-stashed frame bytes land next
+//     to the core that will execute them), each pool core runs its own
+//     wait loop (POLL or WFE) on the heads of its banks, validates, links
+//     (PRE/GOT handling per the security policy), executes through the
+//     cache-charged interpreter on its own core and stack, and recycles
+//     drained mailbox banks back to the owning sender. Frames stay in
+//     order *within* a bank; banks drain concurrently in simulated time.
+//     Execution is bit-for-bit deterministic: concurrent completions are
+//     ordered by the engine's (time, seq) key, never by host-side
+//     iteration order.
 //
 // Peer model: a runtime holds a PeerId-indexed peer table. Each connected
 // peer gets its own ucxs endpoint, its own slice of inbound mailbox banks
@@ -69,6 +77,11 @@ struct RuntimeConfig {
   std::uint64_t mailbox_slot_bytes = KiB(64);
   cpu::WaitModelConfig wait{};
   std::uint32_t receiver_core = 0;
+  /// Receiver pool size: cores receiver_core .. receiver_core +
+  /// receiver_cores - 1 each run their own wait/link/execute loop over
+  /// the mailbox banks sharded to them (clamped to the host's core count
+  /// at Initialize).
+  std::uint32_t receiver_cores = 1;
   std::uint32_t sender_core = 1;
   SecurityPolicy security{};
   /// Fixed-size frames (one put per message, §VI: "we use fixed-size
@@ -237,8 +250,33 @@ class Runtime {
   vm::NativeTable& natives() noexcept { return natives_; }
   /// Output of tc_print_* natives executed on this host.
   const std::string& print_output() const noexcept { return print_sink_; }
+  /// The first pool core. With a widened pool this sees only core 0's
+  /// share of the drain — use receiver_cpu(i) / ReceiverPoolCounters()
+  /// for per-member or whole-pool numbers.
   cpu::CpuCore& receiver_cpu() { return host_.core(config_.receiver_core); }
   cpu::CpuCore& sender_cpu() { return host_.core(config_.sender_core); }
+  /// Size of the receiver pool (after Initialize clamped the config).
+  std::uint32_t receiver_pool_size() const noexcept {
+    return static_cast<std::uint32_t>(pool_.size());
+  }
+  /// Counters summed across every pool core — the whole receiver's work
+  /// regardless of pool width.
+  cpu::PerfCounters ReceiverPoolCounters() const;
+  /// The CPU core pool member @p pool_index executes on.
+  cpu::CpuCore& receiver_cpu(std::uint32_t pool_index) {
+    return host_.core(pool_[pool_index].core_id);
+  }
+  /// Idle/wakeup ledger of pool member @p pool_index.
+  const cpu::WaitStats& receiver_wait_stats(std::uint32_t pool_index) const {
+    return pool_[pool_index].wait_stats;
+  }
+  /// Frames delivered into this runtime's mailboxes and not yet fully
+  /// processed (including any a pool core is currently executing). Zero at
+  /// drain — the mailbox-leak invariant the soak suite asserts.
+  std::uint64_t InFlightFrames() const noexcept;
+  /// Outbound banks toward @p peer whose flag has not come back yet. Zero
+  /// at drain: every filled bank was recycled by the receiver.
+  std::uint32_t ClosedSendBanks(PeerId peer) const noexcept;
   /// Reads a value from this host's memory (test/bench verification).
   StatusOr<std::uint64_t> PeekU64(const std::string& symbol,
                                   std::uint64_t index = 0) const;
@@ -259,6 +297,20 @@ class Runtime {
     PeerId peer = kInvalidPeer;
     std::uint32_t slot = 0;
     PicoTime delivered_at = 0;
+    /// Pool member processing this frame (set when the frame is claimed).
+    std::uint32_t pool = 0;
+  };
+
+  /// One member of the receiver pool: a core with its own wait loop,
+  /// execution stack, and idle bookkeeping, serving the banks sharded
+  /// to it.
+  struct PoolCore {
+    std::uint32_t core_id = 0;
+    std::unique_ptr<cpu::WaitModel> wait_model;
+    cpu::WaitStats wait_stats;
+    mem::VirtAddr stack_top = 0;
+    bool processing = false;
+    std::optional<PicoTime> idle_since;
   };
 
   /// Everything this runtime holds per connected peer: the outbound path
@@ -286,7 +338,9 @@ class Runtime {
     mem::RKey mailbox_rkey_own;
     mem::VirtAddr peer_flag_base = 0;  ///< peer memory (flag return target)
     mem::RKey peer_flag_rkey;
-    std::uint32_t next_recv_slot = 0;
+    /// Next in-bank slot to serve, per bank (frames stay ordered within a
+    /// bank; banks are independent so the pool can drain them in parallel).
+    std::vector<std::uint32_t> bank_cursor;
     std::map<std::uint32_t, ReadyFrame> ready;  ///< by slot
   };
 
@@ -308,11 +362,20 @@ class Runtime {
 
   StatusOr<const ElementInfo*> FindElement(const std::string& name) const;
 
-  // Receiver pipeline.
+  /// The pool member that owns (peer, bank) — stable affinity, so a bank's
+  /// frames always land in the cache next to the core that executes them.
+  /// The peer offset staggers different peers' same-numbered banks across
+  /// cores, so shallow traffic from many peers still spreads.
+  std::uint32_t PoolIndexFor(PeerId peer, std::uint32_t bank) const noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(peer) + bank) % pool_.size());
+  }
+
+  // Receiver pipeline (each pool core runs its own instance).
   void OnFrameDelivered(PeerId from, std::uint32_t slot,
                         PicoTime delivered_at);
   void OnBankFlag(PeerId peer, std::uint32_t bank);
-  void MaybeBeginNext();
+  void MaybeBeginNext(std::uint32_t pool_index);
   void BeginProcess(const ReadyFrame& frame, PicoTime waited);
   void ProcessFrame(const ReadyFrame& frame);
   void CompleteFrame(const ReadyFrame& frame, const ReceivedMessage& msg,
@@ -324,18 +387,20 @@ class Runtime {
                                const FrameHeader& header,
                                ReceivedMessage& msg);
 
-  /// Hardened mode: per-element receiver-side GOT table.
-  StatusOr<mem::VirtAddr> ReceiverGotFor(ElementInfo& elem);
+  /// Hardened mode: per-element receiver-side GOT table (installed by the
+  /// pool core handling the frame).
+  StatusOr<mem::VirtAddr> ReceiverGotFor(ElementInfo& elem,
+                                         cpu::CpuCore& core);
 
   sim::Engine& engine_;
   net::Host& host_;
   net::Nic& nic_;
   ucxs::Worker& worker_;
   RuntimeConfig config_;
-  std::unique_ptr<cpu::WaitModel> wait_model_;
 
-  // Receiver execution stack.
-  mem::VirtAddr stack_top_ = 0;
+  /// The receiver pool (size config_.receiver_cores after clamping); each
+  /// member owns its wait model, execution stack, and idle state.
+  std::vector<PoolCore> pool_;
 
   std::vector<PeerState> peers_;
 
@@ -347,10 +412,8 @@ class Runtime {
 
   std::uint32_t next_sn_ = 1;
 
-  // Receiver state.
+  // Receiver state (per-core state lives in pool_).
   bool receiver_started_ = false;
-  bool processing_ = false;
-  std::optional<PicoTime> idle_since_;
 
   std::function<void(const ReceivedMessage&)> on_executed_;
   std::function<PicoTime()> preemption_hook_;

@@ -46,6 +46,12 @@ struct TestbedOptions {
     runtime.wait.mode = mode;
     return *this;
   }
+  /// Receiver pool width on both hosts (cores receiver_core..+n-1 each run
+  /// their own wait/link/execute loop over the banks sharded to them).
+  TestbedOptions& WithReceiverCores(std::uint32_t n) {
+    runtime.receiver_cores = n;
+    return *this;
+  }
   TestbedOptions& WithSecurity(const SecurityPolicy& policy) {
     runtime.security = policy;
     return *this;

@@ -2,6 +2,13 @@
 
 namespace twochains::cpu {
 
+void WaitStats::Record(PicoTime waited, const WaitOutcome& outcome) noexcept {
+  ++episodes;
+  idle_picos += waited;
+  detection_picos += outcome.detection_delay;
+  cycles_burned += outcome.cycles_burned;
+}
+
 WaitOutcome WaitModel::Wait(PicoTime wait_duration) const noexcept {
   WaitOutcome out;
   switch (config_.mode) {

@@ -51,6 +51,22 @@ struct WaitOutcome {
   Cycles cycles_burned = 0;
 };
 
+/// Accumulated idle/wakeup accounting for one waiter — with a pooled
+/// receiver every core runs its own wait loop, so each keeps its own
+/// ledger (the per-core analogue of the Figures 13/14 whole-run counts).
+struct WaitStats {
+  std::uint64_t episodes = 0;
+  /// Simulated time spent idle before the signal became visible.
+  PicoTime idle_picos = 0;
+  /// Added detection latency (poll-boundary / WFE wake-up) summed.
+  PicoTime detection_picos = 0;
+  /// Cycles burned across all wait episodes.
+  Cycles cycles_burned = 0;
+
+  /// Folds one episode (idle for @p waited, resolved as @p outcome) in.
+  void Record(PicoTime waited, const WaitOutcome& outcome) noexcept;
+};
+
 class WaitModel {
  public:
   WaitModel(const WaitModelConfig& config, ClockDomain clock) noexcept

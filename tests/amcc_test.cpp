@@ -9,10 +9,14 @@
 
 #include "amcc/compiler.hpp"
 #include "cache/hierarchy.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
+#include "jamvm/assembler.hpp"
+#include "jamvm/disassembler.hpp"
 #include "jamvm/interpreter.hpp"
 #include "jelf/linker.hpp"
 #include "jelf/loader.hpp"
+#include "listing_util.hpp"
 #include "mem/host_memory.hpp"
 
 namespace twochains::amcc {
@@ -514,6 +518,97 @@ INSTANTIATE_TEST_SUITE_P(
         ExprCase{"0x10 + 010", 0x10 + 10},  // AMC: no octal, 010 is decimal 10
         ExprCase{"'a' + 1", 'a' + 1},
         ExprCase{"!(3 < 2) + (4 != 4)", !(3 < 2) + (4 != 4)}));
+
+// ---------------------------------------- seeded toolchain properties
+
+/// A randomly generated expression over parameters a/b together with its
+/// host-evaluated value (two's-complement 64-bit, like AMC `long`).
+struct GeneratedExpr {
+  std::string text;
+  std::uint64_t value = 0;
+};
+
+GeneratedExpr GenExpr(Xoshiro256& rng, int depth, std::uint64_t a,
+                      std::uint64_t b) {
+  if (depth == 0 || rng.NextBelow(4) == 0) {
+    switch (rng.NextBelow(3)) {
+      case 0: return {"a", a};
+      case 1: return {"b", b};
+      default: {
+        const std::uint64_t lit = rng.NextBelow(256);
+        return {std::to_string(lit), lit};
+      }
+    }
+  }
+  const GeneratedExpr lhs = GenExpr(rng, depth - 1, a, b);
+  const GeneratedExpr rhs = GenExpr(rng, depth - 1, a, b);
+  // Wrapping ops only, so host-side uint64 arithmetic is the exact
+  // reference for AMC's two's-complement `long`.
+  const char* ops[] = {"+", "-", "*", "&", "|", "^"};
+  const std::uint64_t pick = rng.NextBelow(6);
+  std::uint64_t value = 0;
+  switch (pick) {
+    case 0: value = lhs.value + rhs.value; break;
+    case 1: value = lhs.value - rhs.value; break;
+    case 2: value = lhs.value * rhs.value; break;
+    case 3: value = lhs.value & rhs.value; break;
+    case 4: value = lhs.value | rhs.value; break;
+    default: value = lhs.value ^ rhs.value; break;
+  }
+  return {"(" + lhs.text + " " + ops[pick] + " " + rhs.text + ")", value};
+}
+
+TEST_F(AmccTest, SeededExpressionsMatchHostEvaluation) {
+  Xoshiro256 rng(0xA3CC5EED);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t a = rng.Next();
+    const std::uint64_t b = rng.Next();
+    const GeneratedExpr expr = GenExpr(rng, 4, a, b);
+    const std::string src =
+        "long f(long a, long b) { return " + expr.text + "; }";
+    auto lib = Build(src, "gen" + std::to_string(round) + ".amc");
+    ASSERT_TRUE(lib.ok()) << lib.status() << "\nsource: " << src;
+    EXPECT_EQ(Call(*lib, "f", {a, b}), expr.value) << src;
+  }
+}
+
+TEST_F(AmccTest, SeededSourcesRoundTripThroughAssemblerFixpoint) {
+  // amcc -> .text bytes -> disassemble -> reassemble must reproduce the
+  // exact bytes, and a second disassembly the exact listing (fixpoint):
+  // the toolchain's encode/decode/print/parse paths agree on every
+  // instruction the compiler can emit.
+  Xoshiro256 rng(0xF1C5);
+  for (int round = 0; round < 12; ++round) {
+    const GeneratedExpr expr = GenExpr(rng, 3, 1, 2);
+    const std::string src = "long helper(long a, long b) { return " +
+                            expr.text +
+                            "; }\n"
+                            "long f(long a, long b) {\n"
+                            "  long total = 0;\n"
+                            "  for (long i = 0; i < a; ++i) {\n"
+                            "    if (i % 2) total += helper(i, b);\n"
+                            "    else total -= b;\n"
+                            "  }\n"
+                            "  return total;\n"
+                            "}";
+    auto compiled = Compile(src, "fix" + std::to_string(round) + ".amc");
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    const auto& text = compiled->object.text;
+    ASSERT_FALSE(text.empty());
+
+    auto listing = vm::Disassemble(text);
+    ASSERT_TRUE(listing.ok()) << listing.status();
+    auto reassembled =
+        vm::Assemble(vm::StripListingOffsets(*listing), "fix.jasm");
+    ASSERT_TRUE(reassembled.ok())
+        << reassembled.status() << "\nlisting:\n" << *listing;
+    EXPECT_EQ(reassembled->text, text) << "round " << round;
+
+    auto listing_again = vm::Disassemble(reassembled->text);
+    ASSERT_TRUE(listing_again.ok());
+    EXPECT_EQ(*listing_again, *listing) << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace twochains::amcc

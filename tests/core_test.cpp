@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "benchlib/workloads.hpp"
+#include "common/pump.hpp"
 #include "core/frame.hpp"
 #include "core/two_chains.hpp"
 
@@ -269,11 +270,11 @@ TEST_F(TwoChainsTest, ManyMessagesExerciseBankRecycling) {
   std::vector<std::uint8_t> usr(8);
   int sent = 0;
   // Pump sends through flow control.
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump] {
+  PumpLoop<> pump;
+  pump.Set([&, resume = pump.Handle()] {
     while (sent < total) {
       if (!testbed_->runtime(0).HasFreeSlot()) {
-        testbed_->runtime(0).NotifyWhenSlotFree([pump] { (*pump)(); });
+        testbed_->runtime(0).NotifyWhenSlotFree(resume);
         return;
       }
       const std::uint64_t v = static_cast<std::uint64_t>(sent + 1);
@@ -283,8 +284,8 @@ TEST_F(TwoChainsTest, ManyMessagesExerciseBankRecycling) {
       ASSERT_TRUE(receipt.ok()) << receipt.status();
       ++sent;
     }
-  };
-  (*pump)();
+  });
+  pump();
   testbed_->RunUntil([&] { return executed == total; });
   EXPECT_EQ(executed, total);
   // sum of 1..50
@@ -420,6 +421,146 @@ TEST_F(TwoChainsTest, ReceiverCountersTrackWork) {
   EXPECT_GT(counters.Of(cpu::CycleClass::kExecute), 0u);
   EXPECT_GT(counters.instructions, 0u);
   EXPECT_EQ(counters.messages_handled, 1u);
+}
+
+// ------------------------------------------------ per-host overloading
+
+namespace overload {
+
+constexpr const char* kJamApply = R"(
+extern long transform(long x);
+
+long jam_apply(long* args, char* usr, long usr_bytes) {
+  return transform(args[0]);
+}
+)";
+
+constexpr const char* kRiedDoubler = R"(
+long ried_math(void) { return 0; }
+long transform(long x) { return 2 * x; }
+)";
+
+constexpr const char* kRiedSquarer = R"(
+long ried_math(void) { return 0; }
+long transform(long x) { return x * x; }
+)";
+
+StatusOr<pkg::Package> BuildVariant(const char* ried, const char* name) {
+  pkg::PackageBuilder builder;
+  TC_RETURN_IF_ERROR(builder.AddSourceFile("ried_math.rdc", ried));
+  TC_RETURN_IF_ERROR(builder.AddSourceFile("jam_apply.amc", kJamApply));
+  return builder.Build(name);
+}
+
+}  // namespace overload
+
+TEST_F(TwoChainsTest, LoadPackagesPerHostOverloading) {
+  // §IV: the same element names, different implementations per host. The
+  // same injected jam must remote-link `transform` against whichever
+  // host it lands on.
+  auto doubler = overload::BuildVariant(overload::kRiedDoubler, "math_d");
+  auto squarer = overload::BuildVariant(overload::kRiedSquarer, "math_s");
+  ASSERT_TRUE(doubler.ok()) << doubler.status();
+  ASSERT_TRUE(squarer.ok()) << squarer.status();
+
+  testbed_ = std::make_unique<Testbed>(Options());
+  ASSERT_TRUE(testbed_->LoadPackages(*doubler, *squarer).ok());
+
+  // 0 -> 1 lands on the squarer.
+  auto on_squarer = SendAndRun("apply", Invoke::kInjected, {9}, {});
+  ASSERT_TRUE(on_squarer.ok()) << on_squarer.status();
+  EXPECT_EQ(on_squarer->return_value, 81u);
+
+  // 1 -> 0 lands on the doubler.
+  std::optional<ReceivedMessage> received;
+  testbed_->runtime(0).SetOnExecuted(
+      [&](const ReceivedMessage& msg) { received = msg; });
+  const std::vector<std::uint64_t> args = {9};
+  ASSERT_TRUE(
+      testbed_->runtime(1).Send("apply", Invoke::kInjected, args, {}).ok());
+  testbed_->RunUntil([&] { return received.has_value(); });
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->return_value, 18u);
+}
+
+TEST_F(TwoChainsTest, LoadPackagesCountMismatchRejected) {
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok());
+  Testbed testbed(Options());
+  // The underlying fabric checks the per-host package count.
+  EXPECT_EQ(testbed.fabric()
+                .LoadPackages({&*package})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(testbed.fabric()
+                .LoadPackages({&*package, nullptr})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- receiver pooling
+
+TEST_F(TwoChainsTest, ReceiverPoolSharesTheDrain) {
+  TestbedOptions options = Options();
+  options.runtime.receiver_cores = 2;
+  options.runtime.sender_core = 2;  // keep sends off the pool cores
+  SetUpTestbed(options);
+
+  const int total = 48;  // several bank cycles over both banks
+  int executed = 0;
+  std::uint64_t sum_of_returns = 0;
+  testbed_->runtime(1).SetOnExecuted([&](const ReceivedMessage& msg) {
+    ++executed;
+    sum_of_returns += msg.return_value;
+  });
+  std::vector<std::uint8_t> usr(8);
+  int sent = 0;
+  PumpLoop<> pump;
+  pump.Set([&, resume = pump.Handle()] {
+    while (sent < total) {
+      if (!testbed_->runtime(0).HasFreeSlot()) {
+        testbed_->runtime(0).NotifyWhenSlotFree(resume);
+        return;
+      }
+      const std::uint64_t v = static_cast<std::uint64_t>(sent + 1);
+      std::memcpy(usr.data(), &v, 8);
+      ASSERT_TRUE(
+          testbed_->runtime(0).Send("ssum", Invoke::kInjected, {}, usr).ok());
+      ++sent;
+    }
+  });
+  pump();
+  testbed_->RunUntil([&] { return executed == total; });
+  EXPECT_EQ(executed, total);
+  EXPECT_EQ(sum_of_returns,
+            static_cast<std::uint64_t>(total) * (total + 1) / 2);
+
+  // Both pool cores really processed messages, and their per-core
+  // counters aggregate to the runtime totals.
+  Runtime& rx = testbed_->runtime(1);
+  ASSERT_EQ(rx.receiver_pool_size(), 2u);
+  std::uint64_t pool_total = 0;
+  for (std::uint32_t c = 0; c < rx.receiver_pool_size(); ++c) {
+    const auto& counters = rx.receiver_cpu(c).counters();
+    EXPECT_GT(counters.messages_handled, 0u) << "core " << c;
+    EXPECT_GT(rx.receiver_wait_stats(c).episodes, 0u) << "core " << c;
+    pool_total += counters.messages_handled;
+  }
+  EXPECT_EQ(pool_total, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(rx.InFlightFrames(), 0u);
+}
+
+TEST_F(TwoChainsTest, ReceiverPoolClampsToHostCores) {
+  TestbedOptions options = Options();
+  options.runtime.receiver_cores = 64;  // host only has 4 cores
+  SetUpTestbed(options);
+  EXPECT_EQ(testbed_->runtime(1).receiver_pool_size(),
+            testbed_->host(1).core_count());
+  // A clamped pool still receives correctly.
+  std::vector<std::uint8_t> usr(8, 1);
+  auto msg = SendAndRun("nop", Invoke::kInjected, {5}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_EQ(msg->return_value, 5u);
 }
 
 }  // namespace

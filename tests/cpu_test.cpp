@@ -109,6 +109,38 @@ TEST(WaitModelTest, PollDetectionAlignsToIterationBoundary) {
   EXPECT_EQ(off.detection_delay, iter - 1);
 }
 
+TEST(WaitStatsTest, RecordAccumulatesEpisodes) {
+  // The per-core ledger a pooled receiver keeps: each wait episode folds
+  // its idle time, detection delay, and cycle burn into the totals.
+  WaitModel poll(PollConfig(), kCoreClock);
+  WaitModel wfe(WfeConfig(), kCoreClock);
+  WaitStats stats;
+  const PicoTime w1 = Microseconds(1.0);
+  const PicoTime w2 = Microseconds(2.5);
+  const auto o1 = poll.Wait(w1);
+  stats.Record(w1, o1);
+  const auto o2 = wfe.Wait(w2);
+  stats.Record(w2, o2);
+  EXPECT_EQ(stats.episodes, 2u);
+  EXPECT_EQ(stats.idle_picos, w1 + w2);
+  EXPECT_EQ(stats.detection_picos, o1.detection_delay + o2.detection_delay);
+  EXPECT_EQ(stats.cycles_burned, o1.cycles_burned + o2.cycles_burned);
+}
+
+TEST(WaitStatsTest, IndependentLedgersDoNotBleed) {
+  // Two pool cores waiting on the same model keep separate books.
+  WaitModel poll(PollConfig(), kCoreClock);
+  WaitStats a, b;
+  a.Record(Microseconds(1.0), poll.Wait(Microseconds(1.0)));
+  EXPECT_EQ(a.episodes, 1u);
+  EXPECT_EQ(b.episodes, 0u);
+  EXPECT_EQ(b.cycles_burned, 0u);
+  b.Record(0, poll.Wait(0));
+  EXPECT_EQ(a.episodes, 1u);
+  EXPECT_EQ(b.episodes, 1u);
+  EXPECT_EQ(b.idle_picos, 0u);
+}
+
 TEST(WaitModelTest, ZeroWaitEdgeCases) {
   WaitModel poll(PollConfig(), kCoreClock);
   WaitModel wfe(WfeConfig(), kCoreClock);

@@ -1,0 +1,196 @@
+// Determinism regression suite for the multi-core reactive receiver: the
+// same seeded incast workload, run twice per receiver-pool size, must
+// produce byte-identical stats tables, per-core counters, and event
+// counts. Concurrent completions are ordered by the engine's (time, seq)
+// key — never by host-side iteration order — and this suite is the pin
+// that holds that property down as the receiver pipeline evolves.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/workloads.hpp"
+#include "common/pump.hpp"
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+#include "core/fabric.hpp"
+
+namespace twochains::core {
+namespace {
+
+constexpr std::uint32_t kSenders = 4;
+constexpr std::uint32_t kMessagesPerSender = 120;
+constexpr std::uint64_t kSeed = 0xD37E12;
+
+FabricOptions PoolOptions(std::uint32_t receiver_cores) {
+  FabricOptions options;
+  options.hosts = kSenders + 1;
+  options.topology = Topology::kStar;
+  options.hub = 0;
+  options.runtime.banks = 4;
+  options.runtime.mailboxes_per_bank = 4;
+  options.runtime.mailbox_slot_bytes = KiB(64);
+  // The hub only receives; give it room for the widest pool and keep its
+  // (unused) sender core off the pool.
+  options.host_overrides.assign(options.hosts, options.host);
+  options.host_overrides[0].cache.cores = 5;
+  options.runtime_overrides.assign(options.hosts, options.runtime);
+  options.runtime_overrides[0].receiver_cores = receiver_cores;
+  options.runtime_overrides[0].sender_core = 4;
+  return options;
+}
+
+/// Drives a seeded mixed workload (injected ssum/iput/nop plus local
+/// ssum, varying payloads) from every spoke into the hub; returns once
+/// the engine drains.
+void RunSeededIncast(Fabric& fabric) {
+  struct Sender {
+    PeerId to_hub = kInvalidPeer;
+    std::uint32_t sent = 0;
+    Xoshiro256 rng{0};
+  };
+  auto senders = std::make_shared<std::vector<Sender>>(kSenders);
+  for (std::uint32_t s = 0; s < kSenders; ++s) {
+    auto peer = fabric.PeerIdFor(s + 1, 0);
+    ASSERT_TRUE(peer.ok());
+    (*senders)[s].to_hub = *peer;
+    (*senders)[s].rng = Xoshiro256(kSeed + 7919 * s);
+  }
+
+  PumpLoop<std::uint32_t> pump;
+  pump.Set([senders, &fabric, resume = pump.Handle()](std::uint32_t s) {
+    Sender& sender = (*senders)[s];
+    Runtime& rt = fabric.runtime(s + 1);
+    if (sender.sent >= kMessagesPerSender) return;
+    if (!rt.HasFreeSlot(sender.to_hub)) {
+      rt.NotifyWhenSlotFree(sender.to_hub, [resume, s] { resume(s); });
+      return;
+    }
+    const std::uint64_t kind = sender.rng.NextBelow(4);
+    const std::string jam = kind == 1 ? "iput" : kind == 2 ? "nop" : "ssum";
+    const Invoke mode = kind == 3 ? Invoke::kLocal : Invoke::kInjected;
+    const std::vector<std::uint64_t> args = {sender.rng.NextBelow(128)};
+    std::vector<std::uint8_t> usr(8 * (1 + sender.rng.NextBelow(16)));
+    for (std::size_t i = 0; i < usr.size(); i += 8) {
+      const std::uint64_t v = sender.rng.Next();
+      std::memcpy(usr.data() + i, &v, 8);
+    }
+    auto receipt = rt.Send(sender.to_hub, jam, mode, args, usr);
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    ++sender.sent;
+    fabric.engine().ScheduleAfter(receipt->sender_cost,
+                                  [resume, s] { resume(s); }, "det.send");
+  });
+  for (std::uint32_t s = 0; s < kSenders; ++s) pump(s);
+  fabric.Run();
+}
+
+/// Serializes everything an observer can see — engine counters, every
+/// runtime's stats table, and the hub's per-core counters — into one
+/// string for byte-exact comparison.
+std::string Fingerprint(Fabric& fabric) {
+  std::string out = StrFormat("events=%llu now=%llu\n",
+                              static_cast<unsigned long long>(
+                                  fabric.engine().EventsProcessed()),
+                              static_cast<unsigned long long>(
+                                  fabric.engine().Now()));
+  for (std::uint32_t h = 0; h < fabric.size(); ++h) {
+    const RuntimeStats& s = fabric.runtime(h).stats();
+    out += StrFormat(
+        "host%u sent=%llu exec=%llu deliv=%llu bytes=%llu flags=%llu "
+        "stalls=%llu rej=%llu waits=%llu\n",
+        h, static_cast<unsigned long long>(s.messages_sent),
+        static_cast<unsigned long long>(s.messages_executed),
+        static_cast<unsigned long long>(s.messages_delivered),
+        static_cast<unsigned long long>(s.bytes_sent),
+        static_cast<unsigned long long>(s.bank_flags_returned),
+        static_cast<unsigned long long>(s.send_stalls),
+        static_cast<unsigned long long>(s.security_rejections),
+        static_cast<unsigned long long>(s.wait_episodes));
+    for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
+      const PeerStats& ps = s.per_peer[p];
+      out += StrFormat(
+          "  peer%zu sent=%llu deliv=%llu exec=%llu bytes=%llu "
+          "stalls=%llu flags=%llu\n",
+          p, static_cast<unsigned long long>(ps.messages_sent),
+          static_cast<unsigned long long>(ps.messages_delivered),
+          static_cast<unsigned long long>(ps.messages_executed),
+          static_cast<unsigned long long>(ps.bytes_sent),
+          static_cast<unsigned long long>(ps.send_stalls),
+          static_cast<unsigned long long>(ps.bank_flags_returned));
+    }
+  }
+  Runtime& hub = fabric.runtime(0);
+  for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
+    const cpu::PerfCounters& pc = hub.receiver_cpu(c).counters();
+    const cpu::WaitStats& ws = hub.receiver_wait_stats(c);
+    out += StrFormat(
+        "core%u exec=%llu wait=%llu pack=%llu mem=%llu instr=%llu "
+        "msgs=%llu episodes=%llu idle=%llu detect=%llu burned=%llu\n",
+        c,
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kExecute)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kWait)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kPack)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kMemory)),
+        static_cast<unsigned long long>(pc.instructions),
+        static_cast<unsigned long long>(pc.messages_handled),
+        static_cast<unsigned long long>(ws.episodes),
+        static_cast<unsigned long long>(ws.idle_picos),
+        static_cast<unsigned long long>(ws.detection_picos),
+        static_cast<unsigned long long>(ws.cycles_burned));
+  }
+  return out;
+}
+
+/// One full run: fresh fabric, seeded workload, drained engine.
+std::string RunOnce(std::uint32_t receiver_cores,
+                    std::uint64_t* executed_out = nullptr) {
+  Fabric fabric(PoolOptions(receiver_cores));
+  auto package = bench::BuildBenchPackage();
+  if (!package.ok()) {
+    ADD_FAILURE() << "package build failed: " << package.status();
+    return "<package build failed>";
+  }
+  if (const Status st = fabric.LoadPackage(*package); !st.ok()) {
+    ADD_FAILURE() << "package load failed: " << st;
+    return "<package load failed>";
+  }
+  RunSeededIncast(fabric);
+  // Drained: no frame may still sit in a mailbox, and every bank flag
+  // must have come home.
+  for (std::uint32_t h = 0; h < fabric.size(); ++h) {
+    EXPECT_EQ(fabric.runtime(h).InFlightFrames(), 0u) << "host " << h;
+    for (PeerId p = 0; p < fabric.runtime(h).peer_count(); ++p) {
+      EXPECT_EQ(fabric.runtime(h).ClosedSendBanks(p), 0u)
+          << "host " << h << " peer " << p;
+    }
+  }
+  if (executed_out != nullptr) {
+    *executed_out = fabric.runtime(0).stats().messages_executed;
+  }
+  return Fingerprint(fabric);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DeterminismTest, RepeatedSeededRunsAreByteIdentical) {
+  const std::uint32_t cores = GetParam();
+  std::uint64_t executed = 0;
+  const std::string first = RunOnce(cores, &executed);
+  const std::string second = RunOnce(cores);
+  EXPECT_EQ(first, second) << "receiver_cores=" << cores;
+  EXPECT_EQ(executed,
+            static_cast<std::uint64_t>(kSenders) * kMessagesPerSender);
+}
+
+// Note: asserting executed == kSenders * kMessagesPerSender per pool size
+// above already pins that every pool width executes the same work — the
+// pool changes *when* frames execute, never *whether* they do.
+INSTANTIATE_TEST_SUITE_P(PoolSizes, DeterminismTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+}  // namespace
+}  // namespace twochains::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "benchlib/workloads.hpp"
+#include "common/pump.hpp"
 #include "core/fabric.hpp"
 
 namespace twochains::core {
@@ -210,13 +211,13 @@ TEST(FabricTest, BankFlagsReturnToOwningSenderUnderInterleavedTraffic) {
   std::vector<std::uint8_t> usr(8);
 
   // Interleave: alternate pumps, each parking on its own flow control.
-  auto pump = std::make_shared<std::function<void(int)>>();
-  *pump = [&, pump](int s) {
+  PumpLoop<int> pump;
+  pump.Set([&, resume = pump.Handle()](int s) {
     Runtime& sender = fabric->runtime(s);
     const PeerId to_rx = *fabric->PeerIdFor(s, 2);
     while (sent[s] < kPerSender) {
       if (!sender.HasFreeSlot(to_rx)) {
-        sender.NotifyWhenSlotFree(to_rx, [pump, s] { (*pump)(s); });
+        sender.NotifyWhenSlotFree(to_rx, [resume, s] { resume(s); });
         return;
       }
       // Distinct value streams: sender 0 sends odd, sender 1 sends even.
@@ -226,9 +227,9 @@ TEST(FabricTest, BankFlagsReturnToOwningSenderUnderInterleavedTraffic) {
       ASSERT_TRUE(sender.Send(to_rx, "ssum", Invoke::kInjected, {}, usr).ok());
       ++sent[s];
     }
-  };
-  (*pump)(0);
-  (*pump)(1);
+  });
+  pump(0);
+  pump(1);
   fabric->RunUntil([&] {
     return receiver.stats().messages_executed >=
            static_cast<std::uint64_t>(2 * kPerSender);
@@ -255,6 +256,79 @@ TEST(FabricTest, BankFlagsReturnToOwningSenderUnderInterleavedTraffic) {
   EXPECT_EQ(fabric->runtime(1).stats().per_peer[*fabric->PeerIdFor(1, 2)]
                 .messages_sent,
             static_cast<std::uint64_t>(kPerSender));
+}
+
+TEST(FabricTest, BankFlagsReturnToOwningSenderAcrossShardedPool) {
+  // Same invariant as above, but the receiver drains through a 2-core
+  // pool with its banks sharded across the cores: flags must still
+  // return to the owning sender only, and only after the owning core
+  // fully drained the bank — never early because *another* core's bank
+  // finished first.
+  FabricOptions options = SmallOptions(3, Topology::kStar, 2);
+  options.runtime.sender_core = 2;
+  options.runtime_overrides.assign(3, options.runtime);
+  options.runtime_overrides[2].receiver_cores = 2;
+  auto fabric = MakeLoadedFabric(options);
+  Runtime& receiver = fabric->runtime(2);
+  ASSERT_EQ(receiver.receiver_pool_size(), 2u);
+  const int kPerSender = 40;  // 5 bank cycles at 2x4 slots
+
+  std::map<PeerId, std::uint64_t> sum_by_peer;
+  std::map<PeerId, int> count_by_peer;
+  receiver.SetOnExecuted([&](const ReceivedMessage& msg) {
+    sum_by_peer[msg.from] += msg.return_value;
+    ++count_by_peer[msg.from];
+  });
+
+  std::uint64_t expect_sum[2] = {0, 0};
+  int sent[2] = {0, 0};
+  std::vector<std::uint8_t> usr(8);
+
+  PumpLoop<int> pump;
+  pump.Set([&, resume = pump.Handle()](int s) {
+    Runtime& sender = fabric->runtime(s);
+    const PeerId to_rx = *fabric->PeerIdFor(s, 2);
+    while (sent[s] < kPerSender) {
+      if (!sender.HasFreeSlot(to_rx)) {
+        sender.NotifyWhenSlotFree(to_rx, [resume, s] { resume(s); });
+        return;
+      }
+      const std::uint64_t v = 2 * (sent[s] + 1) + (s == 0 ? 1 : 0);
+      std::memcpy(usr.data(), &v, 8);
+      expect_sum[s] += v;
+      ASSERT_TRUE(sender.Send(to_rx, "ssum", Invoke::kInjected, {}, usr).ok());
+      ++sent[s];
+    }
+  });
+  pump(0);
+  pump(1);
+  fabric->RunUntil([&] {
+    return receiver.stats().messages_executed >=
+           static_cast<std::uint64_t>(2 * kPerSender);
+  });
+  receiver.SetOnExecuted(nullptr);
+
+  const PeerId from0 = *fabric->PeerIdFor(2, 0);
+  const PeerId from1 = *fabric->PeerIdFor(2, 1);
+  EXPECT_EQ(count_by_peer[from0], kPerSender);
+  EXPECT_EQ(count_by_peer[from1], kPerSender);
+  // No cross-talk across the sharded banks.
+  EXPECT_EQ(sum_by_peer[from0], expect_sum[0]);
+  EXPECT_EQ(sum_by_peer[from1], expect_sum[1]);
+
+  // Both pool cores took part in the drain, and every bank flag went
+  // home: both senders completed all 40 sends (10 bank closures each).
+  EXPECT_GT(receiver.receiver_cpu(0).counters().messages_handled, 0u);
+  EXPECT_GT(receiver.receiver_cpu(1).counters().messages_handled, 0u);
+  const auto& rx_peers = receiver.stats().per_peer;
+  EXPECT_GE(rx_peers[from0].bank_flags_returned, 9u);
+  EXPECT_GE(rx_peers[from1].bank_flags_returned, 9u);
+  fabric->Run();  // drain the trailing flag puts
+  EXPECT_EQ(receiver.InFlightFrames(), 0u);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(fabric->runtime(s).ClosedSendBanks(*fabric->PeerIdFor(s, 2)),
+              0u);
+  }
 }
 
 // ---------------------------------------------------------- guard rails

@@ -12,6 +12,7 @@
 #include "benchlib/perftest.hpp"
 #include "benchlib/stress.hpp"
 #include "benchlib/workloads.hpp"
+#include "common/pump.hpp"
 #include "common/rng.hpp"
 #include "core/two_chains.hpp"
 
@@ -179,19 +180,19 @@ TEST(FlowControlInvariantTest, NoFrameIsEverLostOrReordered) {
       [&](const ReceivedMessage& msg) { sns.push_back(msg.sn); });
   std::vector<std::uint8_t> usr(8, 1);
   int sent = 0;
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump] {
+  PumpLoop<> pump;
+  pump.Set([&, resume = pump.Handle()] {
     while (sent < total) {
       if (!testbed->runtime(0).HasFreeSlot()) {
-        testbed->runtime(0).NotifyWhenSlotFree([pump] { (*pump)(); });
+        testbed->runtime(0).NotifyWhenSlotFree(resume);
         return;
       }
       ASSERT_TRUE(
           testbed->runtime(0).Send("nop", Invoke::kInjected, {}, usr).ok());
       ++sent;
     }
-  };
-  (*pump)();
+  });
+  pump();
   testbed->RunUntil([&] { return sns.size() == total; });
   ASSERT_EQ(sns.size(), static_cast<std::size_t>(total));
   for (int i = 0; i < total; ++i) {

@@ -15,6 +15,7 @@
 #include "jamvm/interpreter.hpp"
 #include "jamvm/isa.hpp"
 #include "jamvm/verifier.hpp"
+#include "listing_util.hpp"
 #include "mem/host_memory.hpp"
 
 namespace twochains::vm {
@@ -352,6 +353,134 @@ TEST(VerifierTest, LeaMayTargetTrailingRodata) {
   EXPECT_FALSE(VerifyCode(code, limits).ok());
   limits.rodata_bytes = 64;
   EXPECT_TRUE(VerifyCode(code, limits).ok());
+}
+
+TEST(VerifierTest, RejectsTruncatedJamBodies) {
+  // A frame cut short on the wire: the verifier must refuse every
+  // truncation of a valid body — misaligned tails outright, aligned
+  // tails once a branch target falls off the end.
+  const auto code = AssembleText(R"(
+    f:
+      beq a0, zr, .out
+      addi a0, a0, -1
+      jmp f
+    .out:
+      ret
+  )");
+  ASSERT_TRUE(VerifyCode(code, {}).ok());
+  // Misaligned truncations (not a whole number of instruction slots).
+  for (const std::size_t cut : {1u, 7u, 9u, 15u}) {
+    ASSERT_LT(cut, code.size());
+    const std::span<const std::uint8_t> trunc(code.data(),
+                                              code.size() - cut);
+    EXPECT_EQ(VerifyCode(trunc, {}).code(), StatusCode::kDataLoss)
+        << "cut " << cut;
+  }
+  // Aligned truncation that drops the `.out: ret` the beq targets.
+  const std::span<const std::uint8_t> no_tail(code.data(),
+                                              code.size() - kInstrBytes);
+  EXPECT_EQ(VerifyCode(no_tail, {}).code(), StatusCode::kOutOfRange);
+  // Truncated to nothing.
+  EXPECT_EQ(VerifyCode(code.empty() ? std::span<const std::uint8_t>()
+                                    : std::span<const std::uint8_t>(
+                                          code.data(), 0),
+                       {})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VerifierTest, SeededGarblingNeverSlipsUndecodableCode) {
+  // Property: for any byte-level corruption of a valid body, the verifier
+  // either rejects, or everything it accepted really decodes and every
+  // branch stays inside the image — and the verdict is deterministic.
+  const auto code = AssembleText(R"(
+    f:
+      movi t0, 0
+    .loop:
+      beq a0, zr, .done
+      add t0, t0, a1
+      addi a0, a0, -1
+      jmp .loop
+    .done:
+      mov a0, t0
+      ret
+  )");
+  ASSERT_TRUE(VerifyCode(code, {}).ok());
+
+  Xoshiro256 rng(0x6A2B1E);
+  int rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> garbled(code.begin(), code.end());
+    const std::uint64_t flips = 1 + rng.NextBelow(3);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      garbled[rng.NextBelow(garbled.size())] =
+          static_cast<std::uint8_t>(rng.Next());
+    }
+    const Status verdict = VerifyCode(garbled, {});
+    const Status again = VerifyCode(garbled, {});
+    EXPECT_EQ(verdict.code(), again.code());
+    if (!verdict.ok()) {
+      ++rejected;
+      continue;
+    }
+    const std::int64_t size = static_cast<std::int64_t>(garbled.size());
+    for (std::size_t off = 0; off < garbled.size(); off += kInstrBytes) {
+      const auto decoded = Decode(garbled.data() + off);
+      ASSERT_TRUE(decoded.has_value()) << "verifier passed undecodable +"
+                                       << off << " in round " << round;
+      if (IsBranch(decoded->op) || decoded->op == Opcode::kJal) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(off) + decoded->imm;
+        EXPECT_GE(target, 0);
+        EXPECT_LT(target, size);
+      }
+    }
+  }
+  // The property is not vacuous: corruption does get caught.
+  EXPECT_GT(rejected, 0);
+}
+
+// ------------------------------------------- listing round-trip property
+
+TEST(DisassemblerTest, SeededStreamsReachReassemblyFixpoint) {
+  // Random valid instruction streams, pushed through disassemble ->
+  // reassemble: the first pass may normalize (the printer omits operand
+  // fields its shape does not use, e.g. a stray rd on `halt`), but from
+  // then on bytes and listing must be a fixpoint — the printer and the
+  // parser agree on every operand shape (including raw ldg.fix /
+  // ldg.pre and negative immediates).
+  Xoshiro256 rng(0x0DD5);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint8_t> code;
+    const std::uint64_t count = 4 + rng.NextBelow(60);
+    for (std::uint64_t n = 0; n < count; ++n) {
+      Instr instr;
+      instr.op = static_cast<Opcode>(
+          rng.NextBelow(static_cast<std::uint64_t>(Opcode::kOpcodeCount)));
+      instr.rd = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+      instr.rs1 = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+      instr.rs2 = static_cast<std::uint8_t>(rng.NextBelow(kNumRegs));
+      instr.imm = static_cast<std::int32_t>(rng.Next());
+      std::uint8_t buf[kInstrBytes];
+      Encode(instr, buf);
+      code.insert(code.end(), buf, buf + kInstrBytes);
+    }
+    auto listing = Disassemble(code);
+    ASSERT_TRUE(listing.ok()) << listing.status();
+    auto normalized = Assemble(StripListingOffsets(*listing), "prop.jasm");
+    ASSERT_TRUE(normalized.ok())
+        << normalized.status() << "\nlisting:\n" << *listing;
+    ASSERT_EQ(normalized->text.size(), code.size()) << "round " << round;
+
+    auto listing2 = Disassemble(normalized->text);
+    ASSERT_TRUE(listing2.ok());
+    auto fixpoint = Assemble(StripListingOffsets(*listing2), "prop2.jasm");
+    ASSERT_TRUE(fixpoint.ok()) << fixpoint.status();
+    EXPECT_EQ(fixpoint->text, normalized->text) << "round " << round;
+    auto listing3 = Disassemble(fixpoint->text);
+    ASSERT_TRUE(listing3.ok());
+    EXPECT_EQ(*listing3, *listing2) << "round " << round;
+  }
 }
 
 // ---------------------------------------------------------- interpreter

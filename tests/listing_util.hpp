@@ -1,0 +1,25 @@
+// Shared test helper for disassembler-listing round trips.
+#pragma once
+
+#include <string>
+
+namespace twochains::vm {
+
+/// Strips the "  off: " prefix of a disassembler listing, leaving
+/// statements the assembler accepts back.
+inline std::string StripListingOffsets(const std::string& listing) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < listing.size()) {
+    std::size_t eol = listing.find('\n', pos);
+    if (eol == std::string::npos) eol = listing.size();
+    const std::string line = listing.substr(pos, eol - pos);
+    const std::size_t colon = line.find(": ");
+    out += colon == std::string::npos ? line : line.substr(colon + 2);
+    out += '\n';
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace twochains::vm
