@@ -9,6 +9,16 @@
 //     behind another sender's execution, and
 //   * that the per-peer bank recycling stays fair when banks are spread
 //     over cores (Jain fairness from the hub's per-peer counters).
+//
+// A second section measures the locality-vs-utilization tradeoff of
+// receiver-pool *work stealing*: the same incast hub under a uniform load
+// (where affinity sharding is already balanced and stealing must not
+// regress) and under a skewed load (two hot senders whose banks shard to
+// a fraction of the pool, where steal-off leaves cores idle while the hot
+// cores queue deep). Run with --base or --steal to select one section;
+// no argument runs both.
+#include <cstring>
+
 #include "fig_common.hpp"
 
 namespace twochains::bench {
@@ -23,7 +33,7 @@ struct Point {
   std::vector<std::uint64_t> per_core_messages;
 };
 
-int Main() {
+int BaseMain() {
   Banner("fig16", "receiver-core scaling: 8-sender incast, pooled drain");
   std::printf("Indirect Put, 64 B payload, %u messages per sender\n",
               kIterationsPerSender);
@@ -148,7 +158,192 @@ int Main() {
   return FinishChecks(ok);
 }
 
+// --------------------------------------------------------------- stealing
+
+struct StealPoint {
+  std::uint32_t receiver_cores = 0;
+  bool skewed = false;
+  bool steal = false;
+  IncastResult result;
+  std::uint64_t expected_messages = 0;  ///< offered load (skew-aware)
+  std::uint64_t steals = 0;
+  std::uint64_t frames_stolen = 0;
+  std::vector<std::uint64_t> per_core_messages;
+};
+
+/// One incast run for the steal section: banks narrowed to 2 so the two
+/// hot senders' banks shard onto a fraction of the pool, skew expressed
+/// as sender weights (hosts 1 and 8 -> hub peers 0 and 7, whose banks
+/// collide on pool core 0 at both pool widths — see the in-body comment).
+StealPoint RunStealPoint(std::uint32_t cores, bool skewed, bool steal) {
+  core::FabricOptions options =
+      PaperFabric(kSenders + 1, core::Topology::kStar, 0);
+  options.runtime.banks = 2;
+  options.host_overrides.assign(kSenders + 1, options.host);
+  options.host_overrides[0].cache.cores =
+      std::max(options.host.cache.cores, cores + 1);
+  options.runtime_overrides.assign(kSenders + 1, options.runtime);
+  options.runtime_overrides[0].receiver_cores = cores;
+  options.runtime_overrides[0].sender_core = cores;
+  core::StealConfig steal_config;
+  steal_config.enabled = steal;
+  steal_config.threshold = 2;
+  steal_config.hysteresis = 1;
+  if (steal) options.WithStealing(steal_config);
+  core::Fabric fabric(options);
+  auto package = BuildBenchPackage();
+  if (!package.ok() || !fabric.LoadPackage(*package).ok()) {
+    std::fprintf(stderr, "fabric setup failed\n");
+    std::abort();
+  }
+
+  // Server-Side Sum over a 1 KiB payload: execution-bound frames, so the
+  // hub pool — not the wire — is the bottleneck and imbalance shows up as
+  // backlog a thief can actually relieve (64 B iput drains faster than a
+  // cable delivers, which no scheduler can improve on).
+  IncastConfig config;
+  config.jam = "ssum";
+  config.mode = core::Invoke::kInjected;
+  config.usr_bytes = 1024;
+  config.iterations_per_sender = kIterationsPerSender / 4;
+  config.args = [](std::uint64_t iter) {
+    return std::vector<std::uint64_t>{iter & 127};
+  };
+  if (skewed) {
+    // Hub peers 0 and 7 (hosts 1 and 8): with 2 banks, peer 0 shards to
+    // pool cores {0, 1} and peer 7 to {7 % cores, 0} — their hot banks
+    // collide on core 0 at both pool widths, so one core owns two deep
+    // bank queues while most of the pool idles unless it steals. (A hot
+    // peer whose banks land 1:1 on distinct cores is *not* stealable
+    // work: in-bank ordering already caps each bank at one core's
+    // throughput.)
+    config.iterations_per_sender = kIterationsPerSender / 8;
+    config.sender_weights.assign(kSenders, 1);
+    config.sender_weights[0] = 8;
+    config.sender_weights[7] = 8;
+  }
+
+  std::vector<std::uint32_t> senders;
+  for (std::uint32_t s = 1; s <= kSenders; ++s) senders.push_back(s);
+  StealPoint point;
+  point.receiver_cores = cores;
+  point.skewed = skewed;
+  point.steal = steal;
+  for (std::uint32_t s = 0; s < kSenders; ++s) {
+    point.expected_messages +=
+        config.iterations_per_sender *
+        (config.sender_weights.empty() ? 1 : config.sender_weights[s]);
+  }
+  point.result = MustOk(RunIncastRate(fabric, 0, senders, config),
+                        "steal incast run");
+  core::Runtime& hub = fabric.runtime(0);
+  point.steals = hub.stats().steals;
+  point.frames_stolen = hub.stats().frames_stolen;
+  for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
+    point.per_core_messages.push_back(
+        hub.receiver_cpu(c).counters().messages_handled);
+  }
+  return point;
+}
+
+int StealMain() {
+  Banner("fig16 --steal",
+         "work stealing: uniform vs skewed incast, steal on/off");
+  std::printf("Server-Side Sum, 1 KiB payload, 2 banks, threshold 2 / "
+              "hysteresis 1\n");
+
+  const std::uint32_t kPoolSizes[] = {4, 8};
+  std::vector<StealPoint> points;
+  for (const std::uint32_t cores : kPoolSizes) {
+    for (const bool skewed : {false, true}) {
+      for (const bool steal : {false, true}) {
+        points.push_back(RunStealPoint(cores, skewed, steal));
+      }
+    }
+  }
+
+  Table table({"rx cores", "load", "steal", "agg Kmsg/s", "on/off",
+               "p99 us", "steals", "stolen msgs", "per-core msgs"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const StealPoint& p = points[i];
+    // Each (cores, load) pair lands as off-then-on; ratio vs the off run.
+    const double base_rate =
+        points[i & ~std::size_t{1}].result.aggregate_messages_per_second;
+    std::string per_core;
+    for (std::size_t c = 0; c < p.per_core_messages.size(); ++c) {
+      if (c) per_core += "/";
+      per_core += FmtU64(p.per_core_messages[c]);
+    }
+    table.AddRow(
+        {FmtU64(p.receiver_cores), p.skewed ? "skewed" : "uniform",
+         p.steal ? "on" : "off",
+         FmtF(p.result.aggregate_messages_per_second / 1e3),
+         FmtF(p.result.aggregate_messages_per_second / base_rate, "%.2fx"),
+         FmtUs(p.result.latency.Percentile(0.99)), FmtU64(p.steals),
+         FmtU64(p.frames_stolen), per_core});
+  }
+  table.Print();
+
+  auto at = [&](std::uint32_t cores, bool skewed, bool steal) -> const
+      StealPoint& {
+    for (const StealPoint& p : points) {
+      if (p.receiver_cores == cores && p.skewed == skewed &&
+          p.steal == steal) {
+        return p;
+      }
+    }
+    std::abort();
+  };
+
+  bool ok = true;
+  for (const std::uint32_t cores : kPoolSizes) {
+    const double skew_gain =
+        at(cores, true, true).result.aggregate_messages_per_second /
+        at(cores, true, false).result.aggregate_messages_per_second;
+    ok &= ShapeCheck(
+        StrFormat("skewed incast at %u cores: stealing lifts the aggregate "
+                  "rate >= 1.2x over steal-off",
+                  cores)
+            .c_str(),
+        skew_gain >= 1.2);
+    const double uniform_ratio =
+        at(cores, false, true).result.aggregate_messages_per_second /
+        at(cores, false, false).result.aggregate_messages_per_second;
+    ok &= ShapeCheck(
+        StrFormat("uniform incast at %u cores: stealing does not regress "
+                  "the rate by more than 2%%",
+                  cores)
+            .c_str(),
+        uniform_ratio >= 0.98);
+    ok &= ShapeCheck(
+        StrFormat("stealing actually fired under skew at %u cores", cores)
+            .c_str(),
+        at(cores, true, true).steals > 0);
+  }
+  ok &= ShapeCheck(
+      "every message was executed in every steal configuration (no "
+      "mailbox leak)",
+      [&] {
+        for (const StealPoint& p : points) {
+          std::uint64_t executed = 0;
+          for (const auto& s : p.result.per_sender) executed += s.messages;
+          if (executed != p.expected_messages) return false;
+        }
+        return true;
+      }());
+  return FinishChecks(ok);
+}
+
+int Main(int argc, char** argv) {
+  const bool base_only = argc > 1 && std::strcmp(argv[1], "--base") == 0;
+  const bool steal_only = argc > 1 && std::strcmp(argv[1], "--steal") == 0;
+  int rc = 0;
+  if (!steal_only) rc |= BaseMain();
+  if (!base_only) rc |= StealMain();
+  return rc;
+}
+
 }  // namespace
 }  // namespace twochains::bench
 
-int main() { return twochains::bench::Main(); }
+int main(int argc, char** argv) { return twochains::bench::Main(argc, argv); }

@@ -160,6 +160,8 @@ struct IncastCtx {
   struct Sender {
     core::Runtime* runtime = nullptr;
     core::PeerId to_receiver = core::kInvalidPeer;  // on the sender
+    std::uint64_t target = 0;  ///< messages this sender pushes (skew-aware)
+    std::uint32_t weight = 1;
     std::uint64_t sent = 0;
     std::uint64_t completed = 0;
     std::uint64_t flow_control_waits = 0;
@@ -198,14 +200,25 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
   ctx->args = config.args ? config.args : DefaultArgs;
   ctx->jam = config.jam;
   ctx->mode = config.mode;
+  if (!config.sender_weights.empty() &&
+      config.sender_weights.size() != senders.size()) {
+    return InvalidArgument(
+        StrFormat("%zu sender_weights for %zu senders",
+                  config.sender_weights.size(), senders.size()));
+  }
   ctx->per_sender = config.iterations_per_sender;
-  ctx->total = ctx->per_sender * senders.size();
-  ctx->latency = LatencySample(ctx->total);
+  ctx->total = 0;
   ctx->senders.resize(senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
     if (senders[i] == receiver) {
       return InvalidArgument("receiver cannot also be a sender");
     }
+    const std::uint32_t weight =
+        config.sender_weights.empty() ? 1u : config.sender_weights[i];
+    if (weight == 0) return InvalidArgument("sender weight 0");
+    ctx->senders[i].weight = weight;
+    ctx->senders[i].target = ctx->per_sender * weight;
+    ctx->total += ctx->senders[i].target;
     ctx->senders[i].runtime = &fabric.runtime(senders[i]);
     TC_ASSIGN_OR_RETURN(ctx->senders[i].to_receiver,
                         fabric.PeerIdFor(senders[i], receiver));
@@ -215,6 +228,7 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
       return InvalidArgument("duplicate sender host");
     }
   }
+  ctx->latency = LatencySample(ctx->total);
 
   // One pump per sender, each paced by its own sender CPU and its own
   // per-peer flow control toward the receiver.
@@ -223,7 +237,7 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     pumps[i].Set([ctx, &fabric, i, resume = pumps[i].Handle()]() {
       if (!ctx->active) return;
       IncastCtx::Sender& s = ctx->senders[i];
-      if (s.sent >= ctx->per_sender || !ctx->failure.ok()) return;
+      if (s.sent >= s.target || !ctx->failure.ok()) return;
       if (!s.runtime->HasFreeSlot(s.to_receiver)) {
         ++s.flow_control_waits;
         s.runtime->NotifyWhenSlotFree(s.to_receiver, resume);
@@ -290,8 +304,13 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     sr.messages_per_second =
         MessagesPerSecond(ctx->senders[i].completed, result.duration);
     sr.flow_control_waits = ctx->senders[i].flow_control_waits;
-    sum += sr.messages_per_second;
-    sum_sq += sr.messages_per_second * sr.messages_per_second;
+    // Under a skewed load, fairness is per *offered* load: normalize each
+    // sender's rate by its weight so Jain still reads 1.0 when everyone
+    // completes in proportion to what they pushed.
+    const double normalized =
+        sr.messages_per_second / ctx->senders[i].weight;
+    sum += normalized;
+    sum_sq += normalized * normalized;
     result.per_sender.push_back(sr);
   }
   if (sum_sq > 0) {

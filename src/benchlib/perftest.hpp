@@ -65,6 +65,13 @@ struct IncastConfig {
   std::uint64_t usr_bytes = 64;
   ArgsFn args;                            ///< defaults to {iter & 127}
   std::uint32_t iterations_per_sender = 1000;
+  /// Skewed-incast load: per-sender message multipliers, one per entry of
+  /// `senders` (sender i pushes iterations_per_sender * sender_weights[i]
+  /// messages). Empty = uniform (weight 1 everywhere). This is what makes
+  /// receiver-pool skew observable: concentrating load on the senders
+  /// whose banks shard to one pool core leaves the other cores idle
+  /// unless they steal.
+  std::vector<std::uint32_t> sender_weights;
 };
 
 struct IncastSenderResult {

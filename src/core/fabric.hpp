@@ -60,6 +60,15 @@ struct FabricOptions {
   /// lets e.g. an incast hub run a wide receiver pool while the spokes
   /// keep a single receiver core.
   std::vector<RuntimeConfig> runtime_overrides;
+
+  /// Arms receiver-pool work stealing on every host: the template and any
+  /// runtime_overrides already populated (call after filling those). A
+  /// host whose pool stays single-core ignores it (documented no-op).
+  FabricOptions& WithStealing(const StealConfig& steal) {
+    runtime.steal = steal;
+    for (RuntimeConfig& rc : runtime_overrides) rc.steal = steal;
+    return *this;
+  }
 };
 
 class Fabric {

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -66,7 +67,25 @@ Status Runtime::Initialize() {
             << "); sends will share a core with a pool waiter — set "
                "sender_core outside the pool unless this is intentional";
   }
+  // Steal config: resolve against the clamped pool width and bound the
+  // trigger values so a bad config degrades to "no stealing" or
+  // "steal on any backlog" instead of claim churn or a dead knob.
+  stealing_active_ = config_.steal.enabled && config_.receiver_cores > 1;
+  if (config_.steal.enabled && config_.receiver_cores == 1) {
+    TC_WARN << "work stealing enabled on a 1-core receiver pool — nothing "
+               "to steal from; disabling (no steal state allocated)";
+  }
+  if (stealing_active_ && config_.steal.threshold == 0) {
+    TC_WARN << "steal threshold 0 would hand claims around with no work "
+               "behind them; clamping to 1";
+    config_.steal.threshold = 1;
+  }
+  // Oversized threshold/hysteresis clamp at steal time instead (see
+  // EffectiveStealThreshold): the bound is the capacity across *all*
+  // peers' slices, and the peer table only fills at Connect.
+
   pool_.resize(config_.receiver_cores);
+  if (stealing_active_) claim_backlog_.assign(config_.receiver_cores, 0);
   for (std::uint32_t i = 0; i < config_.receiver_cores; ++i) {
     PoolCore& member = pool_[i];
     member.core_id = config_.receiver_core + i;
@@ -140,6 +159,15 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
       worker_, ucxs::PutMode::kUser, &remote.nic_);
 
   peer.bank_cursor.assign(config_.banks, 0);
+  if (stealing_active_) {
+    // Claims start at the affinity owner; in_flight guards the handoff.
+    peer.bank_claim.resize(config_.banks);
+    for (std::uint32_t b = 0; b < config_.banks; ++b) {
+      peer.bank_claim[b] = PoolIndexFor(id, b);
+    }
+    peer.bank_in_flight.assign(config_.banks, 0);
+    peer.bank_ready.assign(config_.banks, 0);
+  }
 
   peers_.push_back(std::move(peer));
   stats_.per_peer.emplace_back();
@@ -513,8 +541,24 @@ void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
   ++stats_.messages_delivered;
   ++stats_.per_peer[from].messages_delivered;
   peers_[from].ready[slot] = ReadyFrame{from, slot, delivered_at};
-  // Only the pool core the frame's bank is sharded to can serve it.
-  MaybeBeginNext(PoolIndexFor(from, slot / config_.mailboxes_per_bank));
+  // The bank's current claim holder gets first crack at the frame; with
+  // stealing active, every other pool member then gets a deterministic
+  // chance to notice a backlog it could relieve.
+  const std::uint32_t bank = slot / config_.mailboxes_per_bank;
+  const std::uint32_t holder = ClaimOf(from, bank);
+  if (stealing_active_) {
+    ++peers_[from].bank_ready[bank];
+    ++claim_backlog_[holder];
+  }
+  MaybeBeginNext(holder);
+  OfferStealOpportunities(holder);
+}
+
+void Runtime::OfferStealOpportunities(std::uint32_t first) {
+  if (!stealing_active_) return;
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    if (i != first) MaybeBeginNext(i);
+  }
 }
 
 void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
@@ -532,16 +576,42 @@ void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
   if (!receiver_started_) return;
   PoolCore& member = pool_[pool_index];
   if (member.processing) return;
-  // This pool core scans the heads of the banks sharded to it (across
-  // every peer's mailbox slice) and serves the earliest-delivered one —
-  // a fair sweep across senders under incast. Ties and the scan itself
-  // are resolved in (peer, bank) index order, so the choice never depends
-  // on host-side container iteration order.
+  // This pool core scans the heads of the banks it claims — its affinity
+  // shard plus any banks in its steal queue, across every peer's mailbox
+  // slice — and serves the earliest-delivered one: a fair sweep across
+  // senders under incast. Only when that scan comes up empty does an idle
+  // core consider sacrificing stash locality and stealing. Ties and the
+  // scans themselves are resolved in (peer, bank) index order, so the
+  // choice never depends on host-side container iteration order.
+  const ReadyFrame* best = ScanBankHeads(pool_index);
+  if (best == nullptr && stealing_active_) best = TrySteal(pool_index);
+  if (best == nullptr) {
+    if (!member.idle_since.has_value()) member.idle_since = engine_.Now();
+    return;
+  }
+  ReadyFrame frame = *best;
+  frame.pool = pool_index;
+  if (stealing_active_) {
+    peers_[frame.peer]
+        .bank_in_flight[frame.slot / config_.mailboxes_per_bank] = 1;
+  }
+  PicoTime waited = 0;
+  if (member.idle_since.has_value() &&
+      frame.delivered_at >= *member.idle_since) {
+    waited = frame.delivered_at - *member.idle_since;
+  }
+  member.idle_since.reset();
+  member.processing = true;
+  BeginProcess(frame, waited);
+}
+
+const Runtime::ReadyFrame* Runtime::ScanBankHeads(std::uint32_t pool_index) {
   const ReadyFrame* best = nullptr;
   for (PeerId peer = 0; peer < peers_.size(); ++peer) {
     PeerState& p = peers_[peer];
     for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
-      if (PoolIndexFor(peer, bank) != pool_index) continue;
+      if (ClaimOf(peer, bank) != pool_index) continue;
+      if (stealing_active_ && p.bank_in_flight[bank] != 0) continue;
       const std::uint32_t head =
           bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
       const auto it = p.ready.find(head);
@@ -551,20 +621,101 @@ void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
       }
     }
   }
+  return best;
+}
+
+const Runtime::ReadyFrame* Runtime::TrySteal(std::uint32_t thief) {
+  PoolCore& member = pool_[thief];
+  // Victim: the most-loaded sibling by ready-frame backlog over the banks
+  // it currently claims (ties resolve to the lowest pool index). The
+  // backlog ledger is maintained incrementally on delivery, completion,
+  // and handoff, so this pick is O(pool) per idle scan.
+  constexpr std::uint32_t kNoVictim = ~std::uint32_t{0};
+  std::uint32_t victim = kNoVictim;
+  std::uint64_t victim_backlog = 0;
+  for (std::uint32_t j = 0; j < pool_.size(); ++j) {
+    if (j == thief) continue;
+    if (claim_backlog_[j] > victim_backlog) {
+      victim = j;
+      victim_backlog = claim_backlog_[j];
+    }
+  }
+  // Schmitt trigger: a fresh steal needs threshold + hysteresis; while
+  // steals keep succeeding, threshold suffices. Damps claim ping-pong
+  // around the threshold under churny load. Effective values clamp
+  // oversized knobs to the whole-fabric inbound capacity.
+  const std::uint64_t trigger =
+      static_cast<std::uint64_t>(EffectiveStealThreshold()) +
+      (member.steal_armed ? 0 : EffectiveStealHysteresis());
+  if (victim == kNoVictim || victim_backlog < trigger) {
+    member.steal_armed = false;
+    return nullptr;
+  }
+  // Oldest ready bank head among the victim's claimed banks. A bank with
+  // a frame mid-process cannot be stolen (the handoff would double-begin
+  // its head), and a bank whose head has not arrived yet has nothing to
+  // process in order.
+  const ReadyFrame* best = nullptr;
+  PeerId best_peer = kInvalidPeer;
+  std::uint32_t best_bank = 0;
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    PeerState& p = peers_[peer];
+    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+      if (ClaimOf(peer, bank) != victim) continue;
+      if (p.bank_in_flight[bank] != 0) continue;
+      const std::uint32_t head =
+          bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
+      const auto it = p.ready.find(head);
+      if (it == p.ready.end()) continue;
+      if (best == nullptr || it->second.delivered_at < best->delivered_at) {
+        best = &it->second;
+        best_peer = peer;
+        best_bank = bank;
+      }
+    }
+  }
   if (best == nullptr) {
-    if (!member.idle_since.has_value()) member.idle_since = engine_.Now();
-    return;
+    member.steal_armed = false;
+    return nullptr;
   }
-  ReadyFrame frame = *best;
-  frame.pool = pool_index;
-  PicoTime waited = 0;
-  if (member.idle_since.has_value() &&
-      frame.delivered_at >= *member.idle_since) {
-    waited = frame.delivered_at - *member.idle_since;
+  // Ownership handoff: the thief now claims the bank and owes the rest of
+  // its drain — including the flag return — until the claim reverts. A
+  // bank can be stolen onward (even back by its affinity owner, which
+  // settles the claim home), so any previous thief's queue entry migrates
+  // rather than lingering, and the bank's backlog moves ledgers with it.
+  DropFromStealQueues(best_peer, best_bank);
+  claim_backlog_[victim] -= peers_[best_peer].bank_ready[best_bank];
+  claim_backlog_[thief] += peers_[best_peer].bank_ready[best_bank];
+  peers_[best_peer].bank_claim[best_bank] = thief;
+  if (PoolIndexFor(best_peer, best_bank) != thief) {
+    member.stolen_banks.emplace_back(best_peer, best_bank);
   }
-  member.idle_since.reset();
-  member.processing = true;
-  BeginProcess(frame, waited);
+  member.steal_armed = true;
+  ++member.wait_stats.banks_stolen;
+  ++pool_[victim].wait_stats.banks_donated;
+  ++stats_.steals;
+  return best;
+}
+
+void Runtime::DropFromStealQueues(PeerId peer, std::uint32_t bank) {
+  const auto key = std::make_pair(peer, bank);
+  for (PoolCore& m : pool_) {
+    auto& queue = m.stolen_banks;
+    queue.erase(std::remove(queue.begin(), queue.end(), key), queue.end());
+  }
+}
+
+void Runtime::ReleaseBankClaim(PeerId peer, std::uint32_t bank) {
+  if (!stealing_active_) return;
+  PeerState& p = peers_[peer];
+  const std::uint32_t owner = PoolIndexFor(peer, bank);
+  const std::uint32_t holder = p.bank_claim[bank];
+  if (holder != owner) {
+    claim_backlog_[holder] -= p.bank_ready[bank];
+    claim_backlog_[owner] += p.bank_ready[bank];
+  }
+  p.bank_claim[bank] = owner;
+  DropFromStealQueues(peer, bank);
 }
 
 void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
@@ -587,6 +738,8 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   ReceivedMessage msg;
   msg.delivered_at = frame.delivered_at;
   msg.from = frame.peer;
+  msg.slot = frame.slot;
+  msg.pool = frame.pool;
   Cycles cycles = config_.validate_cycles;
   auto& caches = host_.caches();
   const std::uint32_t core = pool_[frame.pool].core_id;
@@ -793,20 +946,51 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
 
         // Bank recycling: after draining a bank of this peer's slice,
         // return its flag to that peer — and only that peer. Banks drain
-        // independently (each on its owning pool core), so the cursor is
-        // per bank.
+        // independently (each on its claiming pool core), so the cursor
+        // is per bank. The flag goes home exactly when the whole bank has
+        // been drained — by the claim holder of record, whether that is
+        // the affinity owner or a thief that took the bank over.
         PeerState& p = peers_[frame.peer];
         const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
+        const std::uint32_t affinity = PoolIndexFor(frame.peer, bank);
+        if (stealing_active_) {
+          p.bank_in_flight[bank] = 0;
+          // Retire this frame from the backlog ledgers before any claim
+          // release below moves the bank's remaining count between
+          // holders (the map erase itself happens a few lines down).
+          --p.bank_ready[bank];
+          --claim_backlog_[p.bank_claim[bank]];
+          if (frame.pool != affinity) {
+            ++stats_.frames_stolen;
+            ++pool_[frame.pool].wait_stats.frames_stolen;
+          }
+        }
         if (p.bank_cursor[bank] == config_.mailboxes_per_bank - 1) {
+          if (stealing_active_ && p.bank_claim[bank] != affinity) {
+            ++stats_.banks_drained_stolen;
+          } else {
+            ++stats_.banks_drained_owner;
+          }
+          ReleaseBankClaim(frame.peer, bank);
           Status st = ReturnBankFlag(frame.peer, bank);
           if (!st.ok()) TC_WARN << "flag return failed: " << st;
         }
         p.ready.erase(frame.slot);
         p.bank_cursor[bank] =
             (p.bank_cursor[bank] + 1) % config_.mailboxes_per_bank;
+        if (stealing_active_ && p.bank_claim[bank] != affinity &&
+            p.bank_ready[bank] == 0) {
+          // The steal lease covers the backlog the thief took the bank
+          // for. Once no delivered frame of the bank remains, the claim
+          // reverts to the affinity owner so fresh fills land with their
+          // stash locality intact (a full drain already reverted above,
+          // on the flag-return path).
+          ReleaseBankClaim(frame.peer, bank);
+        }
         pool_[frame.pool].processing = false;
         if (on_executed_) on_executed_(msg);
         MaybeBeginNext(frame.pool);
+        OfferStealOpportunities(frame.pool);
       },
       "tc.complete");
 }

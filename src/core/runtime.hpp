@@ -24,9 +24,16 @@
 //     cache-charged interpreter on its own core and stack, and recycles
 //     drained mailbox banks back to the owning sender. Frames stay in
 //     order *within* a bank; banks drain concurrently in simulated time.
-//     Execution is bit-for-bit deterministic: concurrent completions are
-//     ordered by the engine's (time, seq) key, never by host-side
-//     iteration order.
+//     With work stealing enabled (RuntimeConfig::steal), a pool core whose
+//     own banks are drained may claim the oldest ready bank head from the
+//     most-loaded sibling; the claim — and the duty to drain the bank and
+//     return its flag after a full drain — follows the bank until the
+//     stolen backlog is cleared, then reverts to the affinity owner. A bank mid-frame can never
+//     change claim, so no frame is ever begun twice and in-bank order
+//     survives the handoff. Execution is bit-for-bit deterministic:
+//     concurrent completions are ordered by the engine's (time, seq) key,
+//     never by host-side iteration order, and steal scans sweep pool
+//     members and (peer, bank) pairs in index order.
 //
 // Peer model: a runtime holds a PeerId-indexed peer table. Each connected
 // peer gets its own ucxs endpoint, its own slice of inbound mailbox banks
@@ -39,6 +46,7 @@
 // Everything runs on one sim::Engine.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -70,6 +78,35 @@ inline constexpr PeerId kInvalidPeer = ~PeerId{0};
 /// The peer single-peer callers mean: the first (often only) one wired.
 inline constexpr PeerId kDefaultPeer = 0;
 
+/// Work stealing between receiver-pool cores. The bank->core affinity
+/// sharding keeps a bank's frames in the cache next to the core that
+/// executes them, but leaves a pool core idle whenever its banks are empty
+/// while a sibling's banks run deep — exactly the skew an incast fabric
+/// produces. With stealing enabled, an idle pool core may claim the oldest
+/// ready bank head from the most-loaded sibling; the claim (and with it the
+/// duty to drain the bank and, on a full drain, return its flag) follows
+/// the bank until the stolen backlog is cleared — at flag return, or as
+/// soon as no delivered frame of the bank remains — then reverts to the
+/// affinity owner.
+struct StealConfig {
+  bool enabled = false;
+  /// Minimum ready-frame backlog across a sibling's claimed banks before an
+  /// idle core sacrifices stash locality and steals. 0 would let a claim
+  /// flip with no work behind it (pure claim churn), so Initialize clamps
+  /// it to >= 1; oversized values are clamped at steal time to the total
+  /// inbound capacity (peers * banks * mailboxes_per_bank — backlog spans
+  /// every peer's slice, and the peer table only fills at Connect), so a
+  /// huge knob degrades to "steal only at full capacity" instead of a
+  /// silently dead config. EffectiveStealThreshold() reports the value
+  /// actually in force.
+  std::uint32_t threshold = 2;
+  /// Schmitt-trigger margin damping claim ping-pong: a core whose previous
+  /// steal scan failed needs backlog >= threshold + hysteresis to start
+  /// stealing again; while its steals keep succeeding, backlog >= threshold
+  /// suffices. Clamped at steal time like threshold.
+  std::uint32_t hysteresis = 1;
+};
+
 struct RuntimeConfig {
   std::uint32_t banks = 2;
   std::uint32_t mailboxes_per_bank = 8;
@@ -83,6 +120,8 @@ struct RuntimeConfig {
   /// at Initialize).
   std::uint32_t receiver_cores = 1;
   std::uint32_t sender_core = 1;
+  /// Receiver-pool work stealing (no-op while the pool has a single core).
+  StealConfig steal{};
   SecurityPolicy security{};
   /// Fixed-size frames (one put per message, §VI: "we use fixed-size
   /// frames for this study"). Variable mode waits on the header first,
@@ -121,6 +160,12 @@ struct ReceivedMessage {
   std::uint64_t frame_len = 0;
   std::uint64_t return_value = 0;
   std::uint64_t instructions = 0;
+  /// Mailbox slot (within the sender's slice) the frame arrived in; the
+  /// bank is slot / mailboxes_per_bank.
+  std::uint32_t slot = 0;
+  /// Receiver-pool member that executed the frame (equals the bank's
+  /// affinity core unless the bank was stolen).
+  std::uint32_t pool = 0;
   PicoTime delivered_at = 0;  ///< signal visible in mailbox memory
   PicoTime completed_at = 0;  ///< processing finished
 };
@@ -144,6 +189,13 @@ struct RuntimeStats {
   std::uint64_t send_stalls = 0;       ///< sends refused: bank flag clear
   std::uint64_t security_rejections = 0;
   std::uint64_t wait_episodes = 0;
+  // Work-stealing ledger. Every returned bank flag is accounted exactly
+  // once below: banks_drained_owner + banks_drained_stolen ==
+  // bank_flags_returned (the reconciliation the soak suite asserts).
+  std::uint64_t steals = 0;            ///< bank-claim handoffs to idle cores
+  std::uint64_t frames_stolen = 0;     ///< frames executed off-affinity
+  std::uint64_t banks_drained_owner = 0;   ///< flags returned by the owner
+  std::uint64_t banks_drained_stolen = 0;  ///< flags returned by a thief
   /// Counters keyed by PeerId (index == peer table slot).
   std::vector<PeerStats> per_peer;
 };
@@ -270,6 +322,29 @@ class Runtime {
   const cpu::WaitStats& receiver_wait_stats(std::uint32_t pool_index) const {
     return pool_[pool_index].wait_stats;
   }
+  /// True when work stealing is actually armed: config_.steal.enabled and
+  /// the pool has at least two cores. A single-core pool never allocates
+  /// steal state (claim tables, steal queues) — enabling stealing there is
+  /// a documented no-op.
+  bool stealing_active() const noexcept { return stealing_active_; }
+  /// Banks pool member @p pool_index currently claims via steal (stolen
+  /// backlog not yet cleared). Zero at quiescence: every stolen claim
+  /// reverts to the affinity owner when its bank's flag goes home or the
+  /// bank has no delivered frames left.
+  std::uint32_t StolenBanksHeld(std::uint32_t pool_index) const noexcept {
+    return static_cast<std::uint32_t>(pool_[pool_index].stolen_banks.size());
+  }
+  /// The steal threshold actually in force: config value clamped to the
+  /// total inbound capacity across connected peers (an unreachable
+  /// threshold would be a dead config, not conservative stealing).
+  std::uint32_t EffectiveStealThreshold() const noexcept {
+    return std::min(config_.steal.threshold, std::max(1u, MaxStealBacklog()));
+  }
+  /// The hysteresis margin actually in force (same clamp as the
+  /// threshold).
+  std::uint32_t EffectiveStealHysteresis() const noexcept {
+    return std::min(config_.steal.hysteresis, MaxStealBacklog());
+  }
   /// Frames delivered into this runtime's mailboxes and not yet fully
   /// processed (including any a pool core is currently executing). Zero at
   /// drain — the mailbox-leak invariant the soak suite asserts.
@@ -311,6 +386,15 @@ class Runtime {
     mem::VirtAddr stack_top = 0;
     bool processing = false;
     std::optional<PicoTime> idle_since;
+    /// Steal queue: banks this core claimed from a sibling and has not yet
+    /// drained through flag return (claim reverts to the affinity owner at
+    /// that point). Populated only while stealing is active.
+    std::vector<std::pair<PeerId, std::uint32_t>> stolen_banks;
+    /// Schmitt-trigger state: true while this core's steals keep
+    /// succeeding, so re-stealing needs only `threshold` backlog; a failed
+    /// steal scan disarms it, raising the bar back to
+    /// `threshold + hysteresis`.
+    bool steal_armed = false;
   };
 
   /// Everything this runtime holds per connected peer: the outbound path
@@ -342,10 +426,30 @@ class Runtime {
     /// bank; banks are independent so the pool can drain them in parallel).
     std::vector<std::uint32_t> bank_cursor;
     std::map<std::uint32_t, ReadyFrame> ready;  ///< by slot
+    /// Pool member currently claiming each bank (affinity owner unless
+    /// stolen). Allocated only while stealing is active — a 1-core pool or
+    /// steal-off run carries no steal state at all.
+    std::vector<std::uint32_t> bank_claim;
+    /// 1 while a frame of this bank is being processed. Guards the handoff:
+    /// a bank mid-frame cannot change claim, so no two cores ever serve the
+    /// same bank concurrently and the head is never double-begun.
+    /// Allocated only while stealing is active.
+    std::vector<std::uint8_t> bank_in_flight;
+    /// Delivered-and-unprocessed frames per bank — kept in lockstep with
+    /// `ready` so steal decisions read per-claim-holder backlog in O(1)
+    /// instead of re-counting the map on every event. Allocated only
+    /// while stealing is active.
+    std::vector<std::uint32_t> bank_ready;
   };
 
   std::uint32_t TotalSlots() const {
     return config_.banks * config_.mailboxes_per_bank;
+  }
+  /// Largest ready backlog one claim holder could accumulate: every slot
+  /// of every connected peer's inbound slice.
+  std::uint32_t MaxStealBacklog() const noexcept {
+    return static_cast<std::uint32_t>(peers_.size()) * config_.banks *
+           config_.mailboxes_per_bank;
   }
   mem::VirtAddr SlotAddr(const PeerState& peer, std::uint32_t slot) const {
     return peer.mailbox_base + static_cast<std::uint64_t>(slot) *
@@ -371,11 +475,38 @@ class Runtime {
         (static_cast<std::uint64_t>(peer) + bank) % pool_.size());
   }
 
+  /// The pool member currently responsible for (peer, bank): the claim
+  /// holder when stealing is active, the affinity owner otherwise.
+  std::uint32_t ClaimOf(PeerId peer, std::uint32_t bank) const noexcept {
+    return stealing_active_ ? peers_[peer].bank_claim[bank]
+                            : PoolIndexFor(peer, bank);
+  }
+
   // Receiver pipeline (each pool core runs its own instance).
   void OnFrameDelivered(PeerId from, std::uint32_t slot,
                         PicoTime delivered_at);
   void OnBankFlag(PeerId peer, std::uint32_t bank);
   void MaybeBeginNext(std::uint32_t pool_index);
+  /// Earliest-delivered ready bank head among the banks @p pool_index
+  /// claims, or nullptr. The returned pointer lives in a peer's ready map.
+  const ReadyFrame* ScanBankHeads(std::uint32_t pool_index);
+  /// Steal attempt for an idle @p thief: picks the most-loaded sibling
+  /// (ready-frame backlog over its claimed banks, ties to the lowest pool
+  /// index), and — if the backlog clears the hysteresis-adjusted threshold
+  /// — claims that sibling's oldest ready bank head. Returns the stolen
+  /// bank's head frame, or nullptr (which disarms the Schmitt trigger).
+  const ReadyFrame* TrySteal(std::uint32_t thief);
+  /// Removes (peer, bank) from every pool member's steal queue (claim
+  /// handoffs migrate the entry; releases retire it).
+  void DropFromStealQueues(PeerId peer, std::uint32_t bank);
+  /// Reverts (peer, bank) to its affinity owner and drops it from any
+  /// steal queue — called when the bank's flag returns (fully drained)
+  /// or its stolen backlog empties out.
+  void ReleaseBankClaim(PeerId peer, std::uint32_t bank);
+  /// MaybeBeginNext for every pool member except @p first (which already
+  /// ran), in pool-index order: gives idle cores a deterministic steal
+  /// opportunity whenever load lands or drains somewhere else.
+  void OfferStealOpportunities(std::uint32_t first);
   void BeginProcess(const ReadyFrame& frame, PicoTime waited);
   void ProcessFrame(const ReadyFrame& frame);
   void CompleteFrame(const ReadyFrame& frame, const ReceivedMessage& msg,
@@ -414,6 +545,14 @@ class Runtime {
 
   // Receiver state (per-core state lives in pool_).
   bool receiver_started_ = false;
+  /// steal.enabled resolved against the actual pool width at Initialize.
+  bool stealing_active_ = false;
+  /// Ready-frame backlog per pool member over the banks it claims —
+  /// maintained on delivery, completion, and claim handoff, so TrySteal's
+  /// victim pick is O(pool). Invariant: claim_backlog_[j] == sum of
+  /// bank_ready over banks with claim j. Allocated only while stealing is
+  /// active.
+  std::vector<std::uint64_t> claim_backlog_;
 
   std::function<void(const ReceivedMessage&)> on_executed_;
   std::function<PicoTime()> preemption_hook_;

@@ -52,6 +52,12 @@ struct TestbedOptions {
     runtime.receiver_cores = n;
     return *this;
   }
+  /// Arms receiver-pool work stealing on both hosts (a no-op until the
+  /// pool is widened past one core, see RuntimeConfig::steal).
+  TestbedOptions& WithStealing(const StealConfig& steal) {
+    runtime.steal = steal;
+    return *this;
+  }
   TestbedOptions& WithSecurity(const SecurityPolicy& policy) {
     runtime.security = policy;
     return *this;

@@ -63,6 +63,17 @@ struct WaitStats {
   /// Cycles burned across all wait episodes.
   Cycles cycles_burned = 0;
 
+  // Work-stealing ledger (filled by the pooled receiver when stealing is
+  // enabled): instead of sleeping on empty banks, an idle waiter may claim
+  // a backlogged sibling's bank, trading the stash locality its affinity
+  // shard buys for utilization.
+  /// Bank claims this waiter took over from a backlogged sibling.
+  std::uint64_t banks_stolen = 0;
+  /// Bank claims a sibling took over from this waiter.
+  std::uint64_t banks_donated = 0;
+  /// Frames this waiter executed from banks outside its affinity shard.
+  std::uint64_t frames_stolen = 0;
+
   /// Folds one episode (idle for @p waited, resolved as @p outcome) in.
   void Record(PicoTime waited, const WaitOutcome& outcome) noexcept;
 };

@@ -3,7 +3,12 @@
 // produce byte-identical stats tables, per-core counters, and event
 // counts. Concurrent completions are ordered by the engine's (time, seq)
 // key — never by host-side iteration order — and this suite is the pin
-// that holds that property down as the receiver pipeline evolves.
+// that holds that property down as the receiver pipeline evolves. A
+// second suite pins the same property for *steal-enabled* pools under a
+// skewed load, where claim handoffs add scheduling races that must stay
+// seed-reproducible — and additionally checks the config is not silently
+// dead: when steals occur, the observable state must differ from the
+// steal-off run.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -17,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/strfmt.hpp"
 #include "core/fabric.hpp"
+#include "pool_harness.hpp"
 
 namespace twochains::core {
 namespace {
@@ -191,6 +197,64 @@ TEST_P(DeterminismTest, RepeatedSeededRunsAreByteIdentical) {
 // pool changes *when* frames execute, never *whether* they do.
 INSTANTIATE_TEST_SUITE_P(PoolSizes, DeterminismTest,
                          ::testing::Values(1u, 2u, 4u));
+
+// ------------------------------------------------------ stealing pools
+
+/// A skewed 5-spoke incast that reliably triggers steals on pools of 2
+/// and 4: single-bank slices pin each spoke to one affinity core
+/// (peer % pool), spokes 0 and 4 both land on core 0 and carry most of
+/// the load, so that core always claims a *second* backlogged bank a
+/// sibling can take over (a lone in-flight bank is not stealable work —
+/// in-bank ordering already serializes it).
+pooltest::PoolTopology StealTopology(std::uint32_t receiver_cores,
+                                     bool steal_on) {
+  pooltest::PoolTopology topo;
+  topo.spokes = 5;
+  topo.receiver_cores = receiver_cores;
+  topo.banks = 1;
+  topo.mailboxes_per_bank = 4;
+  topo.messages_per_spoke = {160, 16, 16, 16, 48};
+  topo.steal.enabled = steal_on;
+  // Single-bank senders keep the hub's ready backlog shallow (flow
+  // control caps it near 2), so the trigger sits at 2-fresh / 1-armed.
+  topo.steal.threshold = 1;
+  topo.steal.hysteresis = 1;
+  topo.seed = kSeed;
+  return topo;
+}
+
+class StealDeterminismTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StealDeterminismTest, StealEnabledRunsAreByteIdenticalAndNotDead) {
+  const std::uint32_t cores = GetParam();
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+
+  const pooltest::PoolTopology topo = StealTopology(cores, true);
+  const pooltest::PoolRunResult first = pooltest::RunPoolIncast(topo,
+                                                                *package);
+  const pooltest::PoolRunResult second = pooltest::RunPoolIncast(topo,
+                                                                 *package);
+  pooltest::ExpectPoolInvariants(topo, first);
+  EXPECT_EQ(first.fingerprint, second.fingerprint)
+      << "steal-enabled pool of " << cores << " not reproducible";
+
+  // Dead-config guard: the skew must actually provoke steals, and a run
+  // with stealing off must leave a *different* observable state — if the
+  // toggle stopped reaching the scheduler, both expectations fail.
+  const pooltest::PoolTopology off = StealTopology(cores, false);
+  const pooltest::PoolRunResult base = pooltest::RunPoolIncast(off,
+                                                               *package);
+  pooltest::ExpectPoolInvariants(off, base);
+  EXPECT_GT(first.hub.steals, 0u);
+  EXPECT_NE(first.fingerprint, base.fingerprint);
+  // Stealing reshuffles *where* frames run, never whether they run.
+  EXPECT_EQ(first.executed, base.executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(StealPoolSizes, StealDeterminismTest,
+                         ::testing::Values(2u, 4u));
 
 }  // namespace
 }  // namespace twochains::core

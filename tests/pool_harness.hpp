@@ -1,0 +1,301 @@
+// Shared scaffolding for the receiver-pool scheduler suites
+// (determinism_test, steal_test): seeded — optionally skewed — incast
+// workloads over a star fabric, an observable-state fingerprint for
+// byte-exact rerun comparison, and the invariants the work-stealing
+// protocol must preserve:
+//   * every frame sent is executed exactly once (no lost or double-begun
+//     bank heads across a claim handoff);
+//   * frames of one bank complete in cursor order (the handoff never lets
+//     two cores interleave within a bank);
+//   * bank flags return only after a full drain: the hub's returned-flag
+//     count equals the banks the senders actually filled, and every flag
+//     is accounted to exactly one drainer (owner or thief);
+//   * at drain nothing is left in flight, no send bank stays closed, and
+//     every stolen claim has reverted to its affinity owner.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/workloads.hpp"
+#include "common/pump.hpp"
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+#include "core/fabric.hpp"
+
+namespace twochains::core::pooltest {
+
+/// One spoke->hub incast shape for the pool scheduler. Everything the run
+/// does is derived deterministically from this spec plus the seed.
+struct PoolTopology {
+  std::uint32_t spokes = 2;
+  std::uint32_t receiver_cores = 2;
+  std::uint32_t banks = 2;
+  std::uint32_t mailboxes_per_bank = 4;
+  std::uint64_t mailbox_slot_bytes = KiB(64);
+  cpu::WaitMode wait_mode = cpu::WaitMode::kPoll;
+  StealConfig steal{};
+  /// Messages spoke s (0-based) pushes into the hub — the skew knob.
+  std::vector<std::uint32_t> messages_per_spoke;
+  /// True = every spoke draws the same jam/payload stream (a genuinely
+  /// balanced offered load, for the zero-steals-when-balanced invariant);
+  /// false = per-spoke streams (realistic mixed traffic).
+  bool identical_streams = false;
+  std::uint64_t seed = 1;
+
+  std::string Describe() const {
+    std::string msgs;
+    for (const std::uint32_t m : messages_per_spoke) {
+      if (!msgs.empty()) msgs += ",";
+      msgs += StrFormat("%u", m);
+    }
+    return StrFormat(
+        "spokes=%u cores=%u banks=%u mpb=%u wait=%s steal{on=%d thr=%u "
+        "hys=%u} msgs=[%s]%s seed=%llu",
+        spokes, receiver_cores, banks, mailboxes_per_bank,
+        wait_mode == cpu::WaitMode::kPoll ? "poll" : "wfe",
+        steal.enabled ? 1 : 0, steal.threshold, steal.hysteresis,
+        msgs.c_str(), identical_streams ? " identical" : "",
+        static_cast<unsigned long long>(seed));
+  }
+};
+
+/// Everything a run exposes for invariant checks and rerun comparison.
+struct PoolRunResult {
+  std::string fingerprint;
+  std::uint64_t sent = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t duplicate_executions = 0;  ///< (peer, sn) seen twice
+  std::uint64_t order_violations = 0;      ///< in-bank completion off-cursor
+  std::uint64_t expected_flag_returns = 0; ///< banks the senders filled
+  std::uint64_t in_flight_at_drain = 0;
+  std::uint32_t closed_send_banks = 0;     ///< summed over spokes, at drain
+  std::uint32_t stolen_claims_held = 0;    ///< summed over pool, at drain
+  RuntimeStats hub;                        ///< hub stats copy at drain
+  /// Frames executed per hub pool member (index = pool index).
+  std::vector<std::uint64_t> executed_per_core;
+  /// Simulated instant the engine drained (the run's makespan).
+  PicoTime drained_at = 0;
+};
+
+inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
+  FabricOptions options;
+  options.hosts = topo.spokes + 1;
+  options.topology = Topology::kStar;
+  options.hub = 0;
+  options.runtime.banks = topo.banks;
+  options.runtime.mailboxes_per_bank = topo.mailboxes_per_bank;
+  options.runtime.mailbox_slot_bytes = topo.mailbox_slot_bytes;
+  options.runtime.wait.mode = topo.wait_mode;
+  // Thousands of short fabrics get built per suite; a compact arena keeps
+  // per-run construction cheap (mailbox slices + libraries fit with room
+  // to spare).
+  options.host.memory_bytes = MiB(24);
+  // The hub only receives; give it room for the pool and keep its
+  // (unused) sender core off the pool.
+  options.host_overrides.assign(options.hosts, options.host);
+  options.host_overrides[0].cache.cores =
+      std::max(options.host.cache.cores, topo.receiver_cores + 1);
+  options.runtime_overrides.assign(options.hosts, options.runtime);
+  options.runtime_overrides[0].receiver_cores = topo.receiver_cores;
+  options.runtime_overrides[0].sender_core = topo.receiver_cores;
+  options.runtime_overrides[0].steal = topo.steal;
+  return options;
+}
+
+/// Serializes everything an observer can see — engine counters, every
+/// runtime's stats table, and the hub's per-core counters including the
+/// steal ledger — into one string for byte-exact comparison.
+inline std::string PoolFingerprint(Fabric& fabric) {
+  std::string out = StrFormat("events=%llu now=%llu\n",
+                              static_cast<unsigned long long>(
+                                  fabric.engine().EventsProcessed()),
+                              static_cast<unsigned long long>(
+                                  fabric.engine().Now()));
+  for (std::uint32_t h = 0; h < fabric.size(); ++h) {
+    const RuntimeStats& s = fabric.runtime(h).stats();
+    out += StrFormat(
+        "host%u sent=%llu exec=%llu deliv=%llu bytes=%llu flags=%llu "
+        "stalls=%llu rej=%llu waits=%llu steals=%llu fstolen=%llu "
+        "downer=%llu dstolen=%llu\n",
+        h, static_cast<unsigned long long>(s.messages_sent),
+        static_cast<unsigned long long>(s.messages_executed),
+        static_cast<unsigned long long>(s.messages_delivered),
+        static_cast<unsigned long long>(s.bytes_sent),
+        static_cast<unsigned long long>(s.bank_flags_returned),
+        static_cast<unsigned long long>(s.send_stalls),
+        static_cast<unsigned long long>(s.security_rejections),
+        static_cast<unsigned long long>(s.wait_episodes),
+        static_cast<unsigned long long>(s.steals),
+        static_cast<unsigned long long>(s.frames_stolen),
+        static_cast<unsigned long long>(s.banks_drained_owner),
+        static_cast<unsigned long long>(s.banks_drained_stolen));
+    for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
+      const PeerStats& ps = s.per_peer[p];
+      out += StrFormat(
+          "  peer%zu sent=%llu deliv=%llu exec=%llu bytes=%llu "
+          "stalls=%llu flags=%llu\n",
+          p, static_cast<unsigned long long>(ps.messages_sent),
+          static_cast<unsigned long long>(ps.messages_delivered),
+          static_cast<unsigned long long>(ps.messages_executed),
+          static_cast<unsigned long long>(ps.bytes_sent),
+          static_cast<unsigned long long>(ps.send_stalls),
+          static_cast<unsigned long long>(ps.bank_flags_returned));
+    }
+  }
+  Runtime& hub = fabric.runtime(0);
+  for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
+    const cpu::PerfCounters& pc = hub.receiver_cpu(c).counters();
+    const cpu::WaitStats& ws = hub.receiver_wait_stats(c);
+    out += StrFormat(
+        "core%u exec=%llu wait=%llu pack=%llu mem=%llu instr=%llu "
+        "msgs=%llu episodes=%llu idle=%llu detect=%llu burned=%llu "
+        "bstolen=%llu bdonated=%llu fstolen=%llu\n",
+        c,
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kExecute)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kWait)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kPack)),
+        static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kMemory)),
+        static_cast<unsigned long long>(pc.instructions),
+        static_cast<unsigned long long>(pc.messages_handled),
+        static_cast<unsigned long long>(ws.episodes),
+        static_cast<unsigned long long>(ws.idle_picos),
+        static_cast<unsigned long long>(ws.detection_picos),
+        static_cast<unsigned long long>(ws.cycles_burned),
+        static_cast<unsigned long long>(ws.banks_stolen),
+        static_cast<unsigned long long>(ws.banks_donated),
+        static_cast<unsigned long long>(ws.frames_stolen));
+  }
+  return out;
+}
+
+/// Drives the seeded mixed workload (injected ssum/iput/nop plus local
+/// ssum, varying payloads) from every spoke into the hub, observing the
+/// scheduler through the hub's SetOnExecuted hook, and returns the run's
+/// observable state once the engine drains.
+inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
+                                   const pkg::Package& package) {
+  PoolRunResult result;
+  Fabric fabric(MakePoolOptions(topo));
+  if (const Status st = fabric.LoadPackage(package); !st.ok()) {
+    ADD_FAILURE() << "package load failed: " << st << " ["
+                  << topo.Describe() << "]";
+    return result;
+  }
+
+  Runtime& hub = fabric.runtime(0);
+  const std::uint32_t in_bank_slots = topo.mailboxes_per_bank;
+  result.executed_per_core.assign(hub.receiver_pool_size(), 0);
+
+  // Scheduler observers: exactly-once by (peer, sn) and in-bank cursor
+  // order by (peer, bank).
+  std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> seen_sn;
+  std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> next_in_bank;
+  hub.SetOnExecuted([&](const ReceivedMessage& msg) {
+    ++result.executed;
+    if (msg.pool < result.executed_per_core.size()) {
+      ++result.executed_per_core[msg.pool];
+    }
+    if (++seen_sn[{msg.from, msg.sn}] > 1) ++result.duplicate_executions;
+    const std::uint32_t bank = msg.slot / in_bank_slots;
+    std::uint32_t& expect = next_in_bank[{msg.from, bank}];
+    if (msg.slot % in_bank_slots != expect) ++result.order_violations;
+    expect = (expect + 1) % in_bank_slots;
+  });
+
+  // One seeded pump per spoke, paced by flow control and the sender CPU.
+  struct Sender {
+    PeerId to_hub = kInvalidPeer;
+    std::uint32_t sent = 0;
+    std::uint32_t total = 0;
+    Xoshiro256 rng{0};
+  };
+  auto senders = std::make_shared<std::vector<Sender>>(topo.spokes);
+  for (std::uint32_t s = 0; s < topo.spokes; ++s) {
+    auto peer = fabric.PeerIdFor(s + 1, 0);
+    if (!peer.ok()) {
+      ADD_FAILURE() << "peer lookup failed: " << peer.status();
+      return result;
+    }
+    (*senders)[s].to_hub = *peer;
+    (*senders)[s].total = topo.messages_per_spoke[s];
+    (*senders)[s].rng =
+        Xoshiro256(topo.identical_streams ? topo.seed : topo.seed + 7919 * s);
+  }
+
+  PumpLoop<std::uint32_t> pump;
+  pump.Set([senders, &fabric, resume = pump.Handle()](std::uint32_t s) {
+    Sender& sender = (*senders)[s];
+    Runtime& rt = fabric.runtime(s + 1);
+    if (sender.sent >= sender.total) return;
+    if (!rt.HasFreeSlot(sender.to_hub)) {
+      rt.NotifyWhenSlotFree(sender.to_hub, [resume, s] { resume(s); });
+      return;
+    }
+    const std::uint64_t kind = sender.rng.NextBelow(4);
+    const std::string jam = kind == 1 ? "iput" : kind == 2 ? "nop" : "ssum";
+    const Invoke mode = kind == 3 ? Invoke::kLocal : Invoke::kInjected;
+    const std::vector<std::uint64_t> args = {sender.rng.NextBelow(128)};
+    std::vector<std::uint8_t> usr(8 * (1 + sender.rng.NextBelow(8)));
+    for (std::size_t i = 0; i < usr.size(); i += 8) {
+      const std::uint64_t v = sender.rng.Next();
+      std::memcpy(usr.data() + i, &v, 8);
+    }
+    auto receipt = rt.Send(sender.to_hub, jam, mode, args, usr);
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    ++sender.sent;
+    fabric.engine().ScheduleAfter(receipt->sender_cost,
+                                  [resume, s] { resume(s); }, "pool.send");
+  });
+  for (std::uint32_t s = 0; s < topo.spokes; ++s) pump(s);
+  fabric.Run();
+
+  hub.SetOnExecuted(nullptr);
+  for (std::uint32_t s = 0; s < topo.spokes; ++s) {
+    result.sent += (*senders)[s].sent;
+    // Each full group of mailboxes_per_bank sends to the hub closes one
+    // bank, whose flag must come back by drain.
+    result.expected_flag_returns += (*senders)[s].sent / in_bank_slots;
+    result.closed_send_banks +=
+        fabric.runtime(s + 1).ClosedSendBanks((*senders)[s].to_hub);
+  }
+  result.in_flight_at_drain = hub.InFlightFrames();
+  for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
+    result.stolen_claims_held += hub.StolenBanksHeld(c);
+  }
+  result.hub = hub.stats();
+  result.drained_at = fabric.engine().Now();
+  result.fingerprint = PoolFingerprint(fabric);
+  return result;
+}
+
+/// The scheduler invariants every run — stealing or not, skewed or not —
+/// must satisfy at drain.
+inline void ExpectPoolInvariants(const PoolTopology& topo,
+                                 const PoolRunResult& r) {
+  const std::string ctx = topo.Describe();
+  EXPECT_EQ(r.executed, r.sent) << ctx;
+  EXPECT_EQ(r.duplicate_executions, 0u) << ctx;
+  EXPECT_EQ(r.order_violations, 0u) << ctx;
+  EXPECT_EQ(r.in_flight_at_drain, 0u) << ctx;
+  EXPECT_EQ(r.closed_send_banks, 0u) << ctx;
+  EXPECT_EQ(r.stolen_claims_held, 0u) << ctx;
+  EXPECT_EQ(r.hub.security_rejections, 0u) << ctx;
+  EXPECT_EQ(r.hub.bank_flags_returned, r.expected_flag_returns) << ctx;
+  EXPECT_EQ(r.hub.banks_drained_owner + r.hub.banks_drained_stolen,
+            r.hub.bank_flags_returned)
+      << ctx;
+  if (!topo.steal.enabled || topo.receiver_cores < 2) {
+    EXPECT_EQ(r.hub.steals, 0u) << ctx;
+    EXPECT_EQ(r.hub.frames_stolen, 0u) << ctx;
+    EXPECT_EQ(r.hub.banks_drained_stolen, 0u) << ctx;
+  }
+}
+
+}  // namespace twochains::core::pooltest

@@ -27,7 +27,7 @@ constexpr std::uint32_t kToHubPerSpoke = 400;   // spoke -> hub
 constexpr std::uint32_t kFromHubPerSpoke = 200; // hub -> spoke
 constexpr std::uint64_t kSeed = 0x50AC;
 
-FabricOptions SoakOptions(bool stashing) {
+FabricOptions SoakOptions(bool stashing, bool stealing) {
   FabricOptions options;
   options.hosts = kSpokes + 1;
   options.topology = Topology::kStar;
@@ -39,6 +39,15 @@ FabricOptions SoakOptions(bool stashing) {
   options.nic.stash_to_llc = stashing;
   options.runtime_overrides.assign(options.hosts, options.runtime);
   options.runtime_overrides[0].receiver_cores = 2;
+  if (stealing) {
+    // Hub pool steals aggressively (trigger 2-fresh / 1-armed) so the
+    // stressed, skewed run exercises claim handoffs constantly.
+    StealConfig steal;
+    steal.enabled = true;
+    steal.threshold = 1;
+    steal.hysteresis = 1;
+    options.runtime_overrides[0].steal = steal;
+  }
   return options;
 }
 
@@ -77,8 +86,8 @@ void StartPump(Fabric& fabric, Runtime& rt, PeerId peer, std::uint32_t total,
   pump();
 }
 
-void RunSoak(bool stashing) {
-  Fabric fabric(SoakOptions(stashing));
+void RunSoak(bool stashing, bool stealing = false) {
+  Fabric fabric(SoakOptions(stashing, stealing));
   auto package = bench::BuildBenchPackage();
   ASSERT_TRUE(package.ok()) << package.status();
   ASSERT_TRUE(fabric.LoadPackage(*package).ok());
@@ -87,10 +96,15 @@ void RunSoak(bool stashing) {
   stress.seed = kSeed;
   bench::ApplyStress(fabric, stress);
 
+  // The steal variant skews the incast: spoke 1 pushes 3x the traffic,
+  // backing up its affinity core while a sibling core idles.
+  std::vector<std::uint32_t> to_hub(kSpokes + 1, kToHubPerSpoke);
+  if (stealing) to_hub[1] = 3 * kToHubPerSpoke;
+
   std::vector<PumpLoop<>> pumps(2 * kSpokes);
   for (std::uint32_t s = 1; s <= kSpokes; ++s) {
     StartPump(fabric, fabric.runtime(s), *fabric.PeerIdFor(s, 0),
-              kToHubPerSpoke, kSeed + 13 * s, pumps[2 * (s - 1)]);
+              to_hub[s], kSeed + 13 * s, pumps[2 * (s - 1)]);
     StartPump(fabric, fabric.runtime(0), *fabric.PeerIdFor(0, s),
               kFromHubPerSpoke, kSeed + 131 * s, pumps[2 * (s - 1) + 1]);
   }
@@ -98,22 +112,40 @@ void RunSoak(bool stashing) {
   bench::ClearStress(fabric);
 
   // Every message sent was delivered and executed.
-  const std::uint64_t hub_expect =
-      static_cast<std::uint64_t>(kSpokes) * kToHubPerSpoke;
+  std::uint64_t hub_expect = 0;
+  for (std::uint32_t s = 1; s <= kSpokes; ++s) hub_expect += to_hub[s];
   EXPECT_EQ(fabric.runtime(0).stats().messages_executed, hub_expect);
   for (std::uint32_t s = 1; s <= kSpokes; ++s) {
     EXPECT_EQ(fabric.runtime(s).stats().messages_executed,
               static_cast<std::uint64_t>(kFromHubPerSpoke));
   }
 
-  // No mailbox leak: nothing in flight, every bank flag back home.
+  // No mailbox leak: nothing in flight, every bank flag back home, and
+  // every returned flag accounted to exactly one drainer — the
+  // owner-drained + stolen-drained ledger must reconcile with the flag
+  // counter on every host (a flag returned early or twice breaks it).
   for (std::uint32_t h = 0; h < fabric.size(); ++h) {
     Runtime& rt = fabric.runtime(h);
     EXPECT_EQ(rt.InFlightFrames(), 0u) << "host " << h;
+    EXPECT_EQ(rt.stats().banks_drained_owner + rt.stats().banks_drained_stolen,
+              rt.stats().bank_flags_returned)
+        << "host " << h;
     for (PeerId p = 0; p < rt.peer_count(); ++p) {
       EXPECT_EQ(rt.ClosedSendBanks(p), 0u) << "host " << h << " peer " << p;
       EXPECT_TRUE(rt.HasFreeSlot(p)) << "host " << h << " peer " << p;
     }
+    for (std::uint32_t c = 0; c < rt.receiver_pool_size(); ++c) {
+      EXPECT_EQ(rt.StolenBanksHeld(c), 0u) << "host " << h << " core " << c;
+    }
+  }
+  if (stealing) {
+    // The skew really drove the contended path: banks were stolen, and
+    // some were drained to flag return by their thief.
+    EXPECT_GT(fabric.runtime(0).stats().steals, 0u);
+    EXPECT_GT(fabric.runtime(0).stats().banks_drained_stolen, 0u);
+  } else {
+    EXPECT_EQ(fabric.runtime(0).stats().steals, 0u);
+    EXPECT_EQ(fabric.runtime(0).stats().banks_drained_stolen, 0u);
   }
 
   // Flag traffic really happened (the invariant is not vacuous): each
@@ -128,6 +160,13 @@ void RunSoak(bool stashing) {
 TEST(SoakTest, MixedTrafficWithStashingDrainsClean) { RunSoak(true); }
 
 TEST(SoakTest, MixedTrafficWithoutStashingDrainsClean) { RunSoak(false); }
+
+// Steal-mode soak: the same stressed star with a skewed incast and the
+// hub pool stealing. Mailbox hygiene must survive constant claim
+// handoffs, and the drained-bank ledger must reconcile exactly.
+TEST(SoakTest, SkewedStealingPoolDrainsClean) {
+  RunSoak(true, /*stealing=*/true);
+}
 
 }  // namespace
 }  // namespace twochains::core
