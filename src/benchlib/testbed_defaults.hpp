@@ -41,4 +41,22 @@ inline core::FabricOptions PaperFabric(
   return options;
 }
 
+/// A star fabric whose hub is a 2-domain NUMA machine: hub cores {0,1}
+/// form domain 0 and {2,3} domain 1 (clusters align with domains), with a
+/// 2-core receiver pool on cores 1 and 2 — one pool core per domain — and
+/// sends on core 3. This is the smallest shape where bank placement and
+/// cross-domain drains are both observable (fig17, examples/numa_pinning).
+inline core::FabricOptions PaperNumaFabric(std::uint32_t hosts,
+                                           std::uint32_t hub = 0) {
+  core::FabricOptions options = PaperFabric(hosts, core::Topology::kStar,
+                                            hub);
+  options.host_overrides.assign(hosts, options.host);
+  options.host_overrides[hub].cache.domains = 2;
+  options.runtime_overrides.assign(hosts, options.runtime);
+  options.runtime_overrides[hub].receiver_core = 1;
+  options.runtime_overrides[hub].receiver_cores = 2;
+  options.runtime_overrides[hub].sender_core = 3;
+  return options;
+}
+
 }  // namespace twochains::bench

@@ -39,6 +39,30 @@ struct HierarchyConfig {
   std::uint32_t cores_per_cluster = 2;
   std::uint64_t line_bytes = kCacheLineBytes;
 
+  /// Memory domains (NUMA nodes): cores split into contiguous blocks of
+  /// CoresPerDomain(), the LLC splits into one slice per domain (a line is
+  /// cached in the slice of its *home* domain — where its bytes live in
+  /// the host arena), and DRAM behind each slice is that domain's local
+  /// memory. 1 = the paper's single-socket testbed.
+  std::uint32_t domains = 1;
+  /// Extra cycles when a core's access must be satisfied by another
+  /// domain's LLC slice or DRAM (the cross-socket interconnect hop).
+  /// Copies already resident in the core's private/cluster levels are
+  /// local and never pay it.
+  Cycles remote_penalty_cycles = 60;
+
+  std::uint32_t CoresPerDomain() const noexcept {
+    const std::uint32_t n = domains == 0 ? 1 : domains;
+    return (cores + n - 1) / n;
+  }
+  /// The domain a core belongs to (contiguous blocks; clamped so every
+  /// core maps somewhere even when cores % domains != 0).
+  std::uint32_t DomainOfCore(std::uint32_t core) const noexcept {
+    const std::uint32_t n = domains == 0 ? 1 : domains;
+    const std::uint32_t d = core / CoresPerDomain();
+    return d < n ? d : n - 1;
+  }
+
   LevelConfig l1{"L1", KiB(64), 4, 2};
   LevelConfig l2{"L2", MiB(1), 8, 12};
   LevelConfig l3{"L3", MiB(1), 16, 30};

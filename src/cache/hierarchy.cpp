@@ -1,14 +1,27 @@
 #include "cache/hierarchy.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/bitops.hpp"
+#include "common/log.hpp"
 
 namespace twochains::cache {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
-    : config_(config), llc_(config.llc, config.line_bytes) {
+    : config_(config) {
   assert(config_.cores >= 1);
+  if (config_.domains == 0) config_.domains = 1;
+  if (config_.domains > 1 &&
+      config_.CoresPerDomain() % config_.cores_per_cluster != 0) {
+    TC_WARN << "cache: a " << config_.cores_per_cluster
+            << "-core cluster straddles the " << config_.domains
+            << "-domain boundary (cores_per_domain="
+            << config_.CoresPerDomain()
+            << "); L3 sharing across domains is not modeled — expect "
+               "cluster-local hits to read as domain-local";
+  }
   const std::uint32_t clusters =
       (config_.cores + config_.cores_per_cluster - 1) /
       config_.cores_per_cluster;
@@ -23,6 +36,20 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
   l3_.reserve(clusters);
   for (std::uint32_t c = 0; c < clusters; ++c) {
     l3_.emplace_back(config_.l3, config_.line_bytes);
+  }
+  // The LLC is physically distributed across domains: each slice holds the
+  // lines homed in its domain, with the total capacity split evenly —
+  // then rounded down so the slice keeps the power-of-two set count
+  // CacheLevel requires (a 3-domain split of an 8 MiB LLC would
+  // otherwise produce a non-power-of-two geometry).
+  LevelConfig slice = config_.llc;
+  const std::uint64_t way_bytes = config_.line_bytes * slice.ways;
+  const std::uint64_t sets = std::bit_floor(std::max<std::uint64_t>(
+      config_.llc.size_bytes / config_.domains / way_bytes, 1));
+  slice.size_bytes = sets * way_bytes;
+  llc_.reserve(config_.domains);
+  for (std::uint32_t d = 0; d < config_.domains; ++d) {
+    llc_.emplace_back(slice, config_.line_bytes);
   }
 }
 
@@ -47,43 +74,64 @@ Cycles CacheHierarchy::AccessLine(std::uint32_t core, mem::VirtAddr addr,
     return l2.hit_cycles();
   }
 
+  // Past the core-private levels the line's home domain matters: a fill
+  // from another domain's LLC slice or DRAM crosses the interconnect.
+  const std::uint32_t home = HomeDomainOf(addr);
+  const bool remote =
+      config_.domains > 1 && home != config_.DomainOfCore(core);
+  auto& llc = llc_[home];
+
   // L2 demand miss: the stream prefetcher sees every one of these and, once
   // trained, covers the fill regardless of whether the line would have come
-  // from L3, LLC, or DRAM (the engine ran ahead of the demand stream).
+  // from L3, LLC, or DRAM (the engine ran ahead of the demand stream — the
+  // cross-domain hop is hidden with the rest of the fill latency).
   const bool covered = prefetchers_[core].OnDemandMiss(addr);
   if (covered) {
     l1.Insert(addr);
     l2.Insert(addr);
-    llc_.Insert(addr);  // prefetch fills percolate into the shared cache
+    llc.Insert(addr);  // prefetch fills percolate into the home slice
     ++stats_.prefetch_covered;
     if (level) *level = HitLevel::kPrefetchCovered;
     return config_.prefetch.covered_cycles;
   }
 
   if (l3.Lookup(addr)) {
+    // A copy already resident in the cluster is local however far away the
+    // line's home is — caching absorbs the NUMA hop after the first touch.
     l1.Insert(addr);
     l2.Insert(addr);
     ++stats_.l3_hits;
     if (level) *level = HitLevel::kL3;
     return l3.hit_cycles();
   }
-  if (llc_.Lookup(addr)) {
+  if (llc.Lookup(addr)) {
     l1.Insert(addr);
     l2.Insert(addr);
     l3.Insert(addr);
     ++stats_.llc_hits;
     if (level) *level = HitLevel::kLLC;
-    return llc_.hit_cycles();
+    Cycles cost = llc.hit_cycles();
+    if (remote) {
+      cost += config_.remote_penalty_cycles;
+      ++stats_.remote_accesses;
+      stats_.remote_penalty_cycles += config_.remote_penalty_cycles;
+    }
+    return cost;
   }
 
-  // DRAM.
+  // DRAM (the home domain's local memory).
   l1.Insert(addr);
   l2.Insert(addr);
   l3.Insert(addr);
-  llc_.Insert(addr);
+  llc.Insert(addr);
   ++stats_.dram_accesses;
   if (level) *level = HitLevel::kDram;
   Cycles cost = config_.DramCycles();
+  if (remote) {
+    cost += config_.remote_penalty_cycles;
+    ++stats_.remote_accesses;
+    stats_.remote_penalty_cycles += config_.remote_penalty_cycles;
+  }
   if (dram_contention_) cost += dram_contention_();
   return cost;
 }
@@ -109,11 +157,13 @@ void CacheHierarchy::StashDeliver(mem::VirtAddr addr,
   const std::uint64_t first = AlignDown(addr, line);
   const std::uint64_t last = AlignUp(addr + size, line);
   for (std::uint64_t a = first; a < last; a += line) {
-    // Upper-level copies are stale after the DMA write.
+    // Upper-level copies are stale after the DMA write. The stash targets
+    // the line's home domain's LLC slice — the cache closest to the cores
+    // that own the bank when placement is domain-aware.
     for (auto& l1 : l1_) l1.Invalidate(a);
     for (auto& l2 : l2_) l2.Invalidate(a);
     for (auto& l3 : l3_) l3.Invalidate(a);
-    llc_.Insert(a);
+    llc_[HomeDomainOf(a)].Insert(a);
     ++stats_.stash_lines;
   }
 }
@@ -128,7 +178,9 @@ void CacheHierarchy::DramDeliver(mem::VirtAddr addr,
     for (auto& l1 : l1_) l1.Invalidate(a);
     for (auto& l2 : l2_) l2.Invalidate(a);
     for (auto& l3 : l3_) l3.Invalidate(a);
-    llc_.Invalidate(a);
+    // Every slice, not just the home one: lines inserted before a domain
+    // mapper was installed may sit in slice 0.
+    for (auto& slice : llc_) slice.Invalidate(a);
     ++stats_.dma_invalidated_lines;
   }
 }
@@ -137,7 +189,7 @@ void CacheHierarchy::Clear() noexcept {
   for (auto& c : l1_) c.Clear();
   for (auto& c : l2_) c.Clear();
   for (auto& c : l3_) c.Clear();
-  llc_.Clear();
+  for (auto& slice : llc_) slice.Clear();
   ResetPrefetchers();
 }
 
@@ -155,7 +207,7 @@ bool CacheHierarchy::ProbeL3(std::uint32_t core, mem::VirtAddr addr) const {
   return l3_[ClusterOf(core)].Probe(addr);
 }
 bool CacheHierarchy::ProbeLLC(mem::VirtAddr addr) const {
-  return llc_.Probe(addr);
+  return llc_[HomeDomainOf(addr)].Probe(addr);
 }
 
 }  // namespace twochains::cache

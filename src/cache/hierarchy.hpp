@@ -12,6 +12,16 @@
 //                        pay DRAM latency until the stream prefetcher trains.
 //
 // This asymmetry is the entire mechanism behind Figures 9-12 of the paper.
+//
+// With HierarchyConfig.domains > 1 the LLC is physically distributed: one
+// slice per memory domain, and a line is cached in the slice of its *home*
+// domain (where its bytes live in the host arena, resolved through the
+// domain mapper the owning net::Host installs). An access that must be
+// satisfied by a remote domain's slice or DRAM pays remote_penalty_cycles
+// on top — the cross-socket hop — while copies already resident in the
+// core's private/cluster levels stay free. NIC stash delivery therefore
+// lands in the home domain's slice, which is what makes bank placement a
+// measurable axis (fig17).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +45,10 @@ struct HierarchyStats {
   std::uint64_t dram_accesses = 0;
   std::uint64_t stash_lines = 0;
   std::uint64_t dma_invalidated_lines = 0;
+  /// Accesses satisfied by another domain's LLC slice or DRAM.
+  std::uint64_t remote_accesses = 0;
+  /// Total cross-domain penalty cycles those accesses paid.
+  std::uint64_t remote_penalty_cycles = 0;
 
   std::uint64_t TotalAccesses() const noexcept {
     return l1_hits + l2_hits + l3_hits + llc_hits + prefetch_covered +
@@ -60,7 +74,8 @@ class CacheHierarchy {
                     HitLevel* level = nullptr) noexcept;
 
   /// Inbound-DMA delivery with LLC stashing: installs every line of
-  /// [addr,+size) into the LLC and invalidates upper-level copies.
+  /// [addr,+size) into its home domain's LLC slice and invalidates
+  /// upper-level copies.
   void StashDeliver(mem::VirtAddr addr, std::uint64_t size) noexcept;
 
   /// Inbound-DMA delivery to DRAM: invalidates every level (next CPU touch
@@ -72,6 +87,21 @@ class CacheHierarchy {
   /// access; may be stochastic.
   void SetDramContentionHook(std::function<Cycles()> hook) {
     dram_contention_ = std::move(hook);
+  }
+
+  /// Resolves an address to its home memory domain (the owning net::Host
+  /// wires this to mem::HostMemory::DomainOf). Without a mapper every
+  /// address homes in domain 0 — the single-socket behavior.
+  void SetDomainMapper(std::function<std::uint32_t(mem::VirtAddr)> mapper) {
+    domain_mapper_ = std::move(mapper);
+  }
+
+  /// Home domain of @p addr (clamped to the configured domain count).
+  std::uint32_t HomeDomainOf(mem::VirtAddr addr) const noexcept {
+    if (!domain_mapper_) return 0;
+    const std::uint32_t d = domain_mapper_(addr);
+    const std::uint32_t n = static_cast<std::uint32_t>(llc_.size());
+    return d < n ? d : n - 1;
   }
 
   /// Drops all cached state and prefetcher training (cold start).
@@ -98,9 +128,10 @@ class CacheHierarchy {
   std::vector<CacheLevel> l1_;   // per core
   std::vector<CacheLevel> l2_;   // per core
   std::vector<CacheLevel> l3_;   // per cluster
-  CacheLevel llc_;
+  std::vector<CacheLevel> llc_;  // one slice per domain (1 = fully shared)
   std::vector<StreamPrefetcher> prefetchers_;  // per core
   std::function<Cycles()> dram_contention_;
+  std::function<std::uint32_t(mem::VirtAddr)> domain_mapper_;
   HierarchyStats stats_;
 };
 

@@ -36,23 +36,33 @@ Status Runtime::Initialize() {
       config_.security.enforce_exec_permission;
 
   // Receiver pool: cores receiver_core .. receiver_core+receiver_cores-1,
-  // clamped to what the host actually has. Each member gets its own wait
-  // model (its core's clock domain) and its own execution stack so pool
-  // cores can execute jams concurrently in simulated time.
+  // validated against the cache model's core count (the host builds one
+  // cpu::CpuCore per cache::HierarchyConfig core, so a pool wider than
+  // that would silently model cores the cache hierarchy does not have).
+  // Each member gets its own wait model (its core's clock domain) and its
+  // own execution stack so pool cores can execute jams concurrently in
+  // simulated time.
+  const std::uint32_t model_cores = host_.caches().config().cores;
   if (config_.receiver_cores == 0) config_.receiver_cores = 1;
-  if (config_.receiver_core >= host_.core_count()) {
-    return InvalidArgument(StrFormat("receiver_core %u out of range (host "
-                                     "has %u cores)",
-                                     config_.receiver_core,
-                                     host_.core_count()));
+  if (config_.receiver_core >= model_cores) {
+    TC_WARN << "receiver_core " << config_.receiver_core
+            << " out of range (cache model has " << model_cores
+            << " cores); clamping to 0";
+    config_.receiver_core = 0;
   }
-  const std::uint32_t max_pool = host_.core_count() - config_.receiver_core;
+  const std::uint32_t max_pool = model_cores - config_.receiver_core;
   if (config_.receiver_cores > max_pool) {
     TC_WARN << "receiver pool of " << config_.receiver_cores
             << " does not fit above core " << config_.receiver_core
-            << " on a " << host_.core_count() << "-core host; clamping to "
+            << " on a " << model_cores << "-core host; clamping to "
             << max_pool;
     config_.receiver_cores = max_pool;
+  }
+  if (config_.sender_core >= model_cores) {
+    TC_WARN << "sender_core " << config_.sender_core
+            << " out of range (cache model has " << model_cores
+            << " cores); clamping to " << model_cores - 1;
+    config_.sender_core = model_cores - 1;
   }
   // sender_core == receiver_core is the paper's deliberate single-threaded
   // perftest shape, but a *widened* pool swallowing the sender core is
@@ -85,17 +95,22 @@ Status Runtime::Initialize() {
   // peers' slices, and the peer table only fills at Connect.
 
   pool_.resize(config_.receiver_cores);
-  if (stealing_active_) claim_backlog_.assign(config_.receiver_cores, 0);
+  claim_backlog_.assign(config_.receiver_cores, 0);
   for (std::uint32_t i = 0; i < config_.receiver_cores; ++i) {
     PoolCore& member = pool_[i];
     member.core_id = config_.receiver_core + i;
     member.wait_model = std::make_unique<cpu::WaitModel>(
         config_.wait, host_.core(member.core_id).clock());
+    // The execution stack lives in the pool core's own memory domain so
+    // jam locals never cross the interconnect (hint 0 = flat placement).
+    const mem::DomainId stack_domain =
+        config_.domain_aware_placement ? DomainOfPoolCore(i) : 0;
     TC_ASSIGN_OR_RETURN(
         const mem::VirtAddr stack,
         host_.memory().Allocate(KiB(256), 16, mem::Perm::kRW,
                                 StrFormat("tc:recv-stack:c%u",
-                                          member.core_id)));
+                                          member.core_id),
+                                stack_domain));
     member.stack_top = stack + KiB(256);
   }
 
@@ -115,6 +130,9 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
   auto& memory = host_.memory();
   const std::uint64_t mailbox_bytes =
       static_cast<std::uint64_t>(TotalSlots()) * config_.mailbox_slot_bytes;
+  const std::uint64_t bank_bytes =
+      static_cast<std::uint64_t>(config_.mailboxes_per_bank) *
+      config_.mailbox_slot_bytes;
   const std::string suffix = StrFormat(":p%u", id);
 
   PeerState peer;
@@ -122,22 +140,40 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
 
   // Reactive mailbox slice for this peer: pinned, remotely writable, and
   // (paper default) executable — "we ... mark all mailbox pages with read,
-  // write, and execute permissions" (§III-A).
-  TC_ASSIGN_OR_RETURN(peer.mailbox_base,
-                      memory.Allocate(mailbox_bytes, mem::kPageSize,
-                                      mem::Perm::kRWX,
-                                      "tc:mailboxes" + suffix));
-  TC_ASSIGN_OR_RETURN(peer.mailbox_rkey_own,
-                      host_.regions().RegisterRegion(
-                          peer.mailbox_base, mailbox_bytes,
-                          mem::RemoteAccess::kWrite,
-                          "tc:mailboxes" + suffix));
+  // write, and execute permissions" (§III-A). One allocation + rkey per
+  // bank, each placed in the memory domain of the pool core that owns the
+  // bank, so the NIC's stash lands in the LLC slice next to the core that
+  // will drain it (flat placement with the knob off: everything domain 0).
+  peer.bank_base.reserve(config_.banks);
+  peer.bank_rkey_own.reserve(config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    const mem::DomainId bank_domain =
+        config_.domain_aware_placement
+            ? DomainOfPoolCore(PoolIndexFor(id, b))
+            : 0;
+    const std::string tag = StrFormat("tc:mailboxes:p%u:b%u", id, b);
+    TC_ASSIGN_OR_RETURN(const mem::VirtAddr base,
+                        memory.Allocate(bank_bytes, mem::kPageSize,
+                                        mem::Perm::kRWX, tag, bank_domain));
+    TC_ASSIGN_OR_RETURN(const mem::RKey rkey,
+                        host_.regions().RegisterRegion(
+                            base, bank_bytes, mem::RemoteAccess::kWrite,
+                            tag));
+    peer.bank_base.push_back(base);
+    peer.bank_rkey_own.push_back(rkey);
+  }
 
-  // Sender-side bank flags for this peer, set remotely by its receiver.
+  // Sender-side bank flags for this peer, set remotely by its receiver;
+  // the sender's core polls them, so they live in its domain.
+  const mem::DomainId sender_domain =
+      config_.domain_aware_placement
+          ? host_.caches().config().DomainOfCore(config_.sender_core)
+          : 0;
   TC_ASSIGN_OR_RETURN(peer.flag_base,
                       memory.Allocate(config_.banks * 8ull, 64,
                                       mem::Perm::kRW,
-                                      "tc:bank-flags" + suffix));
+                                      "tc:bank-flags" + suffix,
+                                      sender_domain));
   TC_ASSIGN_OR_RETURN(peer.flag_rkey_own,
                       host_.regions().RegisterRegion(
                           peer.flag_base, config_.banks * 8ull,
@@ -147,11 +183,14 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
     TC_RETURN_IF_ERROR(memory.StoreU64(peer.flag_base + 8ull * b, 1));
   }
   peer.bank_open.assign(config_.banks, 1);
+  peer.bank_owner_idle.assign(config_.banks, 1);
 
-  // Send staging ring toward this peer (one slot per mailbox).
+  // Send staging ring toward this peer (one slot per mailbox), packed by
+  // the sender core — its domain.
   TC_ASSIGN_OR_RETURN(peer.staging_base,
                       memory.Allocate(mailbox_bytes, mem::kPageSize,
-                                      mem::Perm::kRW, "tc:staging" + suffix));
+                                      mem::Perm::kRW, "tc:staging" + suffix,
+                                      sender_domain));
 
   // One endpoint per peer, targeting the peer's NIC (kUser mode: the
   // runtime's own bank flow control, not UCX's).
@@ -188,17 +227,18 @@ StatusOr<std::pair<PeerId, PeerId>> Runtime::Connect(Runtime& a, Runtime& b) {
   TC_ASSIGN_OR_RETURN(const PeerId id_of_b, a.AttachPeer(b));
   TC_ASSIGN_OR_RETURN(const PeerId id_of_a, b.AttachPeer(a));
 
-  // Out-of-band address + rkey exchange (§V).
+  // Out-of-band address + rkey exchange (§V) — one window per mailbox
+  // bank, since banks are placed (and registered) independently.
   PeerState& pa = a.peers_[id_of_b];
   PeerState& pb = b.peers_[id_of_a];
   pa.remote_id = id_of_a;
   pb.remote_id = id_of_b;
-  pa.remote_mailbox_base = pb.mailbox_base;
-  pa.remote_mailbox_rkey = pb.mailbox_rkey_own;
+  pa.remote_bank_base = pb.bank_base;
+  pa.remote_bank_rkey = pb.bank_rkey_own;
   pa.peer_flag_base = pb.flag_base;
   pa.peer_flag_rkey = pb.flag_rkey_own;
-  pb.remote_mailbox_base = pa.mailbox_base;
-  pb.remote_mailbox_rkey = pa.mailbox_rkey_own;
+  pb.remote_bank_base = pa.bank_base;
+  pb.remote_bank_rkey = pa.bank_rkey_own;
   pb.peer_flag_base = pa.flag_base;
   pb.peer_flag_rkey = pa.flag_rkey_own;
   return std::make_pair(id_of_b, id_of_a);
@@ -327,13 +367,36 @@ StatusOr<FrameLayout> Runtime::LayoutFor(const std::string& name, Invoke mode,
   return FrameLayout::Compute(spec);
 }
 
+std::uint32_t Runtime::DomainOfPoolCore(
+    std::uint32_t pool_index) const noexcept {
+  return host_.caches().config().DomainOfCore(pool_[pool_index].core_id);
+}
+
+std::uint32_t Runtime::PickSendBank(const PeerState& peer) const noexcept {
+  // The idle-owner hint takes priority over rotation position: the first
+  // idle-owner open bank wins even past an earlier open-but-busy one.
+  // Rotation order (from the round-robin target) only decides among
+  // equally-idle banks, keeping the pick deterministic.
+  std::uint32_t first_open = config_.banks;  // sentinel: none open
+  for (std::uint32_t i = 0; i < config_.banks; ++i) {
+    const std::uint32_t b = (peer.send_bank + i) % config_.banks;
+    if (peer.bank_open[b] == 0) continue;
+    if (peer.bank_owner_idle[b] != 0) return b;
+    if (first_open == config_.banks) first_open = b;
+  }
+  return first_open == config_.banks ? peer.send_bank : first_open;
+}
+
 bool Runtime::HasFreeSlot(PeerId peer) const {
   if (peer >= peers_.size()) return false;
   const PeerState& p = peers_[peer];
-  const std::uint32_t bank =
-      static_cast<std::uint32_t>((p.send_counter / config_.mailboxes_per_bank) %
-                                 config_.banks);
-  return p.bank_open[bank] != 0;
+  // Mid-bank the current bank is open by construction (it only closes when
+  // its last slot is posted). At a bank boundary the biased sender may
+  // start any open bank; the strict round-robin sender only the next one.
+  if (p.send_in_bank > 0 || !config_.flow_bias) {
+    return p.bank_open[p.send_bank] != 0;
+  }
+  return p.bank_open[PickSendBank(p)] != 0;
 }
 
 void Runtime::NotifyWhenSlotFree(PeerId peer, std::function<void()> cb) {
@@ -359,13 +422,12 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   PeerStats& pstats = stats_.per_peer[peer_id];
   TC_ASSIGN_OR_RETURN(const ElementInfo* elem, FindElement(name));
 
-  const std::uint32_t in_bank =
-      static_cast<std::uint32_t>(peer.send_counter %
-                                 config_.mailboxes_per_bank);
-  const std::uint32_t bank =
-      static_cast<std::uint32_t>((peer.send_counter /
-                                  config_.mailboxes_per_bank) %
-                                 config_.banks);
+  // Bank choice: strict round-robin fills send_bank; with flow_bias a
+  // bank boundary may divert to an open bank whose owning receiver core
+  // reported idle (or to any open bank ahead of a still-closed target).
+  const std::uint32_t in_bank = peer.send_in_bank;
+  std::uint32_t bank = peer.send_bank;
+  if (in_bank == 0 && config_.flow_bias) bank = PickSendBank(peer);
   if (peer.bank_open[bank] == 0) {
     ++stats_.send_stalls;
     ++pstats.send_stalls;
@@ -424,8 +486,8 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   }
 
   const mem::VirtAddr remote_slot_addr =
-      peer.remote_mailbox_base +
-      static_cast<std::uint64_t>(slot) * config_.mailbox_slot_bytes;
+      peer.remote_bank_base[bank] +
+      static_cast<std::uint64_t>(in_bank) * config_.mailbox_slot_bytes;
   if (spec.injected && !config_.security.receiver_installs_got) {
     // PRE -> the GOTP table as it will sit in the *receiver's* mailbox.
     TC_RETURN_IF_ERROR(
@@ -476,7 +538,7 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   const std::uint64_t sig_word = SignalWord(header.sn);
   const std::uint64_t sig_off = layout.sig_off;
   const PicoTime proto_overhead = endpoint->EstimateOverhead(frame.size());
-  auto mailbox_rkey = peer.remote_mailbox_rkey;
+  auto mailbox_rkey = peer.remote_bank_rkey[bank];
   engine_.ScheduleAfter(
       pack_time,
       [endpoint, staging, remote_slot_addr, frame_size, mailbox_rkey,
@@ -508,12 +570,21 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   put_receipt.sender_overhead = proto_overhead;
 
   // Flow control: after filling a bank, close it until the flag returns.
-  if (in_bank == config_.mailboxes_per_bank - 1) {
+  // Commit the bank pick (a biased divert becomes the new rotation point
+  // so the fill stays sequential within the bank).
+  if (bank != peer.send_bank) {
+    ++stats_.biased_sends;
+    peer.send_bank = bank;
+  }
+  ++peer.send_in_bank;
+  if (peer.send_in_bank == config_.mailboxes_per_bank) {
     peer.bank_open[bank] = 0;
+    peer.bank_owner_idle[bank] = 0;  // hint refreshes with the next flag
     TC_RETURN_IF_ERROR(
         host_.memory().StoreU64(peer.flag_base + 8ull * bank, 0));
+    peer.send_bank = (bank + 1) % config_.banks;
+    peer.send_in_bank = 0;
   }
-  ++peer.send_counter;
   ++stats_.messages_sent;
   ++pstats.messages_sent;
   stats_.bytes_sent += frame.size();
@@ -546,10 +617,8 @@ void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
   // chance to notice a backlog it could relieve.
   const std::uint32_t bank = slot / config_.mailboxes_per_bank;
   const std::uint32_t holder = ClaimOf(from, bank);
-  if (stealing_active_) {
-    ++peers_[from].bank_ready[bank];
-    ++claim_backlog_[holder];
-  }
+  ++claim_backlog_[holder];
+  if (stealing_active_) ++peers_[from].bank_ready[bank];
   MaybeBeginNext(holder);
   OfferStealOpportunities(holder);
 }
@@ -565,6 +634,10 @@ void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
   if (peer >= peers_.size() || bank >= config_.banks) return;
   PeerState& p = peers_[peer];
   p.bank_open[bank] = 1;
+  // Bit 1 of the flag word is the receiver's idle hint (see
+  // ReturnBankFlag); mirror it for the flow-bias bank pick.
+  const auto word = host_.memory().LoadU64(p.flag_base + 8ull * bank);
+  p.bank_owner_idle[bank] = (word.ok() && (*word & 2) != 0) ? 1 : 0;
   if (!p.slot_waiters.empty()) {
     auto waiters = std::move(p.slot_waiters);
     p.slot_waiters.clear();
@@ -744,6 +817,13 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   auto& caches = host_.caches();
   const std::uint32_t core = pool_[frame.pool].core_id;
   const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
+  // Everything this frame's processing touches (header, signal, code,
+  // payload, jam data) runs through the hierarchy synchronously below, so
+  // the delta of the cross-domain ledger is exactly what this drain paid.
+  const std::uint64_t remote0 = caches.stats().remote_penalty_cycles;
+  const auto remote_delta = [&caches, remote0] {
+    return caches.stats().remote_penalty_cycles - remote0;
+  };
 
   // The poll/WFE loop re-reads the signal line; its final read plus the
   // header fetch go through the cache hierarchy (this is where stashing
@@ -751,7 +831,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   auto hdr_span = host_.memory().RawSpan(frame_addr, kHeaderBytes);
   if (!hdr_span.ok()) {
     ++stats_.security_rejections;
-    CompleteFrame(frame, msg, cycles);
+    CompleteFrame(frame, msg, cycles, remote_delta());
     return;
   }
   cycles += caches.Access(core, frame_addr, kHeaderBytes,
@@ -760,7 +840,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   if (!header.ok()) {
     ++stats_.security_rejections;
     TC_WARN << "frame rejected: " << header.status();
-    CompleteFrame(frame, msg, cycles);
+    CompleteFrame(frame, msg, cycles, remote_delta());
     return;
   }
   msg.sn = header->sn;
@@ -775,7 +855,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   if (!sig.ok() || *sig != SignalWord(header->sn)) {
     ++stats_.security_rejections;
     TC_WARN << "bad signal word for sn " << header->sn;
-    CompleteFrame(frame, msg, cycles);
+    CompleteFrame(frame, msg, cycles, remote_delta());
     return;
   }
   if (!config_.fixed_size_frames) {
@@ -792,7 +872,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   } else {
     cycles += *invoke_cycles;
   }
-  CompleteFrame(frame, msg, cycles);
+  CompleteFrame(frame, msg, cycles, remote_delta());
 }
 
 StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
@@ -929,11 +1009,24 @@ StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem,
 }
 
 void Runtime::CompleteFrame(const ReadyFrame& frame,
-                            const ReceivedMessage& msg_in, Cycles cycles) {
+                            const ReceivedMessage& msg_in, Cycles cycles,
+                            std::uint64_t remote_penalty_cycles) {
   ReceivedMessage msg = msg_in;
   auto& core = host_.core(pool_[frame.pool].core_id);
   const PicoTime busy = core.Charge(cycles, cpu::CycleClass::kExecute);
   core.CountMessage();
+
+  // NUMA ledger: a frame drained away from its bank's home domain (stolen
+  // cross-domain, or flat placement) counts as remote, and the penalty
+  // cycles its processing actually paid land in both stat planes.
+  const std::uint32_t frame_domain =
+      host_.memory().DomainOf(SlotAddr(peers_[frame.peer], frame.slot));
+  if (frame_domain != DomainOfPoolCore(frame.pool)) {
+    ++stats_.frames_drained_remote;
+    ++pool_[frame.pool].wait_stats.frames_drained_remote;
+  }
+  stats_.remote_drain_cycles += remote_penalty_cycles;
+  pool_[frame.pool].wait_stats.remote_drain_cycles += remote_penalty_cycles;
 
   engine_.ScheduleAfter(
       busy,
@@ -953,27 +1046,28 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
         PeerState& p = peers_[frame.peer];
         const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
         const std::uint32_t affinity = PoolIndexFor(frame.peer, bank);
+        // Retire this frame from the backlog ledger before any claim
+        // release below moves the bank's remaining count between holders
+        // (the map erase itself happens a few lines down). The claim
+        // cannot have moved mid-frame, so the holder is frame.pool.
+        --claim_backlog_[ClaimOf(frame.peer, bank)];
         if (stealing_active_) {
           p.bank_in_flight[bank] = 0;
-          // Retire this frame from the backlog ledgers before any claim
-          // release below moves the bank's remaining count between
-          // holders (the map erase itself happens a few lines down).
           --p.bank_ready[bank];
-          --claim_backlog_[p.bank_claim[bank]];
           if (frame.pool != affinity) {
             ++stats_.frames_stolen;
             ++pool_[frame.pool].wait_stats.frames_stolen;
           }
         }
-        if (p.bank_cursor[bank] == config_.mailboxes_per_bank - 1) {
+        const bool bank_drained =
+            p.bank_cursor[bank] == config_.mailboxes_per_bank - 1;
+        if (bank_drained) {
           if (stealing_active_ && p.bank_claim[bank] != affinity) {
             ++stats_.banks_drained_stolen;
           } else {
             ++stats_.banks_drained_owner;
           }
           ReleaseBankClaim(frame.peer, bank);
-          Status st = ReturnBankFlag(frame.peer, bank);
-          if (!st.ok()) TC_WARN << "flag return failed: " << st;
         }
         p.ready.erase(frame.slot);
         p.bank_cursor[bank] =
@@ -988,6 +1082,18 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
           ReleaseBankClaim(frame.peer, bank);
         }
         pool_[frame.pool].processing = false;
+        if (bank_drained) {
+          // Flag return carries the flow-bias hint: is the core that owns
+          // this bank (the affinity owner the claim just reverted to) out
+          // of ready work? Evaluated after this frame left the ledger and
+          // this pool member went idle, so the hint reflects the state
+          // the *next* fill of the bank will meet — O(1) off the backlog
+          // ledger, no (peer, bank) sweep on the drain path.
+          const bool owner_idle = !pool_[affinity].processing &&
+                                  claim_backlog_[affinity] == 0;
+          Status st = ReturnBankFlag(frame.peer, bank, owner_idle);
+          if (!st.ok()) TC_WARN << "flag return failed: " << st;
+        }
         if (on_executed_) on_executed_(msg);
         MaybeBeginNext(frame.pool);
         OfferStealOpportunities(frame.pool);
@@ -1023,17 +1129,22 @@ std::uint32_t Runtime::ClosedSendBanks(PeerId peer) const noexcept {
   return closed;
 }
 
-Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank) {
+Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank,
+                               bool owner_idle) {
   if (peer_id >= peers_.size()) return FailedPrecondition("not wired");
   PeerState& peer = peers_[peer_id];
   Runtime* peer_rt = peer.runtime;
   const PeerId our_id_at_peer = peer.remote_id;
   ++stats_.bank_flags_returned;
   ++stats_.per_peer[peer_id].bank_flags_returned;
+  // Bit 0 opens the bank; bit 1 is the idle hint the sender's flow-bias
+  // pick reads: "the core that owns this bank had nothing left to drain".
+  const std::uint64_t flag_word = 1ull | (owner_idle ? 2ull : 0ull);
   TC_ASSIGN_OR_RETURN(
       const ucxs::PutReceipt receipt,
       peer.endpoint->PutInline(
-          1, peer.peer_flag_base + 8ull * bank, peer.peer_flag_rkey, false,
+          flag_word, peer.peer_flag_base + 8ull * bank, peer.peer_flag_rkey,
+          false,
           [peer_rt, our_id_at_peer, bank](const net::PutCompletion& c) {
             if (c.status.ok()) peer_rt->OnBankFlag(our_id_at_peer, bank);
           }));

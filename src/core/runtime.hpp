@@ -35,6 +35,15 @@
 //     never by host-side iteration order, and steal scans sweep pool
 //     members and (peer, bank) pairs in index order.
 //
+// NUMA model: on a multi-domain host (cache::HierarchyConfig.domains > 1)
+// every mailbox bank and pool-core stack is placed in the memory domain of
+// the pool core that owns it (RuntimeConfig::domain_aware_placement), so
+// the NIC's stash lands in the LLC slice next to the executing core.
+// Draining a bank away from its home domain — a stolen bank, or flat
+// placement — pays the cross-domain penalty on every fill that reaches the
+// remote LLC slice or DRAM; the cost is surfaced per frame in
+// RuntimeStats::remote_drain_cycles and each pool core's WaitStats.
+//
 // Peer model: a runtime holds a PeerId-indexed peer table. Each connected
 // peer gets its own ucxs endpoint, its own slice of inbound mailbox banks
 // (so an incast of senders cannot corrupt each other's slots), its own
@@ -122,6 +131,18 @@ struct RuntimeConfig {
   std::uint32_t sender_core = 1;
   /// Receiver-pool work stealing (no-op while the pool has a single core).
   StealConfig steal{};
+  /// Domain-aware placement: allocate each inbound mailbox bank and each
+  /// pool-core execution stack in the memory domain of the pool core that
+  /// owns it, so NIC-stashed frame bytes land in the LLC slice next to the
+  /// core that will execute them. Off = everything lands in domain 0 (the
+  /// flat-arena behavior); a no-op on single-domain hosts either way.
+  bool domain_aware_placement = true;
+  /// Receiver-pool-aware flow control: at each bank boundary the sender
+  /// prefers, in rotation order from the round-robin target, an open bank
+  /// whose owning receiver core reported itself idle in its last flag
+  /// return — and falls back to any open bank before stalling. Off =
+  /// strict bank round-robin (the paper's protocol).
+  bool flow_bias = false;
   SecurityPolicy security{};
   /// Fixed-size frames (one put per message, §VI: "we use fixed-size
   /// frames for this study"). Variable mode waits on the header first,
@@ -196,6 +217,14 @@ struct RuntimeStats {
   std::uint64_t frames_stolen = 0;     ///< frames executed off-affinity
   std::uint64_t banks_drained_owner = 0;   ///< flags returned by the owner
   std::uint64_t banks_drained_stolen = 0;  ///< flags returned by a thief
+  // NUMA ledger (all zero on single-domain hosts): the locality cost of
+  // draining a bank away from its home memory domain — a stolen bank, or
+  // flat placement with domain_aware_placement off.
+  std::uint64_t frames_drained_remote = 0; ///< frames executed off the bank's home domain
+  std::uint64_t remote_drain_cycles = 0;   ///< cross-domain penalty cycles those drains paid
+  /// Sends whose bank pick diverged from strict round-robin because
+  /// flow_bias steered them toward an idle receiver core's bank.
+  std::uint64_t biased_sends = 0;
   /// Counters keyed by PeerId (index == peer table slot).
   std::vector<PeerStats> per_peer;
 };
@@ -398,28 +427,34 @@ class Runtime {
   };
 
   /// Everything this runtime holds per connected peer: the outbound path
-  /// (endpoint, staging ring, bank-flag mirror, remote mailbox window,
-  /// remote namespace) and the inbound path (this runtime's mailbox slice
-  /// that the peer writes, plus where to return that peer's bank flags).
+  /// (endpoint, staging ring, bank-flag mirror, remote mailbox windows,
+  /// remote namespace) and the inbound path (this runtime's mailbox bank
+  /// slices that the peer writes, plus where to return that peer's bank
+  /// flags). Mailbox banks are allocated and registered *per bank* so each
+  /// bank can live in the memory domain of the pool core that owns it.
   struct PeerState {
     Runtime* runtime = nullptr;
     PeerId remote_id = kInvalidPeer;  ///< our slot in the peer's table
     std::unique_ptr<ucxs::Endpoint> endpoint;
 
     // Outbound: sending to this peer.
-    mem::VirtAddr remote_mailbox_base = 0;  ///< peer memory (our slice there)
-    mem::RKey remote_mailbox_rkey;
+    std::vector<mem::VirtAddr> remote_bank_base;  ///< peer memory, per bank
+    std::vector<mem::RKey> remote_bank_rkey;
     mem::VirtAddr staging_base = 0;         ///< own memory
     mem::VirtAddr flag_base = 0;   ///< own memory; the peer sets these words
     mem::RKey flag_rkey_own;
     std::vector<std::uint8_t> bank_open;  ///< local mirror of flag words
-    std::uint64_t send_counter = 0;
+    /// Idle hint carried home with each bank flag: 1 when the receiver
+    /// core owning the bank had nothing left to drain at return time.
+    std::vector<std::uint8_t> bank_owner_idle;
+    std::uint32_t send_bank = 0;     ///< bank currently being filled
+    std::uint32_t send_in_bank = 0;  ///< next slot within send_bank
     std::vector<std::function<void()>> slot_waiters;
     std::map<std::string, std::uint64_t> remote_ns;  ///< peer exports
 
     // Inbound: receiving from this peer.
-    mem::VirtAddr mailbox_base = 0;  ///< own memory; the peer puts here
-    mem::RKey mailbox_rkey_own;
+    std::vector<mem::VirtAddr> bank_base;  ///< own memory; the peer puts here
+    std::vector<mem::RKey> bank_rkey_own;
     mem::VirtAddr peer_flag_base = 0;  ///< peer memory (flag return target)
     mem::RKey peer_flag_rkey;
     /// Next in-bank slot to serve, per bank (frames stay ordered within a
@@ -452,8 +487,9 @@ class Runtime {
            config_.mailboxes_per_bank;
   }
   mem::VirtAddr SlotAddr(const PeerState& peer, std::uint32_t slot) const {
-    return peer.mailbox_base + static_cast<std::uint64_t>(slot) *
-                                   config_.mailbox_slot_bytes;
+    return peer.bank_base[slot / config_.mailboxes_per_bank] +
+           static_cast<std::uint64_t>(slot % config_.mailboxes_per_bank) *
+               config_.mailbox_slot_bytes;
   }
   mem::VirtAddr StagingAddr(const PeerState& peer, std::uint32_t slot) const {
     return peer.staging_base + static_cast<std::uint64_t>(slot) *
@@ -509,9 +545,19 @@ class Runtime {
   void OfferStealOpportunities(std::uint32_t first);
   void BeginProcess(const ReadyFrame& frame, PicoTime waited);
   void ProcessFrame(const ReadyFrame& frame);
+  /// @p remote_penalty_cycles: cross-domain penalty the frame's processing
+  /// paid (delta of the hierarchy's ledger across ProcessFrame).
   void CompleteFrame(const ReadyFrame& frame, const ReceivedMessage& msg,
-                     Cycles cycles);
-  Status ReturnBankFlag(PeerId peer, std::uint32_t bank);
+                     Cycles cycles, std::uint64_t remote_penalty_cycles);
+  /// Returns @p bank's flag to @p peer; @p owner_idle rides along as the
+  /// flow-bias hint (the receiving sender mirrors it per bank).
+  Status ReturnBankFlag(PeerId peer, std::uint32_t bank, bool owner_idle);
+  /// flow_bias bank pick at a bank boundary: the first open bank with an
+  /// idle-owner hint in rotation order from the round-robin target, else
+  /// the first open bank, else the round-robin target (to stall against).
+  std::uint32_t PickSendBank(const PeerState& peer) const noexcept;
+  /// The memory domain of pool member @p pool_index's core.
+  std::uint32_t DomainOfPoolCore(std::uint32_t pool_index) const noexcept;
 
   /// Executes the frame body; returns cycles burned and fills @p msg.
   StatusOr<Cycles> InvokeFrame(const ReadyFrame& frame,
@@ -549,9 +595,11 @@ class Runtime {
   bool stealing_active_ = false;
   /// Ready-frame backlog per pool member over the banks it claims —
   /// maintained on delivery, completion, and claim handoff, so TrySteal's
-  /// victim pick is O(pool). Invariant: claim_backlog_[j] == sum of
-  /// bank_ready over banks with claim j. Allocated only while stealing is
-  /// active.
+  /// victim pick and the flag-return idle hint are O(1)/O(pool) instead
+  /// of a (peer, bank) sweep. Invariant while stealing is active:
+  /// claim_backlog_[j] == sum of bank_ready over banks with claim j
+  /// (without stealing, claims never move, so the sum runs over j's
+  /// affinity shard). Always allocated (one entry per pool member).
   std::vector<std::uint64_t> claim_backlog_;
 
   std::function<void(const ReceivedMessage&)> on_executed_;

@@ -58,6 +58,19 @@ struct TestbedOptions {
     runtime.steal = steal;
     return *this;
   }
+  /// Splits both hosts' arenas and caches into @p domains memory domains
+  /// (NUMA nodes); see cache::HierarchyConfig::domains.
+  TestbedOptions& WithDomains(std::uint32_t domains) {
+    host0.cache.domains = domains;
+    host1.cache.domains = domains;
+    return *this;
+  }
+  /// Receiver-pool-aware flow control on both hosts' senders (see
+  /// RuntimeConfig::flow_bias).
+  TestbedOptions& WithFlowBias(bool on) {
+    runtime.flow_bias = on;
+    return *this;
+  }
   TestbedOptions& WithSecurity(const SecurityPolicy& policy) {
     runtime.security = policy;
     return *this;

@@ -74,6 +74,15 @@ struct WaitStats {
   /// Frames this waiter executed from banks outside its affinity shard.
   std::uint64_t frames_stolen = 0;
 
+  // NUMA ledger (filled by the pooled receiver on multi-domain hosts):
+  // draining a bank homed in another memory domain — a stolen bank, or a
+  // bank placed flat with placement off — pays the cross-domain hop on
+  // every fill that reaches the remote LLC slice or DRAM.
+  /// Frames this waiter drained from banks homed in another domain.
+  std::uint64_t frames_drained_remote = 0;
+  /// Cross-domain penalty cycles this waiter's drains paid.
+  Cycles remote_drain_cycles = 0;
+
   /// Folds one episode (idle for @p waited, resolved as @p outcome) in.
   void Record(PicoTime waited, const WaitOutcome& outcome) noexcept;
 };

@@ -15,6 +15,11 @@ namespace twochains::mem {
 /// A virtual address within the simulated global address space.
 using VirtAddr = std::uint64_t;
 
+/// A memory domain (NUMA node) within one host: an index into the host's
+/// per-domain sub-arenas and cache slices. Domain 0 always exists; a host
+/// modeled without NUMA is the 1-domain special case.
+using DomainId = std::uint32_t;
+
 /// Page size of the simulated hosts (matches the Linux default on the
 /// paper's testbed).
 inline constexpr std::uint64_t kPageSize = 4096;

@@ -16,12 +16,21 @@ std::string PermString(Perm p) {
   return s;
 }
 
-HostMemory::HostMemory(int host_id, std::uint64_t size)
-    : host_id_(host_id),
-      base_(HostBase(host_id)),
-      arena_(AlignUp(size, kPageSize)),
-      page_perms_(arena_.size() / kPageSize, Perm::kNone),
-      bump_(base_) {}
+HostMemory::HostMemory(int host_id, std::uint64_t size, std::uint32_t domains)
+    : host_id_(host_id), base_(HostBase(host_id)) {
+  // Each slice is rounded up to whole pages independently (AlignUp on the
+  // combined size would need a power-of-two domain count), so domain
+  // boundaries always fall on page boundaries for any @p domains.
+  const std::uint32_t n = std::max<std::uint32_t>(domains, 1);
+  domain_span_ = AlignUp(CeilDiv(size, n), kPageSize);
+  arena_.resize(domain_span_ * n);
+  page_perms_.assign(arena_.size() / kPageSize, Perm::kNone);
+  domains_.resize(n);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    domains_[d].bump = base_ + static_cast<std::uint64_t>(d) * domain_span_;
+    domains_[d].limit = domains_[d].bump + domain_span_;
+  }
+}
 
 bool HostMemory::Contains(VirtAddr addr, std::uint64_t size) const noexcept {
   if (addr < base_) return false;
@@ -29,28 +38,56 @@ bool HostMemory::Contains(VirtAddr addr, std::uint64_t size) const noexcept {
   return off <= arena_.size() && size <= arena_.size() - off;
 }
 
+VirtAddr HostMemory::CarveFrom(Domain& domain, std::uint64_t page_span,
+                               std::uint64_t eff_align) {
+  // First fit over released page runs (address order keeps it stable).
+  for (auto it = domain.free_list.begin(); it != domain.free_list.end();
+       ++it) {
+    const VirtAddr block = it->first;
+    const std::uint64_t block_span = it->second;
+    const VirtAddr start = AlignUp(block, eff_align);
+    if (start + page_span > block + block_span) continue;
+    domain.free_list.erase(it);
+    if (start > block) domain.free_list.emplace(block, start - block);
+    const VirtAddr tail = start + page_span;
+    if (tail < block + block_span) {
+      domain.free_list.emplace(tail, block + block_span - tail);
+    }
+    return start;
+  }
+  // Bump region: never-used pages at the top of the slice.
+  const VirtAddr start = AlignUp(domain.bump, eff_align);
+  if (start + page_span > domain.limit) return 0;
+  domain.bump = start + page_span;
+  return start;
+}
+
 StatusOr<VirtAddr> HostMemory::Allocate(std::uint64_t size,
                                         std::uint64_t align, Perm perms,
-                                        std::string_view tag) {
+                                        std::string_view tag,
+                                        DomainId domain_hint) {
   if (size == 0) return InvalidArgument("zero-size allocation");
   if (!IsPowerOfTwo(align)) return InvalidArgument("alignment must be pow2");
-  // Page-granular bump allocator: each allocation gets whole pages so that
-  // Protect() on it cannot disturb neighbours. Freed ranges are not reused
-  // (hosts in benchmarks allocate a fixed working set up front).
+  // Page-granular allocations: each one gets whole pages so that Protect()
+  // on it cannot disturb neighbours. The hinted domain is tried first;
+  // exhaustion spills to the neighbouring domains in index order so a full
+  // slice degrades to remote placement instead of failure.
   const std::uint64_t eff_align = std::max<std::uint64_t>(align, kPageSize);
-  const VirtAddr start = AlignUp(bump_, eff_align);
   const std::uint64_t page_span = AlignUp(size, kPageSize);
-  if (!Contains(start, page_span)) {
-    return ResourceExhausted(
-        StrFormat("host %d arena exhausted: want %llu bytes (tag=%.*s)",
-                  host_id_, static_cast<unsigned long long>(size),
-                  static_cast<int>(tag.size()), tag.data()));
+  const DomainId hint = std::min<DomainId>(domain_hint, domains() - 1);
+  for (std::uint32_t i = 0; i < domains(); ++i) {
+    Domain& domain = domains_[(hint + i) % domains()];
+    const VirtAddr start = CarveFrom(domain, page_span, eff_align);
+    if (start == 0) continue;
+    allocs_.emplace(start, Allocation{size, page_span, std::string(tag)});
+    allocated_bytes_ += size;
+    TC_RETURN_IF_ERROR(Protect(start, page_span, perms));
+    return start;
   }
-  bump_ = start + page_span;
-  allocs_.emplace(start, Allocation{size, page_span, std::string(tag)});
-  allocated_bytes_ += size;
-  TC_RETURN_IF_ERROR(Protect(start, page_span, perms));
-  return start;
+  return ResourceExhausted(
+      StrFormat("host %d arena exhausted: want %llu bytes (tag=%.*s)",
+                host_id_, static_cast<unsigned long long>(size),
+                static_cast<int>(tag.size()), tag.data()));
 }
 
 Status HostMemory::Free(VirtAddr addr) {
@@ -61,6 +98,30 @@ Status HostMemory::Free(VirtAddr addr) {
   }
   allocated_bytes_ -= it->second.size;
   TC_RETURN_IF_ERROR(Protect(addr, it->second.page_span, Perm::kNone));
+  // Return the pages to the owning domain's free list, coalescing with
+  // adjacent runs; a run that reaches the bump frontier folds back into
+  // the never-used region so a full alloc/free cycle restores the slice.
+  Domain& domain = domains_[DomainOf(addr)];
+  auto [pos, inserted] =
+      domain.free_list.emplace(addr, it->second.page_span);
+  (void)inserted;
+  if (auto next = std::next(pos); next != domain.free_list.end() &&
+                                  pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    domain.free_list.erase(next);
+  }
+  if (pos != domain.free_list.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      domain.free_list.erase(pos);
+      pos = prev;
+    }
+  }
+  if (pos->first + pos->second == domain.bump) {
+    domain.bump = pos->first;
+    domain.free_list.erase(pos);
+  }
   allocs_.erase(it);
   return Status::Ok();
 }

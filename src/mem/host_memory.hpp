@@ -1,6 +1,15 @@
 // Simulated per-host memory: a byte arena with page-granular permissions,
 // a first-fit allocator, and bounds/permission-checked access paths.
 //
+// The arena is split into one sub-arena per memory domain (NUMA node):
+// domain d owns the contiguous slice [base + d*span, base + (d+1)*span).
+// Allocate takes a domain hint and spills to the neighbouring domains (in
+// index order from the hint) when the hinted domain is exhausted, and
+// DomainOf answers which domain's slice holds an address — the mapping the
+// cache hierarchy uses to charge cross-domain accesses. A host modeled
+// without NUMA is the 1-domain special case and behaves exactly like the
+// old flat arena.
+//
 // Two access planes exist on purpose:
 //   * CPU accesses (Read/Write/Load*/Store*) enforce page permissions —
 //     these model loads/stores issued by jam code and the runtime, and are
@@ -11,6 +20,7 @@
 //     touching memory.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -25,9 +35,10 @@ namespace twochains::mem {
 
 class HostMemory {
  public:
-  /// Creates the arena for @p host_id with @p size bytes (rounded up to a
-  /// whole number of pages) based at HostBase(host_id).
-  HostMemory(int host_id, std::uint64_t size);
+  /// Creates the arena for @p host_id with @p size bytes (rounded up so
+  /// every domain slice is a whole number of pages) based at
+  /// HostBase(host_id), split into @p domains equal sub-arenas.
+  HostMemory(int host_id, std::uint64_t size, std::uint32_t domains = 1);
 
   HostMemory(const HostMemory&) = delete;
   HostMemory& operator=(const HostMemory&) = delete;
@@ -35,15 +46,35 @@ class HostMemory {
   int host_id() const noexcept { return host_id_; }
   VirtAddr base() const noexcept { return base_; }
   std::uint64_t size() const noexcept { return arena_.size(); }
+  std::uint32_t domains() const noexcept {
+    return static_cast<std::uint32_t>(domains_.size());
+  }
+  /// Bytes per domain slice (page multiple).
+  std::uint64_t domain_span() const noexcept { return domain_span_; }
+
+  /// The domain whose slice holds @p addr (addresses below the arena map
+  /// to domain 0; addresses at or past the end clamp to the last domain;
+  /// a zero-size arena has no slices to tell apart, so everything is 0).
+  DomainId DomainOf(VirtAddr addr) const noexcept {
+    if (addr < base_ || domain_span_ == 0) return 0;
+    return static_cast<DomainId>(
+        std::min<std::uint64_t>((addr - base_) / domain_span_,
+                                domains_.size() - 1));
+  }
 
   /// Allocates @p size bytes aligned to @p align (pow2, >= 1) with initial
-  /// page permissions @p perms. Allocations are page-granular internally so
+  /// page permissions @p perms, preferring the slice of @p domain_hint and
+  /// spilling to the neighbouring domains (hint+1, hint+2, ... wrapping)
+  /// when it is exhausted. Allocations are page-granular internally so
   /// Protect() on one allocation cannot affect a neighbour.
   /// @p tag labels the allocation in diagnostics.
   StatusOr<VirtAddr> Allocate(std::uint64_t size, std::uint64_t align,
-                              Perm perms, std::string_view tag);
+                              Perm perms, std::string_view tag,
+                              DomainId domain_hint = 0);
 
-  /// Releases an allocation previously returned by Allocate().
+  /// Releases an allocation previously returned by Allocate(). The pages
+  /// return to the owning domain's free list (coalescing with neighbours)
+  /// and are eligible for reuse by later allocations.
   Status Free(VirtAddr addr);
 
   /// Changes permissions on all pages covering [addr, addr+size).
@@ -91,14 +122,28 @@ class HostMemory {
     std::string tag;
   };
 
+  /// One domain's sub-arena: a bump pointer over never-used pages plus a
+  /// first-fit free list of released page runs (start VA -> byte span).
+  struct Domain {
+    VirtAddr bump = 0;   // next never-used address in this slice
+    VirtAddr limit = 0;  // exclusive end of this slice
+    std::map<VirtAddr, std::uint64_t> free_list;
+  };
+
   std::uint64_t OffsetOf(VirtAddr addr) const noexcept { return addr - base_; }
+
+  /// Carves @p page_span bytes at @p eff_align from @p domain (free list
+  /// first, then the bump region), or 0 when the slice cannot fit it.
+  VirtAddr CarveFrom(Domain& domain, std::uint64_t page_span,
+                     std::uint64_t eff_align);
 
   int host_id_;
   VirtAddr base_;
   std::vector<std::uint8_t> arena_;
   std::vector<Perm> page_perms_;             // one entry per page
   std::map<VirtAddr, Allocation> allocs_;    // live allocations by start VA
-  VirtAddr bump_;                            // next never-used address
+  std::vector<Domain> domains_;              // per-domain allocator state
+  std::uint64_t domain_span_ = 0;
   std::uint64_t allocated_bytes_ = 0;
 };
 

@@ -4,6 +4,7 @@
 // The paper's testbed is two of these, connected back-to-back (§VI-C).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -25,8 +26,13 @@ class Host {
  public:
   explicit Host(const HostConfig& config)
       : config_(config),
-        memory_(config.host_id, config.memory_bytes),
+        memory_(config.host_id, config.memory_bytes,
+                std::max<std::uint32_t>(config.cache.domains, 1)),
         caches_(config.cache) {
+    // The arena's domain slices and the cache model's domains are the same
+    // NUMA nodes: the hierarchy homes every line where its bytes live.
+    caches_.SetDomainMapper(
+        [mem = &memory_](mem::VirtAddr addr) { return mem->DomainOf(addr); });
     cores_.reserve(config.cache.cores);
     for (std::uint32_t c = 0; c < config.cache.cores; ++c) {
       cores_.emplace_back(c, config.cache.core_clock);

@@ -174,7 +174,8 @@ void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
         }
 
         // DMA write into target memory, then the cache action that the
-        // whole paper hinges on: stash into LLC or push to DRAM.
+        // whole paper hinges on: stash into the target's home-domain LLC
+        // slice or push to (that domain's) DRAM.
         Status wr = dst->host_.memory().DmaWrite(
             op.remote_addr,
             std::span<const std::uint8_t>(op.bytes.data(), size));

@@ -56,7 +56,10 @@ struct NicConfig {
   bool enforce_write_ordering = true;
   /// Max skew added to deliveries when ordering is NOT enforced.
   double reorder_window_ns = 400.0;
-  /// Deliver inbound bytes into the LLC (cache stashing) or DRAM.
+  /// Deliver inbound bytes into the LLC (cache stashing) or DRAM. On a
+  /// multi-domain host the stash lands in the target address's *home
+  /// domain's* LLC slice — next to the cores that own the bank when the
+  /// runtime places banks domain-aware.
   bool stash_to_llc = true;
 };
 

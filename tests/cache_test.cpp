@@ -348,5 +348,164 @@ TEST(HierarchyTest, StoreMissesBehaveLikeLoads) {
   EXPECT_EQ(level, HitLevel::kL1);
 }
 
+// ------------------------------------------------------------- domains
+
+constexpr mem::VirtAddr kDomain1Base = 0x100000;
+
+/// 4 cores over 2 domains ({0,1} and {2,3}); addresses at or above
+/// kDomain1Base home in domain 1.
+HierarchyConfig DomainHierarchy() {
+  HierarchyConfig cfg = SmallHierarchy();
+  cfg.domains = 2;
+  cfg.remote_penalty_cycles = 100;
+  return cfg;
+}
+
+CacheHierarchy MakeDomainHierarchy(HierarchyConfig cfg = DomainHierarchy()) {
+  CacheHierarchy h(cfg);
+  h.SetDomainMapper(
+      [](mem::VirtAddr a) { return a >= kDomain1Base ? 1u : 0u; });
+  return h;
+}
+
+TEST(DomainHierarchyTest, DomainOfCoreBlocks) {
+  HierarchyConfig cfg = DomainHierarchy();
+  EXPECT_EQ(cfg.CoresPerDomain(), 2u);
+  EXPECT_EQ(cfg.DomainOfCore(0), 0u);
+  EXPECT_EQ(cfg.DomainOfCore(1), 0u);
+  EXPECT_EQ(cfg.DomainOfCore(2), 1u);
+  EXPECT_EQ(cfg.DomainOfCore(3), 1u);
+  // Uneven split: ceil-sized blocks, the last domain takes the remainder.
+  cfg.cores = 5;
+  EXPECT_EQ(cfg.CoresPerDomain(), 3u);
+  EXPECT_EQ(cfg.DomainOfCore(2), 0u);
+  EXPECT_EQ(cfg.DomainOfCore(3), 1u);
+  EXPECT_EQ(cfg.DomainOfCore(4), 1u);
+}
+
+TEST(DomainHierarchyTest, NonPowerOfTwoDomainCountKeepsSliceGeometry) {
+  // A 3-domain split of the LLC must still give each slice a
+  // power-of-two set count (CacheLevel's requirement): the slice rounds
+  // down, and stash/probe/access still work against every domain.
+  HierarchyConfig cfg = DomainHierarchy();
+  cfg.cores = 6;
+  cfg.domains = 3;
+  CacheHierarchy h(cfg);
+  h.SetDomainMapper([](mem::VirtAddr a) {
+    return static_cast<std::uint32_t>(a / 0x100000);
+  });
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    const mem::VirtAddr addr = d * 0x100000ull + 0x40;
+    h.StashDeliver(addr, 64);
+    EXPECT_TRUE(h.ProbeLLC(addr)) << "domain " << d;
+    HitLevel level;
+    h.AccessLine(2 * d, addr, AccessKind::kLoad, &level);
+    EXPECT_EQ(level, HitLevel::kLLC) << "domain " << d;
+  }
+}
+
+TEST(DomainHierarchyTest, RemoteDramAccessPaysThePenalty) {
+  CacheHierarchy h = MakeDomainHierarchy();
+  HitLevel level;
+  // Core 0 (domain 0) touches a line homed in domain 1: DRAM + hop.
+  const Cycles cost = h.AccessLine(0, kDomain1Base, AccessKind::kLoad,
+                                   &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+  EXPECT_EQ(cost, h.config().DramCycles() + 100);
+  EXPECT_EQ(h.stats().remote_accesses, 1u);
+  EXPECT_EQ(h.stats().remote_penalty_cycles, 100u);
+  // The locally cached copy absorbs the hop: the next touch is a plain
+  // L1 hit.
+  const Cycles again = h.AccessLine(0, kDomain1Base, AccessKind::kLoad,
+                                    &level);
+  EXPECT_EQ(level, HitLevel::kL1);
+  EXPECT_EQ(again, 2u);
+  EXPECT_EQ(h.stats().remote_accesses, 1u);
+}
+
+TEST(DomainHierarchyTest, LocalDomainAccessPaysNoPenalty) {
+  CacheHierarchy h = MakeDomainHierarchy();
+  HitLevel level;
+  // Core 2 lives in domain 1 — same-domain DRAM costs the plain latency.
+  const Cycles cost = h.AccessLine(2, kDomain1Base, AccessKind::kLoad,
+                                   &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+  EXPECT_EQ(cost, h.config().DramCycles());
+  EXPECT_EQ(h.stats().remote_accesses, 0u);
+}
+
+TEST(DomainHierarchyTest, StashTargetsTheHomeDomainSlice) {
+  CacheHierarchy h = MakeDomainHierarchy();
+  h.StashDeliver(kDomain1Base, 128);
+  EXPECT_TRUE(h.ProbeLLC(kDomain1Base));
+  HitLevel level;
+  // Domain-local core: plain LLC hit — the stash landed next to it.
+  const Cycles local = h.AccessLine(2, kDomain1Base, AccessKind::kLoad,
+                                    &level);
+  EXPECT_EQ(level, HitLevel::kLLC);
+  EXPECT_EQ(local, h.config().llc.hit_cycles);
+  // Remote core reaching into the domain-1 slice: LLC hit + hop.
+  const Cycles remote = h.AccessLine(0, kDomain1Base + 64,
+                                     AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kLLC);
+  EXPECT_EQ(remote, h.config().llc.hit_cycles + 100);
+  EXPECT_EQ(h.stats().remote_accesses, 1u);
+}
+
+TEST(DomainHierarchyTest, ClusterCopyIsLocalWhateverTheHome) {
+  CacheHierarchy h = MakeDomainHierarchy();
+  // Core 0 pulls a domain-1 line (remote DRAM); its cluster sibling core
+  // 1 then finds it in the shared L3 — a local copy, no penalty.
+  h.AccessLine(0, kDomain1Base, AccessKind::kLoad);
+  HitLevel level;
+  const Cycles cost = h.AccessLine(1, kDomain1Base, AccessKind::kLoad,
+                                   &level);
+  EXPECT_EQ(level, HitLevel::kL3);
+  EXPECT_EQ(cost, h.config().l3.hit_cycles);
+  EXPECT_EQ(h.stats().remote_accesses, 1u);  // only core 0's DRAM pull
+}
+
+TEST(DomainHierarchyTest, DramDeliverEvictsTheHomeSlice) {
+  CacheHierarchy h = MakeDomainHierarchy();
+  h.StashDeliver(kDomain1Base, 64);
+  ASSERT_TRUE(h.ProbeLLC(kDomain1Base));
+  h.DramDeliver(kDomain1Base, 64);
+  EXPECT_FALSE(h.ProbeLLC(kDomain1Base));
+  HitLevel level;
+  h.AccessLine(2, kDomain1Base, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+}
+
+TEST(DomainHierarchyTest, SingleDomainNeverChargesThePenalty) {
+  // domains=1 with a mapper that claims everything homes in domain 7:
+  // the clamp pins it to slice 0 and no access is ever remote.
+  HierarchyConfig cfg = SmallHierarchy();
+  cfg.remote_penalty_cycles = 100;
+  CacheHierarchy h(cfg);
+  h.SetDomainMapper([](mem::VirtAddr) { return 7u; });
+  HitLevel level;
+  const Cycles cost = h.AccessLine(0, 0x40000, AccessKind::kLoad, &level);
+  EXPECT_EQ(level, HitLevel::kDram);
+  EXPECT_EQ(cost, h.config().DramCycles());
+  EXPECT_EQ(h.stats().remote_accesses, 0u);
+}
+
+TEST(DomainHierarchyTest, StashedDrainCheaperWhenDomainLocal) {
+  // The fig17 mechanism in one assertion: draining a stash-delivered
+  // buffer from the home domain's core beats draining it from across
+  // the interconnect.
+  CacheHierarchy local = MakeDomainHierarchy();
+  CacheHierarchy remote = MakeDomainHierarchy();
+  local.StashDeliver(kDomain1Base, 1024);
+  remote.StashDeliver(kDomain1Base, 1024);
+  const Cycles local_cost =
+      local.Access(2, kDomain1Base, 1024, AccessKind::kLoad);
+  const Cycles remote_cost =
+      remote.Access(0, kDomain1Base, 1024, AccessKind::kLoad);
+  EXPECT_LT(local_cost, remote_cost);
+  EXPECT_EQ(remote_cost - local_cost,
+            16 * local.config().remote_penalty_cycles);
+}
+
 }  // namespace
 }  // namespace twochains::cache

@@ -640,5 +640,159 @@ TEST_F(TwoChainsTest, HugeStealKnobsClampToInboundCapacity) {
   EXPECT_EQ(rx.stats().steals, 0u);
 }
 
+// -------------------------------------------------- core-range clamping
+
+TEST_F(TwoChainsTest, SenderCoreClampsToCacheModelCores) {
+  TestbedOptions options = Options();
+  options.runtime.sender_core = 64;  // cache model has 4 cores
+  SetUpTestbed(options);
+  EXPECT_EQ(testbed_->runtime(0).config().sender_core,
+            testbed_->host(0).core_count() - 1);
+  // A clamped sender core still sends correctly.
+  std::vector<std::uint8_t> usr(8, 1);
+  auto msg = SendAndRun("nop", Invoke::kInjected, {3}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_EQ(msg->return_value, 3u);
+}
+
+TEST_F(TwoChainsTest, ReceiverCoreOutOfRangeClampsToZero) {
+  TestbedOptions options = Options();
+  options.runtime.receiver_core = 64;  // cache model has 4 cores
+  SetUpTestbed(options);
+  EXPECT_EQ(testbed_->runtime(1).config().receiver_core, 0u);
+  std::vector<std::uint8_t> usr(8, 1);
+  auto msg = SendAndRun("nop", Invoke::kInjected, {4}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_EQ(msg->return_value, 4u);
+}
+
+// ------------------------------------------------------ memory domains
+
+/// 4-core hosts split into 2 domains ({0,1} and {2,3}) with the receiver
+/// pool spanning them: core 1 (domain 0) and core 2 (domain 1).
+TestbedOptions NumaOptions(bool placement) {
+  TestbedOptions options;
+  options.runtime.banks = 2;
+  options.runtime.mailboxes_per_bank = 4;
+  options.runtime.mailbox_slot_bytes = KiB(64);
+  options.runtime.receiver_core = 1;
+  options.runtime.receiver_cores = 2;
+  options.runtime.sender_core = 3;
+  options.runtime.domain_aware_placement = placement;
+  options.WithDomains(2);
+  return options;
+}
+
+TEST_F(TwoChainsTest, DomainPlacementKeepsAffinityDrainsLocal) {
+  SetUpTestbed(NumaOptions(/*placement=*/true));
+  std::vector<std::uint8_t> usr(256, 2);
+  for (int i = 0; i < 24; ++i) {
+    auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+    ASSERT_TRUE(msg.ok()) << msg.status();
+  }
+  Runtime& rx = testbed_->runtime(1);
+  // Both pool cores drained, and every frame's bank was homed in its
+  // draining core's domain.
+  ASSERT_EQ(rx.receiver_pool_size(), 2u);
+  EXPECT_GT(rx.receiver_cpu(0).counters().messages_handled, 0u);
+  EXPECT_GT(rx.receiver_cpu(1).counters().messages_handled, 0u);
+  EXPECT_EQ(rx.stats().frames_drained_remote, 0u);
+  EXPECT_EQ(rx.receiver_wait_stats(0).frames_drained_remote, 0u);
+  EXPECT_EQ(rx.receiver_wait_stats(1).frames_drained_remote, 0u);
+}
+
+TEST_F(TwoChainsTest, FlatPlacementDrainsRemoteAndPaysThePenalty) {
+  SetUpTestbed(NumaOptions(/*placement=*/false));
+  std::vector<std::uint8_t> usr(256, 2);
+  for (int i = 0; i < 24; ++i) {
+    auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+    ASSERT_TRUE(msg.ok()) << msg.status();
+  }
+  Runtime& rx = testbed_->runtime(1);
+  // Flat placement homes every bank in domain 0, so the domain-1 pool
+  // core's drains are all cross-domain — and they cost real cycles.
+  const std::uint64_t pool1_drained =
+      rx.receiver_cpu(1).counters().messages_handled;
+  EXPECT_GT(pool1_drained, 0u);
+  EXPECT_EQ(rx.stats().frames_drained_remote, pool1_drained);
+  EXPECT_EQ(rx.receiver_wait_stats(1).frames_drained_remote, pool1_drained);
+  EXPECT_EQ(rx.receiver_wait_stats(0).frames_drained_remote, 0u);
+  EXPECT_GT(rx.stats().remote_drain_cycles, 0u);
+  EXPECT_GT(rx.receiver_wait_stats(1).remote_drain_cycles, 0u);
+}
+
+TEST_F(TwoChainsTest, SingleDomainReportsNoRemoteDrains) {
+  TestbedOptions options = Options();
+  options.runtime.receiver_cores = 2;
+  options.runtime.sender_core = 2;
+  SetUpTestbed(options);  // domains = 1 (default)
+  std::vector<std::uint8_t> usr(64, 5);
+  for (int i = 0; i < 16; ++i) {
+    auto msg = SendAndRun("ssum", Invoke::kInjected, {0}, usr);
+    ASSERT_TRUE(msg.ok()) << msg.status();
+  }
+  EXPECT_EQ(testbed_->runtime(1).stats().frames_drained_remote, 0u);
+  EXPECT_EQ(testbed_->runtime(1).stats().remote_drain_cycles, 0u);
+}
+
+// --------------------------------------------------- flow-control bias
+
+TEST_F(TwoChainsTest, FlowBiasRoutesAroundAStalledPoolCore) {
+  TestbedOptions options = Options();  // 2 banks x 4 slots
+  options.runtime.receiver_cores = 2;
+  options.runtime.sender_core = 2;
+  options.runtime.flow_bias = true;
+  SetUpTestbed(options);
+
+  // Stall the first frame's pool core for a long stretch: bank 0 freezes
+  // mid-drain while bank 1 keeps cycling. The biased sender must divert
+  // bank-boundary picks to bank 1 instead of parking on bank 0's flag.
+  Runtime& rx = testbed_->runtime(1);
+  bool stalled = false;
+  rx.SetPreemptionHook([&stalled]() -> PicoTime {
+    if (stalled) return 0;
+    stalled = true;
+    return Microseconds(2000);
+  });
+
+  const int total = 32;
+  int executed = 0;
+  rx.SetOnExecuted([&](const ReceivedMessage&) { ++executed; });
+  std::vector<std::uint8_t> usr(8, 1);
+  int sent = 0;
+  PumpLoop<> pump;
+  pump.Set([&, resume = pump.Handle()] {
+    while (sent < total) {
+      if (!testbed_->runtime(0).HasFreeSlot()) {
+        testbed_->runtime(0).NotifyWhenSlotFree(resume);
+        return;
+      }
+      const std::vector<std::uint64_t> args = {1};
+      ASSERT_TRUE(
+          testbed_->runtime(0).Send("nop", Invoke::kInjected, args, usr)
+              .ok());
+      ++sent;
+    }
+  });
+  pump();
+  testbed_->RunUntil([&] { return executed == total; });
+  EXPECT_EQ(executed, total);
+  EXPECT_GT(testbed_->runtime(0).stats().biased_sends, 0u);
+  EXPECT_EQ(rx.InFlightFrames(), 0u);
+}
+
+TEST_F(TwoChainsTest, FlowBiasOffNeverDiverts) {
+  TestbedOptions options = Options();
+  options.runtime.receiver_cores = 2;
+  options.runtime.sender_core = 2;
+  SetUpTestbed(options);  // flow_bias defaults off
+  std::vector<std::uint8_t> usr(8, 1);
+  for (int i = 0; i < 24; ++i) {
+    auto msg = SendAndRun("nop", Invoke::kInjected, {1}, usr);
+    ASSERT_TRUE(msg.ok()) << msg.status();
+  }
+  EXPECT_EQ(testbed_->runtime(0).stats().biased_sends, 0u);
+}
+
 }  // namespace
 }  // namespace twochains::core

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "benchlib/workloads.hpp"
@@ -107,7 +108,8 @@ std::string Fingerprint(Fabric& fabric) {
     const RuntimeStats& s = fabric.runtime(h).stats();
     out += StrFormat(
         "host%u sent=%llu exec=%llu deliv=%llu bytes=%llu flags=%llu "
-        "stalls=%llu rej=%llu waits=%llu\n",
+        "stalls=%llu rej=%llu waits=%llu remote=%llu remotecy=%llu "
+        "biased=%llu\n",
         h, static_cast<unsigned long long>(s.messages_sent),
         static_cast<unsigned long long>(s.messages_executed),
         static_cast<unsigned long long>(s.messages_delivered),
@@ -115,7 +117,10 @@ std::string Fingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(s.bank_flags_returned),
         static_cast<unsigned long long>(s.send_stalls),
         static_cast<unsigned long long>(s.security_rejections),
-        static_cast<unsigned long long>(s.wait_episodes));
+        static_cast<unsigned long long>(s.wait_episodes),
+        static_cast<unsigned long long>(s.frames_drained_remote),
+        static_cast<unsigned long long>(s.remote_drain_cycles),
+        static_cast<unsigned long long>(s.biased_sends));
     for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
       const PeerStats& ps = s.per_peer[p];
       out += StrFormat(
@@ -152,9 +157,9 @@ std::string Fingerprint(Fabric& fabric) {
 }
 
 /// One full run: fresh fabric, seeded workload, drained engine.
-std::string RunOnce(std::uint32_t receiver_cores,
-                    std::uint64_t* executed_out = nullptr) {
-  Fabric fabric(PoolOptions(receiver_cores));
+std::string RunOnceWith(const FabricOptions& options,
+                        std::uint64_t* executed_out = nullptr) {
+  Fabric fabric(options);
   auto package = bench::BuildBenchPackage();
   if (!package.ok()) {
     ADD_FAILURE() << "package build failed: " << package.status();
@@ -178,6 +183,11 @@ std::string RunOnce(std::uint32_t receiver_cores,
     *executed_out = fabric.runtime(0).stats().messages_executed;
   }
   return Fingerprint(fabric);
+}
+
+std::string RunOnce(std::uint32_t receiver_cores,
+                    std::uint64_t* executed_out = nullptr) {
+  return RunOnceWith(PoolOptions(receiver_cores), executed_out);
 }
 
 class DeterminismTest : public ::testing::TestWithParam<std::uint32_t> {};
@@ -255,6 +265,44 @@ TEST_P(StealDeterminismTest, StealEnabledRunsAreByteIdenticalAndNotDead) {
 
 INSTANTIATE_TEST_SUITE_P(StealPoolSizes, StealDeterminismTest,
                          ::testing::Values(2u, 4u));
+
+// ------------------------------------------------------- NUMA domains
+
+/// The pool fabric on a 2-domain hub (cores {0,1,2} domain 0, {3,4}
+/// domain 1 — the 4-wide pool spans both), domain-aware placement on.
+FabricOptions NumaPoolOptions(std::uint32_t receiver_cores, bool steal) {
+  FabricOptions options = PoolOptions(receiver_cores);
+  options.host_overrides[0].cache.domains = 2;
+  if (steal) {
+    StealConfig config;
+    config.enabled = true;
+    config.threshold = 1;
+    config.hysteresis = 1;
+    options.runtime_overrides[0].steal = config;
+  }
+  return options;
+}
+
+using NumaParam = std::tuple<std::uint32_t, bool>;
+
+class NumaDeterminismTest : public ::testing::TestWithParam<NumaParam> {};
+
+TEST_P(NumaDeterminismTest, DomainsEnabledRunsAreByteIdentical) {
+  const auto [cores, steal] = GetParam();
+  std::uint64_t executed = 0;
+  const std::string first =
+      RunOnceWith(NumaPoolOptions(cores, steal), &executed);
+  const std::string second = RunOnceWith(NumaPoolOptions(cores, steal));
+  EXPECT_EQ(first, second)
+      << "domains=2 receiver_cores=" << cores << " steal=" << steal;
+  EXPECT_EQ(executed,
+            static_cast<std::uint64_t>(kSenders) * kMessagesPerSender);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NumaPools, NumaDeterminismTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Bool()));
 
 }  // namespace
 }  // namespace twochains::core

@@ -184,6 +184,159 @@ TEST_F(HostMemoryTest, RawSpanViewsArena) {
   EXPECT_EQ((*span)[0], 0x5A);
 }
 
+// ---------------------------------------------------------------- domains
+
+class DomainMemoryTest : public ::testing::Test {
+ protected:
+  // 4 MiB arena split into two 2 MiB domain slices.
+  static constexpr std::uint64_t kSpan = MiB(2);
+  HostMemory mem_{0, MiB(4), 2};
+};
+
+TEST_F(DomainMemoryTest, GeometryAndDomainOfBoundaries) {
+  EXPECT_EQ(mem_.domains(), 2u);
+  EXPECT_EQ(mem_.domain_span(), kSpan);
+  // Exact boundary addresses: the last byte of domain 0, the first of
+  // domain 1, and the clamp past the arena end.
+  EXPECT_EQ(mem_.DomainOf(mem_.base()), 0u);
+  EXPECT_EQ(mem_.DomainOf(mem_.base() + kSpan - 1), 0u);
+  EXPECT_EQ(mem_.DomainOf(mem_.base() + kSpan), 1u);
+  EXPECT_EQ(mem_.DomainOf(mem_.base() + MiB(4) - 1), 1u);
+  EXPECT_EQ(mem_.DomainOf(mem_.base() + MiB(64)), 1u);  // clamps to last
+  EXPECT_EQ(mem_.DomainOf(0), 0u);                      // below the arena
+}
+
+TEST_F(DomainMemoryTest, NonPowerOfTwoDomainCountKeepsSlicesPageAligned) {
+  // 3 domains over an 8 KiB request: each slice rounds up to whole pages
+  // independently, so boundaries stay page-aligned and every domain can
+  // serve at least one page.
+  HostMemory mem(2, KiB(8), 3);
+  EXPECT_EQ(mem.domains(), 3u);
+  EXPECT_EQ(mem.domain_span() % kPageSize, 0u);
+  EXPECT_EQ(mem.size(), 3 * mem.domain_span());
+  for (DomainId d = 0; d < 3; ++d) {
+    auto a = mem.Allocate(KiB(4), 64, Perm::kRW, "page", d);
+    ASSERT_TRUE(a.ok()) << "domain " << d;
+    EXPECT_EQ(mem.DomainOf(*a), d);
+  }
+}
+
+TEST_F(DomainMemoryTest, SingleDomainDegeneratesToFlatArena) {
+  HostMemory flat(1, MiB(4));
+  EXPECT_EQ(flat.domains(), 1u);
+  EXPECT_EQ(flat.DomainOf(flat.base() + MiB(3)), 0u);
+  auto a = flat.Allocate(KiB(4), 64, Perm::kRW, "flat");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, flat.base());
+}
+
+TEST_F(DomainMemoryTest, AllocateHonorsHintAndAlignsWithinDomain) {
+  auto a = mem_.Allocate(100, 256, Perm::kRW, "d1", /*domain_hint=*/1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(mem_.DomainOf(*a), 1u);
+  EXPECT_EQ(*a % kPageSize, 0u);  // page granular
+  EXPECT_EQ(*a % 256, 0u);       // requested alignment
+  EXPECT_GE(*a, mem_.base() + kSpan);
+  // Large alignment is honored inside the hinted slice too.
+  auto b = mem_.Allocate(100, KiB(64), Perm::kRW, "d1-big-align", 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(mem_.DomainOf(*b), 1u);
+  EXPECT_EQ(*b % KiB(64), 0u);
+}
+
+TEST_F(DomainMemoryTest, OversizedHintClampsToLastDomain) {
+  auto a = mem_.Allocate(KiB(4), 64, Perm::kRW, "clamped", 99);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(mem_.DomainOf(*a), 1u);
+}
+
+TEST_F(DomainMemoryTest, SpillsToNeighborOnExhaustion) {
+  // Fill domain 0 completely, then hint at it again: the allocation must
+  // land in domain 1 instead of failing.
+  auto fill = mem_.Allocate(kSpan, 64, Perm::kRW, "fill-d0", 0);
+  ASSERT_TRUE(fill.ok());
+  EXPECT_EQ(mem_.DomainOf(*fill), 0u);
+  auto spill = mem_.Allocate(KiB(8), 64, Perm::kRW, "spill", 0);
+  ASSERT_TRUE(spill.ok());
+  EXPECT_EQ(mem_.DomainOf(*spill), 1u);
+  // Both slices full -> exhaustion, however the hint points.
+  auto fill1 = mem_.Allocate(kSpan - KiB(8), 64, Perm::kRW, "fill-d1", 1);
+  ASSERT_TRUE(fill1.ok());
+  EXPECT_EQ(mem_.Allocate(KiB(4), 64, Perm::kRW, "none", 0).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(DomainMemoryTest, FreeRestoresTheDomainFreeList) {
+  // A full alloc/free cycle restores the slice: the next same-sized
+  // allocation in that domain reuses the released pages.
+  auto a = mem_.Allocate(KiB(8), 64, Perm::kRW, "a", 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(mem_.Free(*a).ok());
+  auto b = mem_.Allocate(KiB(8), 64, Perm::kRW, "b", 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  EXPECT_EQ(mem_.DomainOf(*b), 1u);
+}
+
+TEST_F(DomainMemoryTest, FreeListReusesInteriorHoles) {
+  // a | b | c packed in domain 0; freeing b leaves an interior hole that
+  // a same-sized allocation must reuse (first fit), without touching the
+  // neighbours.
+  auto a = mem_.Allocate(KiB(4), 64, Perm::kRW, "a", 0);
+  auto b = mem_.Allocate(KiB(8), 64, Perm::kRW, "b", 0);
+  auto c = mem_.Allocate(KiB(4), 64, Perm::kRW, "c", 0);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(mem_.Free(*b).ok());
+  auto again = mem_.Allocate(KiB(8), 64, Perm::kRW, "b2", 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *b);
+  // The hole only fits page-granular sizes up to the freed span: a larger
+  // request must come from fresh pages past c.
+  ASSERT_TRUE(mem_.Free(*again).ok());
+  auto bigger = mem_.Allocate(KiB(16), 64, Perm::kRW, "bigger", 0);
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_GT(*bigger, *c);
+}
+
+TEST_F(DomainMemoryTest, FreeCoalescesAdjacentRuns) {
+  // Free two adjacent blocks in either order; a request spanning both
+  // must fit in the coalesced run.
+  auto a = mem_.Allocate(KiB(4), 64, Perm::kRW, "a", 0);
+  auto b = mem_.Allocate(KiB(4), 64, Perm::kRW, "b", 0);
+  auto c = mem_.Allocate(KiB(4), 64, Perm::kRW, "c", 0);  // pins the bump
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(mem_.Free(*a).ok());
+  ASSERT_TRUE(mem_.Free(*b).ok());
+  auto merged = mem_.Allocate(KiB(8), 64, Perm::kRW, "merged", 0);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, *a);
+}
+
+TEST_F(DomainMemoryTest, SpilledAllocationFreesBackToItsRealDomain) {
+  // An allocation that spilled into domain 1 returns to *domain 1's*
+  // free list, not the hinted domain's.
+  auto fill = mem_.Allocate(kSpan, 64, Perm::kRW, "fill-d0", 0);
+  ASSERT_TRUE(fill.ok());
+  auto spill = mem_.Allocate(KiB(8), 64, Perm::kRW, "spill", 0);
+  ASSERT_TRUE(spill.ok());
+  ASSERT_EQ(mem_.DomainOf(*spill), 1u);
+  ASSERT_TRUE(mem_.Free(*spill).ok());
+  auto d1 = mem_.Allocate(KiB(8), 64, Perm::kRW, "d1", 1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(*d1, *spill);
+}
+
+TEST_F(DomainMemoryTest, PermissionsSurviveTheDomainPlane) {
+  // Perms still apply per page regardless of which domain served the
+  // allocation.
+  auto a = mem_.Allocate(64, 64, Perm::kRead, "ro-d1", 1);
+  ASSERT_TRUE(a.ok());
+  std::array<std::uint8_t, 1> buf = {1};
+  EXPECT_EQ(mem_.Write(*a, buf).code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(mem_.Free(*a).ok());
+  EXPECT_EQ(mem_.PagePerms(*a).value(), Perm::kNone);
+}
+
 // ---------------------------------------------------------------- regions
 
 class RegionTest : public ::testing::Test {
