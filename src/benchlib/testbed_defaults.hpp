@@ -59,4 +59,25 @@ inline core::FabricOptions PaperNumaFabric(std::uint32_t hosts,
   return options;
 }
 
+/// The wide variant: the hub is an 8-core, 2-domain machine ({0..3} and
+/// {4..7}) with a 4-core receiver pool on cores 2..5 — members 0,1 in
+/// domain 0 and members 2,3 in domain 1 — and sends on core 6. The
+/// smallest shape where a pool core has both a same-domain sibling and
+/// remote-domain siblings, i.e. where domain-aware steal victims and
+/// same-domain re-shard targets are observable (fig17 --domain-steal,
+/// quiesce_test's NUMA placement case).
+inline core::FabricOptions PaperNumaWideFabric(std::uint32_t hosts,
+                                               std::uint32_t hub = 0) {
+  core::FabricOptions options = PaperFabric(hosts, core::Topology::kStar,
+                                            hub);
+  options.host_overrides.assign(hosts, options.host);
+  options.host_overrides[hub].cache.cores = 8;
+  options.host_overrides[hub].cache.domains = 2;
+  options.runtime_overrides.assign(hosts, options.runtime);
+  options.runtime_overrides[hub].receiver_core = 2;
+  options.runtime_overrides[hub].receiver_cores = 4;
+  options.runtime_overrides[hub].sender_core = 6;
+  return options;
+}
+
 }  // namespace twochains::bench

@@ -138,6 +138,21 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
   PeerState peer;
   peer.runtime = &remote;
 
+  // Bank homes: the affinity owner, unless that member is quiesced right
+  // now — a peer can connect mid-hotplug — in which case the bank starts
+  // life on a survivor (ReviveCore later restores the affinity map).
+  peer.bank_home.reserve(config_.banks);
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    const std::uint32_t affinity = PoolIndexFor(id, b);
+    std::uint32_t home = affinity;
+    if (pool_[affinity].state != PoolCoreState::kActive) {
+      home = PickReshardTarget(DomainOfPoolCore(affinity));
+      if (home == kInvalidPoolIndex) home = affinity;  // pre-StartReceiver
+    }
+    peer.bank_home.push_back(home);
+  }
+  peer.bank_pending_home.assign(config_.banks, kInvalidPoolIndex);
+
   // Reactive mailbox slice for this peer: pinned, remotely writable, and
   // (paper default) executable — "we ... mark all mailbox pages with read,
   // write, and execute permissions" (§III-A). One allocation + rkey per
@@ -149,7 +164,7 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
   for (std::uint32_t b = 0; b < config_.banks; ++b) {
     const mem::DomainId bank_domain =
         config_.domain_aware_placement
-            ? DomainOfPoolCore(PoolIndexFor(id, b))
+            ? DomainOfPoolCore(peer.bank_home[b])
             : 0;
     const std::string tag = StrFormat("tc:mailboxes:p%u:b%u", id, b);
     TC_ASSIGN_OR_RETURN(const mem::VirtAddr base,
@@ -198,14 +213,14 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
       worker_, ucxs::PutMode::kUser, &remote.nic_);
 
   peer.bank_cursor.assign(config_.banks, 0);
+  // in_flight guards every handoff (steal and re-shard); ready feeds the
+  // O(1) backlog ledger. Both always exist; only the steal-claim table is
+  // gated on stealing.
+  peer.bank_in_flight.assign(config_.banks, 0);
+  peer.bank_ready.assign(config_.banks, 0);
   if (stealing_active_) {
-    // Claims start at the affinity owner; in_flight guards the handoff.
-    peer.bank_claim.resize(config_.banks);
-    for (std::uint32_t b = 0; b < config_.banks; ++b) {
-      peer.bank_claim[b] = PoolIndexFor(id, b);
-    }
-    peer.bank_in_flight.assign(config_.banks, 0);
-    peer.bank_ready.assign(config_.banks, 0);
+    // Claims start at the home owner.
+    peer.bank_claim = peer.bank_home;
   }
 
   peers_.push_back(std::move(peer));
@@ -618,7 +633,7 @@ void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
   const std::uint32_t bank = slot / config_.mailboxes_per_bank;
   const std::uint32_t holder = ClaimOf(from, bank);
   ++claim_backlog_[holder];
-  if (stealing_active_) ++peers_[from].bank_ready[bank];
+  ++peers_[from].bank_ready[bank];
   MaybeBeginNext(holder);
   OfferStealOpportunities(holder);
 }
@@ -649,6 +664,9 @@ void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
   if (!receiver_started_) return;
   PoolCore& member = pool_[pool_index];
   if (member.processing) return;
+  // A draining member only finishes the frame it already began; a
+  // quiesced one scans nothing at all (its banks re-homed at quiesce).
+  if (member.state != PoolCoreState::kActive) return;
   // This pool core scans the heads of the banks it claims — its affinity
   // shard plus any banks in its steal queue, across every peer's mailbox
   // slice — and serves the earliest-delivered one: a fair sweep across
@@ -664,10 +682,8 @@ void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
   }
   ReadyFrame frame = *best;
   frame.pool = pool_index;
-  if (stealing_active_) {
-    peers_[frame.peer]
-        .bank_in_flight[frame.slot / config_.mailboxes_per_bank] = 1;
-  }
+  peers_[frame.peer].bank_in_flight[frame.slot / config_.mailboxes_per_bank] =
+      1;
   PicoTime waited = 0;
   if (member.idle_since.has_value() &&
       frame.delivered_at >= *member.idle_since) {
@@ -684,7 +700,7 @@ const Runtime::ReadyFrame* Runtime::ScanBankHeads(std::uint32_t pool_index) {
     PeerState& p = peers_[peer];
     for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
       if (ClaimOf(peer, bank) != pool_index) continue;
-      if (stealing_active_ && p.bank_in_flight[bank] != 0) continue;
+      if (p.bank_in_flight[bank] != 0) continue;
       const std::uint32_t head =
           bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
       const auto it = p.ready.find(head);
@@ -699,20 +715,6 @@ const Runtime::ReadyFrame* Runtime::ScanBankHeads(std::uint32_t pool_index) {
 
 const Runtime::ReadyFrame* Runtime::TrySteal(std::uint32_t thief) {
   PoolCore& member = pool_[thief];
-  // Victim: the most-loaded sibling by ready-frame backlog over the banks
-  // it currently claims (ties resolve to the lowest pool index). The
-  // backlog ledger is maintained incrementally on delivery, completion,
-  // and handoff, so this pick is O(pool) per idle scan.
-  constexpr std::uint32_t kNoVictim = ~std::uint32_t{0};
-  std::uint32_t victim = kNoVictim;
-  std::uint64_t victim_backlog = 0;
-  for (std::uint32_t j = 0; j < pool_.size(); ++j) {
-    if (j == thief) continue;
-    if (claim_backlog_[j] > victim_backlog) {
-      victim = j;
-      victim_backlog = claim_backlog_[j];
-    }
-  }
   // Schmitt trigger: a fresh steal needs threshold + hysteresis; while
   // steals keep succeeding, threshold suffices. Damps claim ping-pong
   // around the threshold under churny load. Effective values clamp
@@ -720,52 +722,97 @@ const Runtime::ReadyFrame* Runtime::TrySteal(std::uint32_t thief) {
   const std::uint64_t trigger =
       static_cast<std::uint64_t>(EffectiveStealThreshold()) +
       (member.steal_armed ? 0 : EffectiveStealHysteresis());
-  if (victim == kNoVictim || victim_backlog < trigger) {
-    member.steal_armed = false;
-    return nullptr;
+  // Victim: the most-loaded active sibling by ready-frame backlog over the
+  // banks it currently claims (ties resolve to the lowest pool index). The
+  // backlog ledger is maintained incrementally on delivery, completion,
+  // and handoff, so this pick is O(pool) per idle scan. With
+  // steal.domain_aware, a same-domain victim that clears the trigger wins
+  // even past a deeper remote-domain backlog — the stolen bank's fills
+  // then stay on this side of the interconnect.
+  const std::uint32_t thief_domain = DomainOfPoolCore(thief);
+  std::uint32_t victim = kInvalidPoolIndex;
+  std::uint64_t victim_backlog = 0;
+  std::uint32_t local_victim = kInvalidPoolIndex;
+  std::uint64_t local_backlog = 0;
+  for (std::uint32_t j = 0; j < pool_.size(); ++j) {
+    if (j == thief) continue;
+    if (pool_[j].state != PoolCoreState::kActive) continue;
+    if (claim_backlog_[j] > victim_backlog) {
+      victim = j;
+      victim_backlog = claim_backlog_[j];
+    }
+    if (DomainOfPoolCore(j) == thief_domain &&
+        claim_backlog_[j] > local_backlog) {
+      local_victim = j;
+      local_backlog = claim_backlog_[j];
+    }
   }
-  // Oldest ready bank head among the victim's claimed banks. A bank with
+  if (victim_backlog < trigger) victim = kInvalidPoolIndex;
+  if (local_backlog < trigger) local_victim = kInvalidPoolIndex;
+
+  // Oldest ready bank head among a victim's claimed banks. A bank with
   // a frame mid-process cannot be stolen (the handoff would double-begin
   // its head), and a bank whose head has not arrived yet has nothing to
   // process in order.
   const ReadyFrame* best = nullptr;
   PeerId best_peer = kInvalidPeer;
   std::uint32_t best_bank = 0;
-  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
-    PeerState& p = peers_[peer];
-    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
-      if (ClaimOf(peer, bank) != victim) continue;
-      if (p.bank_in_flight[bank] != 0) continue;
-      const std::uint32_t head =
-          bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
-      const auto it = p.ready.find(head);
-      if (it == p.ready.end()) continue;
-      if (best == nullptr || it->second.delivered_at < best->delivered_at) {
-        best = &it->second;
-        best_peer = peer;
-        best_bank = bank;
+  const auto scan_victim = [&](std::uint32_t v) {
+    best = nullptr;
+    for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+      PeerState& p = peers_[peer];
+      for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+        if (ClaimOf(peer, bank) != v) continue;
+        if (p.bank_in_flight[bank] != 0) continue;
+        const std::uint32_t head =
+            bank * config_.mailboxes_per_bank + p.bank_cursor[bank];
+        const auto it = p.ready.find(head);
+        if (it == p.ready.end()) continue;
+        if (best == nullptr || it->second.delivered_at < best->delivered_at) {
+          best = &it->second;
+          best_peer = peer;
+          best_bank = bank;
+        }
       }
     }
+    return best != nullptr;
+  };
+
+  // Same-domain victim first (when the policy is on and it clears the
+  // trigger), but never at the price of idling: if its backlog turns out
+  // unstealable — every triggering bank mid-frame, the structurally
+  // unstealable 1-hot-bank shape — fall through to the global pick
+  // rather than returning empty while a remote victim has ready banks.
+  std::uint32_t chosen = kInvalidPoolIndex;
+  const bool try_local =
+      config_.steal.domain_aware && local_victim != kInvalidPoolIndex;
+  if (try_local && scan_victim(local_victim)) {
+    chosen = local_victim;
+  } else if (victim != kInvalidPoolIndex &&
+             !(try_local && victim == local_victim) &&  // already scanned
+             scan_victim(victim)) {
+    chosen = victim;
   }
-  if (best == nullptr) {
+  if (chosen == kInvalidPoolIndex) {
     member.steal_armed = false;
     return nullptr;
   }
+  const std::uint32_t stolen_from = chosen;
   // Ownership handoff: the thief now claims the bank and owes the rest of
   // its drain — including the flag return — until the claim reverts. A
-  // bank can be stolen onward (even back by its affinity owner, which
+  // bank can be stolen onward (even back by its home owner, which
   // settles the claim home), so any previous thief's queue entry migrates
   // rather than lingering, and the bank's backlog moves ledgers with it.
   DropFromStealQueues(best_peer, best_bank);
-  claim_backlog_[victim] -= peers_[best_peer].bank_ready[best_bank];
+  claim_backlog_[stolen_from] -= peers_[best_peer].bank_ready[best_bank];
   claim_backlog_[thief] += peers_[best_peer].bank_ready[best_bank];
   peers_[best_peer].bank_claim[best_bank] = thief;
-  if (PoolIndexFor(best_peer, best_bank) != thief) {
+  if (HomeOf(best_peer, best_bank) != thief) {
     member.stolen_banks.emplace_back(best_peer, best_bank);
   }
   member.steal_armed = true;
   ++member.wait_stats.banks_stolen;
-  ++pool_[victim].wait_stats.banks_donated;
+  ++pool_[stolen_from].wait_stats.banks_donated;
   ++stats_.steals;
   return best;
 }
@@ -781,7 +828,7 @@ void Runtime::DropFromStealQueues(PeerId peer, std::uint32_t bank) {
 void Runtime::ReleaseBankClaim(PeerId peer, std::uint32_t bank) {
   if (!stealing_active_) return;
   PeerState& p = peers_[peer];
-  const std::uint32_t owner = PoolIndexFor(peer, bank);
+  const std::uint32_t owner = p.bank_home[bank];
   const std::uint32_t holder = p.bank_claim[bank];
   if (holder != owner) {
     claim_backlog_[holder] -= p.bank_ready[bank];
@@ -789,6 +836,193 @@ void Runtime::ReleaseBankClaim(PeerId peer, std::uint32_t bank) {
   }
   p.bank_claim[bank] = owner;
   DropFromStealQueues(peer, bank);
+}
+
+std::uint32_t Runtime::PickReshardTarget(std::uint32_t preferred_domain) {
+  // Candidates in pool-index order; a same-domain survivor wins when
+  // placement is domain-aware, so a re-homed bank's fills keep landing on
+  // this side of the interconnect. The rotating cursor spreads a quiesced
+  // core's banks across the candidate set instead of piling them on one.
+  std::vector<std::uint32_t> all;
+  std::vector<std::uint32_t> same;
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i].state != PoolCoreState::kActive) continue;
+    all.push_back(i);
+    if (DomainOfPoolCore(i) == preferred_domain) same.push_back(i);
+  }
+  const std::vector<std::uint32_t>& candidates =
+      (config_.domain_aware_placement && !same.empty()) ? same : all;
+  if (candidates.empty()) return kInvalidPoolIndex;
+  return candidates[reshard_cursor_++ % candidates.size()];
+}
+
+void Runtime::ApplyBankHome(PeerId peer, std::uint32_t bank,
+                            std::uint32_t new_home) {
+  PeerState& p = peers_[peer];
+  p.bank_pending_home[bank] = kInvalidPoolIndex;
+  const std::uint32_t old_home = p.bank_home[bank];
+  if (old_home == new_home) return;  // e.g. a revive cancelling a quiesce
+  // The bank's backlog follows its new owner; a steal lease on the bank
+  // is superseded — a permanent handoff outranks a revertible claim.
+  const std::uint32_t holder = ClaimOf(peer, bank);
+  claim_backlog_[holder] -= p.bank_ready[bank];
+  claim_backlog_[new_home] += p.bank_ready[bank];
+  if (stealing_active_) {
+    p.bank_claim[bank] = new_home;
+    DropFromStealQueues(peer, bank);
+  }
+  p.bank_home[bank] = new_home;
+  ++stats_.banks_resharded;
+  ++pool_[old_home].wait_stats.banks_resharded_out;
+  ++pool_[new_home].wait_stats.banks_resharded_in;
+}
+
+void Runtime::RehomeBank(PeerId peer, std::uint32_t bank,
+                         std::uint32_t new_home) {
+  PeerState& p = peers_[peer];
+  if (p.bank_in_flight[bank] != 0) {
+    // Mid-frame banks never change hands; the handoff applies the moment
+    // the frame completes (CompleteFrame), preserving in-bank order.
+    p.bank_pending_home[bank] = new_home;
+    return;
+  }
+  ApplyBankHome(peer, bank, new_home);
+}
+
+void Runtime::FinishQuiesce(std::uint32_t pool_index) {
+  PoolCore& member = pool_[pool_index];
+  member.state = PoolCoreState::kQuiesced;
+  // Counted here — not at QuiesceCore — so a drain a revive called off
+  // never reads as a completed quiesce.
+  ++member.wait_stats.quiesces;
+  member.steal_armed = false;
+  member.idle_since.reset();
+  if (!stealing_active_) return;
+  // Any steal lease the member still holds reverts to the banks' home
+  // owners — nothing may stay parked on a core that will never scan again
+  // — and each owner gets woken to pick the backlog up.
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    PeerState& p = peers_[peer];
+    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+      if (p.bank_claim[bank] != pool_index) continue;
+      ReleaseBankClaim(peer, bank);
+      MaybeBeginNext(p.bank_home[bank]);
+    }
+  }
+}
+
+StatusOr<std::uint64_t> Runtime::QuiesceCore(std::uint32_t pool_index) {
+  if (!initialized_) return FailedPrecondition("not initialized");
+  if (pool_index >= pool_.size()) {
+    return InvalidArgument(StrFormat("pool index %u out of range (pool=%zu)",
+                                     pool_index, pool_.size()));
+  }
+  PoolCore& member = pool_[pool_index];
+  if (member.state != PoolCoreState::kActive) {
+    return FailedPrecondition(
+        StrFormat("pool core %u already draining or quiesced", pool_index));
+  }
+  if (ActivePoolCores() < 2) {
+    return FailedPrecondition(
+        "cannot quiesce the last active pool core — the pool must keep at "
+        "least one survivor to drain the mailboxes");
+  }
+  member.state = PoolCoreState::kDraining;
+
+  // Re-shard every bank homed to the quiescing member onto the survivors.
+  // The stranded backlog — frames delivered but not yet executed on those
+  // banks, including the one mid-frame — is what the handoff must drain
+  // without loss; the invariant harness holds the protocol to that.
+  std::uint64_t stranded = 0;
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    PeerState& p = peers_[peer];
+    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+      if (p.bank_home[bank] != pool_index) continue;
+      stranded += p.bank_ready[bank];
+      const std::uint32_t target =
+          PickReshardTarget(host_.memory().DomainOf(p.bank_base[bank]));
+      RehomeBank(peer, bank, target);
+    }
+  }
+  stats_.frames_drained_during_quiesce += stranded;
+
+  // A member not mid-frame quiesces immediately (releasing any steal
+  // lease it holds); one mid-frame finishes that single frame first and
+  // quiesces in CompleteFrame.
+  if (!member.processing) FinishQuiesce(pool_index);
+
+  // Wake the survivors in index order: re-homed backlog arrived on their
+  // ledgers without an OnFrameDelivered, and idle cores may now also see
+  // a steal opportunity.
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    if (i != pool_index) MaybeBeginNext(i);
+  }
+  return stranded;
+}
+
+Status Runtime::ReviveCore(std::uint32_t pool_index) {
+  if (!initialized_) return FailedPrecondition("not initialized");
+  if (pool_index >= pool_.size()) {
+    return InvalidArgument(StrFormat("pool index %u out of range (pool=%zu)",
+                                     pool_index, pool_.size()));
+  }
+  PoolCore& member = pool_[pool_index];
+  if (member.state == PoolCoreState::kActive) {
+    return FailedPrecondition(
+        StrFormat("pool core %u is active, not quiesced", pool_index));
+  }
+  // Reviving a still-draining member simply calls the drain off: its
+  // in-flight frame keeps going and its banks come straight back.
+  member.state = PoolCoreState::kActive;
+
+  // Restore the original affinity map for this member only: banks whose
+  // affinity owner is someone else — even ones re-sharded here from a
+  // still-quiesced sibling — stay where they are until *their* owner
+  // revives.
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    PeerState& p = peers_[peer];
+    for (std::uint32_t bank = 0; bank < config_.banks; ++bank) {
+      if (PoolIndexFor(peer, bank) != pool_index) continue;
+      if (p.bank_home[bank] == pool_index &&
+          p.bank_pending_home[bank] == kInvalidPoolIndex) {
+        continue;
+      }
+      RehomeBank(peer, bank, pool_index);
+    }
+  }
+  if (!member.processing && !member.idle_since.has_value()) {
+    member.idle_since = engine_.Now();
+  }
+  MaybeBeginNext(pool_index);
+  return Status::Ok();
+}
+
+std::uint32_t Runtime::ActivePoolCores() const noexcept {
+  std::uint32_t active = 0;
+  for (const PoolCore& member : pool_) {
+    if (member.state == PoolCoreState::kActive) ++active;
+  }
+  return active;
+}
+
+std::uint32_t Runtime::BanksHomedTo(std::uint32_t pool_index) const noexcept {
+  std::uint32_t homed = 0;
+  for (const PeerState& p : peers_) {
+    for (const std::uint32_t home : p.bank_home) {
+      if (home == pool_index) ++homed;
+    }
+  }
+  return homed;
+}
+
+std::uint32_t Runtime::PendingRehomes() const noexcept {
+  std::uint32_t pending = 0;
+  for (const PeerState& p : peers_) {
+    for (const std::uint32_t target : p.bank_pending_home) {
+      if (target != kInvalidPoolIndex) ++pending;
+    }
+  }
+  return pending;
 }
 
 void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
@@ -1042,27 +1276,28 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
         // independently (each on its claiming pool core), so the cursor
         // is per bank. The flag goes home exactly when the whole bank has
         // been drained — by the claim holder of record, whether that is
-        // the affinity owner or a thief that took the bank over.
+        // the home owner or a thief that took the bank over.
         PeerState& p = peers_[frame.peer];
         const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
-        const std::uint32_t affinity = PoolIndexFor(frame.peer, bank);
+        // The bank's home as this frame executed. A quiesce/revive that
+        // wanted to move it mid-frame is parked in bank_pending_home and
+        // applies below, after this frame's bookkeeping settles.
+        const std::uint32_t home = p.bank_home[bank];
         // Retire this frame from the backlog ledger before any claim
         // release below moves the bank's remaining count between holders
         // (the map erase itself happens a few lines down). The claim
         // cannot have moved mid-frame, so the holder is frame.pool.
         --claim_backlog_[ClaimOf(frame.peer, bank)];
-        if (stealing_active_) {
-          p.bank_in_flight[bank] = 0;
-          --p.bank_ready[bank];
-          if (frame.pool != affinity) {
-            ++stats_.frames_stolen;
-            ++pool_[frame.pool].wait_stats.frames_stolen;
-          }
+        p.bank_in_flight[bank] = 0;
+        --p.bank_ready[bank];
+        if (stealing_active_ && frame.pool != home) {
+          ++stats_.frames_stolen;
+          ++pool_[frame.pool].wait_stats.frames_stolen;
         }
         const bool bank_drained =
             p.bank_cursor[bank] == config_.mailboxes_per_bank - 1;
         if (bank_drained) {
-          if (stealing_active_ && p.bank_claim[bank] != affinity) {
+          if (stealing_active_ && p.bank_claim[bank] != home) {
             ++stats_.banks_drained_stolen;
           } else {
             ++stats_.banks_drained_owner;
@@ -1072,30 +1307,59 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
         p.ready.erase(frame.slot);
         p.bank_cursor[bank] =
             (p.bank_cursor[bank] + 1) % config_.mailboxes_per_bank;
-        if (stealing_active_ && p.bank_claim[bank] != affinity &&
+        if (stealing_active_ && p.bank_claim[bank] != home &&
             p.bank_ready[bank] == 0) {
           // The steal lease covers the backlog the thief took the bank
           // for. Once no delivered frame of the bank remains, the claim
-          // reverts to the affinity owner so fresh fills land with their
+          // reverts to the home owner so fresh fills land with their
           // stash locality intact (a full drain already reverted above,
           // on the flag-return path).
           ReleaseBankClaim(frame.peer, bank);
         }
         pool_[frame.pool].processing = false;
+        // Deferred hotplug handoff: a quiesce/revive that hit this bank
+        // mid-frame applies now that the frame is done — the one moment
+        // the "never change hands mid-frame" rule allows.
+        std::uint32_t rehomed_to = kInvalidPoolIndex;
+        if (p.bank_pending_home[bank] != kInvalidPoolIndex) {
+          rehomed_to = p.bank_pending_home[bank];
+          if (pool_[rehomed_to].state != PoolCoreState::kActive) {
+            // The deferred target itself left the pool meanwhile (a second
+            // quiesce); re-pick among whoever is active now.
+            rehomed_to = PickReshardTarget(
+                host_.memory().DomainOf(p.bank_base[bank]));
+          }
+          if (rehomed_to != kInvalidPoolIndex) {
+            ApplyBankHome(frame.peer, bank, rehomed_to);
+          }
+        }
+        // This completion may have been the drain a quiesce was waiting
+        // for: with its frame done (and its bank re-homed), the member
+        // leaves the pool for good.
+        PoolCore& member = pool_[frame.pool];
+        if (member.state == PoolCoreState::kDraining && !member.processing) {
+          FinishQuiesce(frame.pool);
+        }
         if (bank_drained) {
           // Flag return carries the flow-bias hint: is the core that owns
-          // this bank (the affinity owner the claim just reverted to) out
-          // of ready work? Evaluated after this frame left the ledger and
+          // this bank — the *current* home, post any re-shard — out of
+          // ready work? Evaluated after this frame left the ledger and
           // this pool member went idle, so the hint reflects the state
           // the *next* fill of the bank will meet — O(1) off the backlog
           // ledger, no (peer, bank) sweep on the drain path.
-          const bool owner_idle = !pool_[affinity].processing &&
-                                  claim_backlog_[affinity] == 0;
+          const std::uint32_t owner = p.bank_home[bank];
+          const bool owner_idle =
+              pool_[owner].state == PoolCoreState::kActive &&
+              !pool_[owner].processing && claim_backlog_[owner] == 0;
           Status st = ReturnBankFlag(frame.peer, bank, owner_idle);
           if (!st.ok()) TC_WARN << "flag return failed: " << st;
         }
         if (on_executed_) on_executed_(msg);
         MaybeBeginNext(frame.pool);
+        // A just-applied re-home must wake the new owner even when
+        // stealing is off (OfferStealOpportunities is a no-op then) —
+        // its fresh backlog arrived without an OnFrameDelivered.
+        if (rehomed_to != kInvalidPoolIndex) MaybeBeginNext(rehomed_to);
         OfferStealOpportunities(frame.pool);
       },
       "tc.complete");

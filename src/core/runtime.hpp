@@ -44,6 +44,19 @@
 // remote LLC slice or DRAM; the cost is surfaced per frame in
 // RuntimeStats::remote_drain_cycles and each pool core's WaitStats.
 //
+// Hotplug model: a pool core can be taken out of service at runtime
+// (Runtime::QuiesceCore): the core stops accepting new frames, finishes the
+// frame it is executing (a bank mid-frame never changes hands), and every
+// bank homed to it is re-sharded to the surviving active cores — a
+// *permanent* home handoff through the same claim machinery work stealing
+// uses, not a revertible steal lease. Re-shard placement prefers survivors
+// in the bank's own memory domain and falls back across the interconnect
+// (paying the measured remote-drain penalty). Bank flags keep returning
+// throughout the drain — the survivors now owe them — so senders never
+// deadlock on a quiesced core. Runtime::ReviveCore restores the original
+// bank -> core affinity map. docs/RUNTIME_LIFECYCLE.md documents the full
+// bank-claim state machine (owned -> stolen -> reverted -> re-sharded).
+//
 // Peer model: a runtime holds a PeerId-indexed peer table. Each connected
 // peer gets its own ucxs endpoint, its own slice of inbound mailbox banks
 // (so an incast of senders cannot corrupt each other's slots), its own
@@ -114,20 +127,51 @@ struct StealConfig {
   /// stealing again; while its steals keep succeeding, backlog >= threshold
   /// suffices. Clamped at steal time like threshold.
   std::uint32_t hysteresis = 1;
+  /// Domain-aware victim selection: a thief prefers the most-loaded sibling
+  /// in its *own* memory domain — even past a deeper remote-domain backlog —
+  /// and only crosses the interconnect when no same-domain victim clears
+  /// the trigger. Keeps the steal gain while shrinking the cross-domain
+  /// toll fig17 measures; a no-op on single-domain hosts.
+  bool domain_aware = true;
 };
 
+/// Lifecycle state of one receiver-pool member (see Runtime::QuiesceCore /
+/// ReviveCore and docs/RUNTIME_LIFECYCLE.md).
+enum class PoolCoreState : std::uint8_t {
+  kActive,    ///< serving its homed banks (and stealing, if enabled)
+  kDraining,  ///< quiesce requested; finishing its one in-flight frame
+  kQuiesced,  ///< out of the pool: no homed banks, no claims, no scans
+};
+
+/// Sentinel pool index ("no member"): re-shard target when no core is
+/// active, and the bank_pending_home resting value.
+inline constexpr std::uint32_t kInvalidPoolIndex = ~std::uint32_t{0};
+
+/// Every knob of one runtime. docs/TUNING.md documents each with its
+/// measured effect size and when it is inert; values are clamped (with a
+/// warning) against the host's cache model at Initialize().
 struct RuntimeConfig {
+  /// Inbound mailbox banks per connected peer (the flow-control unit:
+  /// a sender may not reuse a bank until its flag returns).
   std::uint32_t banks = 2;
+  /// Mailbox slots per bank; banks * mailboxes_per_bank frames can be
+  /// outstanding toward each peer.
   std::uint32_t mailboxes_per_bank = 8;
   /// Fixed per-slot capacity; frames must fit.
   std::uint64_t mailbox_slot_bytes = KiB(64);
+  /// How pool cores wait on their bank heads (POLL spin vs Arm WFE).
   cpu::WaitModelConfig wait{};
+  /// First core of the receiver pool (clamped to the cache model).
   std::uint32_t receiver_core = 0;
   /// Receiver pool size: cores receiver_core .. receiver_core +
   /// receiver_cores - 1 each run their own wait/link/execute loop over
   /// the mailbox banks sharded to them (clamped to the host's core count
   /// at Initialize).
   std::uint32_t receiver_cores = 1;
+  /// Core charged for packing + protocol setup on sends. Placing it
+  /// inside a widened pool double-books that core's simulated time
+  /// (warned); equal to receiver_core with a 1-core pool is the paper's
+  /// single-threaded perftest shape.
   std::uint32_t sender_core = 1;
   /// Receiver-pool work stealing (no-op while the pool has a single core).
   StealConfig steal{};
@@ -143,6 +187,8 @@ struct RuntimeConfig {
   /// return — and falls back to any open bank before stalling. Off =
   /// strict bank round-robin (the paper's protocol).
   bool flow_bias = false;
+  /// Verification / GOT-installation / page-permission hardening modes
+  /// (§V of the paper); see core/security.hpp.
   SecurityPolicy security{};
   /// Fixed-size frames (one put per message, §VI: "we use fixed-size
   /// frames for this study"). Variable mode waits on the header first,
@@ -151,6 +197,8 @@ struct RuntimeConfig {
   /// Send the signal word as a separate fenced put (required when the
   /// transport does not guarantee write ordering, Fig. 1).
   bool separate_signal_put = false;
+  /// Interpreter limits for executing jams; enforce_exec_permission is
+  /// overwritten from `security` at Initialize().
   vm::ExecConfig exec{};
   /// Receiver bookkeeping costs (cycles).
   Cycles validate_cycles = 30;
@@ -163,24 +211,27 @@ struct RuntimeConfig {
 /// How a jam is invoked (§IV-B).
 enum class Invoke : std::uint8_t { kInjected, kLocal };
 
+/// What Send() reports back about one posted frame.
 struct SendReceipt {
-  std::uint32_t sn = 0;
-  std::uint64_t frame_len = 0;
-  ucxs::Protocol protocol = ucxs::Protocol::kShort;
+  std::uint32_t sn = 0;             ///< frame sequence number (wire HDR)
+  std::uint64_t frame_len = 0;      ///< total packed bytes
+  ucxs::Protocol protocol = ucxs::Protocol::kShort;  ///< put path chosen
   /// Sender CPU time consumed (pack + protocol setup).
   PicoTime sender_cost = 0;
 };
 
+/// One completed inbound frame, as delivered to the SetOnExecuted hook
+/// (in simulated time, on the engine).
 struct ReceivedMessage {
-  std::uint32_t sn = 0;
-  std::uint32_t elem_id = 0;
+  std::uint32_t sn = 0;       ///< sender-assigned sequence number
+  std::uint32_t elem_id = 0;  ///< element (jam) the frame invoked
   /// Peer table index of the sender on the *receiving* runtime.
   PeerId from = kInvalidPeer;
-  bool injected = false;
-  bool executed = false;
-  std::uint64_t frame_len = 0;
-  std::uint64_t return_value = 0;
-  std::uint64_t instructions = 0;
+  bool injected = false;          ///< Injected (code-carrying) vs Local
+  bool executed = false;          ///< false for kFlagNoExecute frames
+  std::uint64_t frame_len = 0;    ///< bytes the wire carried
+  std::uint64_t return_value = 0; ///< jam return value
+  std::uint64_t instructions = 0; ///< VM instructions the jam retired
   /// Mailbox slot (within the sender's slice) the frame arrived in; the
   /// bank is slot / mailboxes_per_bank.
   std::uint32_t slot = 0;
@@ -201,6 +252,10 @@ struct PeerStats {
   std::uint64_t bank_flags_returned = 0;///< flags recycled back to this peer
 };
 
+/// Whole-runtime counter plane (monotonic; never reset). Ledger
+/// invariants the test suites enforce: banks_drained_owner +
+/// banks_drained_stolen == bank_flags_returned, and banks_resharded ==
+/// the sum of every pool core's WaitStats re-shard mirrors.
 struct RuntimeStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_executed = 0;
@@ -225,12 +280,31 @@ struct RuntimeStats {
   /// Sends whose bank pick diverged from strict round-robin because
   /// flow_bias steered them toward an idle receiver core's bank.
   std::uint64_t biased_sends = 0;
+  // Hotplug ledger (QuiesceCore / ReviveCore). A re-shard is a permanent
+  // bank-home migration — counted once per applied home change, in either
+  // direction (quiesce handoff or revive restore); per-core mirrors live
+  // in each member's WaitStats (banks_resharded_in/out sum to this).
+  std::uint64_t banks_resharded = 0;
+  /// Frames already delivered into a quiescing core's banks — in flight or
+  /// ready — at QuiesceCore time: the stranded backlog the drain protocol
+  /// hands over (each QuiesceCore call also returns its own share).
+  std::uint64_t frames_drained_during_quiesce = 0;
   /// Counters keyed by PeerId (index == peer table slot).
   std::vector<PeerStats> per_peer;
 };
 
+/// The Two-Chains runtime: one per host process (see the file comment
+/// for the full model). Lifecycle: construct -> Initialize() ->
+/// Connect()/Wire() -> LoadPackage() -> SyncNamespaces() ->
+/// StartReceiver(); docs/RUNTIME_LIFECYCLE.md spells out the order and
+/// the hotplug protocol. All callbacks (SetOnExecuted, slot waiters) run
+/// on the simulation engine — there is no host-thread concurrency
+/// anywhere in the model; "thread affinity" always means *simulated*
+/// cores (receiver pool members, sender_core).
 class Runtime {
  public:
+  /// Binds the runtime to its host's engine, memory/caches, NIC, and
+  /// ucxs worker. Does not allocate runtime state — Initialize() does.
   Runtime(sim::Engine& engine, net::Host& host, net::Nic& nic,
           ucxs::Worker& worker, RuntimeConfig config);
 
@@ -301,6 +375,46 @@ class Runtime {
   /// Arms the receiver agent (idempotent).
   Status StartReceiver();
 
+  // ------------------------------------------------------------ hotplug
+
+  /// Takes pool member @p pool_index out of service: marks it draining,
+  /// lets its one in-flight frame (if any) complete, and re-shards every
+  /// bank homed to it onto the surviving active cores — a *permanent*
+  /// handoff (the survivors now own the banks' drains and flag returns),
+  /// not a revertible steal. With domain_aware_placement on, re-shard
+  /// targets prefer survivors in the bank's own memory domain and fall
+  /// back across the interconnect. A bank mid-frame re-homes the moment
+  /// its frame completes, so in-bank order and exactly-once execution
+  /// survive the hotplug. Returns the stranded backlog handed over:
+  /// frames delivered but not yet executed on the quiescing core's banks
+  /// (also accumulated in RuntimeStats::frames_drained_during_quiesce).
+  /// Fails when the member is already draining/quiesced or when it is the
+  /// last active core (the pool must keep at least one survivor).
+  StatusOr<std::uint64_t> QuiesceCore(std::uint32_t pool_index);
+
+  /// Brings a quiesced (or still-draining — the drain is simply called
+  /// off) pool member back: restores the original affinity map by
+  /// re-homing every bank whose affinity owner is @p pool_index back to
+  /// it (banks re-sharded away from *other*, still-quiesced cores stay
+  /// where they are). Mid-frame banks re-home at frame completion, like
+  /// the quiesce path. Fails when the member is already active.
+  Status ReviveCore(std::uint32_t pool_index);
+
+  /// Lifecycle state of pool member @p pool_index (bounds-checked, like
+  /// the QuiesceCore/ReviveCore mutators it pairs with).
+  PoolCoreState pool_core_state(std::uint32_t pool_index) const {
+    return pool_.at(pool_index).state;
+  }
+  /// Pool members currently in PoolCoreState::kActive.
+  std::uint32_t ActivePoolCores() const noexcept;
+  /// Inbound banks (across every peer's slice) whose current home is pool
+  /// member @p pool_index. Zero for a quiesced member once its in-flight
+  /// bank (if any) finished re-homing.
+  std::uint32_t BanksHomedTo(std::uint32_t pool_index) const noexcept;
+  /// Bank re-homes deferred behind an in-flight frame and not yet applied.
+  /// Zero whenever the runtime is drained.
+  std::uint32_t PendingRehomes() const noexcept;
+
   /// Hook invoked (in simulated time) after each message completes.
   void SetOnExecuted(std::function<void(const ReceivedMessage&)> cb) {
     on_executed_ = std::move(cb);
@@ -316,10 +430,15 @@ class Runtime {
 
   // ------------------------------------------------------------- intro
 
-  net::Host& host() noexcept { return host_; }
-  sim::Engine& engine() noexcept { return engine_; }
+  net::Host& host() noexcept { return host_; }        ///< owning host
+  sim::Engine& engine() noexcept { return engine_; }  ///< shared engine
+  /// The configuration in force (post-Initialize clamping).
   const RuntimeConfig& config() const noexcept { return config_; }
+  /// Mutable view for tests/stress tooling; mutating shape knobs (banks,
+  /// pool width) after Initialize() is undefined — only trigger values
+  /// (steal thresholds, cycle costs) are safe to adjust live.
   RuntimeConfig& mutable_config() noexcept { return config_; }
+  /// Whole-runtime counters (see RuntimeStats for the ledger contracts).
   const RuntimeStats& stats() const noexcept { return stats_; }
   /// Number of connected peers (== size of stats().per_peer).
   std::uint32_t peer_count() const noexcept {
@@ -327,7 +446,9 @@ class Runtime {
   }
   /// The PeerId under which @p other is connected, or kInvalidPeer.
   PeerId PeerIdOf(const Runtime& other) const noexcept;
+  /// This host's symbol namespace (ried/local exports + natives).
   jelf::HostNamespace& ns() noexcept { return ns_; }
+  /// Native functions callable from jams (tc_print_*, etc).
   vm::NativeTable& natives() noexcept { return natives_; }
   /// Output of tc_print_* natives executed on this host.
   const std::string& print_output() const noexcept { return print_sink_; }
@@ -335,6 +456,7 @@ class Runtime {
   /// share of the drain — use receiver_cpu(i) / ReceiverPoolCounters()
   /// for per-member or whole-pool numbers.
   cpu::CpuCore& receiver_cpu() { return host_.core(config_.receiver_core); }
+  /// The core sends are charged to (pack + protocol setup).
   cpu::CpuCore& sender_cpu() { return host_.core(config_.sender_core); }
   /// Size of the receiver pool (after Initialize clamped the config).
   std::uint32_t receiver_pool_size() const noexcept {
@@ -414,6 +536,9 @@ class Runtime {
     cpu::WaitStats wait_stats;
     mem::VirtAddr stack_top = 0;
     bool processing = false;
+    /// Hotplug lifecycle (QuiesceCore / ReviveCore). Only kActive members
+    /// scan bank heads, steal, or receive re-sharded banks.
+    PoolCoreState state = PoolCoreState::kActive;
     std::optional<PicoTime> idle_since;
     /// Steal queue: banks this core claimed from a sibling and has not yet
     /// drained through flag return (claim reverts to the affinity owner at
@@ -461,19 +586,28 @@ class Runtime {
     /// bank; banks are independent so the pool can drain them in parallel).
     std::vector<std::uint32_t> bank_cursor;
     std::map<std::uint32_t, ReadyFrame> ready;  ///< by slot
-    /// Pool member currently claiming each bank (affinity owner unless
+    /// Current *home* of each bank: the pool member that owns its drain
+    /// and flag return. Starts at the affinity owner (PoolIndexFor) and
+    /// moves only through hotplug re-sharding (QuiesceCore migrates it to
+    /// a survivor, ReviveCore restores it) — a steal never touches it.
+    std::vector<std::uint32_t> bank_home;
+    /// Deferred re-home target for a bank whose frame was in flight when a
+    /// quiesce/revive wanted to move it (kInvalidPoolIndex otherwise); the
+    /// handoff applies the moment the frame completes, preserving the
+    /// "a bank mid-frame never changes hands" rule.
+    std::vector<std::uint32_t> bank_pending_home;
+    /// Pool member currently claiming each bank (home owner unless
     /// stolen). Allocated only while stealing is active — a 1-core pool or
-    /// steal-off run carries no steal state at all.
+    /// steal-off run carries no steal-claim state at all.
     std::vector<std::uint32_t> bank_claim;
-    /// 1 while a frame of this bank is being processed. Guards the handoff:
-    /// a bank mid-frame cannot change claim, so no two cores ever serve the
-    /// same bank concurrently and the head is never double-begun.
-    /// Allocated only while stealing is active.
+    /// 1 while a frame of this bank is being processed. Guards every
+    /// handoff — steal and re-shard alike: a bank mid-frame cannot change
+    /// hands, so no two cores ever serve the same bank concurrently and
+    /// the head is never double-begun.
     std::vector<std::uint8_t> bank_in_flight;
     /// Delivered-and-unprocessed frames per bank — kept in lockstep with
-    /// `ready` so steal decisions read per-claim-holder backlog in O(1)
-    /// instead of re-counting the map on every event. Allocated only
-    /// while stealing is active.
+    /// `ready` so steal/re-shard decisions read per-holder backlog in O(1)
+    /// instead of re-counting the map on every event.
     std::vector<std::uint32_t> bank_ready;
   };
 
@@ -502,20 +636,28 @@ class Runtime {
 
   StatusOr<const ElementInfo*> FindElement(const std::string& name) const;
 
-  /// The pool member that owns (peer, bank) — stable affinity, so a bank's
-  /// frames always land in the cache next to the core that executes them.
-  /// The peer offset staggers different peers' same-numbered banks across
-  /// cores, so shallow traffic from many peers still spreads.
+  /// The pool member whose *affinity* (peer, bank) is — the stable default
+  /// home, so a bank's frames always land in the cache next to the core
+  /// that executes them. The peer offset staggers different peers'
+  /// same-numbered banks across cores, so shallow traffic from many peers
+  /// still spreads. Hotplug re-sharding overrides this per bank via
+  /// bank_home; ReviveCore restores it.
   std::uint32_t PoolIndexFor(PeerId peer, std::uint32_t bank) const noexcept {
     return static_cast<std::uint32_t>(
         (static_cast<std::uint64_t>(peer) + bank) % pool_.size());
   }
 
+  /// The pool member that currently *owns* (peer, bank): the affinity
+  /// owner unless a quiesce re-sharded the bank to a survivor.
+  std::uint32_t HomeOf(PeerId peer, std::uint32_t bank) const noexcept {
+    return peers_[peer].bank_home[bank];
+  }
+
   /// The pool member currently responsible for (peer, bank): the claim
-  /// holder when stealing is active, the affinity owner otherwise.
+  /// holder when stealing is active, the home owner otherwise.
   std::uint32_t ClaimOf(PeerId peer, std::uint32_t bank) const noexcept {
     return stealing_active_ ? peers_[peer].bank_claim[bank]
-                            : PoolIndexFor(peer, bank);
+                            : peers_[peer].bank_home[bank];
   }
 
   // Receiver pipeline (each pool core runs its own instance).
@@ -535,10 +677,26 @@ class Runtime {
   /// Removes (peer, bank) from every pool member's steal queue (claim
   /// handoffs migrate the entry; releases retire it).
   void DropFromStealQueues(PeerId peer, std::uint32_t bank);
-  /// Reverts (peer, bank) to its affinity owner and drops it from any
+  /// Reverts (peer, bank) to its home owner and drops it from any
   /// steal queue — called when the bank's flag returns (fully drained)
   /// or its stolen backlog empties out.
   void ReleaseBankClaim(PeerId peer, std::uint32_t bank);
+  /// Re-shard target for a bank whose bytes live in @p preferred_domain:
+  /// an active survivor in that domain when domain_aware_placement can
+  /// find one, any active member otherwise, rotating a cursor through the
+  /// candidate list for balance. Returns kInvalidPoolIndex when no member
+  /// is active (callers guard against that before re-homing).
+  std::uint32_t PickReshardTarget(std::uint32_t preferred_domain);
+  /// Applies a bank-home migration *now*: moves the backlog ledger (and
+  /// the steal claim, superseding any lease) to @p new_home and bumps the
+  /// re-shard counters. Callers must ensure the bank is not mid-frame.
+  void ApplyBankHome(PeerId peer, std::uint32_t bank, std::uint32_t new_home);
+  /// Re-homes (peer, bank) to @p new_home: immediately when idle, else
+  /// deferred until its in-flight frame completes (bank_pending_home).
+  void RehomeBank(PeerId peer, std::uint32_t bank, std::uint32_t new_home);
+  /// kDraining -> kQuiesced: releases every steal claim the member still
+  /// holds so no bank stays parked on a core that will never scan again.
+  void FinishQuiesce(std::uint32_t pool_index);
   /// MaybeBeginNext for every pool member except @p first (which already
   /// ran), in pool-index order: gives idle cores a deterministic steal
   /// opportunity whenever load lands or drains somewhere else.
@@ -599,8 +757,12 @@ class Runtime {
   /// of a (peer, bank) sweep. Invariant while stealing is active:
   /// claim_backlog_[j] == sum of bank_ready over banks with claim j
   /// (without stealing, claims never move, so the sum runs over j's
-  /// affinity shard). Always allocated (one entry per pool member).
+  /// homed banks). Always allocated (one entry per pool member).
   std::vector<std::uint64_t> claim_backlog_;
+  /// Rotates through re-shard candidates so a quiesced core's banks spread
+  /// across the survivors instead of piling on one (advanced only by
+  /// PickReshardTarget, so runs stay deterministic).
+  std::uint32_t reshard_cursor_ = 0;
 
   std::function<void(const ReceivedMessage&)> on_executed_;
   std::function<PicoTime()> preemption_hook_;

@@ -25,12 +25,16 @@
 
 namespace twochains::core {
 
+/// Everything configurable about the two-host testbed. The With*()
+/// helpers below cover the common toggles; benchlib's PaperTestbed()
+/// is the canonical paper parameterization (§VI-C). docs/TUNING.md
+/// documents every runtime/cache knob with measured effect sizes.
 struct TestbedOptions {
-  net::HostConfig host0{};
-  net::HostConfig host1{};
-  net::NicConfig nic{};
-  ucxs::ProtocolConfig protocol{};
-  RuntimeConfig runtime{};
+  net::HostConfig host0{};  ///< memory / cache-hierarchy of host 0
+  net::HostConfig host1{};  ///< memory / cache-hierarchy of host 1
+  net::NicConfig nic{};     ///< shared NIC model (links, stash, DMA)
+  ucxs::ProtocolConfig protocol{};  ///< put-protocol thresholds/costs
+  RuntimeConfig runtime{};  ///< applied to *both* runtimes
 
   TestbedOptions() {
     host0.host_id = 0;
@@ -77,6 +81,13 @@ struct TestbedOptions {
   }
 };
 
+/// The paper's evaluation platform in one object: two simulated hosts
+/// wired back-to-back, implemented as the 2-host full-mesh special case
+/// of core::Fabric (so every figure bench exercises exactly the code
+/// path the N-host fabrics scale up). Construction builds and cables
+/// both hosts; call one of the Load* methods before sending — they run
+/// the whole Initialize -> Connect -> LoadPackage -> SyncNamespaces ->
+/// StartReceiver sequence (see docs/RUNTIME_LIFECYCLE.md).
 class Testbed {
  public:
   explicit Testbed(TestbedOptions options = {});
@@ -95,13 +106,17 @@ class Testbed {
   Status LoadPackages(const pkg::Package& for_host0,
                       const pkg::Package& for_host1);
 
+  /// The shared discrete-event engine both hosts run on.
   sim::Engine& engine() noexcept { return fabric_.engine(); }
+  /// Runtime of host 0 or 1.
   Runtime& runtime(int host) {
     return fabric_.runtime(static_cast<std::uint32_t>(host));
   }
+  /// Simulated host 0 or 1 (memory, caches, cores, regions).
   net::Host& host(int i) {
     return fabric_.host(static_cast<std::uint32_t>(i));
   }
+  /// NIC of host 0 or 1.
   net::Nic& nic(int i) { return fabric_.nic(static_cast<std::uint32_t>(i)); }
   /// The underlying 2-host fabric.
   Fabric& fabric() noexcept { return fabric_; }

@@ -83,6 +83,17 @@ struct WaitStats {
   /// Cross-domain penalty cycles this waiter's drains paid.
   Cycles remote_drain_cycles = 0;
 
+  // Hotplug ledger (filled by the pooled receiver around QuiesceCore /
+  // ReviveCore): unlike a steal — a revertible lease — a re-shard is a
+  // *permanent* home change, so both directions are counted per waiter.
+  /// Times this waiter was quiesced (drained and taken out of the pool).
+  std::uint64_t quiesces = 0;
+  /// Bank homes migrated TO this waiter (quiesce re-shard or revive
+  /// restore landing here).
+  std::uint64_t banks_resharded_in = 0;
+  /// Bank homes migrated AWAY from this waiter.
+  std::uint64_t banks_resharded_out = 0;
+
   /// Folds one episode (idle for @p waited, resolved as @p outcome) in.
   void Record(PicoTime waited, const WaitOutcome& outcome) noexcept;
 };

@@ -33,6 +33,10 @@
 
 namespace twochains::mem {
 
+/// One host's simulated memory (see the file comment for the model).
+/// Not thread-safe and doesn't need to be: everything runs on the one
+/// discrete-event engine. Addresses are VirtAddr in the host's own
+/// range (base() .. base()+size()); two hosts never alias.
 class HostMemory {
  public:
   /// Creates the arena for @p host_id with @p size bytes (rounded up so
@@ -44,8 +48,11 @@ class HostMemory {
   HostMemory& operator=(const HostMemory&) = delete;
 
   int host_id() const noexcept { return host_id_; }
+  /// First virtual address of the arena (HostBase(host_id)).
   VirtAddr base() const noexcept { return base_; }
+  /// Total arena bytes (possibly rounded up from the constructor size).
   std::uint64_t size() const noexcept { return arena_.size(); }
+  /// Number of memory domains (NUMA nodes) the arena is split into.
   std::uint32_t domains() const noexcept {
     return static_cast<std::uint32_t>(domains_.size());
   }
@@ -87,13 +94,18 @@ class HostMemory {
   bool Contains(VirtAddr addr, std::uint64_t size) const noexcept;
 
   // --- CPU plane (permission checked) ---------------------------------
+
+  /// Bulk read into @p out; every touched page must be readable.
   Status Read(VirtAddr addr, std::span<std::uint8_t> out) const;
+  /// Bulk write of @p data; every touched page must be writable.
   Status Write(VirtAddr addr, std::span<const std::uint8_t> data);
 
+  /// Little-endian scalar loads (readable page required).
   StatusOr<std::uint8_t> LoadU8(VirtAddr addr) const;
   StatusOr<std::uint16_t> LoadU16(VirtAddr addr) const;
   StatusOr<std::uint32_t> LoadU32(VirtAddr addr) const;
   StatusOr<std::uint64_t> LoadU64(VirtAddr addr) const;
+  /// Little-endian scalar stores (writable page required).
   Status StoreU8(VirtAddr addr, std::uint8_t v);
   Status StoreU16(VirtAddr addr, std::uint16_t v);
   Status StoreU32(VirtAddr addr, std::uint32_t v);
@@ -103,7 +115,11 @@ class HostMemory {
   Status CheckPerms(VirtAddr addr, std::uint64_t size, Perm need) const;
 
   // --- DMA plane (bounds checked only) --------------------------------
+
+  /// HCA-style read: bypasses page permissions (region/rkey validation
+  /// is the NIC's job, before it calls this).
   Status DmaRead(VirtAddr addr, std::span<std::uint8_t> out) const;
+  /// HCA-style write: bypasses page permissions (see DmaRead).
   Status DmaWrite(VirtAddr addr, std::span<const std::uint8_t> data);
 
   /// Borrow a mutable view of arena bytes (internal plumbing for the

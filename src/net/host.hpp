@@ -17,13 +17,28 @@
 namespace twochains::net {
 
 struct HostConfig {
+  /// Identity of this host; also seeds the arena's virtual base so two
+  /// hosts' address spaces never alias.
   int host_id = 0;
+  /// Arena size. With NUMA domains the arena splits evenly, so every
+  /// *domain slice* (memory_bytes / domains) must still fit the largest
+  /// single allocation (e.g. a loaded library).
   std::uint64_t memory_bytes = MiB(256);
+  /// Cache/core geometry, including the domain (NUMA) split — the
+  /// single source of truth for how many cpu::CpuCore the host builds.
   cache::HierarchyConfig cache{};
 };
 
+/// A simulated host: the byte arena, the cache hierarchy (wired to the
+/// arena's domain map so every line is homed where its bytes live), one
+/// cycle-charged core per cache-model core, and the RDMA region
+/// registry the NIC validates rkeys against. Pure state — all behavior
+/// (NIC, runtime) attaches from outside; safe to construct before the
+/// engine runs.
 class Host {
  public:
+  /// Builds arena + hierarchy + cores from @p config. The cache model's
+  /// domain mapper is wired to HostMemory::DomainOf at construction.
   explicit Host(const HostConfig& config)
       : config_(config),
         memory_(config.host_id, config.memory_bytes,
@@ -45,13 +60,17 @@ class Host {
   int id() const noexcept { return config_.host_id; }
   const HostConfig& config() const noexcept { return config_; }
 
+  /// The arena (CPU + DMA access planes, domain-aware allocation).
   mem::HostMemory& memory() noexcept { return memory_; }
   const mem::HostMemory& memory() const noexcept { return memory_; }
+  /// The cache hierarchy all core/NIC accesses are charged through.
   cache::CacheHierarchy& caches() noexcept { return caches_; }
   const cache::CacheHierarchy& caches() const noexcept { return caches_; }
+  /// Registered RDMA windows (rkeys) the NIC validates puts against.
   mem::RegionRegistry& regions() noexcept { return regions_; }
   const mem::RegionRegistry& regions() const noexcept { return regions_; }
 
+  /// Core @p i (bounds-checked; one per cache-model core).
   cpu::CpuCore& core(std::uint32_t i) { return cores_.at(i); }
   std::uint32_t core_count() const noexcept {
     return static_cast<std::uint32_t>(cores_.size());

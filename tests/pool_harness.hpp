@@ -31,6 +31,17 @@
 
 namespace twochains::core::pooltest {
 
+/// One scheduled hotplug event inside a harness run, keyed off the hub's
+/// executed-frame count (not simulated time) so the schedule is stable
+/// under any timing change and reruns stay byte-identical.
+struct QuiesceEvent {
+  std::uint32_t pool_index = 0;
+  /// QuiesceCore fires right after the hub executes this many frames.
+  std::uint64_t after_executed = 1;
+  /// ReviveCore fires after this many executed frames (0 = never revive).
+  std::uint64_t revive_after = 0;
+};
+
 /// One spoke->hub incast shape for the pool scheduler. Everything the run
 /// does is derived deterministically from this spec plus the seed.
 struct PoolTopology {
@@ -47,6 +58,11 @@ struct PoolTopology {
   /// balanced offered load, for the zero-steals-when-balanced invariant);
   /// false = per-spoke streams (realistic mixed traffic).
   bool identical_streams = false;
+  /// Hotplug schedule: pool cores quiesced (and possibly revived)
+  /// mid-drain. Events whose precondition fails at fire time (e.g. the
+  /// last active core) are counted as refused, not fatal — the randomized
+  /// sweep is allowed to draw impossible plans.
+  std::vector<QuiesceEvent> quiesce;
   std::uint64_t seed = 1;
 
   std::string Describe() const {
@@ -55,13 +71,19 @@ struct PoolTopology {
       if (!msgs.empty()) msgs += ",";
       msgs += StrFormat("%u", m);
     }
+    std::string plugs;
+    for (const QuiesceEvent& q : quiesce) {
+      plugs += StrFormat(" q{c%u@%llu r@%llu}", q.pool_index,
+                         static_cast<unsigned long long>(q.after_executed),
+                         static_cast<unsigned long long>(q.revive_after));
+    }
     return StrFormat(
         "spokes=%u cores=%u banks=%u mpb=%u wait=%s steal{on=%d thr=%u "
-        "hys=%u} msgs=[%s]%s seed=%llu",
+        "hys=%u} msgs=[%s]%s%s seed=%llu",
         spokes, receiver_cores, banks, mailboxes_per_bank,
         wait_mode == cpu::WaitMode::kPoll ? "poll" : "wfe",
         steal.enabled ? 1 : 0, steal.threshold, steal.hysteresis,
-        msgs.c_str(), identical_streams ? " identical" : "",
+        msgs.c_str(), identical_streams ? " identical" : "", plugs.c_str(),
         static_cast<unsigned long long>(seed));
   }
 };
@@ -82,6 +104,25 @@ struct PoolRunResult {
   std::vector<std::uint64_t> executed_per_core;
   /// Simulated instant the engine drained (the run's makespan).
   PicoTime drained_at = 0;
+
+  // Hotplug observables.
+  std::uint64_t quiesces_applied = 0;      ///< QuiesceCore calls that took
+  std::uint64_t quiesces_refused = 0;      ///< e.g. last-active-core plans
+  std::uint64_t revives_applied = 0;
+  std::uint64_t revives_refused = 0;
+  /// Sum of QuiesceCore return values: the stranded backlog each applied
+  /// quiesce reported handing over (reconciles against the hub ledger's
+  /// frames_drained_during_quiesce).
+  std::uint64_t stranded_reported = 0;
+  std::uint32_t pending_rehomes_at_drain = 0;
+  std::uint32_t active_cores_at_drain = 0;
+  /// Banks homed per pool member at drain (index = pool index).
+  std::vector<std::uint32_t> banks_homed_at_drain;
+  /// Banks still homed to a non-active member at drain (must be zero).
+  std::uint32_t banks_homed_dark_at_drain = 0;
+  /// Per-core re-shard mirrors summed over the pool.
+  std::uint64_t resharded_in_sum = 0;
+  std::uint64_t resharded_out_sum = 0;
 };
 
 inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
@@ -123,7 +164,7 @@ inline std::string PoolFingerprint(Fabric& fabric) {
     out += StrFormat(
         "host%u sent=%llu exec=%llu deliv=%llu bytes=%llu flags=%llu "
         "stalls=%llu rej=%llu waits=%llu steals=%llu fstolen=%llu "
-        "downer=%llu dstolen=%llu\n",
+        "downer=%llu dstolen=%llu reshard=%llu qdrain=%llu\n",
         h, static_cast<unsigned long long>(s.messages_sent),
         static_cast<unsigned long long>(s.messages_executed),
         static_cast<unsigned long long>(s.messages_delivered),
@@ -135,7 +176,9 @@ inline std::string PoolFingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(s.steals),
         static_cast<unsigned long long>(s.frames_stolen),
         static_cast<unsigned long long>(s.banks_drained_owner),
-        static_cast<unsigned long long>(s.banks_drained_stolen));
+        static_cast<unsigned long long>(s.banks_drained_stolen),
+        static_cast<unsigned long long>(s.banks_resharded),
+        static_cast<unsigned long long>(s.frames_drained_during_quiesce));
     for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
       const PeerStats& ps = s.per_peer[p];
       out += StrFormat(
@@ -156,7 +199,8 @@ inline std::string PoolFingerprint(Fabric& fabric) {
     out += StrFormat(
         "core%u exec=%llu wait=%llu pack=%llu mem=%llu instr=%llu "
         "msgs=%llu episodes=%llu idle=%llu detect=%llu burned=%llu "
-        "bstolen=%llu bdonated=%llu fstolen=%llu\n",
+        "bstolen=%llu bdonated=%llu fstolen=%llu quiesces=%llu rin=%llu "
+        "rout=%llu\n",
         c,
         static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kExecute)),
         static_cast<unsigned long long>(pc.Of(cpu::CycleClass::kWait)),
@@ -170,7 +214,10 @@ inline std::string PoolFingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(ws.cycles_burned),
         static_cast<unsigned long long>(ws.banks_stolen),
         static_cast<unsigned long long>(ws.banks_donated),
-        static_cast<unsigned long long>(ws.frames_stolen));
+        static_cast<unsigned long long>(ws.frames_stolen),
+        static_cast<unsigned long long>(ws.quiesces),
+        static_cast<unsigned long long>(ws.banks_resharded_in),
+        static_cast<unsigned long long>(ws.banks_resharded_out));
   }
   return out;
 }
@@ -194,7 +241,9 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
   result.executed_per_core.assign(hub.receiver_pool_size(), 0);
 
   // Scheduler observers: exactly-once by (peer, sn) and in-bank cursor
-  // order by (peer, bank).
+  // order by (peer, bank). The hotplug schedule rides the same hook:
+  // events fire off the executed-frame count, as zero-delay engine events
+  // so the quiesce/revive lands between completions, never inside one.
   std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> seen_sn;
   std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> next_in_bank;
   hub.SetOnExecuted([&](const ReceivedMessage& msg) {
@@ -207,6 +256,28 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
     std::uint32_t& expect = next_in_bank[{msg.from, bank}];
     if (msg.slot % in_bank_slots != expect) ++result.order_violations;
     expect = (expect + 1) % in_bank_slots;
+    for (const QuiesceEvent& q : topo.quiesce) {
+      if (result.executed == q.after_executed) {
+        fabric.engine().ScheduleAfter(0, [&hub, &result, q] {
+          const auto stranded = hub.QuiesceCore(q.pool_index);
+          if (stranded.ok()) {
+            ++result.quiesces_applied;
+            result.stranded_reported += *stranded;
+          } else {
+            ++result.quiesces_refused;
+          }
+        }, "pool.quiesce");
+      }
+      if (q.revive_after != 0 && result.executed == q.revive_after) {
+        fabric.engine().ScheduleAfter(0, [&hub, &result, q] {
+          if (hub.ReviveCore(q.pool_index).ok()) {
+            ++result.revives_applied;
+          } else {
+            ++result.revives_refused;
+          }
+        }, "pool.revive");
+      }
+    }
   });
 
   // One seeded pump per spoke, paced by flow control and the sender CPU.
@@ -266,8 +337,18 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
         fabric.runtime(s + 1).ClosedSendBanks((*senders)[s].to_hub);
   }
   result.in_flight_at_drain = hub.InFlightFrames();
+  result.pending_rehomes_at_drain = hub.PendingRehomes();
+  result.active_cores_at_drain = hub.ActivePoolCores();
   for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
     result.stolen_claims_held += hub.StolenBanksHeld(c);
+    const std::uint32_t homed = hub.BanksHomedTo(c);
+    result.banks_homed_at_drain.push_back(homed);
+    if (hub.pool_core_state(c) != PoolCoreState::kActive) {
+      result.banks_homed_dark_at_drain += homed;
+    }
+    const cpu::WaitStats& ws = hub.receiver_wait_stats(c);
+    result.resharded_in_sum += ws.banks_resharded_in;
+    result.resharded_out_sum += ws.banks_resharded_out;
   }
   result.hub = hub.stats();
   result.drained_at = fabric.engine().Now();
@@ -295,6 +376,32 @@ inline void ExpectPoolInvariants(const PoolTopology& topo,
     EXPECT_EQ(r.hub.steals, 0u) << ctx;
     EXPECT_EQ(r.hub.frames_stolen, 0u) << ctx;
     EXPECT_EQ(r.hub.banks_drained_stolen, 0u) << ctx;
+  }
+
+  // Hotplug ledger reconciliation — these hold whether or not the run's
+  // plan contained quiesce events (and whether or not they were refused):
+  // every deferred handoff applied, no bank left homed to a dark core,
+  // every bank homed exactly once, the per-core re-shard mirrors sum to
+  // the runtime counter, and the stranded backlog each QuiesceCore call
+  // reported matches the ledger.
+  EXPECT_EQ(r.pending_rehomes_at_drain, 0u) << ctx;
+  EXPECT_EQ(r.banks_homed_dark_at_drain, 0u) << ctx;
+  std::uint64_t homed_total = 0;
+  for (const std::uint32_t homed : r.banks_homed_at_drain) {
+    homed_total += homed;
+  }
+  if (!r.banks_homed_at_drain.empty()) {
+    EXPECT_EQ(homed_total,
+              static_cast<std::uint64_t>(topo.spokes) * topo.banks)
+        << ctx;
+  }
+  EXPECT_EQ(r.resharded_in_sum, r.hub.banks_resharded) << ctx;
+  EXPECT_EQ(r.resharded_out_sum, r.hub.banks_resharded) << ctx;
+  EXPECT_EQ(r.hub.frames_drained_during_quiesce, r.stranded_reported) << ctx;
+  if (topo.quiesce.empty()) {
+    EXPECT_EQ(r.hub.banks_resharded, 0u) << ctx;
+    EXPECT_EQ(r.hub.frames_drained_during_quiesce, 0u) << ctx;
+    EXPECT_EQ(r.active_cores_at_drain, topo.receiver_cores) << ctx;
   }
 }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Docs-consistency gate: every configuration field of RuntimeConfig,
+# StealConfig (its nested steal block), and cache::HierarchyConfig must
+# be documented in docs/TUNING.md. Fails (listing the missing names)
+# when a field is added to the structs without a docs entry, so the
+# tuning page can never silently rot. Pure grep/sed — no build needed,
+# POSIX awk suffices.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TUNING=docs/TUNING.md
+fail=0
+
+# Member names of a struct: 2-space-indented declarations ending in
+# "= default;", "{...};", or ";" (member functions have "(" after the
+# name and never match; function bodies are indented deeper).
+fields_of() { # struct_name file
+  awk -v struct="$1" '
+    $0 ~ "^struct " struct " \\{" { in_struct = 1; next }
+    in_struct && /^\};/ { in_struct = 0 }
+    in_struct { sub(/\/\/.*/, ""); print }
+  ' "$2" |
+  sed -n -E \
+    's/^  [A-Za-z_][A-Za-z0-9_:<>, *]*[A-Za-z0-9_>] +([a-z_][a-z0-9_]*) *(= .*|\{.*|;*) *;? *$/\1/p'
+}
+
+# Lines of every "## ..." section whose heading matches the pattern
+# (and not the optional exclude pattern) — scoping each struct's check
+# to its own sections, so a same-named field of another struct can't
+# satisfy it from elsewhere in the page.
+sections_matching() { # heading_regex [exclude_regex]
+  awk -v pat="$1" -v ex="${2:-}" '
+    /^## / { in_s = ($0 ~ pat) && (ex == "" || $0 !~ ex) }
+    in_s
+  ' "$TUNING"
+}
+
+check() { # struct_name file heading_regex [exclude_regex]
+  local missing=""
+  local found=0
+  local sections
+  sections="$(sections_matching "$3" "${4:-}")"
+  if [ -z "$sections" ]; then
+    echo "FAIL: no section matching '$3' in $TUNING"
+    fail=1
+    return
+  fi
+  while read -r field; do
+    [ -z "$field" ] && continue
+    found=$((found + 1))
+    # Documented as `field` or as a dotted path like `steal.field`.
+    if ! printf '%s' "$sections" | grep -Eq "\`([a-z_]+\.)?$field\`"; then
+      missing="$missing $field"
+    fi
+  done < <(fields_of "$1" "$2")
+  if [ "$found" -eq 0 ]; then
+    echo "FAIL: extracted no fields from struct $1 in $2 (script rot?)"
+    fail=1
+  elif [ -n "$missing" ]; then
+    echo "FAIL: $1 fields missing from $TUNING:$missing"
+    fail=1
+  else
+    echo "OK: all $found $1 fields documented in $TUNING"
+  fi
+}
+
+# The work-stealing section documents StealConfig's *nested* fields, so
+# it is excluded from the RuntimeConfig scope — a StealConfig name must
+# not satisfy a same-named top-level RuntimeConfig field.
+check RuntimeConfig src/core/runtime.hpp '^## RuntimeConfig' 'work stealing'
+check StealConfig src/core/runtime.hpp '^## RuntimeConfig — work stealing'
+check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
+
+exit $fail
