@@ -1,0 +1,131 @@
+// Ablation: raw simulator throughput — host wall-clock events/sec of the
+// discrete-event engine itself. Unlike every figure bench (which reports
+// *simulated* time), this one times the simulator with a real clock: it is
+// the suite's canary for engine regressions (heap churn, callback
+// overhead) that simulated-time results can never see.
+//
+// `--json` additionally writes BENCH_engine_rate.json (machine-readable,
+// uploaded as a CI artifact) so run-over-run engine throughput is
+// trackable.
+#include <chrono>
+#include <cstdio>
+
+#include "fig_common.hpp"
+#include "sim/engine.hpp"
+
+using namespace twochains;
+using namespace twochains::bench;
+
+namespace {
+
+struct RateRow {
+  const char* name;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  double events_per_second = 0;
+};
+
+double WallSeconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// @p chains self-rescheduling events ping through the heap until
+/// @p total callbacks have run; deeper heaps stress ordering, a single
+/// chain measures pure dispatch overhead.
+RateRow EngineChainRate(const char* name, std::uint64_t chains,
+                        std::uint64_t total) {
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired >= total) {
+      engine.Stop();
+      return;
+    }
+    engine.ScheduleAfter(1, tick, "bench.tick");
+  };
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    engine.ScheduleAfter(1 + c, tick, "bench.tick");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.Run();
+  RateRow row{name};
+  row.events = engine.EventsProcessed();
+  row.seconds = WallSeconds(start);
+  row.events_per_second = static_cast<double>(row.events) / row.seconds;
+  return row;
+}
+
+/// The full stack as an event generator: wall-clock events/sec while the
+/// paper testbed streams injected Server-Side Sums (every NIC hop, cache
+/// access, and receiver wakeup is an engine event).
+RateRow FullStackRate() {
+  auto testbed = MakeBenchTestbed();
+  AmConfig config = SsumConfig(64, core::Invoke::kInjected);
+  config.iterations = 2000;
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t before = testbed->engine().EventsProcessed();
+  MustOk(RunAmInjectionRate(*testbed, config), "full-stack stream");
+  RateRow row{"full stack (ssum stream)"};
+  row.events = testbed->engine().EventsProcessed() - before;
+  row.seconds = WallSeconds(start);
+  row.events_per_second = static_cast<double>(row.events) / row.seconds;
+  return row;
+}
+
+void WriteJson(const char* path, const std::vector<RateRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_rate\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"seconds\": %.6f, \"events_per_second\": %.0f}%s\n",
+                 rows[i].name,
+                 static_cast<unsigned long long>(rows[i].events),
+                 rows[i].seconds, rows[i].events_per_second,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("Ablation", "engine throughput (host wall-clock events/sec)");
+
+  std::vector<RateRow> rows;
+  rows.push_back(EngineChainRate("dispatch (1 chain)", 1, 1000000));
+  rows.push_back(EngineChainRate("heap depth 1024", 1024, 1000000));
+  rows.push_back(FullStackRate());
+
+  Table table({"shape", "events", "wall(s)", "events/s"});
+  for (const auto& row : rows) {
+    table.AddRow({row.name, FmtU64(row.events), FmtF(row.seconds, "%.3f"),
+                  FmtF(row.events_per_second, "%.0f")});
+  }
+  table.Print();
+
+  if (HasFlag(argc, argv, "--json")) {
+    WriteJson("BENCH_engine_rate.json", rows);
+  }
+
+  // Wall-clock thresholds stay very conservative: this is a canary for
+  // order-of-magnitude regressions, not a precision benchmark.
+  bool ok = true;
+  ok &= ShapeCheck("raw dispatch exceeds 100k events/s",
+                   rows[0].events_per_second > 1e5);
+  ok &= ShapeCheck("deep heap stays above 50k events/s",
+                   rows[1].events_per_second > 5e4);
+  ok &= ShapeCheck("full stack generates events (stream completed)",
+                   rows[2].events > 0);
+  return FinishChecks(ok);
+}

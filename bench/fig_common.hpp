@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 
 #include "benchlib/perftest.hpp"
@@ -32,6 +33,24 @@ inline std::unique_ptr<core::Testbed> MakeBenchTestbed(
     std::abort();
   }
   return testbed;
+}
+
+/// Jam-cache parameterization for the `--hot` bench variants: capacity
+/// covers the whole bench package, so a warm sweep never evicts and every
+/// send after the first rides the by-handle fast path.
+inline core::JamCacheConfig HotJamCache() {
+  core::JamCacheConfig cache;
+  cache.enabled = true;
+  cache.capacity = 8;
+  return cache;
+}
+
+/// True iff @p flag (e.g. "--hot") appears anywhere in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 /// Payload bytes that make a Local (no-code, no-args) frame exactly

@@ -123,6 +123,7 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
       return;
     }
     result.frame_len = receipt->frame_len;
+    result.wire_bytes += receipt->frame_len;
     ++sent;
     // The sender core is busy for sender_cost; next message after that.
     testbed.engine().ScheduleAfter(receipt->sender_cost, resume,
@@ -147,7 +148,8 @@ StatusOr<RateResult> RunAmInjectionRate(core::Testbed& testbed,
   result.duration = last_complete - first_send;
   result.messages_per_second = MessagesPerSecond(total, result.duration);
   result.megabytes_per_second =
-      MegabytesPerSecond(total * result.frame_len, result.duration);
+      MegabytesPerSecond(result.wire_bytes, result.duration);
+  result.rx_jam = receiver.jam_cache_stats();
   return result;
 }
 

@@ -48,8 +48,16 @@ struct RateResult {
   double messages_per_second = 0;
   double megabytes_per_second = 0;
   PicoTime duration = 0;
-  std::uint64_t frame_len = 0;
+  std::uint64_t frame_len = 0;  ///< last receipt (slim when by-handle)
   std::uint64_t messages = 0;
+  /// Total frame bytes the sender put on the wire (sum of receipt
+  /// frame_len over every send). With the jam cache warm this collapses
+  /// toward messages * 64 while frame_len alone would hide the cold
+  /// full-body sends; wire_bytes / messages is the honest bytes/invoke.
+  std::uint64_t wire_bytes = 0;
+  /// Receiver-side jam-cache counters at the end of the run (all zero
+  /// when the cache is disabled).
+  core::JamCacheStats rx_jam{};
 };
 
 /// Injection rate with bank flow control (§VI-A2): the sender pushes as

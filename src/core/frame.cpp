@@ -10,7 +10,10 @@ namespace twochains::core {
 FrameLayout FrameLayout::Compute(const FrameSpec& spec) {
   FrameLayout layout;
   std::uint64_t cursor = kHeaderBytes;
-  if (spec.injected) {
+  if (spec.by_handle) {
+    layout.handle_off = cursor;
+    cursor += 8;
+  } else if (spec.injected) {
     layout.gotp_off = cursor;
     cursor += 8ull * spec.got_slots;
     // PRE region: 16 bytes ending exactly where code begins, so the
@@ -39,7 +42,8 @@ void WriteHeader(const FrameHeader& header, std::span<std::uint8_t> out) {
   std::memcpy(out.data() + 20, &header.usr_size, 4);
 }
 
-StatusOr<FrameHeader> ReadHeader(std::span<const std::uint8_t> bytes) {
+StatusOr<FrameHeader> ReadHeader(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t slot_capacity) {
   if (bytes.size() < kHeaderBytes) return DataLoss("truncated frame header");
   FrameHeader header;
   std::memcpy(&header.magic, bytes.data() + 0, 2);
@@ -52,6 +56,29 @@ StatusOr<FrameHeader> ReadHeader(std::span<const std::uint8_t> bytes) {
   if (header.magic != kFrameMagic) {
     return DataLoss(StrFormat("bad frame magic 0x%04x", header.magic));
   }
+  // Size-field self-consistency: the smallest legal frame is one cache line
+  // (header + signal word), frame_len is always a 64 B multiple, and the
+  // declared payload sections plus the trailing signal word must fit inside
+  // frame_len. A by-handle frame additionally reserves 8 bytes for the
+  // content handle between the header and ARGS.
+  if (header.frame_len < kCacheLineBytes ||
+      header.frame_len % kCacheLineBytes != 0) {
+    return DataLoss(StrFormat("bad frame_len %u", header.frame_len));
+  }
+  const std::uint64_t fixed =
+      kHeaderBytes + ((header.flags & kFlagByHandle) ? 8 : 0);
+  const std::uint64_t payload =
+      AlignUp(header.args_size, 8) + header.usr_size + 8 /* SIG */;
+  if (fixed + payload > header.frame_len) {
+    return DataLoss(
+        StrFormat("frame sections overflow frame_len %u (args %u usr %u)",
+                  header.frame_len, header.args_size, header.usr_size));
+  }
+  if (slot_capacity != 0 && header.frame_len > slot_capacity) {
+    return DataLoss(StrFormat("frame_len %u exceeds slot capacity %llu",
+                              header.frame_len,
+                              static_cast<unsigned long long>(slot_capacity)));
+  }
   return header;
 }
 
@@ -60,6 +87,9 @@ StatusOr<std::vector<std::uint8_t>> PackFrame(
     std::span<const std::uint64_t> gotp_values,
     std::span<const std::uint8_t> code, std::span<const std::uint8_t> args,
     std::span<const std::uint8_t> usr) {
+  if (spec.by_handle) {
+    return InvalidArgument("by-handle frames are packed by PackHandleFrame");
+  }
   if (spec.injected) {
     if (gotp_values.size() != spec.got_slots) {
       return InvalidArgument("GOTP value count mismatch");
@@ -102,6 +132,50 @@ StatusOr<std::vector<std::uint8_t>> PackFrame(
   const std::uint64_t sig = SignalWord(header.sn);
   std::memcpy(frame.data() + layout.sig_off, &sig, 8);
   return frame;
+}
+
+StatusOr<std::vector<std::uint8_t>> PackHandleFrame(
+    const FrameSpec& spec, FrameHeader header, std::uint64_t handle,
+    std::span<const std::uint8_t> args, std::span<const std::uint8_t> usr) {
+  if (!spec.by_handle) {
+    return InvalidArgument("PackHandleFrame requires spec.by_handle");
+  }
+  if (args.size() != spec.args_size || usr.size() != spec.usr_size) {
+    return InvalidArgument("payload size mismatch");
+  }
+
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  std::vector<std::uint8_t> frame(layout.frame_len, 0);
+
+  header.frame_len = static_cast<std::uint32_t>(layout.frame_len);
+  header.args_size = static_cast<std::uint32_t>(spec.args_size);
+  header.usr_size = static_cast<std::uint32_t>(spec.usr_size);
+  header.flags = static_cast<std::uint16_t>(header.flags | kFlagByHandle);
+  WriteHeader(header, frame);
+
+  std::memcpy(frame.data() + layout.handle_off, &handle, 8);
+  if (!args.empty()) {
+    std::memcpy(frame.data() + layout.args_off, args.data(), args.size());
+  }
+  if (!usr.empty()) {
+    std::memcpy(frame.data() + layout.usr_off, usr.data(), usr.size());
+  }
+  const std::uint64_t sig = SignalWord(header.sn);
+  std::memcpy(frame.data() + layout.sig_off, &sig, 8);
+  return frame;
+}
+
+StatusOr<std::uint64_t> ReadHandle(std::span<const std::uint8_t> frame,
+                                   const FrameHeader& header) {
+  if (!(header.flags & kFlagByHandle)) {
+    return FailedPrecondition("frame is not by-handle");
+  }
+  if (frame.size() < kHeaderBytes + 8) {
+    return DataLoss("by-handle frame truncated before handle");
+  }
+  std::uint64_t handle = 0;
+  std::memcpy(&handle, frame.data() + kHeaderBytes, 8);
+  return handle;
 }
 
 Status PatchPreSlot(std::span<std::uint8_t> frame, const FrameLayout& layout,

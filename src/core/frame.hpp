@@ -40,6 +40,9 @@ enum FrameFlags : std::uint16_t {
   kFlagNoExecute = 1 << 1,    ///< deliver + signal but skip invocation
                               ///< (the paper's "without-execution" mode)
   kFlagReceiverGot = 1 << 2,  ///< ignore GOTP; receiver installs its own GOT
+  kFlagByHandle = 1 << 3,     ///< slim invoke-by-handle frame: GOTP/CODE are
+                              ///< dropped and a 64-bit content handle names
+                              ///< the receiver's cached, pre-linked image
 };
 
 struct FrameHeader {
@@ -63,12 +66,18 @@ struct FrameSpec {
   /// Pad so CODE and ARGS/USR live on distinct pages (the §V "separate the
   /// user data payload area" hardening; costs frame size).
   bool split_code_data = false;
+  /// Invoke-by-handle: drop GOTP/CODE, carry an 8-byte content handle at
+  /// kHeaderBytes instead. Mutually exclusive with `injected` on the wire
+  /// (the jam is injected conceptually, but its body lives in the
+  /// receiver's jam cache).
+  bool by_handle = false;
 };
 
 struct FrameLayout {
-  std::uint64_t gotp_off = 0;   ///< 0 if absent
-  std::uint64_t pre_off = 0;    ///< GOT-pointer slot (code_off - 16)
-  std::uint64_t code_off = 0;   ///< 0 if absent
+  std::uint64_t gotp_off = 0;    ///< 0 if absent
+  std::uint64_t pre_off = 0;     ///< GOT-pointer slot (code_off - 16)
+  std::uint64_t code_off = 0;    ///< 0 if absent
+  std::uint64_t handle_off = 0;  ///< 0 if absent (by-handle frames only)
   std::uint64_t args_off = 0;
   std::uint64_t usr_off = 0;
   std::uint64_t sig_off = 0;    ///< frame_len - 8
@@ -85,8 +94,14 @@ constexpr std::uint64_t SignalWord(std::uint32_t sn) noexcept {
 /// Serializes a header into @p out (>= kHeaderBytes).
 void WriteHeader(const FrameHeader& header, std::span<std::uint8_t> out);
 
-/// Parses + validates a header (magic check).
-StatusOr<FrameHeader> ReadHeader(std::span<const std::uint8_t> bytes);
+/// Parses + validates a header: magic, then self-consistency of the size
+/// fields — frame_len must be a nonzero 64 B multiple that fits the header,
+/// payload sections, and signal word, and (when @p slot_capacity is nonzero,
+/// e.g. the receiving mailbox slot size) must not exceed the buffer the
+/// frame claims to occupy. Rejecting here keeps a truncated or garbled
+/// frame from ever reaching payload parsing.
+StatusOr<FrameHeader> ReadHeader(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t slot_capacity = 0);
 
 /// Builds a complete frame. Sizes in @p spec must match the spans. The PRE
 /// slot is left zero — the sender patches it with the receiver-side GOTP
@@ -97,6 +112,16 @@ StatusOr<std::vector<std::uint8_t>> PackFrame(
     std::span<const std::uint64_t> gotp_values,
     std::span<const std::uint8_t> code, std::span<const std::uint8_t> args,
     std::span<const std::uint8_t> usr);
+
+/// Builds a slim invoke-by-handle frame (spec.by_handle must be set): the
+/// 64-bit content @p handle rides at kHeaderBytes in place of GOTP/CODE.
+StatusOr<std::vector<std::uint8_t>> PackHandleFrame(
+    const FrameSpec& spec, FrameHeader header, std::uint64_t handle,
+    std::span<const std::uint8_t> args, std::span<const std::uint8_t> usr);
+
+/// Reads the content handle out of a packed by-handle frame.
+StatusOr<std::uint64_t> ReadHandle(std::span<const std::uint8_t> frame,
+                                   const FrameHeader& header);
 
 /// Writes @p value into the PRE slot of a packed frame.
 Status PatchPreSlot(std::span<std::uint8_t> frame, const FrameLayout& layout,

@@ -94,6 +94,19 @@ Status Runtime::Initialize() {
   // EffectiveStealThreshold): the bound is the capacity across *all*
   // peers' slices, and the peer table only fills at Connect.
 
+  // Jam cache: the miss NAK mask rides in bits [32, 64) of the bank flag
+  // word, one bit per in-bank slot, so the bank shape must fit it.
+  if (config_.jam_cache.enabled && config_.mailboxes_per_bank > 32) {
+    TC_WARN << "jam cache needs mailboxes_per_bank <= 32 (NAK mask bits); "
+               "clamping " << config_.mailboxes_per_bank << " to 32";
+    config_.mailboxes_per_bank = 32;
+  }
+  if (config_.jam_cache.enabled && config_.jam_cache.capacity == 0) {
+    TC_WARN << "jam cache capacity 0 could never install an image; "
+               "clamping to 1";
+    config_.jam_cache.capacity = 1;
+  }
+
   pool_.resize(config_.receiver_cores);
   claim_backlog_.assign(config_.receiver_cores, 0);
   for (std::uint32_t i = 0; i < config_.receiver_cores; ++i) {
@@ -218,6 +231,9 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
   // gated on stealing.
   peer.bank_in_flight.assign(config_.banks, 0);
   peer.bank_ready.assign(config_.banks, 0);
+  if (config_.jam_cache.enabled) {
+    peer.bank_nak_mask.assign(config_.banks, 0);
+  }
   if (stealing_active_) {
     // Claims start at the home owner.
     peer.bank_claim = peer.bank_home;
@@ -270,13 +286,34 @@ PeerId Runtime::PeerIdOf(const Runtime& other) const noexcept {
   return kInvalidPeer;
 }
 
-Status Runtime::LoadPackage(const pkg::Package& package) {
+Status Runtime::LoadPackage(const pkg::Package& package, bool allow_reload) {
   if (!initialized_) return FailedPrecondition("not initialized");
+
+  // Replace-in-place on reload: an element arriving under a name+kind that
+  // is already loaded updates the existing table entry (keeping lookups
+  // unambiguous) and invalidates any jam-cache image the old content left
+  // behind — a reloaded jam must never execute its stale cached bytes.
+  const auto upsert = [this](ElementInfo&& info) {
+    for (auto& existing : elements_) {
+      if (existing.name != info.name || existing.kind != info.kind) continue;
+      if (existing.content_handle != 0 &&
+          jam_cache_.contains(existing.content_handle)) {
+        DropJamCacheEntry(existing.content_handle, /*evicted=*/false);
+      }
+      if (existing.receiver_got != 0) {
+        (void)host_.memory().Free(existing.receiver_got);
+      }
+      existing = std::move(info);
+      return;
+    }
+    elements_.push_back(std::move(info));
+  };
 
   // Rieds first: they provide the interfaces jams link against.
   for (const auto& elem : package.elements) {
     if (elem.kind != pkg::ElementKind::kRied) continue;
     jelf::LoadOptions opts;
+    opts.allow_export_override = allow_reload;
     TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
                         jelf::LoadLibrary(host_.memory(), elem.ried_image,
                                           ns_, opts));
@@ -300,13 +337,14 @@ Status Runtime::LoadPackage(const pkg::Package& package) {
     info.kind = elem.kind;
     info.elem_id = elem.element_id;
     info.name = elem.name;
-    elements_.push_back(std::move(info));
+    upsert(std::move(info));
   }
 
   // Jams: cache injectable images; load the Local Function library.
   std::optional<jelf::LoadedLibrary> local_lib;
   if (!package.local_library.text.empty()) {
     jelf::LoadOptions opts;
+    opts.allow_export_override = allow_reload;
     TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
                         jelf::LoadLibrary(host_.memory(),
                                           package.local_library, ns_, opts));
@@ -327,13 +365,15 @@ Status Runtime::LoadPackage(const pkg::Package& package) {
                                 elem.entry_symbol.c_str()));
     }
     info.entry_offset = entry->second.offset;
+    info.content_handle = jelf::ComputeJamHandle(
+        info.code_blob, elem.injected_image.got_symbols);
     if (local_lib.has_value()) {
       const auto local = local_lib->exports.find(elem.entry_symbol);
       if (local != local_lib->exports.end()) {
         info.local_entry = local->second;
       }
     }
-    elements_.push_back(std::move(info));
+    upsert(std::move(info));
   }
   if (local_lib.has_value()) {
     loaded_libraries_.push_back(std::move(*local_lib));
@@ -353,6 +393,15 @@ Status Runtime::SyncNamespaces(Runtime& a, Runtime& b) {
   for (const auto& [name, value] : b.ns_.entries()) {
     a.peers_[a_to_b].remote_ns[name] = value;
   }
+  // Jam-cache invalidation rides the re-sync: whatever changed underneath
+  // this sync (package reload, rebind) must not be served from a cached
+  // image or addressed by a remembered handle. Each receiver flushes its
+  // cache; each sender forgets every peer's handles (in-flight by-handle
+  // sends keep their resend recipes, so a post-sync NAK still recovers).
+  a.FlushJamCache();
+  b.FlushJamCache();
+  a.ForgetPeerHandles();
+  b.ForgetPeerHandles();
   return Status::Ok();
 }
 
@@ -457,9 +506,23 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   spec.usr_size = usr.size();
   spec.split_code_data = config_.security.split_code_data_pages;
 
+  // Invoke-by-handle downgrade of the frame shape: when the jam cache is
+  // on and this sender believes the peer already holds the jam's image,
+  // GOTP/CODE stay home and an 8-byte content handle rides instead. The
+  // belief can be stale (eviction, re-sync on the far side) — the
+  // receiver then NAKs the slot in the bank flag and OnBankFlag resends
+  // full-body, so a wrong guess costs one round trip, never an error.
+  const bool by_handle = spec.injected && config_.jam_cache.enabled &&
+                         (extra_flags & kFlagNoExecute) == 0 &&
+                         peer.peer_handles.contains(elem->content_handle);
+
   std::vector<std::uint64_t> gotp;
   std::span<const std::uint8_t> code;
-  if (spec.injected) {
+  if (by_handle) {
+    spec.injected = false;
+    spec.by_handle = true;
+    spec.split_code_data = false;  // no code rides along — nothing to split
+  } else if (spec.injected) {
     spec.got_slots = elem->injected_image.got_slot_count();
     spec.code_size = elem->code_blob.size();
     code = elem->code_blob;
@@ -485,13 +548,23 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   header.sn = next_sn_++;
   header.elem_id = elem->elem_id;
   header.flags = extra_flags;
+  // A by-handle frame is still an Injected Function invocation — the code
+  // just lives in the receiver's cache instead of the frame.
+  if (by_handle) header.flags |= kFlagInjected;
 
   std::vector<std::uint8_t> args_bytes(args.size() * 8);
   if (!args.empty()) {
     std::memcpy(args_bytes.data(), args.data(), args_bytes.size());
   }
-  TC_ASSIGN_OR_RETURN(std::vector<std::uint8_t> frame,
-                      PackFrame(spec, header, gotp, code, args_bytes, usr));
+  std::vector<std::uint8_t> frame;
+  if (by_handle) {
+    TC_ASSIGN_OR_RETURN(frame,
+                        PackHandleFrame(spec, header, elem->content_handle,
+                                        args_bytes, usr));
+  } else {
+    TC_ASSIGN_OR_RETURN(frame,
+                        PackFrame(spec, header, gotp, code, args_bytes, usr));
+  }
   const FrameLayout layout = FrameLayout::Compute(spec);
   if (frame.size() > config_.mailbox_slot_bytes) {
     return ResourceExhausted(
@@ -605,11 +678,29 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   stats_.bytes_sent += frame.size();
   pstats.bytes_sent += frame.size();
 
+  // Jam-cache bookkeeping. A by-handle send parks its resend recipe until
+  // the bank flag retires the slot (NAK or not); a full-body injected send
+  // is what installs the image on the peer, so the handle belief arms here.
+  if (config_.jam_cache.enabled && mode == Invoke::kInjected) {
+    if (by_handle) {
+      ++jam_stats_.by_handle_sends;
+      PeerState::PendingByHandle& pending = peer.pending_by_handle[slot];
+      pending.name = name;
+      pending.handle = elem->content_handle;
+      pending.args.assign(args.begin(), args.end());
+      pending.usr.assign(usr.begin(), usr.end());
+      pending.extra_flags = extra_flags;
+    } else if ((extra_flags & kFlagNoExecute) == 0) {
+      peer.peer_handles.insert(elem->content_handle);
+    }
+  }
+
   SendReceipt receipt;
   receipt.sn = header.sn;
   receipt.frame_len = frame.size();
   receipt.protocol = put_receipt.protocol;
   receipt.sender_cost = pack_time + put_receipt.sender_overhead;
+  receipt.by_handle = by_handle;
   return receipt;
 }
 
@@ -648,16 +739,85 @@ void Runtime::OfferStealOpportunities(std::uint32_t first) {
 void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
   if (peer >= peers_.size() || bank >= config_.banks) return;
   PeerState& p = peers_[peer];
-  p.bank_open[bank] = 1;
-  // Bit 1 of the flag word is the receiver's idle hint (see
-  // ReturnBankFlag); mirror it for the flow-bias bank pick.
+  // Two flag-word shapes share this reverse channel (see ReturnBankFlag):
+  // bit 0 set is the real bank-open flag (full drain; bit 1 is the idle
+  // hint for the flow-bias pick), bit 0 clear is a NAK-only push — the
+  // receiver is mid-bank, but a by-handle frame missed its cache and must
+  // not wait for the drain to learn it. Bits [32, 64) carry the per-slot
+  // NAK mask in both shapes.
   const auto word = host_.memory().LoadU64(p.flag_base + 8ull * bank);
+  const bool open = !word.ok() || (*word & 1) != 0;
+  if (config_.jam_cache.enabled) {
+    const std::uint32_t nak_mask =
+        word.ok() ? static_cast<std::uint32_t>(*word >> 32) : 0;
+    // Resends run before external slot waiters: the NAKed invokes were
+    // accepted by Send() once already and have first claim on whatever
+    // slots are free. A full-drain flag also settles the bank's remaining
+    // pending by-handle sends: un-NAKed means served from the cache.
+    HandleNakMask(peer, bank, nak_mask, /*retire_served=*/open);
+  }
+  if (!open) return;
+  p.bank_open[bank] = 1;
   p.bank_owner_idle[bank] = (word.ok() && (*word & 2) != 0) ? 1 : 0;
   if (!p.slot_waiters.empty()) {
     auto waiters = std::move(p.slot_waiters);
     p.slot_waiters.clear();
     for (auto& w : waiters) w();
   }
+}
+
+void Runtime::HandleNakMask(PeerId peer_id, std::uint32_t bank,
+                            std::uint32_t mask, bool retire_served) {
+  PeerState& p = peers_[peer_id];
+  // Walk this bank's pending by-handle entries: a set bit means the
+  // invoke was skipped at the peer and must be resent full-body. A clear
+  // bit means "served" only on a full-drain flag (@p retire_served) — a
+  // mid-bank NAK push says nothing about slots still queued behind the
+  // peer's cursor, so their entries stay pending.
+  std::vector<PeerState::PendingByHandle> to_resend;
+  for (std::uint32_t i = 0; i < config_.mailboxes_per_bank; ++i) {
+    const std::uint32_t slot = bank * config_.mailboxes_per_bank + i;
+    const auto it = p.pending_by_handle.find(slot);
+    if (it == p.pending_by_handle.end()) continue;
+    if ((mask & (1u << i)) != 0) {
+      ++jam_stats_.naks_received;
+      // The belief was wrong — evicted, flushed, or never installed.
+      // Forget the handle so the resend (and any send after it) goes
+      // full-body and re-installs.
+      p.peer_handles.erase(it->second.handle);
+      to_resend.push_back(std::move(it->second));
+      p.pending_by_handle.erase(it);
+    } else if (retire_served) {
+      p.pending_by_handle.erase(it);
+    }
+  }
+  for (PeerState::PendingByHandle& entry : to_resend) {
+    ResendAfterNak(peer_id, std::move(entry));
+  }
+}
+
+void Runtime::ResendAfterNak(PeerId peer_id,
+                             PeerState::PendingByHandle entry) {
+  auto attempt = [this, peer_id, entry = std::move(entry)]() mutable {
+    const auto receipt =
+        Send(peer_id, entry.name, Invoke::kInjected, entry.args, entry.usr,
+             entry.extra_flags);
+    if (receipt.ok()) {
+      ++jam_stats_.resends;
+      return;
+    }
+    if (receipt.status().code() == StatusCode::kResourceExhausted) {
+      // Flow control: every bank toward the peer is closed right now.
+      // Park the retry on the next returned flag.
+      NotifyWhenSlotFree(peer_id, [this, peer_id, entry]() mutable {
+        ResendAfterNak(peer_id, std::move(entry));
+      });
+      return;
+    }
+    TC_WARN << "NAK resend of jam '" << entry.name
+            << "' failed: " << receipt.status();
+  };
+  attempt();
 }
 
 void Runtime::MaybeBeginNext(std::uint32_t pool_index) {
@@ -1070,7 +1230,9 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   }
   cycles += caches.Access(core, frame_addr, kHeaderBytes,
                           cache::AccessKind::kLoad);
-  auto header = ReadHeader(*hdr_span);
+  // Header validation is bounded by the mailbox slot: a frame_len larger
+  // than the slot could only have been written by a corrupted sender.
+  auto header = ReadHeader(*hdr_span, config_.mailbox_slot_bytes);
   if (!header.ok()) {
     ++stats_.security_rejections;
     TC_WARN << "frame rejected: " << header.status();
@@ -1081,6 +1243,7 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
   msg.elem_id = header->elem_id;
   msg.frame_len = header->frame_len;
   msg.injected = (header->flags & kFlagInjected) != 0;
+  msg.by_handle = (header->flags & kFlagByHandle) != 0;
 
   // Signal word check (magic + SN echo). The signal line access cost.
   cycles += caches.Access(core, frame_addr + header->frame_len - 8, 8,
@@ -1112,6 +1275,14 @@ void Runtime::ProcessFrame(const ReadyFrame& frame) {
 StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
                                       const FrameHeader& header,
                                       ReceivedMessage& msg) {
+  if ((header.flags & kFlagByHandle) != 0) {
+    if (!config_.jam_cache.enabled) {
+      return FailedPrecondition(
+          "by-handle frame received but the jam cache is disabled");
+    }
+    return InvokeByHandle(frame, header, msg);
+  }
+
   Cycles cycles = 0;
   const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
   auto& caches = host_.caches();
@@ -1213,7 +1384,215 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
     TC_RETURN_IF_ERROR(
         memory.Protect(frame_addr, layout.frame_len, mem::Perm::kRWX));
   }
+
+  // Send-once, invoke-many: a full-body injected arrival is the install
+  // point of the jam cache — link the post-GOT-rewrite image once so
+  // every later invoke of this content can ride a slim by-handle frame.
+  if (msg.injected && config_.jam_cache.enabled) {
+    auto install = InstallInJamCache(*elem);
+    if (install.ok()) {
+      cycles += *install;
+    } else {
+      // A full install failure (e.g. receiver memory pressure) only means
+      // the fast path stays cold — the frame itself already executed.
+      TC_WARN << "jam-cache install of '" << elem->name
+              << "' failed: " << install.status();
+    }
+  }
   return cycles;
+}
+
+StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
+                                         const FrameHeader& header,
+                                         ReceivedMessage& msg) {
+  Cycles cycles = 0;
+  const mem::VirtAddr frame_addr = SlotAddr(peers_[frame.peer], frame.slot);
+  auto& caches = host_.caches();
+  auto& memory = host_.memory();
+  PoolCore& member = pool_[frame.pool];
+  const std::uint32_t core = member.core_id;
+
+  // The 64-bit content handle rides at kHeaderBytes (in place of GOTP).
+  cycles += caches.Access(core, frame_addr + kHeaderBytes, 8,
+                          cache::AccessKind::kLoad);
+  TC_ASSIGN_OR_RETURN(const std::uint64_t handle,
+                      memory.LoadU64(frame_addr + kHeaderBytes));
+
+  FrameSpec spec;
+  spec.by_handle = true;
+  spec.args_size = header.args_size;
+  spec.usr_size = header.usr_size;
+  const FrameLayout layout = FrameLayout::Compute(spec);
+
+  const auto it = jam_cache_.find(handle);
+  if (it == jam_cache_.end()) {
+    // Miss — cold cache, eviction, or content drift after a reload. The
+    // frame is *not* executed (its code never travelled); instead the
+    // slot's NAK bit rides home in the bank flag and the sender resends
+    // full-body. Not an error and not a security rejection: the protocol
+    // is designed to degrade this way.
+    ++jam_stats_.misses;
+    ++jam_stats_.naks_sent;
+    msg.cache_miss = true;
+    PeerState& p = peers_[frame.peer];
+    const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
+    p.bank_nak_mask[bank] |= 1u << (frame.slot % config_.mailboxes_per_bank);
+    return cycles;
+  }
+
+  JamCacheEntry& entry = it->second;
+  ++jam_stats_.hits;
+  ++entry.invokes;
+  entry.last_used = ++jam_cache_tick_;
+
+  // The per-hit link is a PRE-slot validation of the resident image — the
+  // table lookup that replaces the full per-invoke GOT rewrite. No code
+  // verification (done at install), no GOT install, and no W^X flips: the
+  // cached code pages never see the mailbox.
+  cycles += config_.jam_cache.hit_relink_cycles;
+  cycles += caches.Access(core, entry.image.pre_addr, 8,
+                          cache::AccessKind::kLoad);
+  TC_RETURN_IF_ERROR(jelf::RelinkCachedImage(memory, entry.image));
+
+  // Savings ledger: what the same invoke would have cost full-body.
+  FrameSpec full;
+  full.injected = true;
+  full.got_slots = entry.image.got_slots;
+  full.code_size = entry.image.code_size;
+  full.args_size = header.args_size;
+  full.usr_size = header.usr_size;
+  full.split_code_data = config_.security.split_code_data_pages;
+  const FrameLayout full_layout = FrameLayout::Compute(full);
+  jam_stats_.bytes_saved += full_layout.frame_len - layout.frame_len;
+  if (entry.cold_link_cycles > config_.jam_cache.hit_relink_cycles) {
+    jam_stats_.link_cycles_saved +=
+        entry.cold_link_cycles - config_.jam_cache.hit_relink_cycles;
+  }
+
+  if ((header.flags & kFlagNoExecute) == 0) {
+    vm::Interpreter interp(memory, caches, core, &natives_, config_.exec);
+    const std::uint64_t args[3] = {frame_addr + layout.args_off,
+                                   frame_addr + layout.usr_off,
+                                   header.usr_size};
+    const vm::ExecResult result = interp.Execute(
+        entry.image.code_addr + entry.entry_offset, args, member.stack_top);
+    host_.core(core).CountInstructions(result.instructions);
+    msg.instructions = result.instructions;
+    if (!result.status.ok()) {
+      return Status(result.status.code(),
+                    StrFormat("cached jam (handle %llx) faulted: %s",
+                              static_cast<unsigned long long>(handle),
+                              result.status.message().c_str()));
+    }
+    cycles += result.cycles;
+    msg.executed = true;
+    msg.return_value = result.return_value;
+  }
+  return cycles;
+}
+
+StatusOr<Cycles> Runtime::InstallInJamCache(ElementInfo& elem) {
+  if (elem.content_handle == 0 || elem.code_blob.empty()) return Cycles{0};
+  if (jam_cache_.contains(elem.content_handle)) return Cycles{0};
+
+  // Capacity pressure: evict the entry with the fewest invokes (ties:
+  // least recently used, then lowest handle — the map sweep order), so
+  // the hot jams the cache exists for are the last to go.
+  while (jam_cache_.size() >= config_.jam_cache.capacity) {
+    auto victim = jam_cache_.begin();
+    for (auto it = jam_cache_.begin(); it != jam_cache_.end(); ++it) {
+      if (it->second.invokes < victim->second.invokes ||
+          (it->second.invokes == victim->second.invokes &&
+           it->second.last_used < victim->second.last_used)) {
+        victim = it;
+      }
+    }
+    DropJamCacheEntry(victim->first, /*evicted=*/true);
+  }
+
+  // Receiver-built GOTP from the receiver's own namespace — the same
+  // values a synced sender would pack, but never taken from the wire (in
+  // the hardened mode this is exactly the receiver-installed GOT).
+  std::vector<std::uint64_t> gotp;
+  gotp.reserve(elem.injected_image.got_symbols.size());
+  for (const auto& symbol : elem.injected_image.got_symbols) {
+    TC_ASSIGN_OR_RETURN(const std::uint64_t value, ns_.Lookup(symbol));
+    gotp.push_back(value);
+  }
+  TC_ASSIGN_OR_RETURN(
+      const jelf::CachedJamImage image,
+      jelf::LinkCachedImage(host_.memory(), gotp, elem.code_blob,
+                            "tc:jam-cache:" + elem.name));
+
+  JamCacheEntry entry;
+  entry.image = image;
+  entry.elem_id = elem.elem_id;
+  entry.entry_offset = elem.entry_offset;
+  entry.last_used = ++jam_cache_tick_;
+  entry.cold_link_cycles = ColdLinkCyclesFor(elem);
+  jam_cache_bytes_ += image.size;
+  ++jam_stats_.installs;
+  jam_cache_.emplace(elem.content_handle, std::move(entry));
+  return config_.jam_cache.install_cycles +
+         static_cast<Cycles>(elem.injected_image.got_slot_count()) *
+             config_.got_lookup_cycles;
+}
+
+Cycles Runtime::ColdLinkCyclesFor(const ElementInfo& elem) const noexcept {
+  // The per-invoke link work a cache hit skips: the sender's GOTP pack
+  // (one namespace lookup per slot), plus whatever the security mode adds
+  // on every full-body arrival — code verification, the receiver GOT
+  // install, and the W^X permission flips (two before execution, one
+  // restore after).
+  Cycles cycles = static_cast<Cycles>(elem.injected_image.got_slot_count()) *
+                  config_.got_lookup_cycles;
+  if (config_.security.verify_injected_code) {
+    cycles += elem.injected_image.text.size() / 4;
+  }
+  if (config_.security.receiver_installs_got) {
+    cycles += static_cast<Cycles>(elem.injected_image.got_slot_count()) *
+              config_.got_lookup_cycles;
+  }
+  if (config_.security.split_code_data_pages) {
+    cycles += 3 * config_.mprotect_cycles;
+  }
+  return cycles;
+}
+
+void Runtime::DropJamCacheEntry(std::uint64_t handle, bool evicted) {
+  const auto it = jam_cache_.find(handle);
+  if (it == jam_cache_.end()) return;
+  jam_cache_bytes_ -= it->second.image.size;
+  const Status st =
+      jelf::ReleaseCachedImage(host_.memory(), it->second.image);
+  if (!st.ok()) TC_WARN << "jam-cache release failed: " << st;
+  jam_cache_.erase(it);
+  if (evicted) {
+    ++jam_stats_.evictions;
+  } else {
+    ++jam_stats_.invalidations;
+  }
+}
+
+void Runtime::FlushJamCache() {
+  while (!jam_cache_.empty()) {
+    DropJamCacheEntry(jam_cache_.begin()->first, /*evicted=*/false);
+  }
+}
+
+void Runtime::ForgetPeerHandles() {
+  for (PeerState& peer : peers_) peer.peer_handles.clear();
+}
+
+bool Runtime::PeerHasJamHandle(PeerId peer,
+                               const std::string& name) const noexcept {
+  if (peer >= peers_.size()) return false;
+  for (const auto& elem : elements_) {
+    if (elem.name == name && elem.kind == pkg::ElementKind::kJam) {
+      return peers_[peer].peer_handles.contains(elem.content_handle);
+    }
+  }
+  return false;
 }
 
 StatusOr<mem::VirtAddr> Runtime::ReceiverGotFor(ElementInfo& elem,
@@ -1353,6 +1732,14 @@ void Runtime::CompleteFrame(const ReadyFrame& frame,
               !pool_[owner].processing && claim_backlog_[owner] == 0;
           Status st = ReturnBankFlag(frame.peer, bank, owner_idle);
           if (!st.ok()) TC_WARN << "flag return failed: " << st;
+        } else if (msg.cache_miss) {
+          // A jam-cache miss mid-bank cannot wait for the drain flag —
+          // the sender may have nothing else queued toward this bank.
+          // Push a NAK-only flag word (bit 0 clear) immediately so the
+          // full-body resend leaves now. A miss on the drain slot rides
+          // the ReturnBankFlag word above instead.
+          Status st = SendNakFlag(frame.peer, bank);
+          if (!st.ok()) TC_WARN << "NAK push failed: " << st;
         }
         if (on_executed_) on_executed_(msg);
         MaybeBeginNext(frame.pool);
@@ -1403,7 +1790,38 @@ Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank,
   ++stats_.per_peer[peer_id].bank_flags_returned;
   // Bit 0 opens the bank; bit 1 is the idle hint the sender's flow-bias
   // pick reads: "the core that owns this bank had nothing left to drain".
-  const std::uint64_t flag_word = 1ull | (owner_idle ? 2ull : 0ull);
+  // Bits [32, 64) carry the per-slot jam-cache NAK mask: "these by-handle
+  // frames named content I do not have — resend them full-body".
+  std::uint64_t flag_word = 1ull | (owner_idle ? 2ull : 0ull);
+  if (config_.jam_cache.enabled && !peer.bank_nak_mask.empty()) {
+    flag_word |= static_cast<std::uint64_t>(peer.bank_nak_mask[bank]) << 32;
+    peer.bank_nak_mask[bank] = 0;
+  }
+  TC_ASSIGN_OR_RETURN(
+      const ucxs::PutReceipt receipt,
+      peer.endpoint->PutInline(
+          flag_word, peer.peer_flag_base + 8ull * bank, peer.peer_flag_rkey,
+          false,
+          [peer_rt, our_id_at_peer, bank](const net::PutCompletion& c) {
+            if (c.status.ok()) peer_rt->OnBankFlag(our_id_at_peer, bank);
+          }));
+  (void)receipt;
+  return Status::Ok();
+}
+
+Status Runtime::SendNakFlag(PeerId peer_id, std::uint32_t bank) {
+  if (peer_id >= peers_.size()) return FailedPrecondition("not wired");
+  PeerState& peer = peers_[peer_id];
+  if (peer.bank_nak_mask.empty() || peer.bank_nak_mask[bank] == 0) {
+    return Status::Ok();
+  }
+  Runtime* peer_rt = peer.runtime;
+  const PeerId our_id_at_peer = peer.remote_id;
+  // Bit 0 stays clear: this put does NOT reopen the bank — it only ships
+  // the accumulated NAK bits so the sender can resend full-body at once.
+  const std::uint64_t flag_word =
+      static_cast<std::uint64_t>(peer.bank_nak_mask[bank]) << 32;
+  peer.bank_nak_mask[bank] = 0;
   TC_ASSIGN_OR_RETURN(
       const ucxs::PutReceipt receipt,
       peer.endpoint->PutInline(

@@ -74,6 +74,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -85,6 +86,7 @@
 #include "cpu/core.hpp"
 #include "cpu/spinwait.hpp"
 #include "jamvm/interpreter.hpp"
+#include "jelf/got_rewriter.hpp"
 #include "jelf/loader.hpp"
 #include "net/host.hpp"
 #include "net/nic.hpp"
@@ -135,6 +137,56 @@ struct StealConfig {
   bool domain_aware = true;
 };
 
+/// Receiver-side jam cache: send-once, invoke-many. The first full-body
+/// Injected Function frame of a jam installs its post-GOT-rewrite image
+/// (content-addressed by jelf::ComputeJamHandle) in a receiver-resident
+/// cache; subsequent invokes ride a slim invoke-by-handle frame
+/// (kFlagByHandle) that drops GOTP/CODE, and a hit costs a PRE-slot
+/// validation instead of the full per-invoke link. A receiver miss — cold
+/// cache, eviction, or a content mismatch after a package reload — is
+/// NAKed back to the sender through a per-slot bit mask in the bank flag
+/// word, and the sender resends full-body; the protocol degrades
+/// gracefully, never errors. The cache is flushed (and senders' handle
+/// beliefs cleared) on every namespace re-sync, so a reloaded package can
+/// never serve a stale image.
+struct JamCacheConfig {
+  bool enabled = false;
+  /// Cached images per host. The eviction victim is the entry with the
+  /// fewest invokes (ties: least recently used, then lowest handle) —
+  /// clamped to >= 1 at Initialize when enabled.
+  std::uint32_t capacity = 8;
+  /// Per-hit cost: validate the cached image's PRE slot (the table-lookup
+  /// replacement for the full GOT rewrite).
+  Cycles hit_relink_cycles = 12;
+  /// Cache bookkeeping charged once per install (hash probe + insert).
+  Cycles install_cycles = 60;
+};
+
+/// Counter plane of the receiver-side jam cache (monotonic; never reset).
+/// Ledger contracts the invariant harnesses enforce at quiescence:
+/// receiver-side `hits + misses` == the senders' `by_handle_sends`,
+/// `misses == naks_sent`, and across a connected fabric
+/// sum(naks_received) == sum(naks_sent) == sum(resends).
+struct JamCacheStats {
+  // Receiver side.
+  std::uint64_t hits = 0;        ///< by-handle frames served from the cache
+  std::uint64_t misses = 0;      ///< by-handle frames whose handle was absent
+  std::uint64_t installs = 0;    ///< images linked into the cache
+  std::uint64_t evictions = 0;   ///< capacity-pressure removals
+  std::uint64_t invalidations = 0;  ///< flushes (namespace re-sync, reload)
+  std::uint64_t naks_sent = 0;   ///< missed slots flagged back (== misses)
+  /// Wire bytes hits avoided: full-body frame_len minus by-handle
+  /// frame_len, accumulated per hit.
+  std::uint64_t bytes_saved = 0;
+  /// Link cycles hits avoided: the cold per-invoke link cost (GOTP pack,
+  /// verification, permission flips) minus the hit relink cost.
+  std::uint64_t link_cycles_saved = 0;
+  // Sender side.
+  std::uint64_t by_handle_sends = 0;  ///< slim frames posted
+  std::uint64_t naks_received = 0;    ///< NAK bits seen in returned flags
+  std::uint64_t resends = 0;          ///< full-body resends after a NAK
+};
+
 /// Lifecycle state of one receiver-pool member (see Runtime::QuiesceCore /
 /// ReviveCore and docs/RUNTIME_LIFECYCLE.md).
 enum class PoolCoreState : std::uint8_t {
@@ -175,6 +227,11 @@ struct RuntimeConfig {
   std::uint32_t sender_core = 1;
   /// Receiver-pool work stealing (no-op while the pool has a single core).
   StealConfig steal{};
+  /// Receiver-side jam cache + invoke-by-handle fast path (see
+  /// JamCacheConfig). Requires mailboxes_per_bank <= 32 when enabled (the
+  /// NAK mask rides in bits [32, 64) of the bank flag word; clamped with a
+  /// warning at Initialize).
+  JamCacheConfig jam_cache{};
   /// Domain-aware placement: allocate each inbound mailbox bank and each
   /// pool-core execution stack in the memory domain of the pool core that
   /// owns it, so NIC-stashed frame bytes land in the LLC slice next to the
@@ -218,6 +275,9 @@ struct SendReceipt {
   ucxs::Protocol protocol = ucxs::Protocol::kShort;  ///< put path chosen
   /// Sender CPU time consumed (pack + protocol setup).
   PicoTime sender_cost = 0;
+  /// True when the frame went out as a slim invoke-by-handle frame (the
+  /// sender believed the peer holds the jam's cached image).
+  bool by_handle = false;
 };
 
 /// One completed inbound frame, as delivered to the SetOnExecuted hook
@@ -229,6 +289,10 @@ struct ReceivedMessage {
   PeerId from = kInvalidPeer;
   bool injected = false;          ///< Injected (code-carrying) vs Local
   bool executed = false;          ///< false for kFlagNoExecute frames
+  bool by_handle = false;         ///< arrived as a slim invoke-by-handle frame
+  /// By-handle frame whose handle was not cached: not executed, NAKed back
+  /// to the sender for a full-body resend.
+  bool cache_miss = false;
   std::uint64_t frame_len = 0;    ///< bytes the wire carried
   std::uint64_t return_value = 0; ///< jam return value
   std::uint64_t instructions = 0; ///< VM instructions the jam retired
@@ -327,14 +391,21 @@ class Runtime {
   static Status Wire(Runtime& a, Runtime& b);
 
   /// Loads a package on this host: rieds first (with auto-init), then the
-  /// Local Function library; caches injectable jam images.
-  Status LoadPackage(const pkg::Package& package);
+  /// Local Function library; caches injectable jam images. With
+  /// @p allow_reload, a package may redefine symbols and elements already
+  /// loaded (hot reload): same-name elements are replaced *in place* and
+  /// every jam-cache entry of a replaced element is invalidated, so a
+  /// reloaded jam can never execute its stale cached image.
+  Status LoadPackage(const pkg::Package& package, bool allow_reload = false);
 
   /// Copies each runtime's export table into the other's per-peer remote
   /// namespace — the "exchange with the receiver" that lets senders pack
   /// GOTP with receiver VAs (§III-B). Call after both sides loaded
   /// packages; requires Connect() first. Fabric::SyncNamespaces runs this
-  /// over every connected pair.
+  /// over every connected pair. Re-syncing also invalidates both sides'
+  /// jam-cache state: each receiver flushes its cached images and each
+  /// sender forgets which handles the other holds, so a package reloaded
+  /// before the sync can never be served stale.
   static Status SyncNamespaces(Runtime& a, Runtime& b);
 
   // ------------------------------------------------------------- send
@@ -440,6 +511,20 @@ class Runtime {
   RuntimeConfig& mutable_config() noexcept { return config_; }
   /// Whole-runtime counters (see RuntimeStats for the ledger contracts).
   const RuntimeStats& stats() const noexcept { return stats_; }
+  /// Jam-cache counters (see JamCacheStats for the ledger contracts).
+  const JamCacheStats& jam_cache_stats() const noexcept { return jam_stats_; }
+  /// Images currently resident in the receiver-side jam cache.
+  std::uint32_t JamCacheSize() const noexcept {
+    return static_cast<std::uint32_t>(jam_cache_.size());
+  }
+  /// Bytes of receiver memory the cached images occupy right now.
+  std::uint64_t JamCacheResidentBytes() const noexcept {
+    return jam_cache_bytes_;
+  }
+  /// True when the sender believes @p peer holds the cached image of jam
+  /// @p name (i.e. the next Send would go by-handle). False for unknown
+  /// jams or peers.
+  bool PeerHasJamHandle(PeerId peer, const std::string& name) const noexcept;
   /// Number of connected peers (== size of stats().per_peer).
   std::uint32_t peer_count() const noexcept {
     return static_cast<std::uint32_t>(peers_.size());
@@ -517,6 +602,20 @@ class Runtime {
     std::uint64_t entry_offset = 0;       // within the injected blob
     mem::VirtAddr local_entry = 0;        // in the local library (receiver)
     mem::VirtAddr receiver_got = 0;       // hardened: receiver-side table
+    /// Content handle (jelf::ComputeJamHandle over code_blob + GOT shape),
+    /// memoized at LoadPackage. Zero for rieds.
+    std::uint64_t content_handle = 0;
+  };
+
+  /// One resident jam-cache entry: the pre-linked image plus the ledger
+  /// the eviction policy and the savings accounting read.
+  struct JamCacheEntry {
+    jelf::CachedJamImage image;
+    std::uint32_t elem_id = 0;
+    std::uint64_t entry_offset = 0;  // within the code blob
+    std::uint64_t invokes = 0;       // hits served (eviction key)
+    std::uint64_t last_used = 0;     // monotonic use tick (tie-break)
+    Cycles cold_link_cycles = 0;     // per-invoke link cost a hit skips
   };
 
   struct ReadyFrame {
@@ -576,6 +675,22 @@ class Runtime {
     std::uint32_t send_in_bank = 0;  ///< next slot within send_bank
     std::vector<std::function<void()>> slot_waiters;
     std::map<std::string, std::uint64_t> remote_ns;  ///< peer exports
+    /// Content handles this sender believes the peer's jam cache holds
+    /// (populated by the first full-body send, pruned by NAKs, cleared on
+    /// namespace re-sync). Only populated while the cache is enabled.
+    std::set<std::uint64_t> peer_handles;
+    /// In-flight by-handle sends by slot: what to resend full-body if the
+    /// returned bank flag NAKs the slot. Entries retire when the flag
+    /// comes home (NAK or not). Survives namespace re-syncs on purpose —
+    /// a post-sync NAK must still find its resend recipe.
+    struct PendingByHandle {
+      std::string name;
+      std::uint64_t handle = 0;
+      std::vector<std::uint64_t> args;
+      std::vector<std::uint8_t> usr;
+      std::uint16_t extra_flags = 0;
+    };
+    std::map<std::uint32_t, PendingByHandle> pending_by_handle;
 
     // Inbound: receiving from this peer.
     std::vector<mem::VirtAddr> bank_base;  ///< own memory; the peer puts here
@@ -609,6 +724,11 @@ class Runtime {
     /// `ready` so steal/re-shard decisions read per-holder backlog in O(1)
     /// instead of re-counting the map on every event.
     std::vector<std::uint32_t> bank_ready;
+    /// Per-bank NAK accumulator: bit i set when the frame in in-bank slot
+    /// i was a by-handle cache miss. Rides home in bits [32, 64) of the
+    /// bank flag word at flag-return time, then clears. Allocated only
+    /// while the jam cache is enabled.
+    std::vector<std::uint32_t> bank_nak_mask;
   };
 
   std::uint32_t TotalSlots() const {
@@ -727,6 +847,44 @@ class Runtime {
   StatusOr<mem::VirtAddr> ReceiverGotFor(ElementInfo& elem,
                                          cpu::CpuCore& core);
 
+  // ---------------------------------------------------------- jam cache
+
+  /// By-handle invoke: serve the frame from the cached image (hit) or
+  /// record a NAK for the slot (miss — no execution, no error).
+  StatusOr<Cycles> InvokeByHandle(const ReadyFrame& frame,
+                                  const FrameHeader& header,
+                                  ReceivedMessage& msg);
+  /// Memoizes @p elem's post-GOT-rewrite image under its content handle
+  /// after a full-body injected invoke (evicting under capacity pressure).
+  /// Returns the cycles the install cost (zero when already resident).
+  StatusOr<Cycles> InstallInJamCache(ElementInfo& elem);
+  /// Drops one cache entry, releasing its receiver memory. @p evicted
+  /// routes the removal to the right counter (eviction vs invalidation).
+  void DropJamCacheEntry(std::uint64_t handle, bool evicted);
+  /// Flushes every cached image (namespace re-sync, shutdown).
+  void FlushJamCache();
+  /// Forgets every handle the peers are believed to hold (re-sync).
+  void ForgetPeerHandles();
+  /// Sender-side NAK handling: prune the peer's handle belief and resend
+  /// the recorded by-handle frames full-body (retrying via
+  /// NotifyWhenSlotFree under flow-control pressure). @p retire_served is
+  /// true on a full-drain flag, where un-NAKed pending entries are known
+  /// served; a mid-bank NAK push leaves them pending.
+  void HandleNakMask(PeerId peer, std::uint32_t bank, std::uint32_t mask,
+                     bool retire_served);
+  /// Pushes @p bank's accumulated NAK bits to @p peer immediately in a
+  /// NAK-only flag word (bit 0 clear — the bank is not reopened). Used
+  /// when a by-handle miss lands mid-bank, so the full-body resend does
+  /// not have to wait for the drain flag.
+  Status SendNakFlag(PeerId peer, std::uint32_t bank);
+  /// One NAKed invoke's full-body resend (parks on NotifyWhenSlotFree
+  /// when flow control refuses it right now).
+  void ResendAfterNak(PeerId peer, PeerState::PendingByHandle entry);
+  /// The per-invoke link cost a cache hit skips for @p elem: sender GOTP
+  /// pack plus whatever the security mode adds (verification, receiver
+  /// GOT install, permission flips).
+  Cycles ColdLinkCyclesFor(const ElementInfo& elem) const noexcept;
+
   sim::Engine& engine_;
   net::Host& host_;
   net::Nic& nic_;
@@ -764,9 +922,17 @@ class Runtime {
   /// PickReshardTarget, so runs stay deterministic).
   std::uint32_t reshard_cursor_ = 0;
 
+  // Receiver-side jam cache: content handle -> pre-linked image. The use
+  // tick is a monotonic counter (not engine time) so eviction order is
+  // independent of timing model changes.
+  std::map<std::uint64_t, JamCacheEntry> jam_cache_;
+  std::uint64_t jam_cache_tick_ = 0;
+  std::uint64_t jam_cache_bytes_ = 0;
+
   std::function<void(const ReceivedMessage&)> on_executed_;
   std::function<PicoTime()> preemption_hook_;
   RuntimeStats stats_;
+  JamCacheStats jam_stats_;
   bool initialized_ = false;
 };
 

@@ -79,6 +79,12 @@ struct TestbedOptions {
     runtime.security = policy;
     return *this;
   }
+  /// Arms the receiver-side jam cache on both hosts (send-once,
+  /// invoke-many; see RuntimeConfig::jam_cache).
+  TestbedOptions& WithJamCache(const JamCacheConfig& cache) {
+    runtime.jam_cache = cache;
+    return *this;
+  }
 };
 
 /// The paper's evaluation platform in one object: two simulated hosts

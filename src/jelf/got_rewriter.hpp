@@ -16,9 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
 
 #include "common/status.hpp"
 #include "jelf/image.hpp"
+#include "mem/host_memory.hpp"
 
 namespace twochains::jelf {
 
@@ -39,5 +43,53 @@ StatusOr<RewriteStats> RewriteGotAccesses(LinkedImage& image);
 /// True if the image's text contains no ldg.fix (i.e. it is safe to inject:
 /// all GOT accesses go through the preamble pointer).
 bool IsFullyRewritten(const LinkedImage& image);
+
+// --- Receiver-side jam cache support ----------------------------------
+//
+// A cached jam image is a receiver-resident copy of the frame's linked
+// prefix — [GOTP][pad][PRE][CODE] — laid out so the rewritten code's
+// pc-relative preamble load (kPreambleSlotOffset) works unchanged. Once
+// linked, a slim invoke-by-handle frame only has to name it by content
+// hash: the hit cost is a PRE-slot validation instead of a full GOTP pack
+// + rewrite-era link on every invoke (the DBI code-cache move: translate
+// and link once, dispatch from the cache).
+
+/// A receiver-resident, pre-linked jam image.
+struct CachedJamImage {
+  mem::VirtAddr base = 0;       ///< allocation start (== gotp_addr)
+  std::uint64_t size = 0;       ///< total allocation bytes
+  mem::VirtAddr gotp_addr = 0;  ///< patched GOT table
+  mem::VirtAddr pre_addr = 0;   ///< preamble slot (code_addr - 16)
+  mem::VirtAddr code_addr = 0;  ///< start of the code+rodata blob
+  std::uint32_t got_slots = 0;
+  std::uint64_t code_size = 0;
+};
+
+/// Content handle for a jam: FNV-1a 64 over the code+rodata blob and the
+/// GOT shape (slot count + symbol names, in slot order). Sender and
+/// receiver compute it independently from content, so a stale or mismatched
+/// image can never be addressed by accident.
+std::uint64_t ComputeJamHandle(std::span<const std::uint8_t> code,
+                               std::span<const std::string> got_symbols);
+
+/// Links @p code with @p gotp_values into a fresh receiver-side allocation
+/// laid out exactly like the frame prefix (GOTP, then the PRE slot 16 bytes
+/// before the code). The PRE slot is pointed at the embedded GOTP table.
+/// Pages are RWX like mailbox banks (the interpreter fetch path checks X).
+StatusOr<CachedJamImage> LinkCachedImage(
+    mem::HostMemory& memory, std::span<const std::uint64_t> gotp_values,
+    std::span<const std::uint8_t> code, std::string_view tag,
+    mem::DomainId domain_hint = 0);
+
+/// The per-hit relink: validates the cached image and re-points its PRE
+/// slot (at @p gotp_addr when nonzero, e.g. a sealed receiver-built GOT;
+/// at the embedded GOTP table otherwise). This is the table-lookup-cost
+/// replacement for the full per-invoke GOT rewrite.
+Status RelinkCachedImage(mem::HostMemory& memory, const CachedJamImage& image,
+                         mem::VirtAddr gotp_addr = 0);
+
+/// Releases a cached image's allocation.
+Status ReleaseCachedImage(mem::HostMemory& memory,
+                          const CachedJamImage& image);
 
 }  // namespace twochains::jelf

@@ -112,6 +112,73 @@ TEST(FrameCodecTest, BadMagicRejected) {
   EXPECT_EQ(ReadHeader(tiny).status().code(), StatusCode::kDataLoss);
 }
 
+TEST(FrameCodecTest, InconsistentSizeFieldsRejected) {
+  // Build a valid local frame, then corrupt individual header size fields;
+  // the hardened ReadHeader must reject every inconsistency as kDataLoss.
+  FrameSpec spec;
+  spec.args_size = 8;
+  auto frame = PackFrame(spec, {}, {}, {}, std::vector<std::uint8_t>(8), {});
+  ASSERT_TRUE(frame.ok());
+
+  auto corrupt = [&](std::uint32_t off, std::uint32_t value) {
+    std::vector<std::uint8_t> bad = *frame;
+    std::memcpy(bad.data() + off, &value, 4);
+    return ReadHeader(bad).status().code();
+  };
+  // frame_len: zero, non-64B-multiple, too small for declared sections.
+  EXPECT_EQ(corrupt(8, 0), StatusCode::kDataLoss);
+  EXPECT_EQ(corrupt(8, 96), StatusCode::kDataLoss);
+  EXPECT_EQ(corrupt(8, 63), StatusCode::kDataLoss);
+  // args_size / usr_size that overflow the declared frame_len.
+  EXPECT_EQ(corrupt(16, 4096), StatusCode::kDataLoss);
+  EXPECT_EQ(corrupt(20, 4096), StatusCode::kDataLoss);
+  // args_size near UINT32_MAX must not wrap the 64-bit section arithmetic.
+  EXPECT_EQ(corrupt(16, 0xFFFFFFF8u), StatusCode::kDataLoss);
+  // The pristine frame still parses, with and without a slot capacity.
+  EXPECT_TRUE(ReadHeader(*frame).ok());
+  EXPECT_TRUE(ReadHeader(*frame, /*slot_capacity=*/frame->size()).ok());
+  // ...but not into a slot smaller than frame_len.
+  EXPECT_EQ(ReadHeader(*frame, /*slot_capacity=*/32).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, HandleFrameRoundTrip) {
+  FrameSpec spec;
+  spec.by_handle = true;
+  spec.args_size = 16;
+  spec.usr_size = 5;
+  FrameHeader header;
+  header.sn = 11;
+  header.elem_id = 3;
+  const std::vector<std::uint8_t> args(16, 0xAB);
+  const std::vector<std::uint8_t> usr = {1, 2, 3, 4, 5};
+  auto frame = PackHandleFrame(spec, header, 0xFEEDC0DEDEADBEEFull, args, usr);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+
+  // A by-handle frame drops GOTP/PRE/CODE: header + handle + args + usr +
+  // sig, rounded to a cache line — a single line for this payload.
+  const FrameLayout layout = FrameLayout::Compute(spec);
+  EXPECT_EQ(layout.handle_off, kHeaderBytes);
+  EXPECT_EQ(layout.args_off, kHeaderBytes + 8u);
+  EXPECT_EQ(frame->size(), 64u);
+
+  auto parsed = ReadHeader(*frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->flags & kFlagByHandle);
+  auto handle = ReadHandle(*frame, *parsed);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(*handle, 0xFEEDC0DEDEADBEEFull);
+  EXPECT_EQ((*frame)[layout.args_off], 0xAB);
+  EXPECT_EQ((*frame)[layout.usr_off], 1);
+
+  // PackFrame refuses by-handle specs; ReadHandle refuses full frames.
+  EXPECT_FALSE(PackFrame(spec, header, {}, {}, args, usr).ok());
+  FrameHeader full = *parsed;
+  full.flags = static_cast<std::uint16_t>(full.flags & ~kFlagByHandle);
+  EXPECT_EQ(ReadHandle(*frame, full).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(FrameCodecTest, PreSlotPatching) {
   FrameSpec spec;
   spec.injected = true;

@@ -304,5 +304,67 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 2u, 4u),
                        ::testing::Bool()));
 
+// ---------------------------------------------------- jam cache on/off
+
+/// The pool incast with the receiver-side jam cache armed (or not) on a
+/// steal-enabled pool: the cache adds NAK/resend scheduling races that
+/// must stay seed-reproducible, and the fingerprint now carries the
+/// cache ledger, so a rerun comparison covers hit/miss ordering too.
+pooltest::PoolTopology JamTopology(std::uint32_t receiver_cores,
+                                   bool cache_on) {
+  pooltest::PoolTopology topo;
+  topo.spokes = 4;
+  topo.receiver_cores = receiver_cores;
+  topo.banks = 2;
+  topo.mailboxes_per_bank = 4;
+  topo.messages_per_spoke = {80, 80, 80, 80};
+  topo.steal.enabled = receiver_cores > 1;
+  topo.steal.threshold = 1;
+  topo.steal.hysteresis = 1;
+  topo.jam_cache.enabled = cache_on;
+  topo.jam_cache.capacity = 4;
+  topo.seed = kSeed;
+  return topo;
+}
+
+using JamParam = std::tuple<std::uint32_t, bool>;
+
+class JamCacheDeterminismTest : public ::testing::TestWithParam<JamParam> {};
+
+TEST_P(JamCacheDeterminismTest, CacheRunsAreByteIdenticalAndNotDead) {
+  const auto [cores, cache_on] = GetParam();
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+
+  const pooltest::PoolTopology topo = JamTopology(cores, cache_on);
+  const pooltest::PoolRunResult first = pooltest::RunPoolIncast(topo,
+                                                                *package);
+  const pooltest::PoolRunResult second = pooltest::RunPoolIncast(topo,
+                                                                 *package);
+  pooltest::ExpectPoolInvariants(topo, first);
+  EXPECT_EQ(first.fingerprint, second.fingerprint)
+      << "jam_cache=" << cache_on << " pool of " << cores
+      << " not reproducible";
+
+  if (cache_on) {
+    // Dead-config guard: the repeated jams must actually ride the fast
+    // path, and the observable state must differ from a cache-off run.
+    EXPECT_GT(first.spoke_by_handle_sends, 0u);
+    EXPECT_GT(first.hub_jam.hits, 0u);
+    const pooltest::PoolTopology off = JamTopology(cores, false);
+    const pooltest::PoolRunResult base = pooltest::RunPoolIncast(off,
+                                                                 *package);
+    pooltest::ExpectPoolInvariants(off, base);
+    EXPECT_NE(first.fingerprint, base.fingerprint);
+    // The cache changes what travels, never whether work executes.
+    EXPECT_EQ(first.executed, base.executed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JamCachePools, JamCacheDeterminismTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Bool()));
+
 }  // namespace
 }  // namespace twochains::core

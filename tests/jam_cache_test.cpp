@@ -1,0 +1,337 @@
+// Receiver-side jam cache suite: send-once/invoke-many over the two-host
+// testbed — the by-handle fast path, the miss -> NAK -> resend degrade
+// path, capacity eviction under thrash, reload/re-sync invalidation (a
+// reloaded package must never execute a stale cached image), hardened
+// security modes over cached images, and exactly-once under a stealing,
+// hotplugging receiver pool with the cache armed.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchlib/workloads.hpp"
+#include "core/two_chains.hpp"
+#include "pool_harness.hpp"
+
+namespace twochains::core {
+namespace {
+
+JamCacheConfig CacheOn(std::uint32_t capacity = 8) {
+  JamCacheConfig config;
+  config.enabled = true;
+  config.capacity = capacity;
+  return config;
+}
+
+class JamCacheTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Options(std::uint32_t capacity = 8) {
+    TestbedOptions options;
+    options.runtime.banks = 2;
+    options.runtime.mailboxes_per_bank = 4;
+    options.runtime.mailbox_slot_bytes = KiB(64);
+    options.WithJamCache(CacheOn(capacity));
+    return options;
+  }
+
+  void SetUpTestbed(TestbedOptions options = Options()) {
+    testbed_ = std::make_unique<Testbed>(options);
+    auto pkg = bench::BuildBenchPackage();
+    ASSERT_TRUE(pkg.ok()) << pkg.status();
+    ASSERT_TRUE(testbed_->LoadPackage(*pkg).ok());
+  }
+
+  /// Sends one jam and runs until a frame actually *executes* (a cache
+  /// miss completes without executing; its full-body resend follows).
+  StatusOr<ReceivedMessage> SendAndRun(const std::string& jam,
+                                       std::vector<std::uint64_t> args,
+                                       std::vector<std::uint8_t> usr) {
+    std::optional<ReceivedMessage> executed;
+    testbed_->runtime(1).SetOnExecuted([&](const ReceivedMessage& msg) {
+      if (msg.executed) executed = msg;
+    });
+    TC_ASSIGN_OR_RETURN(
+        const SendReceipt receipt,
+        testbed_->runtime(0).Send(jam, Invoke::kInjected, args, usr));
+    last_receipt_ = receipt;
+    testbed_->RunUntil([&] { return executed.has_value(); });
+    testbed_->runtime(1).SetOnExecuted(nullptr);
+    if (!executed.has_value()) return Internal("message never executed");
+    return *executed;
+  }
+
+  std::vector<std::uint8_t> SumPayload(std::uint64_t* expect_out) {
+    std::vector<std::uint8_t> usr(64);
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const std::uint64_t v = 3 * i + 1;
+      std::memcpy(usr.data() + 8 * i, &v, 8);
+      expect += v;
+    }
+    *expect_out = expect;
+    return usr;
+  }
+
+  std::unique_ptr<Testbed> testbed_;
+  SendReceipt last_receipt_;
+};
+
+TEST_F(JamCacheTest, SecondSendGoesByHandleAndSavesWire) {
+  SetUpTestbed();
+  Runtime& sender = testbed_->runtime(0);
+  Runtime& receiver = testbed_->runtime(1);
+  std::uint64_t expect = 0;
+  const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+  // First send travels full-body and installs at the receiver.
+  auto first = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(last_receipt_.by_handle);
+  EXPECT_FALSE(first->by_handle);
+  EXPECT_EQ(first->return_value, expect);
+  EXPECT_EQ(receiver.jam_cache_stats().installs, 1u);
+  EXPECT_EQ(receiver.JamCacheSize(), 1u);
+  EXPECT_GT(receiver.JamCacheResidentBytes(), 0u);
+  EXPECT_TRUE(sender.PeerHasJamHandle(kDefaultPeer, "ssum"));
+  const std::uint64_t full_bytes = sender.stats().bytes_sent;
+
+  // Second send rides the slim by-handle frame and still computes the sum.
+  auto second = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(last_receipt_.by_handle);
+  EXPECT_TRUE(second->by_handle);
+  EXPECT_EQ(second->return_value, expect);
+  EXPECT_EQ(receiver.PeekU64("sum_results", 1).value(), expect);
+
+  const JamCacheStats& js = receiver.jam_cache_stats();
+  EXPECT_EQ(js.hits, 1u);
+  EXPECT_EQ(js.misses, 0u);
+  EXPECT_GT(js.bytes_saved, 0u);
+  EXPECT_GT(js.link_cycles_saved, 0u);
+  EXPECT_EQ(sender.jam_cache_stats().by_handle_sends, 1u);
+
+  // The by-handle frame is dramatically smaller than the full-body one:
+  // the second send's wire bytes must undercut the first send's by at
+  // least the code blob it no longer carries.
+  const std::uint64_t slim_bytes = sender.stats().bytes_sent - full_bytes;
+  EXPECT_LT(slim_bytes + 512, full_bytes);
+  EXPECT_EQ(last_receipt_.frame_len, slim_bytes);
+}
+
+TEST_F(JamCacheTest, EvictionMissTriggersNakAndFullResend) {
+  // Capacity 1: installing a second jam evicts the first, so re-invoking
+  // the first by handle MUST miss, NAK, and resend full-body — the wire
+  // protocol's designed degrade path, observed step by step.
+  SetUpTestbed(Options(/*capacity=*/1));
+  Runtime& sender = testbed_->runtime(0);
+  Runtime& receiver = testbed_->runtime(1);
+  std::uint64_t expect = 0;
+  const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+  ASSERT_TRUE(SendAndRun("ssum", {0}, usr).ok());   // installs ssum
+  ASSERT_TRUE(SendAndRun("iput", {77}, usr).ok());  // evicts ssum for iput
+  EXPECT_EQ(receiver.jam_cache_stats().evictions, 1u);
+  EXPECT_EQ(receiver.JamCacheSize(), 1u);
+
+  // The sender still believes the peer holds ssum — this send goes
+  // by-handle, misses, and the NAK forces a full-body resend that
+  // executes exactly once.
+  auto msg = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_TRUE(last_receipt_.by_handle);
+  EXPECT_FALSE(msg->by_handle);  // the executing frame is the resend
+  EXPECT_EQ(msg->return_value, expect);
+  EXPECT_EQ(receiver.PeekU64("sum_results", 1).value(), expect);
+  EXPECT_EQ(receiver.PeekU64("sum_cursor").value(), 2u);
+
+  const JamCacheStats& hub = receiver.jam_cache_stats();
+  const JamCacheStats& cli = sender.jam_cache_stats();
+  EXPECT_EQ(hub.misses, 1u);
+  EXPECT_EQ(hub.naks_sent, 1u);
+  EXPECT_EQ(cli.naks_received, 1u);
+  EXPECT_EQ(cli.resends, 1u);
+  EXPECT_EQ(hub.hits, 0u);
+
+  // The resend re-installed ssum (evicting iput), so the next send hits.
+  auto hot = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  EXPECT_TRUE(hot->by_handle);
+  EXPECT_EQ(hot->return_value, expect);
+  EXPECT_EQ(receiver.jam_cache_stats().hits, 1u);
+  EXPECT_LE(receiver.JamCacheSize(), 1u);
+}
+
+TEST_F(JamCacheTest, CapacityOneThrashStaysCorrect) {
+  SetUpTestbed(Options(/*capacity=*/1));
+  Runtime& receiver = testbed_->runtime(1);
+  std::uint64_t expect = 0;
+  const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+  // Alternating jams through a 1-entry cache: every re-invoke of the
+  // displaced jam misses and resends, and every result must stay right.
+  for (int round = 0; round < 6; ++round) {
+    auto sum = SendAndRun("ssum", {0}, usr);
+    ASSERT_TRUE(sum.ok()) << sum.status();
+    EXPECT_EQ(sum->return_value, expect) << "round " << round;
+    auto put = SendAndRun("iput", {1000 + static_cast<std::uint64_t>(round)},
+                          usr);
+    ASSERT_TRUE(put.ok()) << put.status();
+    EXPECT_NE(put->return_value, static_cast<std::uint64_t>(-1))
+        << "round " << round;
+  }
+  EXPECT_EQ(receiver.PeekU64("sum_cursor").value(), 6u);
+
+  const JamCacheStats& hub = receiver.jam_cache_stats();
+  const JamCacheStats& cli = testbed_->runtime(0).jam_cache_stats();
+  EXPECT_GT(hub.evictions, 0u);
+  EXPECT_GT(hub.misses, 0u);
+  EXPECT_EQ(hub.misses, hub.naks_sent);
+  EXPECT_EQ(cli.naks_received, hub.naks_sent);
+  EXPECT_EQ(cli.resends, cli.naks_received);
+  EXPECT_EQ(hub.hits + hub.misses, cli.by_handle_sends);
+  EXPECT_LE(receiver.JamCacheSize(), 1u);
+  EXPECT_EQ(receiver.JamCacheSize(),
+            hub.installs - hub.evictions - hub.invalidations);
+}
+
+// Two builds of the same element name with different bodies: the reload
+// path must guarantee the stale cached image never executes again.
+StatusOr<pkg::Package> TagPackage(long addend) {
+  pkg::PackageBuilder builder;
+  const std::string source =
+      "long jam_tag(long* args, char* usr, long usr_bytes) {\n"
+      "  return args[0] + " + std::to_string(addend) + ";\n"
+      "}\n";
+  TC_RETURN_IF_ERROR(builder.AddSourceFile("jam_tag.amc", source));
+  return builder.Build("tagpkg");
+}
+
+TEST_F(JamCacheTest, ReloadAndResyncInvalidateStaleImage) {
+  testbed_ = std::make_unique<Testbed>(Options());
+  auto v1 = TagPackage(100);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_TRUE(testbed_->LoadPackage(*v1).ok());
+  Runtime& sender = testbed_->runtime(0);
+  Runtime& receiver = testbed_->runtime(1);
+
+  // Warm the cache: install, then a by-handle hit.
+  auto cold = SendAndRun("tag", {42}, {});
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->return_value, 142u);
+  auto hot = SendAndRun("tag", {42}, {});
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  EXPECT_TRUE(hot->by_handle);
+  EXPECT_EQ(hot->return_value, 142u);
+  EXPECT_EQ(receiver.JamCacheSize(), 1u);
+
+  // Hot-reload v2 on both hosts and re-sync. The re-sync is the cache's
+  // invalidation point: every cached image is flushed and every armed
+  // peer handle forgotten.
+  auto v2 = TagPackage(200);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  ASSERT_TRUE(sender.LoadPackage(*v2, /*allow_reload=*/true).ok());
+  ASSERT_TRUE(receiver.LoadPackage(*v2, /*allow_reload=*/true).ok());
+  ASSERT_TRUE(testbed_->fabric().SyncNamespaces().ok());
+  EXPECT_EQ(receiver.JamCacheSize(), 0u);
+  EXPECT_GT(receiver.jam_cache_stats().invalidations, 0u);
+  EXPECT_FALSE(sender.PeerHasJamHandle(kDefaultPeer, "tag"));
+
+  // Post-reload sends must observe v2 — the stale image never runs.
+  auto fresh = SendAndRun("tag", {42}, {});
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(last_receipt_.by_handle);  // handles were forgotten
+  EXPECT_EQ(fresh->return_value, 242u);
+  auto fresh_hot = SendAndRun("tag", {42}, {});
+  ASSERT_TRUE(fresh_hot.ok()) << fresh_hot.status();
+  EXPECT_TRUE(fresh_hot->by_handle);
+  EXPECT_EQ(fresh_hot->return_value, 242u);
+}
+
+TEST_F(JamCacheTest, HitPathUnderHardenedSecurityModes) {
+  // All three hardening modes on: the cached image was verified at
+  // install, its GOTP equals the sealed receiver-built table, and its
+  // pages never intersect the mailbox — hits skip the per-invoke checks
+  // yet produce identical results.
+  TestbedOptions options = Options();
+  SecurityPolicy policy;
+  policy.verify_injected_code = true;
+  policy.receiver_installs_got = true;
+  policy.split_code_data_pages = true;
+  options.WithSecurity(policy);
+  SetUpTestbed(options);
+  Runtime& receiver = testbed_->runtime(1);
+  std::uint64_t expect = 0;
+  const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+  auto cold = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->return_value, expect);
+  auto hot = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  EXPECT_TRUE(hot->by_handle);
+  EXPECT_EQ(hot->return_value, expect);
+  EXPECT_EQ(receiver.jam_cache_stats().hits, 1u);
+  EXPECT_EQ(receiver.stats().security_rejections, 0u);
+  // The hardened cold path saves more per hit, and the ledger says so.
+  EXPECT_GT(receiver.jam_cache_stats().link_cycles_saved, 0u);
+}
+
+TEST_F(JamCacheTest, NoExecuteFramesNeverGoByHandle) {
+  SetUpTestbed();
+  Runtime& sender = testbed_->runtime(0);
+  std::optional<ReceivedMessage> done;
+  testbed_->runtime(1).SetOnExecuted(
+      [&](const ReceivedMessage& msg) { done = msg; });
+  for (int i = 0; i < 2; ++i) {
+    done.reset();
+    const std::vector<std::uint64_t> args = {0};
+    auto receipt =
+        sender.Send("ssum", Invoke::kInjected, args, {},
+                    static_cast<std::uint16_t>(kFlagNoExecute));
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    // Delivery-only frames must pay full freight: the receiver skips
+    // invocation entirely, so a by-handle miss could never be serviced.
+    EXPECT_FALSE(receipt->by_handle);
+    testbed_->RunUntil([&] { return done.has_value(); });
+    ASSERT_TRUE(done.has_value());
+    EXPECT_FALSE(done->executed);
+  }
+  testbed_->runtime(1).SetOnExecuted(nullptr);
+  EXPECT_EQ(sender.jam_cache_stats().by_handle_sends, 0u);
+}
+
+// --------------------------------------------- pool scheduler integration
+
+/// Exactly-once and ledger reconciliation with the cache armed on a
+/// stealing pool, including mid-drain hotplug — the cache's NAK/resend
+/// traffic must not break a single scheduler invariant.
+TEST(JamCachePoolTest, ExactlyOnceUnderStealAndQuiesce) {
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+
+  for (const std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+    pooltest::PoolTopology topo;
+    topo.spokes = 4;
+    topo.receiver_cores = 4;
+    topo.banks = 2;
+    topo.mailboxes_per_bank = 4;
+    topo.messages_per_spoke = {96, 24, 24, 48};
+    topo.steal.enabled = true;
+    topo.steal.threshold = 1;
+    topo.steal.hysteresis = 1;
+    topo.jam_cache = CacheOn(2);  // small: force eviction/NAK traffic
+    topo.quiesce = {{1, 40, 160}, {2, 90, 0}};
+    topo.seed = seed;
+    const pooltest::PoolRunResult r = pooltest::RunPoolIncast(topo,
+                                                              *package);
+    pooltest::ExpectPoolInvariants(topo, r);
+    EXPECT_GT(r.spoke_by_handle_sends, 0u) << topo.Describe();
+    EXPECT_GT(r.hub_jam.hits, 0u) << topo.Describe();
+  }
+}
+
+}  // namespace
+}  // namespace twochains::core

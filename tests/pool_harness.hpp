@@ -63,6 +63,9 @@ struct PoolTopology {
   /// last active core) are counted as refused, not fatal — the randomized
   /// sweep is allowed to draw impossible plans.
   std::vector<QuiesceEvent> quiesce;
+  /// Receiver-side jam cache on every host (spokes send by-handle once
+  /// the hub holds their content; misses ride the NAK/resend path).
+  JamCacheConfig jam_cache{};
   std::uint64_t seed = 1;
 
   std::string Describe() const {
@@ -79,11 +82,12 @@ struct PoolTopology {
     }
     return StrFormat(
         "spokes=%u cores=%u banks=%u mpb=%u wait=%s steal{on=%d thr=%u "
-        "hys=%u} msgs=[%s]%s%s seed=%llu",
+        "hys=%u} jam{on=%d cap=%u} msgs=[%s]%s%s seed=%llu",
         spokes, receiver_cores, banks, mailboxes_per_bank,
         wait_mode == cpu::WaitMode::kPoll ? "poll" : "wfe",
         steal.enabled ? 1 : 0, steal.threshold, steal.hysteresis,
-        msgs.c_str(), identical_streams ? " identical" : "", plugs.c_str(),
+        jam_cache.enabled ? 1 : 0, jam_cache.capacity, msgs.c_str(),
+        identical_streams ? " identical" : "", plugs.c_str(),
         static_cast<unsigned long long>(seed));
   }
 };
@@ -123,6 +127,15 @@ struct PoolRunResult {
   /// Per-core re-shard mirrors summed over the pool.
   std::uint64_t resharded_in_sum = 0;
   std::uint64_t resharded_out_sum = 0;
+
+  // Jam-cache observables (all zero when the cache is off).
+  JamCacheStats hub_jam;                    ///< hub cache stats at drain
+  std::uint64_t spoke_by_handle_sends = 0;  ///< summed over spokes
+  std::uint64_t spoke_naks_received = 0;
+  std::uint64_t spoke_resends = 0;
+  std::uint64_t miss_completions = 0;  ///< hook saw cache_miss frames
+  std::uint32_t hub_cache_entries = 0;
+  std::uint64_t hub_cache_bytes = 0;
 };
 
 inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
@@ -134,6 +147,9 @@ inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
   options.runtime.mailboxes_per_bank = topo.mailboxes_per_bank;
   options.runtime.mailbox_slot_bytes = topo.mailbox_slot_bytes;
   options.runtime.wait.mode = topo.wait_mode;
+  // The cache knob applies fabric-wide: spokes need it to *send* by-handle,
+  // the hub needs it to install and serve (and to NAK what it lacks).
+  options.runtime.jam_cache = topo.jam_cache;
   // Thousands of short fabrics get built per suite; a compact arena keeps
   // per-run construction cheap (mailbox slices + libraries fit with room
   // to spare).
@@ -179,6 +195,21 @@ inline std::string PoolFingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(s.banks_drained_stolen),
         static_cast<unsigned long long>(s.banks_resharded),
         static_cast<unsigned long long>(s.frames_drained_during_quiesce));
+    const JamCacheStats& js = fabric.runtime(h).jam_cache_stats();
+    out += StrFormat(
+        "  jam%u hits=%llu miss=%llu inst=%llu evict=%llu inval=%llu "
+        "nakTX=%llu nakRX=%llu bh=%llu resend=%llu bsave=%llu csave=%llu\n",
+        h, static_cast<unsigned long long>(js.hits),
+        static_cast<unsigned long long>(js.misses),
+        static_cast<unsigned long long>(js.installs),
+        static_cast<unsigned long long>(js.evictions),
+        static_cast<unsigned long long>(js.invalidations),
+        static_cast<unsigned long long>(js.naks_sent),
+        static_cast<unsigned long long>(js.naks_received),
+        static_cast<unsigned long long>(js.by_handle_sends),
+        static_cast<unsigned long long>(js.resends),
+        static_cast<unsigned long long>(js.bytes_saved),
+        static_cast<unsigned long long>(js.link_cycles_saved));
     for (std::size_t p = 0; p < s.per_peer.size(); ++p) {
       const PeerStats& ps = s.per_peer[p];
       out += StrFormat(
@@ -247,7 +278,11 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
   std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> seen_sn;
   std::map<std::pair<PeerId, std::uint32_t>, std::uint32_t> next_in_bank;
   hub.SetOnExecuted([&](const ReceivedMessage& msg) {
-    ++result.executed;
+    // A by-handle cache miss completes (drains, returns its flag) without
+    // executing; its full-body resend — a fresh sn — executes instead, so
+    // only actual executions count against the pump's send total.
+    if (msg.cache_miss) ++result.miss_completions;
+    if (!msg.cache_miss) ++result.executed;
     if (msg.pool < result.executed_per_core.size()) {
       ++result.executed_per_core[msg.pool];
     }
@@ -330,12 +365,21 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
   hub.SetOnExecuted(nullptr);
   for (std::uint32_t s = 0; s < topo.spokes; ++s) {
     result.sent += (*senders)[s].sent;
+    const JamCacheStats& js = fabric.runtime(s + 1).jam_cache_stats();
+    result.spoke_by_handle_sends += js.by_handle_sends;
+    result.spoke_naks_received += js.naks_received;
+    result.spoke_resends += js.resends;
     // Each full group of mailboxes_per_bank sends to the hub closes one
-    // bank, whose flag must come back by drain.
-    result.expected_flag_returns += (*senders)[s].sent / in_bank_slots;
+    // bank, whose flag must come back by drain. NAK-triggered resends are
+    // extra sends the pump never saw, so they count toward bank fills.
+    result.expected_flag_returns +=
+        ((*senders)[s].sent + js.resends) / in_bank_slots;
     result.closed_send_banks +=
         fabric.runtime(s + 1).ClosedSendBanks((*senders)[s].to_hub);
   }
+  result.hub_jam = hub.jam_cache_stats();
+  result.hub_cache_entries = hub.JamCacheSize();
+  result.hub_cache_bytes = hub.JamCacheResidentBytes();
   result.in_flight_at_drain = hub.InFlightFrames();
   result.pending_rehomes_at_drain = hub.PendingRehomes();
   result.active_cores_at_drain = hub.ActivePoolCores();
@@ -376,6 +420,27 @@ inline void ExpectPoolInvariants(const PoolTopology& topo,
     EXPECT_EQ(r.hub.steals, 0u) << ctx;
     EXPECT_EQ(r.hub.frames_stolen, 0u) << ctx;
     EXPECT_EQ(r.hub.banks_drained_stolen, 0u) << ctx;
+  }
+
+  // Jam-cache ledger reconciliation. Every by-handle send either hit or
+  // missed at the hub; every miss sent exactly one NAK; every NAK was
+  // received and answered with exactly one full-body resend by drain.
+  EXPECT_EQ(r.hub_jam.hits + r.hub_jam.misses, r.spoke_by_handle_sends)
+      << ctx;
+  EXPECT_EQ(r.hub_jam.naks_sent, r.hub_jam.misses) << ctx;
+  EXPECT_EQ(r.spoke_naks_received, r.hub_jam.naks_sent) << ctx;
+  EXPECT_EQ(r.spoke_resends, r.spoke_naks_received) << ctx;
+  EXPECT_EQ(r.miss_completions, r.hub_jam.misses) << ctx;
+  EXPECT_EQ(r.hub_cache_entries,
+            r.hub_jam.installs - r.hub_jam.evictions - r.hub_jam.invalidations)
+      << ctx;
+  if (topo.jam_cache.enabled) {
+    EXPECT_LE(r.hub_cache_entries, topo.jam_cache.capacity) << ctx;
+    EXPECT_EQ(r.hub_cache_bytes > 0, r.hub_cache_entries > 0) << ctx;
+  } else {
+    EXPECT_EQ(r.spoke_by_handle_sends, 0u) << ctx;
+    EXPECT_EQ(r.hub_jam.installs, 0u) << ctx;
+    EXPECT_EQ(r.hub_cache_entries, 0u) << ctx;
   }
 
   // Hotplug ledger reconciliation — these hold whether or not the run's

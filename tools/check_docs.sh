@@ -64,11 +64,14 @@ check() { # struct_name file heading_regex [exclude_regex]
   fi
 }
 
-# The work-stealing section documents StealConfig's *nested* fields, so
-# it is excluded from the RuntimeConfig scope — a StealConfig name must
-# not satisfy a same-named top-level RuntimeConfig field.
-check RuntimeConfig src/core/runtime.hpp '^## RuntimeConfig' 'work stealing'
+# The work-stealing and jam-cache sections document StealConfig's and
+# JamCacheConfig's *nested* fields, so they are excluded from the
+# RuntimeConfig scope — a nested name must not satisfy a same-named
+# top-level RuntimeConfig field.
+check RuntimeConfig src/core/runtime.hpp '^## RuntimeConfig' \
+  'work stealing|jam cache'
 check StealConfig src/core/runtime.hpp '^## RuntimeConfig — work stealing'
+check JamCacheConfig src/core/runtime.hpp '^## RuntimeConfig — jam cache'
 check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
 
 exit $fail
