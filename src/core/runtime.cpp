@@ -314,6 +314,7 @@ Status Runtime::LoadPackage(const pkg::Package& package, bool allow_reload) {
     if (elem.kind != pkg::ElementKind::kRied) continue;
     jelf::LoadOptions opts;
     opts.allow_export_override = allow_reload;
+    opts.verify_code = config_.security.verify_injected_code;
     TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
                         jelf::LoadLibrary(host_.memory(), elem.ried_image,
                                           ns_, opts));
@@ -345,6 +346,7 @@ Status Runtime::LoadPackage(const pkg::Package& package, bool allow_reload) {
   if (!package.local_library.text.empty()) {
     jelf::LoadOptions opts;
     opts.allow_export_override = allow_reload;
+    opts.verify_code = config_.security.verify_injected_code;
     TC_ASSIGN_OR_RETURN(jelf::LoadedLibrary lib,
                         jelf::LoadLibrary(host_.memory(),
                                           package.local_library, ns_, opts));
@@ -352,6 +354,10 @@ Status Runtime::LoadPackage(const pkg::Package& package, bool allow_reload) {
   }
   for (const auto& elem : package.elements) {
     if (elem.kind != pkg::ElementKind::kJam) continue;
+    // Layout validation must precede CodeBlobOf: a hostile package with
+    // got_offset < text.size() would otherwise overflow the blob copy
+    // (the blob is got_offset bytes, the memcpy is text.size()).
+    TC_RETURN_IF_ERROR(jelf::ValidateImageLayout(elem.injected_image));
     ElementInfo info;
     info.kind = elem.kind;
     info.elem_id = elem.element_id;
@@ -377,6 +383,13 @@ Status Runtime::LoadPackage(const pkg::Package& package, bool allow_reload) {
   }
   if (local_lib.has_value()) {
     loaded_libraries_.push_back(std::move(*local_lib));
+  }
+  // Confinement windows track the library set (reloads keep old images
+  // mapped, so stale GOT values that still point at them stay executable).
+  library_windows_.clear();
+  library_windows_.reserve(loaded_libraries_.size());
+  for (const auto& lib : loaded_libraries_) {
+    library_windows_.push_back(vm::MemWindow{lib.base, lib.size});
   }
   return Status::Ok();
 }
@@ -1313,15 +1326,28 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
 
   mem::VirtAddr entry = 0;
   if (msg.injected) {
+    // code_size is the full blob (text..rodata); a blob smaller than its
+    // own text would wrap the unsigned rodata bound below and neuter the
+    // verifier's lea escape check. LoadPackage's layout validation should
+    // make this unreachable — keep it as defense in depth.
+    const std::uint64_t text_bytes = elem->injected_image.text.size();
+    if (spec.code_size < text_bytes) {
+      return InvalidArgument(StrFormat(
+          "jam '%s': code blob (%llu B) smaller than its text (%llu B)",
+          elem->name.c_str(),
+          static_cast<unsigned long long>(spec.code_size),
+          static_cast<unsigned long long>(text_bytes)));
+    }
     if (config_.security.verify_injected_code) {
       TC_ASSIGN_OR_RETURN(const auto code_span,
                           memory.RawSpan(frame_addr + layout.code_off,
-                                         elem->injected_image.text.size()));
+                                         text_bytes));
       vm::VerifyLimits limits;
       limits.got_slots = spec.got_slots;
-      limits.rodata_bytes = spec.code_size - elem->injected_image.text.size();
+      limits.rodata_bytes = spec.code_size - text_bytes;
+      limits.pre_slot_offset = jelf::kPreambleSlotOffset;
       TC_RETURN_IF_ERROR(vm::VerifyCode(code_span, limits));
-      cycles += elem->injected_image.text.size() / 4;  // ~2 cy / instruction
+      cycles += text_bytes / 4;  // ~2 cy / instruction
     }
     if (config_.security.receiver_installs_got) {
       // §V: receiver inserts the GOT pointer from a secure location.
@@ -1357,7 +1383,11 @@ StatusOr<Cycles> Runtime::InvokeFrame(const ReadyFrame& frame,
   }
 
   if ((header.flags & kFlagNoExecute) == 0) {
-    vm::Interpreter interp(memory, caches, core, &natives_, config_.exec);
+    vm::Interpreter interp(
+        memory, caches, core, &natives_,
+        msg.injected
+            ? ConfinedExec(frame_addr + layout.code_off, spec.code_size)
+            : ConfinedExec(0, 0));
     const std::uint64_t args[3] = {frame_addr + layout.args_off,
                                    frame_addr + layout.usr_off,
                                    header.usr_size};
@@ -1424,13 +1454,13 @@ StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
   spec.usr_size = header.usr_size;
   const FrameLayout layout = FrameLayout::Compute(spec);
 
-  const auto it = jam_cache_.find(handle);
-  if (it == jam_cache_.end()) {
-    // Miss — cold cache, eviction, or content drift after a reload. The
-    // frame is *not* executed (its code never travelled); instead the
-    // slot's NAK bit rides home in the bank flag and the sender resends
-    // full-body. Not an error and not a security rejection: the protocol
-    // is designed to degrade this way.
+  // Miss — cold cache, eviction, content drift after a reload, or a frame
+  // whose claimed element does not match the cached content. The frame is
+  // *not* executed (its code never travelled); instead the slot's NAK bit
+  // rides home in the bank flag and the sender resends full-body. Not an
+  // error and not a security rejection: the protocol is designed to
+  // degrade this way.
+  const auto nak = [&]() -> Cycles {
     ++jam_stats_.misses;
     ++jam_stats_.naks_sent;
     msg.cache_miss = true;
@@ -1438,9 +1468,20 @@ StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
     const std::uint32_t bank = frame.slot / config_.mailboxes_per_bank;
     p.bank_nak_mask[bank] |= 1u << (frame.slot % config_.mailboxes_per_bank);
     return cycles;
-  }
+  };
+
+  const auto it = jam_cache_.find(handle);
+  if (it == jam_cache_.end()) return nak();
 
   JamCacheEntry& entry = it->second;
+  if (entry.elem_id != header.elem_id) {
+    // Cross-namespace handle trick: the handle names content this cache
+    // holds, but the header claims a different element. An honest sender
+    // can only produce matched pairs, so degrade to the NAK path — the
+    // full-body resend re-establishes which element the bytes belong to —
+    // instead of executing cached code under a forged identity.
+    return nak();
+  }
   ++jam_stats_.hits;
   ++entry.invokes;
   entry.last_used = ++jam_cache_tick_;
@@ -1453,6 +1494,21 @@ StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
   cycles += caches.Access(core, entry.image.pre_addr, 8,
                           cache::AccessKind::kLoad);
   TC_RETURN_IF_ERROR(jelf::RelinkCachedImage(memory, entry.image));
+
+  if (config_.security.verify_cached_invokes) {
+    // Paranoid mode: a cached image must be *exactly* as constrained as a
+    // full-body frame, so re-verify the resident bytes on every hit (the
+    // same pass a full-body arrival would pay, over the same window).
+    TC_ASSIGN_OR_RETURN(
+        const auto resident,
+        memory.RawSpan(entry.image.code_addr, entry.text_size));
+    vm::VerifyLimits limits;
+    limits.got_slots = entry.image.got_slots;
+    limits.rodata_bytes = entry.image.code_size - entry.text_size;
+    limits.pre_slot_offset = jelf::kPreambleSlotOffset;
+    TC_RETURN_IF_ERROR(vm::VerifyCode(resident, limits));
+    cycles += entry.text_size / 4;
+  }
 
   // Savings ledger: what the same invoke would have cost full-body.
   FrameSpec full;
@@ -1470,7 +1526,9 @@ StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
   }
 
   if ((header.flags & kFlagNoExecute) == 0) {
-    vm::Interpreter interp(memory, caches, core, &natives_, config_.exec);
+    vm::Interpreter interp(
+        memory, caches, core, &natives_,
+        ConfinedExec(entry.image.code_addr, entry.image.code_size));
     const std::uint64_t args[3] = {frame_addr + layout.args_off,
                                    frame_addr + layout.usr_off,
                                    header.usr_size};
@@ -1494,6 +1552,27 @@ StatusOr<Cycles> Runtime::InvokeByHandle(const ReadyFrame& frame,
 StatusOr<Cycles> Runtime::InstallInJamCache(ElementInfo& elem) {
   if (elem.content_handle == 0 || elem.code_blob.empty()) return Cycles{0};
   if (jam_cache_.contains(elem.content_handle)) return Cycles{0};
+
+  Cycles cycles = 0;
+  const std::uint64_t text_bytes = elem.injected_image.text.size();
+  if (config_.security.verify_injected_code) {
+    // The cached image must stand on its own: it is linked from the
+    // element's *resident* blob, not the wire copy the frame verification
+    // just covered, and every later by-handle invoke executes it with no
+    // body on the wire at all. Verify-at-install keeps the invariant
+    // "nothing unverified is ever executable" on the fast path too.
+    if (elem.code_blob.size() < text_bytes) {
+      return InvalidArgument("code blob smaller than its text");
+    }
+    vm::VerifyLimits limits;
+    limits.got_slots = elem.injected_image.got_slot_count();
+    limits.rodata_bytes = elem.code_blob.size() - text_bytes;
+    limits.pre_slot_offset = jelf::kPreambleSlotOffset;
+    TC_RETURN_IF_ERROR(vm::VerifyCode(
+        std::span<const std::uint8_t>(elem.code_blob).first(text_bytes),
+        limits));
+    cycles += text_bytes / 4;
+  }
 
   // Capacity pressure: evict the entry with the fewest invokes (ties:
   // least recently used, then lowest handle — the map sweep order), so
@@ -1523,17 +1602,31 @@ StatusOr<Cycles> Runtime::InstallInJamCache(ElementInfo& elem) {
       const jelf::CachedJamImage image,
       jelf::LinkCachedImage(host_.memory(), gotp, elem.code_blob,
                             "tc:jam-cache:" + elem.name));
+  if (config_.security.split_code_data_pages) {
+    // W^X for the resident image: GOTP/PRE/code were written once above;
+    // the only later write is the PRE relink, which rides the privileged
+    // DMA plane (jelf::RelinkCachedImage). A jam can therefore never
+    // overwrite a cached image and have the bytes invoked by handle.
+    Status sealed =
+        host_.memory().Protect(image.base, image.size, mem::Perm::kRX);
+    if (!sealed.ok()) {
+      (void)jelf::ReleaseCachedImage(host_.memory(), image);
+      return sealed;
+    }
+    cycles += config_.mprotect_cycles;
+  }
 
   JamCacheEntry entry;
   entry.image = image;
   entry.elem_id = elem.elem_id;
   entry.entry_offset = elem.entry_offset;
+  entry.text_size = text_bytes;
   entry.last_used = ++jam_cache_tick_;
   entry.cold_link_cycles = ColdLinkCyclesFor(elem);
   jam_cache_bytes_ += image.size;
   ++jam_stats_.installs;
   jam_cache_.emplace(elem.content_handle, std::move(entry));
-  return config_.jam_cache.install_cycles +
+  return cycles + config_.jam_cache.install_cycles +
          static_cast<Cycles>(elem.injected_image.got_slot_count()) *
              config_.got_lookup_cycles;
 }
@@ -1557,6 +1650,42 @@ Cycles Runtime::ColdLinkCyclesFor(const ElementInfo& elem) const noexcept {
     cycles += 3 * config_.mprotect_cycles;
   }
   return cycles;
+}
+
+vm::ExecConfig Runtime::ConfinedExec(mem::VirtAddr code_base,
+                                     std::uint64_t code_size) const {
+  vm::ExecConfig exec = config_.exec;
+  if (!config_.security.confine_control_flow) return exec;
+  exec.exec_windows.reserve(library_windows_.size() + 1);
+  if (code_size != 0) {
+    exec.exec_windows.push_back(vm::MemWindow{code_base, code_size});
+  }
+  exec.exec_windows.insert(exec.exec_windows.end(), library_windows_.begin(),
+                           library_windows_.end());
+  return exec;
+}
+
+Status Runtime::InjectRawFrame(PeerId from, std::uint32_t slot,
+                               std::span<const std::uint8_t> bytes) {
+  if (!receiver_started_) return FailedPrecondition("receiver not started");
+  if (from >= peers_.size()) return InvalidArgument("unknown peer");
+  if (slot >= config_.banks * config_.mailboxes_per_bank) {
+    return InvalidArgument("slot outside the peer's mailbox slice");
+  }
+  if (bytes.size() > config_.mailbox_slot_bytes) {
+    return InvalidArgument("frame larger than the mailbox slot");
+  }
+  PeerState& p = peers_[from];
+  if (p.ready.contains(slot)) {
+    return FailedPrecondition("slot still holds an undrained frame");
+  }
+  // The hostile put lands like any RDMA write: straight through the DMA
+  // plane, no content checks — the receiver pipeline is the only defense.
+  TC_RETURN_IF_ERROR(host_.memory().DmaWrite(SlotAddr(p, slot), bytes));
+  engine_.ScheduleAfter(
+      1, [this, from, slot] { OnFrameDelivered(from, slot, engine_.Now()); },
+      "tc.inject");
+  return Status::Ok();
 }
 
 void Runtime::DropJamCacheEntry(std::uint64_t handle, bool evicted) {

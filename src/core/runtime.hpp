@@ -446,6 +446,18 @@ class Runtime {
   /// Arms the receiver agent (idempotent).
   Status StartReceiver();
 
+  /// Adversarial-testing surface (the fuzz suite): writes @p bytes
+  /// verbatim into this receiver's inbound mailbox slot for @p from and
+  /// schedules delivery — exactly what a compromised peer with the
+  /// exchanged rkey could put on the wire, bypassing every sender-side
+  /// packing invariant. Slots must be injected in bank order (the real
+  /// transport delivers them that way); @p bytes must fit the slot. The
+  /// frame then runs the normal validate/verify/invoke pipeline, so a
+  /// hostile frame is expected to surface as a security_rejections tick
+  /// and a returned bank flag, never as a stuck or crashed receiver.
+  Status InjectRawFrame(PeerId from, std::uint32_t slot,
+                        std::span<const std::uint8_t> bytes);
+
   // ------------------------------------------------------------ hotplug
 
   /// Takes pool member @p pool_index out of service: marks it draining,
@@ -613,6 +625,7 @@ class Runtime {
     jelf::CachedJamImage image;
     std::uint32_t elem_id = 0;
     std::uint64_t entry_offset = 0;  // within the code blob
+    std::uint64_t text_size = 0;     // verifiable prefix of the code blob
     std::uint64_t invokes = 0;       // hits served (eviction key)
     std::uint64_t last_used = 0;     // monotonic use tick (tie-break)
     Cycles cold_link_cycles = 0;     // per-invoke link cost a hit skips
@@ -884,6 +897,12 @@ class Runtime {
   /// pack plus whatever the security mode adds (verification, receiver
   /// GOT install, permission flips).
   Cycles ColdLinkCyclesFor(const ElementInfo& elem) const noexcept;
+  /// The interpreter config for one invoke: config_.exec, plus — when
+  /// security.confine_control_flow is on — exec windows covering the
+  /// frame's (or cached image's) code span and every loaded library, the
+  /// only memory a verified jam may legitimately fetch instructions from.
+  vm::ExecConfig ConfinedExec(mem::VirtAddr code_base,
+                              std::uint64_t code_size) const;
 
   sim::Engine& engine_;
   net::Host& host_;
@@ -902,6 +921,9 @@ class Runtime {
   std::string print_sink_;
   std::vector<ElementInfo> elements_;
   std::vector<jelf::LoadedLibrary> loaded_libraries_;
+  /// Exec windows of loaded_libraries_ (rebuilt at LoadPackage), appended
+  /// to every confined invoke so jalr through the GOT still reaches rieds.
+  std::vector<vm::MemWindow> library_windows_;
 
   std::uint32_t next_sn_ = 1;
 

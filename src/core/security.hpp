@@ -36,6 +36,24 @@ struct SecurityPolicy {
   /// on is required for the split_code_data_pages mode to mean anything).
   bool enforce_exec_permission = false;
 
+  /// Virtines-style control-flow confinement: injected code executes with
+  /// the interpreter's exec windows set to the frame's CODE section (or the
+  /// cached image, on the by-handle path) plus the receiver's loaded
+  /// libraries, so a computed jump (`jalr` through a register) can never
+  /// land in ARGS/USR bytes, another mailbox frame, or any other unverified
+  /// memory. This is the dynamic half of the jalr story — the static
+  /// verifier cannot prove register-based targets (see jamvm/verifier.hpp).
+  /// Costs ExecConfig::confine_branch_cycles per control transfer.
+  bool confine_control_flow = false;
+
+  /// Re-run the static verifier over the resident cached image on every
+  /// by-handle invoke, not only at install time. Paranoid mode: the install
+  /// verification already covers the cache (images are receiver-private and
+  /// sealed RX under split_code_data_pages), so this knob exists to put a
+  /// measured price on "trust nothing resident" — it largely cancels the
+  /// cache's link-cycle savings (abl_security_modes).
+  bool verify_cached_invokes = false;
+
   static SecurityPolicy PaperDefault() { return SecurityPolicy{}; }
 
   static SecurityPolicy Hardened() {
@@ -45,6 +63,7 @@ struct SecurityPolicy {
     p.split_code_data_pages = true;
     p.read_only_args = true;
     p.enforce_exec_permission = true;
+    p.confine_control_flow = true;
     return p;
   }
 };

@@ -9,6 +9,7 @@ namespace twochains::vm {
 // ----------------------------------------------------------- NativeFrame
 
 StatusOr<std::uint64_t> NativeFrame::Load(mem::VirtAddr addr, unsigned bytes) {
+  TC_RETURN_IF_ERROR(interp_.CheckDataWindows(addr, bytes));
   interp_.ChargeAccess(addr, bytes, cache::AccessKind::kLoad);
   switch (bytes) {
     case 1: {
@@ -30,6 +31,7 @@ StatusOr<std::uint64_t> NativeFrame::Load(mem::VirtAddr addr, unsigned bytes) {
 
 Status NativeFrame::Store(mem::VirtAddr addr, std::uint64_t value,
                           unsigned bytes) {
+  TC_RETURN_IF_ERROR(interp_.CheckDataWindows(addr, bytes));
   interp_.ChargeAccess(addr, bytes, cache::AccessKind::kStore);
   switch (bytes) {
     case 1: return interp_.memory_.StoreU8(addr, static_cast<std::uint8_t>(value));
@@ -43,6 +45,10 @@ Status NativeFrame::Store(mem::VirtAddr addr, std::uint64_t value,
 Status NativeFrame::CopyBytes(mem::VirtAddr dst, mem::VirtAddr src,
                               std::uint64_t n) {
   if (n == 0) return Status::Ok();
+  // The jam supplied both addresses; without these checks a confined jam
+  // could still read or clobber anything by deputizing the native.
+  TC_RETURN_IF_ERROR(interp_.CheckDataWindows(src, n));
+  TC_RETURN_IF_ERROR(interp_.CheckDataWindows(dst, n));
   interp_.ChargeAccess(src, n, cache::AccessKind::kLoad);
   interp_.ChargeAccess(dst, n, cache::AccessKind::kStore);
   TC_ASSIGN_OR_RETURN(const auto from, interp_.memory_.RawSpan(src, n));
@@ -56,6 +62,7 @@ StatusOr<std::string> NativeFrame::LoadCString(mem::VirtAddr addr,
                                                std::uint64_t max) {
   std::string out;
   for (std::uint64_t i = 0; i < max; ++i) {
+    TC_RETURN_IF_ERROR(interp_.CheckDataWindows(addr + i, 1));
     TC_ASSIGN_OR_RETURN(const auto c, interp_.memory_.LoadU8(addr + i));
     if (c == 0) {
       interp_.ChargeAccess(addr, i + 1, cache::AccessKind::kLoad);
@@ -108,7 +115,19 @@ Interpreter::Interpreter(mem::HostMemory& memory,
                          cache::CacheHierarchy& caches, std::uint32_t core,
                          const NativeTable* natives, ExecConfig config)
     : memory_(memory), caches_(caches), core_(core), natives_(natives),
-      config_(config) {}
+      config_(std::move(config)) {}
+
+Status Interpreter::CheckDataWindows(mem::VirtAddr addr,
+                                     std::uint64_t bytes) {
+  if (config_.data_windows.empty() ||
+      InWindows(config_.data_windows, addr, bytes)) {
+    return Status::Ok();
+  }
+  return PermissionDenied(
+      StrFormat("data access at 0x%llx (%llu B) escapes the sandbox",
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(bytes)));
+}
 
 namespace {
 
@@ -158,6 +177,14 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
     if (result.instructions >= config_.max_instructions) {
       return fail(ResourceExhausted("instruction budget exceeded"));
     }
+    // Control-flow confinement: checked on *every* fetch, not just taken
+    // branches — straight-line execution can run off the end of the image
+    // into adjacent bytes without a single jump.
+    if (!config_.exec_windows.empty() &&
+        !InWindows(config_.exec_windows, pc, kInstrBytes)) {
+      return fail(
+          PermissionDenied("instruction fetch escapes the confined image"));
+    }
 
     // Execute-permission check, once per page.
     if (config_.enforce_exec_permission) {
@@ -183,6 +210,11 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
 
     ++result.instructions;
     cycles_ += config_.base_cycles_per_instr;
+    if (!config_.exec_windows.empty() &&
+        (IsBranch(in.op) || in.op == Opcode::kJal ||
+         in.op == Opcode::kJalr)) {
+      cycles_ += config_.confine_branch_cycles;
+    }
 
     mem::VirtAddr next_pc = pc + kInstrBytes;
     std::uint64_t rd_val = 0;
@@ -261,6 +293,9 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
         if (in.op == Opcode::kLdb || in.op == Opcode::kLdbu) bytes = 1;
         else if (in.op == Opcode::kLdh || in.op == Opcode::kLdhu) bytes = 2;
         else if (in.op == Opcode::kLdw || in.op == Opcode::kLdwu) bytes = 4;
+        if (Status s = CheckDataWindows(addr, bytes); !s.ok()) {
+          return fail(std::move(s));
+        }
         ChargeAccess(addr, bytes, cache::AccessKind::kLoad);
         std::uint64_t v = 0;
         Status st;
@@ -317,6 +352,9 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
         if (in.op == Opcode::kStb) bytes = 1;
         else if (in.op == Opcode::kSth) bytes = 2;
         else if (in.op == Opcode::kStw) bytes = 4;
+        if (Status s = CheckDataWindows(addr, bytes); !s.ok()) {
+          return fail(std::move(s));
+        }
         ChargeAccess(addr, bytes, cache::AccessKind::kStore);
         Status st;
         switch (bytes) {
@@ -373,6 +411,9 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
 
       case Opcode::kLdgFix: {
         const mem::VirtAddr slot = pc + U(imm64);
+        if (Status s = CheckDataWindows(slot, 8); !s.ok()) {
+          return fail(std::move(s));
+        }
         ChargeAccess(slot, 8, cache::AccessKind::kLoad);
         auto v = memory_.LoadU64(slot);
         if (!v.ok()) return fail(v.status());
@@ -384,10 +425,16 @@ ExecResult Interpreter::Execute(mem::VirtAddr entry,
         // The paper's rewritten form: GOT pointer at a PC-relative preamble
         // slot, then an index into the patched table.
         const mem::VirtAddr pre = pc + U(imm64);
+        if (Status s = CheckDataWindows(pre, 8); !s.ok()) {
+          return fail(std::move(s));
+        }
         ChargeAccess(pre, 8, cache::AccessKind::kLoad);
         auto gotp = memory_.LoadU64(pre);
         if (!gotp.ok()) return fail(gotp.status());
         const mem::VirtAddr slot = *gotp + 8ull * in.rs2;
+        if (Status s = CheckDataWindows(slot, 8); !s.ok()) {
+          return fail(std::move(s));
+        }
         ChargeAccess(slot, 8, cache::AccessKind::kLoad);
         auto v = memory_.LoadU64(slot);
         if (!v.ok()) return fail(v.status());

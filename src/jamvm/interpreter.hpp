@@ -97,6 +97,19 @@ class NativeTable {
   std::vector<Entry> entries_;
 };
 
+/// A half-open virtual-address window [base, base + size) for the sandbox
+/// checks below.
+struct MemWindow {
+  mem::VirtAddr base = 0;
+  std::uint64_t size = 0;
+
+  constexpr bool Contains(mem::VirtAddr addr,
+                          std::uint64_t bytes) const noexcept {
+    return addr >= base && addr - base < size &&
+           size - (addr - base) >= bytes;
+  }
+};
+
 struct ExecConfig {
   /// Hard cap on interpreted instructions (runaway-jam failsafe).
   std::uint64_t max_instructions = 50'000'000;
@@ -105,6 +118,27 @@ struct ExecConfig {
   /// Check the X permission of the page containing the PC (the W^X
   /// security mode relies on this; the paper's default mailbox is RWX).
   bool enforce_exec_permission = true;
+  /// Control-flow confinement. When non-empty, every instruction fetch —
+  /// whether reached sequentially, by branch/jal, or by a computed jalr —
+  /// must land inside one of these windows; the return sentinel and tagged
+  /// native handles stay reachable. An escaping pc faults with
+  /// kPermissionDenied *before* executing whatever bytes happen to be
+  /// readable there, which is what bounds register-based jumps the static
+  /// verifier cannot prove. Empty reproduces the paper's unconfined
+  /// receiver. Armed per-invoke by core::SecurityPolicy::
+  /// confine_control_flow (frame code + loaded libraries).
+  std::vector<MemWindow> exec_windows;
+  /// Data-access confinement. When non-empty, every interpreted load/store
+  /// — including GOT-pointer loads and native-mediated accesses (tc_memcpy
+  /// and friends, which otherwise act as confused deputies) — must land
+  /// inside one of these windows. The fuzz harness uses it to prove
+  /// "verified code never touches memory outside its frame"; the runtime
+  /// leaves it empty because jams legitimately address exported host
+  /// objects whose extents the receiver does not track.
+  std::vector<MemWindow> data_windows;
+  /// Extra cycles charged per control-transfer instruction while exec
+  /// windows are active (the SFI-style bounds check on the taken path).
+  Cycles confine_branch_cycles = 1;
 };
 
 struct ExecResult {
@@ -130,6 +164,17 @@ class Interpreter {
 
  private:
   friend class NativeFrame;
+
+  static bool InWindows(const std::vector<MemWindow>& windows,
+                        mem::VirtAddr addr, std::uint64_t bytes) noexcept {
+    for (const MemWindow& w : windows) {
+      if (w.Contains(addr, bytes)) return true;
+    }
+    return false;
+  }
+
+  /// OK when data windows are off or @p addr..+bytes is inside one.
+  Status CheckDataWindows(mem::VirtAddr addr, std::uint64_t bytes);
 
   Cycles ChargeAccess(mem::VirtAddr addr, std::uint64_t size,
                       cache::AccessKind kind) {

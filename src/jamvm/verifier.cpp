@@ -48,6 +48,49 @@ Status VerifyCode(std::span<const std::uint8_t> code,
             StrFormat("ldg.pre at +%zu uses GOT slot %u of %u", off,
                       static_cast<unsigned>(i.rs2), limits.got_slots));
       }
+      // The GOT pointer must come from *the* preamble slot. Any other
+      // site+imm would load attacker-chosen bytes and dereference them as
+      // the table base — an arbitrary-read primitive.
+      const std::int64_t pre = site + i.imm;
+      if (pre != limits.pre_slot_offset) {
+        return OutOfRange(StrFormat(
+            "ldg.pre at +%zu reads its GOT pointer from %+lld, not the "
+            "preamble slot at %+lld",
+            off, static_cast<long long>(pre),
+            static_cast<long long>(limits.pre_slot_offset)));
+      }
+    }
+    if (i.op == Opcode::kLdgFix) {
+      if (limits.fixed_got_offset < 0) {
+        return PermissionDenied(StrFormat(
+            "ldg.fix at +%zu: image has no fixed GOT (rewritten jams must "
+            "link through ldg.pre)",
+            off));
+      }
+      // Fixed-mode access must hit an 8-aligned slot of the in-image GOT,
+      // mirroring the ldg.pre slot bound — otherwise it is an arbitrary
+      // PC-relative read dressed up as a GOT load.
+      const std::int64_t target = site + i.imm;
+      const std::int64_t got_begin = limits.fixed_got_offset;
+      const std::int64_t got_end = got_begin + 8ll * limits.got_slots;
+      if (target < got_begin || target + 8 > got_end ||
+          (target - got_begin) % 8 != 0) {
+        return OutOfRange(StrFormat(
+            "ldg.fix at +%zu targets %+lld, outside the fixed GOT "
+            "[%lld,%lld)",
+            off, static_cast<long long>(target),
+            static_cast<long long>(got_begin),
+            static_cast<long long>(got_end)));
+      }
+    }
+    if (i.op == Opcode::kJalr && i.rs1 == kZr) {
+      // rs1 == zr makes the target fully static (the immediate itself) and
+      // never legitimate — compiled calls go through a register, returns
+      // through lr. Register-based targets are bounded at run time by the
+      // interpreter's exec windows (see the header comment).
+      return OutOfRange(StrFormat(
+          "jalr at +%zu jumps to absolute %+d via the zero register", off,
+          i.imm));
     }
     if ((i.op == Opcode::kDiv || i.op == Opcode::kDivu ||
          i.op == Opcode::kRem || i.op == Opcode::kRemu) &&

@@ -2,9 +2,24 @@
 //
 // Run by the receiver runtime before executing injected code (one of the §V
 // hardening layers): all instruction slots must decode, control flow must
-// stay inside the image, and GOT indices must stay inside the declared GOT.
-// The verifier is conservative — it rejects code the interpreter might
-// actually survive — because the receiver cannot trust the sender.
+// stay inside the image, and GOT accesses must stay inside the declared GOT
+// — in both addressing modes (ldg.pre slot indices against `got_slots`, and
+// the preamble slot the GOT pointer itself is loaded from must be *the*
+// preamble slot; ldg.fix targets against the fixed in-image GOT window, or
+// rejected outright for rewritten images that have none). The verifier is
+// conservative — it rejects code the interpreter might actually survive —
+// because the receiver cannot trust the sender.
+//
+// What the verifier cannot prove statically: the target of a register-based
+// `jalr` (an indirect call through a GOT value, a function pointer, or lr).
+// Rejecting all of them would reject every call and every return, so the
+// policy is split: a `jalr` whose base is the hardwired zero register has a
+// fully static — and never legitimate — absolute target and is rejected
+// here; every other indirect jump is bounded at run time by the
+// interpreter's control-flow confinement (vm::ExecConfig::exec_windows,
+// armed by core::SecurityPolicy::confine_control_flow). The fuzz suite
+// (tests/fuzz_test.cpp) locks that division of labor in with hostile
+// trampoline programs.
 #pragma once
 
 #include <cstdint>
@@ -14,12 +29,33 @@
 
 namespace twochains::vm {
 
+/// Where rewritten jams keep the GOT pointer: one 8-byte slot 16 bytes
+/// before the code start (mirrors jelf::kPreambleSlotOffset, restated here
+/// so the verifier does not depend on jelf).
+inline constexpr std::int64_t kDefaultPreSlotOffset = -16;
+
+/// Sentinel for VerifyLimits::fixed_got_offset: the image has no fixed
+/// in-image GOT, so every `ldg.fix` is rejected (rewritten jam images must
+/// only use `ldg.pre`).
+inline constexpr std::int64_t kNoFixedGot = -1;
+
 struct VerifyLimits {
   /// Number of 8-byte GOT slots the executing context provides.
   std::uint32_t got_slots = 0;
   /// Bytes of read-only data appended after the code (lea targets may point
   /// into it).
   std::uint64_t rodata_bytes = 0;
+  /// The only code-relative address an `ldg.pre` may load its GOT pointer
+  /// from (site + imm must equal this). Anything else is a hostile
+  /// indirection: it would read an attacker-chosen 8 bytes and dereference
+  /// them as the GOT.
+  std::int64_t pre_slot_offset = kDefaultPreSlotOffset;
+  /// Code-relative byte offset of a fixed in-image GOT (pre-rewrite library
+  /// images): every `ldg.fix` must target an 8-aligned slot inside
+  /// [fixed_got_offset, fixed_got_offset + 8*got_slots). Negative
+  /// (kNoFixedGot) means the image has no fixed GOT and `ldg.fix` is
+  /// rejected.
+  std::int64_t fixed_got_offset = kNoFixedGot;
 };
 
 /// Verifies @p code (a contiguous .text image). Returns OK or the first

@@ -132,7 +132,12 @@ Status RelinkCachedImage(mem::HostMemory& memory, const CachedJamImage& image,
   TC_ASSIGN_OR_RETURN(const std::uint64_t current,
                       memory.LoadU64(image.pre_addr));
   if (current != target) {
-    TC_RETURN_IF_ERROR(memory.StoreU64(image.pre_addr, target));
+    // The PRE update is the runtime's own privileged store — jam code never
+    // writes it — so it rides the DMA plane and stays legal when the
+    // hardened receiver seals the cached image RX.
+    TC_RETURN_IF_ERROR(memory.DmaWrite(
+        image.pre_addr,
+        {reinterpret_cast<const std::uint8_t*>(&target), 8}));
   }
   return Status::Ok();
 }

@@ -3,8 +3,73 @@
 #include <span>
 
 #include "common/strfmt.hpp"
+#include "jamvm/verifier.hpp"
 
 namespace twochains::jelf {
+
+Status ValidateImageLayout(const LinkedImage& image) {
+  // Every bound below is checked with subtractions against already-proven
+  // quantities, so attacker-controlled offsets cannot wrap the arithmetic.
+  const std::uint64_t text_size = image.text.size();
+  if (image.rodata_offset < text_size) {
+    return InvalidArgument(StrFormat(
+        "image '%s': rodata_offset %llu overlaps text (%llu B)",
+        image.name.c_str(),
+        static_cast<unsigned long long>(image.rodata_offset),
+        static_cast<unsigned long long>(text_size)));
+  }
+  if (image.got_offset < image.rodata_offset ||
+      image.got_offset - image.rodata_offset < image.rodata.size()) {
+    return InvalidArgument(StrFormat(
+        "image '%s': rodata (%llu B at %llu) overlaps the GOT at %llu",
+        image.name.c_str(),
+        static_cast<unsigned long long>(image.rodata.size()),
+        static_cast<unsigned long long>(image.rodata_offset),
+        static_cast<unsigned long long>(image.got_offset)));
+  }
+  const std::uint64_t got_bytes = 8ull * image.got_slot_count();
+  if (image.data_offset < image.got_offset ||
+      image.data_offset - image.got_offset < got_bytes) {
+    return InvalidArgument(StrFormat(
+        "image '%s': GOT (%llu B at %llu) overlaps data at %llu",
+        image.name.c_str(), static_cast<unsigned long long>(got_bytes),
+        static_cast<unsigned long long>(image.got_offset),
+        static_cast<unsigned long long>(image.data_offset)));
+  }
+  if (image.total_size < image.data_offset ||
+      image.total_size - image.data_offset < image.data.size()) {
+    return InvalidArgument(StrFormat(
+        "image '%s': data (%llu B at %llu) exceeds total_size %llu",
+        image.name.c_str(),
+        static_cast<unsigned long long>(image.data.size()),
+        static_cast<unsigned long long>(image.data_offset),
+        static_cast<unsigned long long>(image.total_size)));
+  }
+  for (const auto& [name, entry] : image.exports) {
+    if (entry.offset >= image.total_size) {
+      return InvalidArgument(StrFormat(
+          "image '%s': export '%s' at %llu is outside the image",
+          image.name.c_str(), name.c_str(),
+          static_cast<unsigned long long>(entry.offset)));
+    }
+  }
+  for (const LoadFixup& fixup : image.fixups) {
+    if (fixup.image_offset > image.total_size ||
+        image.total_size - fixup.image_offset < 8) {
+      return InvalidArgument(StrFormat(
+          "image '%s': fixup slot at %llu is outside the image",
+          image.name.c_str(),
+          static_cast<unsigned long long>(fixup.image_offset)));
+    }
+    if (fixup.internal && fixup.target_offset >= image.total_size) {
+      return InvalidArgument(StrFormat(
+          "image '%s': internal fixup target %llu is outside the image",
+          image.name.c_str(),
+          static_cast<unsigned long long>(fixup.target_offset)));
+    }
+  }
+  return Status::Ok();
+}
 
 Status HostNamespace::Define(const std::string& name, std::uint64_t value,
                              bool allow_redefine) {
@@ -43,6 +108,21 @@ StatusOr<LoadedLibrary> LoadLibrary(mem::HostMemory& memory,
     return FailedPrecondition(
         "section permissions require a page-aligned image "
         "(link with page_align_sections)");
+  }
+  TC_RETURN_IF_ERROR(ValidateImageLayout(image));
+  if (options.verify_code && !image.text.empty()) {
+    vm::VerifyLimits limits;
+    limits.got_slots = image.got_slot_count();
+    // Libraries may lea anywhere in their own image (rodata, GOT, data).
+    limits.rodata_bytes = image.total_size - image.text.size();
+    limits.fixed_got_offset = static_cast<std::int64_t>(image.got_offset);
+    Status verified = vm::VerifyCode(image.text, limits);
+    if (!verified.ok()) {
+      return Status(verified.code(),
+                    StrFormat("library '%s' failed verification: %s",
+                              image.name.c_str(),
+                              verified.message().c_str()));
+    }
   }
 
   // Allocate and populate, writable during relocation.
@@ -119,25 +199,33 @@ StatusOr<LoadedLibrary> LoadLibrary(mem::HostMemory& memory,
     }
   }
 
-  // Seal section permissions: text RX, rodata R, GOT RW|R, data RW.
+  // Seal section permissions: text RX, rodata R, GOT RW|R, data RW. A
+  // failure here rolls back like the binding failures above — a library
+  // that could not be sealed must not stay resolvable half-sealed. (Exports
+  // that *overrode* earlier definitions cannot restore the old value; the
+  // override option is a deliberate hot-swap escape hatch.)
   if (options.enforce_section_permissions) {
-    TC_RETURN_IF_ERROR(
-        memory.Protect(base, image.rodata_offset, mem::Perm::kRX));
-    if (image.got_offset > image.rodata_offset) {
-      TC_RETURN_IF_ERROR(memory.Protect(base + image.rodata_offset,
-                                        image.got_offset - image.rodata_offset,
-                                        mem::Perm::kRead));
+    const auto seal = [&](std::uint64_t off, std::uint64_t len,
+                          mem::Perm perm) -> Status {
+      if (len == 0) return Status::Ok();
+      return memory.Protect(base + off, len, perm);
+    };
+    Status st = seal(0, image.rodata_offset, mem::Perm::kRX);
+    if (st.ok()) {
+      st = seal(image.rodata_offset, image.got_offset - image.rodata_offset,
+                mem::Perm::kRead);
     }
-    const std::uint64_t got_span = image.data_offset - image.got_offset;
-    if (got_span > 0) {
-      TC_RETURN_IF_ERROR(memory.Protect(
-          base + image.got_offset, got_span,
-          options.got_read_only ? mem::Perm::kRead : mem::Perm::kRW));
+    if (st.ok()) {
+      st = seal(image.got_offset, image.data_offset - image.got_offset,
+                options.got_read_only ? mem::Perm::kRead : mem::Perm::kRW);
     }
-    if (image.total_size > image.data_offset) {
-      TC_RETURN_IF_ERROR(memory.Protect(base + image.data_offset,
-                                        image.total_size - image.data_offset,
-                                        mem::Perm::kRW));
+    if (st.ok()) {
+      st = seal(image.data_offset, image.total_size - image.data_offset,
+                mem::Perm::kRW);
+    }
+    if (!st.ok()) {
+      rollback();
+      return st;
     }
   }
 

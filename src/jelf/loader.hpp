@@ -61,7 +61,20 @@ struct LoadOptions {
   /// Permit this library's exports to replace existing namespace entries
   /// (library hot-swap / remote update).
   bool allow_export_override = false;
+  /// Run the static verifier (vm::VerifyCode with the image's fixed GOT
+  /// window) over the text before anything goes live. Hardened receivers
+  /// enable this for every package load; the default stays off because a
+  /// local build's own libraries are trusted in the paper's model.
+  bool verify_code = false;
 };
+
+/// Structural validation of a LinkedImage's declared layout: sections in
+/// order (text, rodata, GOT, data), none overlapping, everything inside
+/// total_size, exports and fixups in-image. Packages cross the wire
+/// (pkg::ParsePackage), so these offsets are attacker-controlled — a
+/// hostile image with got_offset < text.size() would otherwise wrap the
+/// verifier's rodata bound and overflow the injectable-blob copy.
+Status ValidateImageLayout(const LinkedImage& image);
 
 /// Loads @p image into @p memory, binding against (and extending)
 /// @p ns. Unresolved GOT symbols are an error (bind-now semantics).

@@ -279,6 +279,117 @@ TEST_F(JamCacheTest, HitPathUnderHardenedSecurityModes) {
   EXPECT_GT(receiver.jam_cache_stats().link_cycles_saved, 0u);
 }
 
+TEST_F(JamCacheTest, SecurityModeGridKeepsCachedPathExact) {
+  // The full security-mode × cache grid: under every policy tier the
+  // by-handle image must behave exactly like the full-body frame —
+  // verify-on-install (Hardened) and verify-on-every-invoke
+  // (verify_cached_invokes) change the cost, never the result.
+  struct Mode {
+    const char* name;
+    SecurityPolicy policy;
+  };
+  std::vector<Mode> modes;
+  modes.push_back({"paper-default", SecurityPolicy::PaperDefault()});
+  modes.push_back({"hardened", SecurityPolicy::Hardened()});
+  {
+    SecurityPolicy paranoid = SecurityPolicy::Hardened();
+    paranoid.verify_cached_invokes = true;
+    modes.push_back({"hardened+verify-cached", paranoid});
+  }
+
+  for (const Mode& mode : modes) {
+    TestbedOptions options = Options();
+    options.WithSecurity(mode.policy);
+    SetUpTestbed(options);
+    Runtime& receiver = testbed_->runtime(1);
+    std::uint64_t expect = 0;
+    const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+    auto cold = SendAndRun("ssum", {0}, usr);
+    ASSERT_TRUE(cold.ok()) << mode.name << ": " << cold.status();
+    EXPECT_FALSE(cold->by_handle) << mode.name;
+    EXPECT_EQ(cold->return_value, expect) << mode.name;
+    for (int hit = 0; hit < 3; ++hit) {
+      auto hot = SendAndRun("ssum", {0}, usr);
+      ASSERT_TRUE(hot.ok()) << mode.name << ": " << hot.status();
+      EXPECT_TRUE(hot->by_handle) << mode.name << " hit " << hit;
+      EXPECT_EQ(hot->return_value, expect) << mode.name << " hit " << hit;
+    }
+    EXPECT_EQ(receiver.jam_cache_stats().hits, 3u) << mode.name;
+    EXPECT_EQ(receiver.jam_cache_stats().misses, 0u) << mode.name;
+    EXPECT_EQ(receiver.stats().security_rejections, 0u) << mode.name;
+    EXPECT_EQ(receiver.PeekU64("sum_results", 1).value(), expect)
+        << mode.name;
+  }
+}
+
+TEST_F(JamCacheTest, VerifyCachedInvokesChargesEveryHit) {
+  // verify_cached_invokes trades hit latency for paranoia: identical
+  // deterministic testbeds, identical send sequences — the only delta is
+  // the knob, so the hit's delivered->completed latency must grow.
+  const auto hot_latency = [this](bool verify_hits) -> PicoTime {
+    TestbedOptions options = Options();
+    SecurityPolicy policy = SecurityPolicy::Hardened();
+    policy.verify_cached_invokes = verify_hits;
+    options.WithSecurity(policy);
+    SetUpTestbed(options);
+    std::uint64_t expect = 0;
+    const std::vector<std::uint8_t> usr = SumPayload(&expect);
+    auto cold = SendAndRun("ssum", {0}, usr);
+    EXPECT_TRUE(cold.ok()) << cold.status();
+    auto hot = SendAndRun("ssum", {0}, usr);
+    EXPECT_TRUE(hot.ok()) << hot.status();
+    if (!hot.ok() || !hot->by_handle) return 0;
+    return hot->completed_at - hot->delivered_at;
+  };
+  const PicoTime trusting = hot_latency(false);
+  const PicoTime paranoid = hot_latency(true);
+  ASSERT_GT(trusting, 0u);
+  EXPECT_GT(paranoid, trusting);
+}
+
+TEST_F(JamCacheTest, EvictionResendReverifiesUnderHardenedPolicy) {
+  // NAK/resend × hardening: after an eviction the full-body resend walks
+  // the entire hardened install path again — wire-code verification,
+  // receiver GOT, W^X, and a fresh verified install — and the ledger
+  // accounts every step.
+  TestbedOptions options = Options(/*capacity=*/1);
+  SecurityPolicy policy = SecurityPolicy::Hardened();
+  policy.verify_cached_invokes = true;
+  options.WithSecurity(policy);
+  SetUpTestbed(options);
+  Runtime& sender = testbed_->runtime(0);
+  Runtime& receiver = testbed_->runtime(1);
+  std::uint64_t expect = 0;
+  const std::vector<std::uint8_t> usr = SumPayload(&expect);
+
+  ASSERT_TRUE(SendAndRun("ssum", {0}, usr).ok());   // verified install
+  ASSERT_TRUE(SendAndRun("iput", {77}, usr).ok());  // evicts ssum
+  EXPECT_EQ(receiver.jam_cache_stats().evictions, 1u);
+
+  // By-handle miss -> NAK -> full-body resend, executing under the full
+  // policy (the resend is a cold frame: wire verify + install verify).
+  auto resent = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(resent.ok()) << resent.status();
+  EXPECT_TRUE(last_receipt_.by_handle);
+  EXPECT_FALSE(resent->by_handle);
+  EXPECT_EQ(resent->return_value, expect);
+
+  const JamCacheStats& hub = receiver.jam_cache_stats();
+  EXPECT_EQ(hub.misses, 1u);
+  EXPECT_EQ(hub.naks_sent, 1u);
+  EXPECT_EQ(sender.jam_cache_stats().resends, 1u);
+  EXPECT_EQ(hub.installs, 3u);  // ssum, iput, ssum again — each verified
+  EXPECT_EQ(receiver.stats().security_rejections, 0u);
+
+  // And the re-installed image still hits — re-verified per invoke.
+  auto hot = SendAndRun("ssum", {0}, usr);
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  EXPECT_TRUE(hot->by_handle);
+  EXPECT_EQ(hot->return_value, expect);
+  EXPECT_EQ(receiver.jam_cache_stats().hits, 1u);
+}
+
 TEST_F(JamCacheTest, NoExecuteFramesNeverGoByHandle) {
   SetUpTestbed();
   Runtime& sender = testbed_->runtime(0);

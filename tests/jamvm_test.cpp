@@ -845,5 +845,157 @@ TEST_F(InterpreterTest, ShiftAndCompareOps) {
   EXPECT_EQ(r.return_value, 2u);
 }
 
+// ----------------------- security-hole regressions (the fuzz suite PR)
+
+TEST(VerifierTest, RejectsLdgPreOffThePreambleSlot) {
+  // site+imm must land exactly on the PRE slot — any other target reads
+  // the "GOT pointer" out of attacker-controlled frame bytes (GOTP, ARGS,
+  // or the code itself) instead of the receiver-written preamble.
+  VerifyLimits limits;
+  limits.got_slots = 8;
+  const auto below = AssembleText("f: ldg.pre t0, 0, -24\n ret");
+  EXPECT_EQ(VerifyCode(below, limits).code(), StatusCode::kOutOfRange);
+  const auto inside = AssembleText("f: ldg.pre t0, 0, 8\n ret");
+  EXPECT_EQ(VerifyCode(inside, limits).code(), StatusCode::kOutOfRange);
+  // The pin is per-site: deeper in the body the delta shifts with it.
+  const auto later = AssembleText("f: nop\n ldg.pre t0, 0, -24\n ret");
+  EXPECT_TRUE(VerifyCode(later, limits).ok());
+}
+
+TEST(VerifierTest, BoundsLdgFixLikeLdgPre) {
+  // The satellite hole: kLdgPre's GOT index was bounded but kLdgFix's
+  // PC-relative target was not — an unrewritten ldg.fix was an arbitrary
+  // in-image read. Build the instruction directly; the assembler only
+  // emits ldg.fix through @got relocations.
+  const auto build = [](std::int32_t imm) {
+    std::vector<std::uint8_t> code;
+    Instr fix;
+    fix.op = Opcode::kLdgFix;
+    fix.rd = kT0;
+    fix.imm = imm;
+    std::uint8_t buf[kInstrBytes];
+    Encode(fix, buf);
+    code.insert(code.end(), buf, buf + kInstrBytes);
+    Instr ret;
+    ret.op = Opcode::kJalr;
+    ret.rs1 = kLr;
+    Encode(ret, buf);
+    code.insert(code.end(), buf, buf + kInstrBytes);
+    return code;
+  };
+
+  // Without a declared fixed GOT (every injected frame), ldg.fix dies.
+  EXPECT_EQ(VerifyCode(build(64), {}).code(), StatusCode::kPermissionDenied);
+
+  VerifyLimits limits;
+  limits.got_slots = 4;
+  limits.fixed_got_offset = 64;  // table window [64, 96)
+  EXPECT_TRUE(VerifyCode(build(64), limits).ok());   // slot 0
+  EXPECT_TRUE(VerifyCode(build(88), limits).ok());   // slot 3
+  EXPECT_EQ(VerifyCode(build(96), limits).code(),    // one past the table
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(VerifyCode(build(68), limits).code(),    // misaligned
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(VerifyCode(build(56), limits).code(),    // before the table
+            StatusCode::kOutOfRange);
+}
+
+TEST(VerifierTest, RejectsZeroRegisterJalr) {
+  // jalr through zr is a jump to a raw immediate — an absolute pc no
+  // static analysis can bound. Register jalr stays legal (the interpreter
+  // bounds it dynamically via exec windows).
+  const auto absolute = AssembleText("f: jalr a0, zr, 4096\n ret");
+  EXPECT_EQ(VerifyCode(absolute, {}).code(), StatusCode::kOutOfRange);
+  const auto through_reg = AssembleText("f: jalr a0, t0, 0\n ret");
+  EXPECT_TRUE(VerifyCode(through_reg, {}).ok());
+}
+
+TEST_F(InterpreterTest, ExecWindowsConfineComputedJumps) {
+  // The dynamic half of the jalr story: a register jump out of the armed
+  // window faults at the fetch, before the target byte executes.
+  const auto entry = LoadRaw(R"(
+    f:
+      mov t0, sp
+      jalr lr, t0, 0
+      ret
+  )");
+  ExecConfig cfg;
+  cfg.exec_windows = {{entry, 3 * kInstrBytes}};
+  const auto r = Run(entry, {}, nullptr, cfg);
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(r.instructions, 2u);  // mov + jalr retire; the fetch faults
+}
+
+TEST_F(InterpreterTest, ExecWindowsCatchStraightLineRunoff) {
+  // No branch, no ret: statically legal, dynamically the next fetch falls
+  // off the end of the window into whatever bytes follow the frame.
+  const auto entry = LoadRaw("f: addi a0, a0, 1");
+  ExecConfig cfg;
+  cfg.exec_windows = {{entry, kInstrBytes}};
+  const auto r = Run(entry, {}, nullptr, cfg);
+  EXPECT_EQ(r.status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(r.instructions, 1u);
+}
+
+TEST_F(InterpreterTest, DataWindowsCoverNativeAccesses) {
+  // Natives act on behalf of jam code, so the data fence must hold through
+  // the bridge too (the confused-deputy regression). a0..a3 carry
+  // dst/fill/len/handle straight from Run's args.
+  NativeTable natives;
+  std::string sink;
+  ASSERT_TRUE(RegisterStandardNatives(natives, {&sink}).ok());
+  const auto memset_idx = natives.IndexOf("tc_memset");
+  ASSERT_TRUE(memset_idx.ok());
+  const std::uint64_t handle = MakeNativeHandle(*memset_idx);
+  auto inside = mem_.Allocate(256, 64, mem::Perm::kRW, "inside");
+  auto outside = mem_.Allocate(256, 64, mem::Perm::kRW, "outside");
+  ASSERT_TRUE(inside.ok() && outside.ok());
+
+  const auto entry = LoadRaw(R"(
+    f:
+      mov t6, lr
+      jalr lr, a3, 0
+      jalr zr, t6, 0
+  )");
+  ExecConfig cfg;
+  cfg.data_windows = {{*inside, 256}};
+
+  const auto ok = Run(entry, {*inside, 0x5A, 64, handle}, &natives, cfg);
+  ASSERT_TRUE(ok.status.ok()) << ok.status;
+  auto in_span = mem_.RawSpan(*inside, 64);
+  ASSERT_TRUE(in_span.ok());
+  for (const std::uint8_t b : *in_span) EXPECT_EQ(b, 0x5A);
+
+  const auto blocked = Run(entry, {*outside, 0x5A, 64, handle}, &natives, cfg);
+  EXPECT_EQ(blocked.status.code(), StatusCode::kPermissionDenied);
+  auto out_span = mem_.RawSpan(*outside, 64);
+  ASSERT_TRUE(out_span.ok());
+  for (const std::uint8_t b : *out_span) EXPECT_EQ(b, 0u);
+}
+
+TEST_F(InterpreterTest, ConfineBranchCyclesAreCharged) {
+  // The SFI-style control-flow check has a price: every branch/jal/jalr
+  // retired under exec windows costs confine_branch_cycles extra. 16 bne
+  // + the final ret = 17 control transfers.
+  const auto entry = LoadRaw(R"(
+    f:
+      movi t0, 16
+    loop:
+      addi t0, t0, -1
+      bne t0, zr, loop
+      ret
+  )");
+  ExecConfig cfg;
+  cfg.exec_windows = {{entry, 4 * kInstrBytes}};
+  cfg.confine_branch_cycles = 0;
+  (void)Run(entry, {}, nullptr, cfg);  // warm the caches
+  const auto cheap = Run(entry, {}, nullptr, cfg);
+  ASSERT_TRUE(cheap.status.ok()) << cheap.status;
+  cfg.confine_branch_cycles = 100;
+  const auto priced = Run(entry, {}, nullptr, cfg);
+  ASSERT_TRUE(priced.status.ok()) << priced.status;
+  EXPECT_EQ(priced.cycles - cheap.cycles, 17u * 100u);
+}
+
 }  // namespace
 }  // namespace twochains::vm

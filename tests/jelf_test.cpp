@@ -173,6 +173,103 @@ TEST(LinkerTest, EmptyLinkRejected) {
   EXPECT_EQ(Link({}, {}).status().code(), StatusCode::kInvalidArgument);
 }
 
+// ------------------------------------------------------- layout validate
+
+// A well-formed image exercising every section: rodata, a GOT slot, and
+// writable data. Tests below mutate one field at a time and expect
+// ValidateImageLayout to call out exactly that corruption — the same gate
+// the runtime runs over attacker-supplied package layouts.
+LinkedImage LayoutFixture() {
+  return MustLink({MustAssemble(R"(
+    .extern ext
+    .rodata
+    blob: .quad 0x1122334455667788
+    .data
+    g: .quad 2
+    .text
+    .global f
+    f:
+      lea t0, blob
+      ldg t1, @ext
+      ret
+  )")});
+}
+
+TEST(LayoutValidationTest, WellFormedImageAccepted) {
+  const LinkedImage image = LayoutFixture();
+  ASSERT_GT(image.rodata.size(), 0u);
+  ASSERT_GT(image.got_slot_count(), 0u);
+  ASSERT_GT(image.data.size(), 0u);
+  EXPECT_TRUE(ValidateImageLayout(image).ok());
+}
+
+TEST(LayoutValidationTest, RodataOverlappingTextRejected) {
+  LinkedImage image = LayoutFixture();
+  image.rodata_offset = image.text.size() / 2;
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("overlaps text"), std::string::npos);
+}
+
+TEST(LayoutValidationTest, RodataOverlappingGotRejected) {
+  LinkedImage image = LayoutFixture();
+  image.got_offset = image.rodata_offset;  // GOT lands on top of rodata
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("overlaps the GOT"), std::string::npos);
+}
+
+TEST(LayoutValidationTest, GotOverlappingDataRejected) {
+  LinkedImage image = LayoutFixture();
+  image.data_offset = image.got_offset;  // data lands on top of the GOT
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("overlaps data"), std::string::npos);
+}
+
+TEST(LayoutValidationTest, DataExceedingTotalSizeRejected) {
+  LinkedImage image = LayoutFixture();
+  image.total_size = image.data_offset + image.data.size() - 1;
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("exceeds total_size"), std::string::npos);
+
+  // And the wrap bait: total_size below data_offset must not underflow the
+  // subtraction into a huge "remaining" budget.
+  image.total_size = image.data_offset - 1;
+  EXPECT_EQ(ValidateImageLayout(image).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LayoutValidationTest, ExportOutsideImageRejected) {
+  LinkedImage image = LayoutFixture();
+  image.exports["rogue"].offset = image.total_size;
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("export 'rogue'"), std::string::npos);
+}
+
+TEST(LayoutValidationTest, FixupSlotOutsideImageRejected) {
+  LinkedImage image = LayoutFixture();
+  LoadFixup rogue;
+  rogue.image_offset = image.total_size - 4;  // 8-byte slot straddles end
+  image.fixups.push_back(rogue);
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("fixup slot"), std::string::npos);
+}
+
+TEST(LayoutValidationTest, InternalFixupTargetOutsideImageRejected) {
+  LinkedImage image = LayoutFixture();
+  LoadFixup rogue;
+  rogue.image_offset = image.got_offset;  // slot itself is fine
+  rogue.internal = true;
+  rogue.target_offset = image.total_size;  // target is not
+  image.fixups.push_back(rogue);
+  const Status status = ValidateImageLayout(image);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("fixup target"), std::string::npos);
+}
+
 // ------------------------------------------------------------- rewriter
 
 TEST(GotRewriterTest, RewritesFixToPre) {

@@ -64,14 +64,37 @@ check() { # struct_name file heading_regex [exclude_regex]
   fi
 }
 
-# The work-stealing and jam-cache sections document StealConfig's and
-# JamCacheConfig's *nested* fields, so they are excluded from the
-# RuntimeConfig scope — a nested name must not satisfy a same-named
-# top-level RuntimeConfig field.
+# The work-stealing, jam-cache, and security-policy sections document
+# StealConfig's, JamCacheConfig's, and SecurityPolicy's *nested*
+# fields, so they are excluded from the RuntimeConfig scope — a nested
+# name must not satisfy a same-named top-level RuntimeConfig field.
 check RuntimeConfig src/core/runtime.hpp '^## RuntimeConfig' \
-  'work stealing|jam cache'
+  'work stealing|jam cache|security policy'
 check StealConfig src/core/runtime.hpp '^## RuntimeConfig — work stealing'
 check JamCacheConfig src/core/runtime.hpp '^## RuntimeConfig — jam cache'
+check SecurityPolicy src/core/security.hpp \
+  '^## RuntimeConfig — security policy'
 check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
+
+# docs/SECURITY.md is the threat-model page: every SecurityPolicy knob
+# must be covered there too (the guarantee table), so a new mitigation
+# cannot land without its guarantee being written down.
+SECURITY=docs/SECURITY.md
+if [ ! -f "$SECURITY" ]; then
+  echo "FAIL: $SECURITY missing"
+  fail=1
+else
+  missing=""
+  while read -r field; do
+    [ -z "$field" ] && continue
+    grep -Eq "\`$field\`" "$SECURITY" || missing="$missing $field"
+  done < <(fields_of SecurityPolicy src/core/security.hpp)
+  if [ -n "$missing" ]; then
+    echo "FAIL: SecurityPolicy fields missing from $SECURITY:$missing"
+    fail=1
+  else
+    echo "OK: all SecurityPolicy fields documented in $SECURITY"
+  fi
+fi
 
 exit $fail
