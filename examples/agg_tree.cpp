@@ -1,0 +1,120 @@
+// Aggregation tree over function injection: leaves push values into
+// intermediate hosts with jam_agg_push (each push lands in the *mid's*
+// resident accumulator), then the root drains each mid with jam_agg_take
+// — the jam executes at the mid, returns its subtree's partial sum, and
+// resets the accumulator for the next round. Only scalars ever cross the
+// wire toward the root: the classic fan-in reduction, built from two
+// five-line jams.
+//
+//   hosts:            0 (root)
+//                    ____|____
+//                   |         |
+//                1 (mid)   2 (mid)
+//                   |         |
+//                3, 4, 5   6, 7, 8    (leaves)
+//
+// Full-mesh fabric (the tree is an overlay: leaves only ever talk to
+// their mid, the root only to the mids). Two rounds run to show the
+// take-then-reset cycle.
+//
+// Build & run:  ./build/examples/agg_tree
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/fabric.hpp"
+#include "jamlib/jamlib.hpp"
+
+using namespace twochains;
+
+namespace {
+
+constexpr std::uint32_t kRoot = 0;
+constexpr std::uint32_t kMids[] = {1, 2};
+constexpr std::uint32_t kLeavesPerMid = 3;
+
+/// Injects @p jam at @p target and runs until it executed there.
+std::int64_t Inject(core::Fabric& fabric, std::uint32_t from,
+                    std::uint32_t target, const char* jam,
+                    std::vector<std::uint64_t> args) {
+  const auto peer = fabric.PeerIdFor(from, target);
+  if (!peer.ok()) {
+    std::fprintf(stderr, "no route: %s\n", peer.status().ToString().c_str());
+    return 0;
+  }
+  std::optional<std::uint64_t> result;
+  fabric.runtime(target).SetOnExecuted([&](const core::ReceivedMessage& msg) {
+    if (msg.executed) result = msg.return_value;
+  });
+  const auto receipt = fabric.runtime(from).Send(
+      *peer, jam, core::Invoke::kInjected, args, {});
+  if (!receipt.ok()) {
+    std::fprintf(stderr, "send: %s\n", receipt.status().ToString().c_str());
+    return 0;
+  }
+  fabric.RunUntil([&] { return result.has_value(); });
+  fabric.runtime(target).SetOnExecuted(nullptr);
+  return static_cast<std::int64_t>(result.value_or(0));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t hosts = 1 + 2 + 2 * kLeavesPerMid;  // root+mids+leaves
+  std::printf("== agg_tree: %u leaves -> 2 mids -> root ==\n\n",
+              2 * kLeavesPerMid);
+
+  core::FabricOptions opts;
+  opts.hosts = hosts;
+  opts.topology = core::Topology::kFullMesh;
+  core::Fabric fabric(opts);
+  Status loaded =
+      fabric.BuildAndLoad(jamlib::MakeJamlibPackageBuilder(), "tcjamlib");
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  for (int round = 1; round <= 2; ++round) {
+    std::printf("-- round %d --\n", round);
+    std::int64_t expect_total = 0;
+
+    // Phase 1: every leaf pushes its local value into its mid's resident
+    // accumulator. The value is "measured" at the leaf; only it travels.
+    for (std::size_t m = 0; m < 2; ++m) {
+      const std::uint32_t mid = kMids[m];
+      for (std::uint32_t l = 0; l < kLeavesPerMid; ++l) {
+        const std::uint32_t leaf = 3 + static_cast<std::uint32_t>(m) *
+                                           kLeavesPerMid + l;
+        const std::int64_t value =
+            static_cast<std::int64_t>(leaf * 10 + round);
+        expect_total += value;
+        const std::int64_t running =
+            Inject(fabric, leaf, mid, "agg_push",
+                   {static_cast<std::uint64_t>(value)});
+        std::printf("  leaf %u -> mid %u: push %lld (mid running %lld)\n",
+                    leaf, mid, static_cast<long long>(value),
+                    static_cast<long long>(running));
+      }
+    }
+
+    // Phase 2: the root drains each mid. agg_take executes *at the mid*,
+    // returns the subtree partial and resets it for the next round.
+    std::int64_t total = 0;
+    for (const std::uint32_t mid : kMids) {
+      const std::int64_t partial = Inject(fabric, kRoot, mid, "agg_take", {});
+      std::printf("  root <- mid %u: partial %lld\n", mid,
+                  static_cast<long long>(partial));
+      total += partial;
+    }
+    std::printf("  tree total %lld (expect %lld)%s\n\n",
+                static_cast<long long>(total),
+                static_cast<long long>(expect_total),
+                total == expect_total ? "" : "  <-- MISMATCH");
+    ok &= (total == expect_total);
+  }
+
+  std::printf("%s\n", ok ? "agg_tree: OK" : "agg_tree: FAILED");
+  return ok ? 0 : 1;
+}

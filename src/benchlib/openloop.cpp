@@ -1,0 +1,347 @@
+#include "benchlib/openloop.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "common/rng.hpp"
+#include "core/fabric.hpp"
+#include "jamlib/jamlib.hpp"
+#include "jamlib/kv_service.hpp"
+
+namespace twochains::bench {
+namespace {
+
+/// The value stored under @p key (deterministic, never kKvMiss, so a
+/// completed get can be checked for hit vs. miss by return value alone).
+std::int64_t ValueFor(std::uint64_t key) {
+  return static_cast<std::int64_t>(key * 2 + 7);
+}
+
+struct Pending {
+  PicoTime arrival = 0;
+  bool is_get = false;
+};
+
+/// One (client host, shard) link's open-loop state: the overflow queue
+/// requests wait in when flow control blocks, and whether a slot waiter
+/// is already parked on the runtime.
+struct Link {
+  std::deque<Pending> backlog_meta;
+  std::deque<jamlib::KvRequest> backlog;
+  bool waiting = false;
+};
+
+struct Ctx {
+  const OpenLoopConfig* config = nullptr;
+  core::Fabric* fabric = nullptr;
+  jamlib::KvShardMap shard_map{1, 0};
+  OpenLoopResult result;
+
+  Xoshiro256 rng{1};
+  double mean_gap_ps = 0;
+  std::uint64_t scheduled = 0;  ///< arrivals drawn so far
+
+  /// tx_peer[client][shard]: the shard's PeerId on the client's runtime.
+  std::vector<std::vector<core::PeerId>> tx_peer;
+  /// rx_peer[shard][client]: the client's PeerId on the shard's runtime
+  /// (what ReceivedMessage::from reports).
+  std::vector<std::vector<core::PeerId>> rx_peer;
+
+  std::vector<std::vector<Link>> links;  ///< [client][shard]
+
+  /// In-flight requests per shard, keyed by (from peer << 32) | sn.
+  std::vector<std::map<std::uint64_t, Pending>> pending;
+  /// Requests whose by-handle frame missed the cache and is being resent
+  /// full-body (new sn), per (shard, from peer), in NAK order. The resend
+  /// completes under an sn the primary map never saw; it is matched FIFO
+  /// here. Concurrent misses on one link can swap two near-simultaneous
+  /// arrival stamps — a bounded, documented distortion.
+  std::vector<std::map<core::PeerId, std::deque<Pending>>> missed;
+
+  std::vector<bool> client_spoke;
+  bool failed = false;
+};
+
+std::uint64_t PendingKey(core::PeerId from, std::uint32_t sn) {
+  return (static_cast<std::uint64_t>(from) << 32) | sn;
+}
+
+/// Sends everything the link's backlog holds while slots last; parks a
+/// slot waiter when flow control blocks mid-backlog.
+void DrainLink(const std::shared_ptr<Ctx>& ctx, std::uint32_t client,
+               std::uint32_t shard) {
+  Link& link = ctx->links[client][shard];
+  core::Runtime& rt = ctx->fabric->runtime(client);
+  const core::PeerId peer = ctx->tx_peer[client][shard];
+  while (!link.backlog.empty()) {
+    if (!rt.HasFreeSlot(peer)) {
+      if (!link.waiting) {
+        link.waiting = true;
+        rt.NotifyWhenSlotFree(peer, [ctx, client, shard]() {
+          ctx->links[client][shard].waiting = false;
+          DrainLink(ctx, client, shard);
+        });
+      }
+      return;
+    }
+    const jamlib::KvRequest request = link.backlog.front();
+    const Pending meta = link.backlog_meta.front();
+    link.backlog.pop_front();
+    link.backlog_meta.pop_front();
+    const std::vector<std::uint64_t> args = jamlib::KvArgsFor(request);
+    const auto receipt = rt.Send(peer, jamlib::KvJamFor(request.op),
+                                 core::Invoke::kInjected, args, {});
+    if (!receipt.ok()) {
+      ctx->failed = true;
+      ctx->result.error = "send failed: " + receipt.status().ToString();
+      return;
+    }
+    ++ctx->result.sent;
+    ctx->pending[shard][PendingKey(ctx->rx_peer[shard][client],
+                                   receipt->sn)] = meta;
+  }
+}
+
+/// One merged-Poisson arrival: draw client, key (Zipf rank), op; enqueue
+/// on the owning link; schedule the next arrival.
+void Arrive(const std::shared_ptr<Ctx>& ctx) {
+  if (ctx->failed || ctx->scheduled >= ctx->config->requests) return;
+  ++ctx->scheduled;
+  const OpenLoopConfig& config = *ctx->config;
+
+  const std::uint64_t client_id = ctx->rng.NextBelow(config.simulated_clients);
+  if (!ctx->client_spoke[client_id]) {
+    ctx->client_spoke[client_id] = true;
+    ++ctx->result.distinct_clients;
+  }
+  const std::uint64_t rank =
+      ctx->rng.NextZipf(config.keyspace, config.zipf_theta);
+  if (rank < 10) ++ctx->result.hot_head_requests;
+
+  jamlib::KvRequest request;
+  request.key = rank;  // rank is the key; KvShardMap's mix spreads the head
+  if (ctx->rng.NextBernoulli(config.put_fraction)) {
+    request.op = jamlib::KvOp::kPut;
+    request.value = ValueFor(request.key);
+    ++ctx->result.puts;
+  } else {
+    request.op = jamlib::KvOp::kGet;
+    ++ctx->result.gets;
+  }
+
+  const std::uint32_t client =
+      static_cast<std::uint32_t>(client_id % config.client_hosts);
+  const std::uint32_t shard = ctx->shard_map.ShardOf(request.key);
+  Link& link = ctx->links[client][shard];
+  if (!link.backlog.empty() || link.waiting) ++ctx->result.queued;
+  link.backlog.push_back(request);
+  link.backlog_meta.push_back(
+      Pending{ctx->fabric->engine().Now(), request.op == jamlib::KvOp::kGet});
+  ctx->result.queue_peak =
+      std::max<std::uint64_t>(ctx->result.queue_peak, link.backlog.size());
+  DrainLink(ctx, client, shard);
+
+  if (ctx->scheduled < config.requests) {
+    const double gap = ctx->rng.NextExponential(ctx->mean_gap_ps);
+    ctx->fabric->engine().ScheduleAfter(
+        static_cast<PicoTime>(gap) + 1, [ctx]() { Arrive(ctx); },
+        "openloop-arrival");
+  }
+}
+
+/// Completion hook for shard @p shard: matches executed jams back to
+/// their arrival stamps; reroutes cache-missed frames to the resend FIFO.
+void OnShardExecuted(const std::shared_ptr<Ctx>& ctx, std::uint32_t shard,
+                     const core::ReceivedMessage& msg) {
+  auto& primary = ctx->pending[shard];
+  if (msg.cache_miss) {
+    const auto it = primary.find(PendingKey(msg.from, msg.sn));
+    if (it != primary.end()) {
+      ctx->missed[shard][msg.from].push_back(it->second);
+      primary.erase(it);
+    }
+    return;
+  }
+  if (!msg.executed) return;
+
+  Pending meta;
+  const auto it = primary.find(PendingKey(msg.from, msg.sn));
+  if (it != primary.end()) {
+    meta = it->second;
+    primary.erase(it);
+  } else {
+    auto& fifo = ctx->missed[shard][msg.from];
+    if (fifo.empty()) return;  // preload traffic or foreign frame
+    meta = fifo.front();
+    fifo.pop_front();
+  }
+
+  ++ctx->result.completed;
+  ++ctx->result.per_shard_executed[shard];
+  ctx->result.latency.Add(msg.completed_at - meta.arrival);
+  if (meta.is_get &&
+      static_cast<std::int64_t>(msg.return_value) != jamlib::kKvMiss) {
+    ++ctx->result.get_hits;
+  }
+}
+
+/// Closed-loop, unmeasured: writes every key once so measured gets hit.
+Status Preload(const std::shared_ptr<Ctx>& ctx) {
+  const OpenLoopConfig& config = *ctx->config;
+  for (std::uint64_t key = 0; key < config.keyspace; ++key) {
+    const std::uint32_t client =
+        static_cast<std::uint32_t>(key % config.client_hosts);
+    const std::uint32_t shard = ctx->shard_map.ShardOf(key);
+    core::Runtime& rt = ctx->fabric->runtime(client);
+    const core::PeerId peer = ctx->tx_peer[client][shard];
+    while (!rt.HasFreeSlot(peer)) {
+      bool freed = false;
+      rt.NotifyWhenSlotFree(peer, [&freed]() { freed = true; });
+      if (!ctx->fabric->RunUntil([&freed]() { return freed; })) {
+        return Internal("preload stalled: no slot ever freed");
+      }
+    }
+    const std::uint64_t args[] = {key,
+                                  static_cast<std::uint64_t>(ValueFor(key))};
+    const auto receipt =
+        rt.Send(peer, "kv_put", core::Invoke::kInjected, args, {});
+    if (!receipt.ok()) return receipt.status();
+  }
+  ctx->fabric->Run();  // drain the tail of the preload
+  return Status::Ok();
+}
+
+void AccumulateJamStats(const core::JamCacheStats& s, std::int64_t sign,
+                        core::JamCacheStats* into) {
+  const auto add = [sign](std::uint64_t& field, std::uint64_t v) {
+    field = sign > 0 ? field + v : field - v;
+  };
+  add(into->hits, s.hits);
+  add(into->misses, s.misses);
+  add(into->installs, s.installs);
+  add(into->evictions, s.evictions);
+  add(into->invalidations, s.invalidations);
+  add(into->naks_sent, s.naks_sent);
+  add(into->bytes_saved, s.bytes_saved);
+  add(into->link_cycles_saved, s.link_cycles_saved);
+  add(into->by_handle_sends, s.by_handle_sends);
+  add(into->naks_received, s.naks_received);
+  add(into->resends, s.resends);
+}
+
+}  // namespace
+
+StatusOr<OpenLoopResult> RunKvOpenLoop(const OpenLoopConfig& config) {
+  if (config.client_hosts == 0 || config.shards == 0) {
+    return InvalidArgument("need at least one client and one shard");
+  }
+  if (config.requests == 0) return InvalidArgument("requests == 0");
+  if (config.simulated_clients == 0) {
+    return InvalidArgument("simulated_clients == 0");
+  }
+  if (!(config.offered_rate_mops > 0)) {
+    return InvalidArgument("offered_rate_mops must be > 0");
+  }
+  if (config.put_fraction < 0 || config.put_fraction > 1) {
+    return InvalidArgument("put_fraction outside [0, 1]");
+  }
+  if (config.keyspace == 0 ||
+      config.keyspace > config.shards * (jamlib::kKvSlots * 3 / 4)) {
+    return InvalidArgument(
+        "keyspace must be in [1, shards * 3/4 * kKvSlots] (an overfull "
+        "open-addressed table degrades into full-table probes)");
+  }
+
+  core::FabricOptions opts;
+  opts.hosts = config.client_hosts + config.shards;
+  opts.topology = core::Topology::kFullMesh;
+  opts.runtime = config.runtime;
+  opts.runtime.jam_cache = config.jam_cache;
+  auto fabric = std::make_unique<core::Fabric>(opts);
+  Status loaded =
+      fabric->BuildAndLoad(jamlib::MakeJamlibPackageBuilder(), "tcjamlib");
+  if (!loaded.ok()) return loaded;
+
+  auto ctx = std::make_shared<Ctx>();
+  ctx->config = &config;
+  ctx->fabric = fabric.get();
+  ctx->shard_map = jamlib::KvShardMap(config.shards, config.client_hosts);
+  ctx->rng = Xoshiro256(config.seed);
+  ctx->mean_gap_ps = 1'000'000.0 / config.offered_rate_mops;
+  ctx->client_spoke.assign(config.simulated_clients, false);
+  ctx->pending.resize(config.shards);
+  ctx->missed.resize(config.shards);
+  ctx->result.per_shard_executed.assign(config.shards, 0);
+  ctx->links.assign(config.client_hosts, std::vector<Link>(config.shards));
+
+  ctx->tx_peer.resize(config.client_hosts);
+  ctx->rx_peer.resize(config.shards);
+  for (std::uint32_t c = 0; c < config.client_hosts; ++c) {
+    for (std::uint32_t s = 0; s < config.shards; ++s) {
+      auto tx = fabric->PeerIdFor(c, config.client_hosts + s);
+      auto rx = fabric->PeerIdFor(config.client_hosts + s, c);
+      if (!tx.ok()) return tx.status();
+      if (!rx.ok()) return rx.status();
+      ctx->tx_peer[c].push_back(*tx);
+      ctx->rx_peer[s].resize(config.client_hosts);
+      ctx->rx_peer[s][c] = *rx;
+    }
+  }
+
+  if (config.preload) {
+    Status warm = Preload(ctx);
+    if (!warm.ok()) return warm;
+  }
+
+  // Baselines so the measured window excludes preload traffic.
+  std::uint64_t wire_base = 0;
+  core::JamCacheStats jam_base{};
+  for (std::uint32_t h = 0; h < opts.hosts; ++h) {
+    wire_base += fabric->runtime(h).stats().bytes_sent;
+    AccumulateJamStats(fabric->runtime(h).jam_cache_stats(), +1, &jam_base);
+  }
+  for (std::uint32_t s = 0; s < config.shards; ++s) {
+    fabric->runtime(config.client_hosts + s)
+        .SetOnExecuted([ctx, s](const core::ReceivedMessage& msg) {
+          OnShardExecuted(ctx, s, msg);
+        });
+  }
+
+  const PicoTime started = fabric->engine().Now();
+  Arrive(ctx);
+  const bool drained = fabric->RunUntil([&ctx]() {
+    return ctx->failed || ctx->result.completed >= ctx->config->requests;
+  });
+
+  OpenLoopResult result = std::move(ctx->result);
+  for (std::uint32_t s = 0; s < config.shards; ++s) {
+    fabric->runtime(config.client_hosts + s).SetOnExecuted(nullptr);
+  }
+
+  if (ctx->failed) return StatusOr<OpenLoopResult>(std::move(result));
+  if (result.completed < config.requests) {
+    result.error = drained ? "run ended short of the request count"
+                           : "engine drained with requests still in flight";
+    return StatusOr<OpenLoopResult>(std::move(result));
+  }
+
+  result.duration = fabric->engine().Now() - started;
+  if (result.duration > 0) {
+    result.achieved_mops = static_cast<double>(result.completed) * 1e6 /
+                           static_cast<double>(result.duration);
+  }
+  std::uint64_t wire_total = 0;
+  for (std::uint32_t h = 0; h < opts.hosts; ++h) {
+    wire_total += fabric->runtime(h).stats().bytes_sent;
+    AccumulateJamStats(fabric->runtime(h).jam_cache_stats(), +1, &result.jam);
+  }
+  result.wire_bytes = wire_total - wire_base;
+  AccumulateJamStats(jam_base, -1, &result.jam);
+  result.ok = true;
+  return StatusOr<OpenLoopResult>(std::move(result));
+}
+
+}  // namespace twochains::bench

@@ -215,9 +215,12 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     if (senders[i] == receiver) {
       return InvalidArgument("receiver cannot also be a sender");
     }
+    // Weight 0 is a *silent* sender: it participates in the topology but
+    // pushes nothing (and is excluded from the fairness normalization
+    // below — dividing its zero rate by a zero weight would poison Jain
+    // with NaN).
     const std::uint32_t weight =
         config.sender_weights.empty() ? 1u : config.sender_weights[i];
-    if (weight == 0) return InvalidArgument("sender weight 0");
     ctx->senders[i].weight = weight;
     ctx->senders[i].target = ctx->per_sender * weight;
     ctx->total += ctx->senders[i].target;
@@ -229,6 +232,9 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     if (!ctx->by_rx_peer.emplace(rx_peer, i).second) {
       return InvalidArgument("duplicate sender host");
     }
+  }
+  if (ctx->total == 0) {
+    return InvalidArgument("every sender weight is zero (nothing to send)");
   }
   ctx->latency = LatencySample(ctx->total);
 
@@ -299,6 +305,7 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
       MegabytesPerSecond(ctx->total * result.frame_len, result.duration);
 
   double sum = 0, sum_sq = 0;
+  std::size_t participants = 0;
   for (std::size_t i = 0; i < senders.size(); ++i) {
     IncastSenderResult sr;
     sr.host = senders[i];
@@ -308,16 +315,23 @@ StatusOr<IncastResult> RunIncastRate(core::Fabric& fabric,
     sr.flow_control_waits = ctx->senders[i].flow_control_waits;
     // Under a skewed load, fairness is per *offered* load: normalize each
     // sender's rate by its weight so Jain still reads 1.0 when everyone
-    // completes in proportion to what they pushed.
-    const double normalized =
-        sr.messages_per_second / ctx->senders[i].weight;
-    sum += normalized;
-    sum_sq += normalized * normalized;
+    // completes in proportion to what they pushed. Weight-0 (silent)
+    // senders offered nothing, so they are excluded from both the sum and
+    // the denominator — dividing by their zero weight would yield
+    // inf/NaN, and counting them as a zero share would misread a fully
+    // fair run as unfair.
+    if (ctx->senders[i].weight > 0) {
+      const double normalized =
+          sr.messages_per_second / ctx->senders[i].weight;
+      sum += normalized;
+      sum_sq += normalized * normalized;
+      ++participants;
+    }
     result.per_sender.push_back(sr);
   }
-  if (sum_sq > 0) {
+  if (sum_sq > 0 && participants > 0) {
     result.fairness =
-        (sum * sum) / (static_cast<double>(senders.size()) * sum_sq);
+        (sum * sum) / (static_cast<double>(participants) * sum_sq);
   }
   return result;
 }

@@ -78,7 +78,10 @@ struct IncastConfig {
   /// messages). Empty = uniform (weight 1 everywhere). This is what makes
   /// receiver-pool skew observable: concentrating load on the senders
   /// whose banks shard to one pool core leaves the other cores idle
-  /// unless they steal.
+  /// unless they steal. Weight 0 = a *silent* sender: wired into the
+  /// topology but pushing nothing, and excluded from the Jain fairness
+  /// normalization (all-zero weights are rejected). Silent senders model
+  /// provisioned-but-idle clients in the serving scenarios.
   std::vector<std::uint32_t> sender_weights;
 };
 

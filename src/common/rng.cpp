@@ -69,4 +69,47 @@ double Xoshiro256::NextPareto(double x_m, double alpha) noexcept {
   return x_m / std::pow(u, 1.0 / alpha);
 }
 
+namespace {
+
+// Rejection-inversion helpers (Hoermann & Derflinger 1996): H is the
+// antiderivative of the unnormalized density h(x) = x^-theta, offset so the
+// theta == 1 singularity is handled by its log limit.
+double ZipfH(double x, double theta) noexcept {
+  const double one_minus = 1.0 - theta;
+  if (one_minus == 0.0) return std::log(x);
+  return (std::pow(x, one_minus) - 1.0) / one_minus;
+}
+
+double ZipfHInverse(double y, double theta) noexcept {
+  const double one_minus = 1.0 - theta;
+  if (one_minus == 0.0) return std::exp(y);
+  return std::pow(1.0 + y * one_minus, 1.0 / one_minus);
+}
+
+}  // namespace
+
+std::uint64_t Xoshiro256::NextZipf(std::uint64_t n, double theta) noexcept {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return NextBelow(n);  // degenerate: uniform ranks
+  // Sample k in [1, n] with P(k) ~ k^-theta, then shift to 0-based ranks.
+  const double nd = static_cast<double>(n);
+  const double h_x1 = ZipfH(1.5, theta) - 1.0;
+  const double h_n = ZipfH(nd + 0.5, theta);
+  // Acceptance shortcut width: points within `cut` of the integer grid are
+  // accepted without evaluating the bound (covers the k = 1 spike exactly).
+  const double cut =
+      2.0 - ZipfHInverse(ZipfH(2.5, theta) - std::pow(2.0, -theta), theta);
+  for (;;) {
+    const double u = h_n + NextDouble() * (h_x1 - h_n);
+    const double x = ZipfHInverse(u, theta);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > nd) k = nd;
+    if (k - x <= cut ||
+        u >= ZipfH(k + 0.5, theta) - std::pow(k, -theta)) {
+      return static_cast<std::uint64_t>(k) - 1;
+    }
+  }
+}
+
 }  // namespace twochains

@@ -33,9 +33,13 @@ class Xoshiro256 {
   /// Uniform double in [0, 1).
   double NextDouble() noexcept;
 
-  /// Uniform in [lo, hi] inclusive.
+  /// Uniform in [lo, hi] inclusive. Covers the full u64 domain:
+  /// NextInRange(0, UINT64_MAX) is a raw Next() draw (the naive
+  /// `hi - lo + 1` bound would wrap to 0 there and degenerate to `lo`).
   std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
-    return lo + NextBelow(hi - lo + 1);
+    const std::uint64_t span = hi - lo;  // inclusive width minus one
+    if (span == ~std::uint64_t{0}) return Next();
+    return lo + NextBelow(span + 1);
   }
 
   /// True with probability p (clamped to [0,1]).
@@ -47,6 +51,14 @@ class Xoshiro256 {
   /// Pareto (heavy tail) with scale x_m and shape alpha; mean exists only
   /// for alpha > 1. Used by the interference model for preemption spikes.
   double NextPareto(double x_m, double alpha) noexcept;
+
+  /// Zipf-distributed rank in [0, n): P(k) proportional to 1/(k+1)^theta,
+  /// so rank 0 is the hottest. theta <= 0 degenerates to uniform; n == 0
+  /// returns 0. O(1) per draw via Hoermann & Derflinger rejection
+  /// inversion — no O(n) zeta precompute, so one generator can serve many
+  /// key spaces. The workload generators use this for hot-key popularity
+  /// (theta ~ 0.99-1.2 is the YCSB-style serving mix).
+  std::uint64_t NextZipf(std::uint64_t n, double theta) noexcept;
 
   // std::uniform_random_bit_generator interface so <algorithm> shuffles work.
   using result_type = std::uint64_t;

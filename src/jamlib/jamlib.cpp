@@ -1,0 +1,301 @@
+#include "jamlib/jamlib.hpp"
+
+namespace twochains::jamlib {
+namespace {
+
+// Resident state. Dimensions are literal here (amcc compiles each unit
+// standalone); jamlib.hpp mirrors them as the C++-side constants.
+constexpr const char* kRiedKvtable = R"AMC(
+/* ried_kvtable: resident state for the jam standard library.
+     kv_*      open-addressed hash map (linear probe, tombstones,
+               inline values + one 64-byte payload blob per slot)
+     ctr_cells counters (fetch-and-add / compare-and-swap targets)
+     topk_*    running top-k of pushed values (descending order)
+     sg_cells  scatter/gather cell array
+     agg_*     aggregation-tree partial-sum accumulator */
+
+long kv_keys[4096];
+long kv_vals[4096];
+char kv_blob[262144];
+long kv_count = 0;
+
+long ctr_cells[256];
+
+long topk_vals[8];
+long topk_len = 0;
+
+long sg_cells[4096];
+
+long agg_acc = 0;
+long agg_seen = 0;
+
+long ried_kvtable(void) { return 0; }
+
+long ried_kvtable_init(void) {
+  for (long i = 0; i < 4096; ++i) {
+    kv_keys[i] = -1;
+    kv_vals[i] = 0;
+    sg_cells[i] = 0;
+  }
+  for (long i = 0; i < 256; ++i) ctr_cells[i] = 0;
+  for (long i = 0; i < 8; ++i) topk_vals[i] = 0;
+  topk_len = 0;
+  kv_count = 0;
+  agg_acc = 0;
+  agg_seen = 0;
+  return 0;
+}
+)AMC";
+
+// args = [key, value]; usr = optional payload (first 64 bytes stored in
+// the slot's blob cell). Returns the slot index, or -1 when the table is
+// full. Overwrites refresh both the value and the blob. Deleted slots are
+// reused: the probe remembers the first tombstone and keeps scanning for
+// the key until an empty slot proves absence.
+constexpr const char* kJamKvPut = R"AMC(
+extern long kv_keys[4096];
+extern long kv_vals[4096];
+extern char kv_blob[262144];
+extern long kv_count;
+extern void* tc_memcpy(void* dst, const void* src, unsigned long n);
+
+long jam_kv_put(long* args, char* usr, long usr_bytes) {
+  long key = args[0];
+  long val = args[1];
+  unsigned long home = ((unsigned long)key * 2654435761) % 4096;
+  long target = -1;
+  for (long i = 0; i < 4096; ++i) {
+    unsigned long s = (home + i) % 4096;
+    long k = kv_keys[s];
+    if (k == key) {
+      target = (long)s;
+      break;
+    }
+    if (k == -2) {
+      if (target < 0) target = (long)s;
+    }
+    if (k == -1) {
+      if (target < 0) target = (long)s;
+      break;
+    }
+  }
+  if (target < 0) return -1;
+  if (kv_keys[target] != key) {
+    kv_keys[target] = key;
+    kv_count = kv_count + 1;
+  }
+  kv_vals[target] = val;
+  if (usr_bytes > 0) {
+    long n = usr_bytes;
+    if (n > 64) n = 64;
+    tc_memcpy(kv_blob + target * 64, usr, (unsigned long)n);
+  }
+  return target;
+}
+)AMC";
+
+// args = [key]. Returns the stored value, or -1 (kKvMiss) when absent.
+constexpr const char* kJamKvGet = R"AMC(
+extern long kv_keys[4096];
+extern long kv_vals[4096];
+
+long jam_kv_get(long* args, char* usr, long usr_bytes) {
+  long key = args[0];
+  unsigned long home = ((unsigned long)key * 2654435761) % 4096;
+  for (long i = 0; i < 4096; ++i) {
+    unsigned long s = (home + i) % 4096;
+    long k = kv_keys[s];
+    if (k == key) return kv_vals[s];
+    if (k == -1) return -1;
+  }
+  return -1;
+}
+)AMC";
+
+// args = [key]. Tombstones the slot; returns 1 if erased, 0 if absent.
+constexpr const char* kJamKvDel = R"AMC(
+extern long kv_keys[4096];
+extern long kv_vals[4096];
+extern long kv_count;
+
+long jam_kv_del(long* args, char* usr, long usr_bytes) {
+  long key = args[0];
+  unsigned long home = ((unsigned long)key * 2654435761) % 4096;
+  for (long i = 0; i < 4096; ++i) {
+    unsigned long s = (home + i) % 4096;
+    long k = kv_keys[s];
+    if (k == key) {
+      kv_keys[s] = -2;
+      kv_vals[s] = 0;
+      kv_count = kv_count - 1;
+      return 1;
+    }
+    if (k == -1) return 0;
+  }
+  return 0;
+}
+)AMC";
+
+// args = [cell, delta]. Fetch-and-add: returns the *new* value. The cell
+// index is masked into range so a hostile index cannot escape the array.
+constexpr const char* kJamCtrAdd = R"AMC(
+extern long ctr_cells[256];
+
+long jam_ctr_add(long* args, char* usr, long usr_bytes) {
+  long cell = args[0] & 255;
+  ctr_cells[cell] = ctr_cells[cell] + args[1];
+  return ctr_cells[cell];
+}
+)AMC";
+
+// args = [cell, expect, desired]. Compare-and-swap: returns the *old*
+// value (callers detect success by old == expect).
+constexpr const char* kJamCas = R"AMC(
+extern long ctr_cells[256];
+
+long jam_cas(long* args, char* usr, long usr_bytes) {
+  long cell = args[0] & 255;
+  long old = ctr_cells[cell];
+  if (old == args[1]) ctr_cells[cell] = args[2];
+  return old;
+}
+)AMC";
+
+// args = [value]. Keeps the 8 largest pushed values in descending order;
+// returns the smallest value currently kept (the k-th largest seen, once
+// 8 or more were pushed).
+constexpr const char* kJamTopk = R"AMC(
+extern long topk_vals[8];
+extern long topk_len;
+
+long jam_topk(long* args, char* usr, long usr_bytes) {
+  long v = args[0];
+  if (topk_len < 8) {
+    long j = topk_len;
+    while (j > 0 && topk_vals[j - 1] < v) {
+      topk_vals[j] = topk_vals[j - 1];
+      j = j - 1;
+    }
+    topk_vals[j] = v;
+    topk_len = topk_len + 1;
+    return topk_vals[topk_len - 1];
+  }
+  if (v <= topk_vals[7]) return topk_vals[7];
+  long j = 7;
+  while (j > 0 && topk_vals[j - 1] < v) {
+    topk_vals[j] = topk_vals[j - 1];
+    j = j - 1;
+  }
+  topk_vals[j] = v;
+  return topk_vals[7];
+}
+)AMC";
+
+// usr = n (index, value) pairs of longs. Writes value into sg_cells at
+// each (masked) index; returns the pair count.
+constexpr const char* kJamScatter = R"AMC(
+extern long sg_cells[4096];
+
+long jam_scatter(long* args, long* usr, long usr_bytes) {
+  long n = usr_bytes / 16;
+  for (long i = 0; i < n; ++i) {
+    long idx = usr[2 * i] & 4095;
+    sg_cells[idx] = usr[2 * i + 1];
+  }
+  return n;
+}
+)AMC";
+
+// usr = n indices (longs). Returns the sum of sg_cells over the (masked)
+// indices — a gather-reduce: the indexed reads stay resident, only the
+// scalar crosses the wire back.
+constexpr const char* kJamGather = R"AMC(
+extern long sg_cells[4096];
+
+long jam_gather(long* args, long* usr, long usr_bytes) {
+  long n = usr_bytes / 8;
+  long total = 0;
+  for (long i = 0; i < n; ++i) {
+    total = total + sg_cells[usr[i] & 4095];
+  }
+  return total;
+}
+)AMC";
+
+// args = [value]. Accumulates a partial sum (aggregation-tree interior
+// node); returns the running total.
+constexpr const char* kJamAggPush = R"AMC(
+extern long agg_acc;
+extern long agg_seen;
+
+long jam_agg_push(long* args, char* usr, long usr_bytes) {
+  agg_acc = agg_acc + args[0];
+  agg_seen = agg_seen + 1;
+  return agg_acc;
+}
+)AMC";
+
+// No args. Returns the accumulated partial sum and resets the
+// accumulator — the interior node's "forward my subtree and start the
+// next round" step.
+constexpr const char* kJamAggTake = R"AMC(
+extern long agg_acc;
+extern long agg_seen;
+
+long jam_agg_take(long* args, char* usr, long usr_bytes) {
+  long total = agg_acc;
+  agg_acc = 0;
+  agg_seen = 0;
+  return total;
+}
+)AMC";
+
+struct NamedSource {
+  const char* file_name;
+  const char* source;
+};
+
+constexpr NamedSource kSources[] = {
+    {"ried_kvtable.rdc", kRiedKvtable},
+    {"jam_kv_put.amc", kJamKvPut},
+    {"jam_kv_get.amc", kJamKvGet},
+    {"jam_kv_del.amc", kJamKvDel},
+    {"jam_ctr_add.amc", kJamCtrAdd},
+    {"jam_cas.amc", kJamCas},
+    {"jam_topk.amc", kJamTopk},
+    {"jam_scatter.amc", kJamScatter},
+    {"jam_gather.amc", kJamGather},
+    {"jam_agg_push.amc", kJamAggPush},
+    {"jam_agg_take.amc", kJamAggTake},
+};
+
+}  // namespace
+
+const std::vector<std::string>& JamNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const NamedSource& s : kSources) {
+      const std::string file = s.file_name;
+      if (file.rfind("jam_", 0) == 0) {
+        v.push_back(file.substr(4, file.size() - 4 - 4));  // strip .amc
+      }
+    }
+    return v;
+  }();
+  return names;
+}
+
+pkg::PackageBuilder MakeJamlibPackageBuilder() {
+  pkg::PackageBuilder builder;
+  // AddSourceFile only fails on non-canonical names; these are constants.
+  for (const NamedSource& s : kSources) {
+    (void)builder.AddSourceFile(s.file_name, s.source);
+  }
+  return builder;
+}
+
+StatusOr<pkg::Package> BuildJamlibPackage() {
+  return MakeJamlibPackageBuilder().Build("tcjamlib");
+}
+
+}  // namespace twochains::jamlib

@@ -1,0 +1,80 @@
+// jamlib: the jam standard library — reusable amcc-source jams compiled at
+// build time, the "portable runtime" layer the serving scenarios stand on.
+//
+// The bench package (benchlib/workloads.hpp) carries the paper's §VI
+// micro-kernels; jamlib is the production counterpart: data-structure
+// operations a real service injects at its data instead of fetching the
+// data to the code. One ried ("kvtable") owns all resident state, and the
+// jams operate on it:
+//
+//   * kv_put / kv_get / kv_del — open-addressed hash map (linear probing,
+//     tombstones, inline 64-bit values + a fixed-size per-slot blob the
+//     put payload lands in). The sharded KV serving scenario injects these
+//     at each key's shard owner.
+//   * ctr_add / cas             — shared counters: fetch-and-add and
+//     compare-and-swap on a cell array (remote atomics as jams).
+//   * topk                      — running top-k (k = 8) of pushed values.
+//   * scatter / gather          — vector writes into / sum-reads out of a
+//     resident cell array (USR carries the index/value vectors).
+//   * agg_push / agg_take       — aggregation-tree partial sums: interior
+//     hosts accumulate children's pushes, then forward with agg_take.
+//
+// Every jam has a host-native reference twin in jamlib/reference.hpp; the
+// differential suite (tests/jamlib_test.cpp) drives both with seeded op
+// streams and requires identical results, and the fuzzer uses the compiled
+// images as mutation seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pkg/package.hpp"
+
+namespace twochains::jamlib {
+
+// ------------------------------------------------------------ dimensions
+// Shared between the AMC sources (literal constants there — amcc has no
+// cross-unit constant propagation) and the reference twins. Keep in sync
+// with the sources in jamlib.cpp.
+
+/// Hash-map capacity (open addressing; the map is full at kKvSlots live
+/// keys and Put returns kKvFull).
+inline constexpr std::uint64_t kKvSlots = 4096;
+/// Per-slot payload blob bytes (a put's USR payload is truncated to this).
+inline constexpr std::uint64_t kKvBlobBytes = 64;
+/// Counter cells ctr_add / cas operate on (index is masked into range).
+inline constexpr std::uint64_t kCtrCells = 256;
+/// Top-k capacity.
+inline constexpr std::uint64_t kTopK = 8;
+/// Scatter/gather cell-array length (indices are masked into range).
+inline constexpr std::uint64_t kSgCells = 4096;
+
+// Sentinels (the map stores signed 64-bit keys; callers keep keys >= 0).
+inline constexpr std::int64_t kKvEmpty = -1;      ///< never-used slot
+inline constexpr std::int64_t kKvTombstone = -2;  ///< deleted slot
+inline constexpr std::int64_t kKvMiss = -1;       ///< Get: key absent
+inline constexpr std::int64_t kKvFull = -1;       ///< Put: table full
+
+/// Home slot of @p key in the kv map (Knuth multiplicative hash, the same
+/// expression the AMC source computes — reference.hpp mirrors via this).
+inline std::uint64_t KvHomeSlot(std::int64_t key) noexcept {
+  return (static_cast<std::uint64_t>(key) * 2654435761ull) % kKvSlots;
+}
+
+// -------------------------------------------------------------- package
+
+/// Element names of every jam in the library ("kv_put", "cas", ...). The
+/// fuzzer seeds its corpus from these; the differential suite iterates
+/// them to guarantee no jam ships untested.
+const std::vector<std::string>& JamNames();
+
+/// A builder pre-loaded with the jamlib sources (callers may add more —
+/// the serving benches add nothing, the examples add app-specific jams).
+pkg::PackageBuilder MakeJamlibPackageBuilder();
+
+/// Builds the canonical jam standard library package ("tcjamlib").
+StatusOr<pkg::Package> BuildJamlibPackage();
+
+}  // namespace twochains::jamlib

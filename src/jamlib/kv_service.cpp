@@ -1,0 +1,24 @@
+#include "jamlib/kv_service.hpp"
+
+namespace twochains::jamlib {
+
+const char* KvJamFor(KvOp op) noexcept {
+  switch (op) {
+    case KvOp::kGet:
+      return "kv_get";
+    case KvOp::kPut:
+      return "kv_put";
+    case KvOp::kDel:
+      return "kv_del";
+  }
+  return "kv_get";
+}
+
+std::vector<std::uint64_t> KvArgsFor(const KvRequest& request) {
+  if (request.op == KvOp::kPut) {
+    return {request.key, static_cast<std::uint64_t>(request.value)};
+  }
+  return {request.key};
+}
+
+}  // namespace twochains::jamlib

@@ -1,0 +1,76 @@
+// The sharded in-memory KV service: the paper's thesis ("move code to
+// data") as a service contract. Keys are partitioned across shard hosts;
+// a client never fetches a shard's memory — it injects the jamlib kv jam
+// at the key's owner and gets the scalar result back. Data never moves,
+// code does; with the receiver-side jam cache warm, the code stops moving
+// too (invoke-by-handle), and only arguments cross the wire.
+//
+// This header is deliberately transport-free: it defines the *addressing*
+// (key -> shard -> fabric host) and the *request encoding* (op -> jam
+// name + args). The open-loop driver in benchlib/openloop.hpp and the
+// kv_cluster example both speak it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace twochains::jamlib {
+
+/// Maps keys to their owning shard host. A 64-bit mix (splitmix-style
+/// finalizer) spreads consecutive keys across shards, so a Zipf-popular
+/// key *head* (ranks 0, 1, 2, ...) does not pile onto shard 0 — per-shard
+/// load skew then comes only from genuine per-key heat, which is the
+/// serving behavior worth measuring.
+class KvShardMap {
+ public:
+  /// @p shards owners, occupying fabric hosts
+  /// [first_shard_host, first_shard_host + shards).
+  KvShardMap(std::uint32_t shards, std::uint32_t first_shard_host) noexcept
+      : shards_(shards), first_host_(first_shard_host) {}
+
+  std::uint32_t shards() const noexcept { return shards_; }
+  std::uint32_t first_shard_host() const noexcept { return first_host_; }
+
+  /// Shard index of @p key in [0, shards).
+  std::uint32_t ShardOf(std::uint64_t key) const noexcept {
+    return static_cast<std::uint32_t>(Mix(key) % shards_);
+  }
+  /// Fabric host index owning @p key.
+  std::uint32_t OwnerHostOf(std::uint64_t key) const noexcept {
+    return first_host_ + ShardOf(key);
+  }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t x) noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::uint32_t shards_;
+  std::uint32_t first_host_;
+};
+
+/// The service's operation set (each maps to one jamlib jam).
+enum class KvOp : std::uint8_t { kGet, kPut, kDel };
+
+/// One client request (value is ignored for kGet / kDel).
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  std::uint64_t key = 0;
+  std::int64_t value = 0;
+};
+
+/// The jamlib element name implementing @p op.
+const char* KvJamFor(KvOp op) noexcept;
+
+/// The argument block Send() needs for @p request.
+std::vector<std::uint64_t> KvArgsFor(const KvRequest& request);
+
+}  // namespace twochains::jamlib

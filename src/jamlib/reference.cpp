@@ -1,0 +1,107 @@
+#include "jamlib/reference.hpp"
+
+namespace twochains::jamlib::ref {
+
+KvTable::KvTable()
+    : keys_(kKvSlots, kKvEmpty),
+      vals_(kKvSlots, 0),
+      blob_(kKvSlots * kKvBlobBytes, 0) {}
+
+std::int64_t KvTable::FindSlot(std::int64_t key, bool* found) const {
+  *found = false;
+  std::int64_t target = -1;
+  const std::uint64_t home = KvHomeSlot(key);
+  for (std::uint64_t i = 0; i < kKvSlots; ++i) {
+    const std::uint64_t s = (home + i) % kKvSlots;
+    const std::int64_t k = keys_[s];
+    if (k == key) {
+      *found = true;
+      return static_cast<std::int64_t>(s);
+    }
+    if (k == kKvTombstone && target < 0) {
+      target = static_cast<std::int64_t>(s);
+    }
+    if (k == kKvEmpty) {
+      if (target < 0) target = static_cast<std::int64_t>(s);
+      break;
+    }
+  }
+  return target;
+}
+
+std::int64_t KvTable::Put(std::int64_t key, std::int64_t value,
+                          std::span<const std::uint8_t> payload) {
+  bool found = false;
+  const std::int64_t target = FindSlot(key, &found);
+  if (target < 0) return kKvFull;
+  const auto slot = static_cast<std::uint64_t>(target);
+  if (!found) {
+    keys_[slot] = key;
+    ++count_;
+  }
+  vals_[slot] = value;
+  if (!payload.empty()) {
+    const std::size_t n = std::min<std::size_t>(payload.size(), kKvBlobBytes);
+    std::memcpy(blob_.data() + slot * kKvBlobBytes, payload.data(), n);
+  }
+  return target;
+}
+
+std::int64_t KvTable::Get(std::int64_t key) const {
+  bool found = false;
+  const std::int64_t slot = FindSlot(key, &found);
+  if (!found) return kKvMiss;
+  return vals_[static_cast<std::uint64_t>(slot)];
+}
+
+std::int64_t KvTable::Del(std::int64_t key) {
+  bool found = false;
+  const std::int64_t slot = FindSlot(key, &found);
+  if (!found) return 0;
+  keys_[static_cast<std::uint64_t>(slot)] = kKvTombstone;
+  vals_[static_cast<std::uint64_t>(slot)] = 0;
+  --count_;
+  return 1;
+}
+
+std::int64_t TopK::Push(std::int64_t v) {
+  if (len_ < kTopK) {
+    std::size_t j = len_;
+    while (j > 0 && vals_[j - 1] < v) {
+      vals_[j] = vals_[j - 1];
+      --j;
+    }
+    vals_[j] = v;
+    ++len_;
+    return vals_[len_ - 1];
+  }
+  if (v <= vals_[kTopK - 1]) return vals_[kTopK - 1];
+  std::size_t j = kTopK - 1;
+  while (j > 0 && vals_[j - 1] < v) {
+    vals_[j] = vals_[j - 1];
+    --j;
+  }
+  vals_[j] = v;
+  return vals_[kTopK - 1];
+}
+
+std::int64_t ScatterGather::Scatter(std::span<const std::int64_t> pairs) {
+  const std::size_t n = pairs.size() / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t idx =
+        static_cast<std::uint64_t>(pairs[2 * i]) & (kSgCells - 1);
+    cells_[idx] = pairs[2 * i + 1];
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t ScatterGather::Gather(
+    std::span<const std::int64_t> indices) const {
+  std::int64_t total = 0;
+  for (const std::int64_t raw : indices) {
+    total += cells_[static_cast<std::uint64_t>(raw) & (kSgCells - 1)];
+  }
+  return total;
+}
+
+}  // namespace twochains::jamlib::ref

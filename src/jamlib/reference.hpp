@@ -1,0 +1,134 @@
+// Host-native reference twins of every jamlib jam. The differential suite
+// (tests/jamlib_test.cpp) drives a compiled jam and its twin with the same
+// seeded op stream and requires identical observable results — the
+// toolchain-validation contract: amcc codegen, the linker/loader, and the
+// interpreter must together compute exactly what this straightforward C++
+// computes.
+//
+// The twins replicate *semantics* (probe order, tombstone reuse, masking,
+// return values), not the VM's execution model; they run as ordinary host
+// code with no simulated memory behind them.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "jamlib/jamlib.hpp"
+
+namespace twochains::jamlib::ref {
+
+/// Twin of jam_kv_put / jam_kv_get / jam_kv_del: open-addressed map with
+/// linear probing and tombstone reuse over kKvSlots slots.
+class KvTable {
+ public:
+  KvTable();
+
+  /// Returns the slot written, or kKvFull. @p payload (possibly empty)
+  /// lands in the slot's blob cell, truncated to kKvBlobBytes.
+  std::int64_t Put(std::int64_t key, std::int64_t value,
+                   std::span<const std::uint8_t> payload = {});
+  /// Returns the stored value, or kKvMiss.
+  std::int64_t Get(std::int64_t key) const;
+  /// Returns 1 if the key was erased, 0 if absent.
+  std::int64_t Del(std::int64_t key);
+
+  std::int64_t count() const noexcept { return count_; }
+  /// Raw slot views (index parity checks against the jam's resident state).
+  std::int64_t key_at(std::uint64_t slot) const { return keys_[slot]; }
+  std::int64_t value_at(std::uint64_t slot) const { return vals_[slot]; }
+  std::span<const std::uint8_t> blob_at(std::uint64_t slot) const {
+    return {blob_.data() + slot * kKvBlobBytes, kKvBlobBytes};
+  }
+
+ private:
+  /// Probe for @p key: the matching slot, or the insert target (first
+  /// tombstone seen, else the terminating empty slot), or kKvFull.
+  std::int64_t FindSlot(std::int64_t key, bool* found) const;
+
+  std::vector<std::int64_t> keys_;
+  std::vector<std::int64_t> vals_;
+  std::vector<std::uint8_t> blob_;
+  std::int64_t count_ = 0;
+};
+
+/// Twin of jam_ctr_add / jam_cas over kCtrCells cells.
+class Counters {
+ public:
+  Counters() : cells_(kCtrCells, 0) {}
+
+  /// Fetch-and-add; returns the new value. Index masked into range.
+  std::int64_t Add(std::int64_t cell, std::int64_t delta) {
+    std::int64_t& c = cells_[static_cast<std::uint64_t>(cell) % kCtrCells];
+    c += delta;
+    return c;
+  }
+  /// Compare-and-swap; returns the old value.
+  std::int64_t Cas(std::int64_t cell, std::int64_t expect,
+                   std::int64_t desired) {
+    std::int64_t& c = cells_[static_cast<std::uint64_t>(cell) % kCtrCells];
+    const std::int64_t old = c;
+    if (old == expect) c = desired;
+    return old;
+  }
+  std::int64_t at(std::uint64_t cell) const { return cells_[cell]; }
+
+ private:
+  std::vector<std::int64_t> cells_;
+};
+
+/// Twin of jam_topk: the kTopK largest pushed values, descending.
+class TopK {
+ public:
+  /// Returns the smallest kept value after the push (the k-th largest
+  /// seen once the set is full).
+  std::int64_t Push(std::int64_t v);
+  std::span<const std::int64_t> kept() const noexcept {
+    return {vals_.data(), len_};
+  }
+
+ private:
+  std::array<std::int64_t, kTopK> vals_{};
+  std::size_t len_ = 0;
+};
+
+/// Twin of jam_scatter / jam_gather over kSgCells cells.
+class ScatterGather {
+ public:
+  ScatterGather() : cells_(kSgCells, 0) {}
+
+  /// @p pairs = (index, value) pairs; returns the pair count.
+  std::int64_t Scatter(std::span<const std::int64_t> pairs);
+  /// Sum of cells over @p indices (masked), the gather-reduce result.
+  std::int64_t Gather(std::span<const std::int64_t> indices) const;
+  std::int64_t at(std::uint64_t cell) const { return cells_[cell]; }
+
+ private:
+  std::vector<std::int64_t> cells_;
+};
+
+/// Twin of jam_agg_push / jam_agg_take.
+class Aggregator {
+ public:
+  std::int64_t Push(std::int64_t v) {
+    acc_ += v;
+    ++seen_;
+    return acc_;
+  }
+  std::int64_t Take() {
+    const std::int64_t total = acc_;
+    acc_ = 0;
+    seen_ = 0;
+    return total;
+  }
+  std::int64_t seen() const noexcept { return seen_; }
+
+ private:
+  std::int64_t acc_ = 0;
+  std::int64_t seen_ = 0;
+};
+
+}  // namespace twochains::jamlib::ref

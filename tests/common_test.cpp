@@ -182,6 +182,103 @@ TEST(RngTest, ParetoIsHeavyTailedAboveScale) {
   }
 }
 
+TEST(RngTest, NextInRangeCoversFullDomain) {
+  // Regression: `hi - lo + 1` wrapped to 0 on the full u64 span, so
+  // NextBelow(0) returned 0 and every full-domain draw collapsed to `lo`.
+  Xoshiro256 rng(19);
+  bool saw_nonzero = false;
+  bool saw_top_half = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = rng.NextInRange(0, UINT64_MAX);
+    saw_nonzero |= (v != 0);
+    saw_top_half |= (v >= (1ull << 63));
+  }
+  EXPECT_TRUE(saw_nonzero);
+  EXPECT_TRUE(saw_top_half);  // P(miss across 64 draws) = 2^-64
+}
+
+TEST(RngTest, NextInRangeNearFullDomainStaysInRange) {
+  // Spans one short of the full domain still go through rejection
+  // sampling: bound = UINT64_MAX is representable and must be respected.
+  Xoshiro256 rng(21);
+  bool saw_above_lo = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = rng.NextInRange(1, UINT64_MAX);
+    EXPECT_GE(v, 1u);
+    saw_above_lo |= (v > 1);
+  }
+  EXPECT_TRUE(saw_above_lo);
+}
+
+TEST(RngTest, NextInRangeDegenerateAndSmallSpans) {
+  Xoshiro256 rng(23);
+  EXPECT_EQ(rng.NextInRange(42, 42), 42u);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextInRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+  }
+}
+
+TEST(RngTest, ZipfRanksStayInBoundAndDegenerateCases) {
+  Xoshiro256 rng(25);
+  EXPECT_EQ(rng.NextZipf(0, 1.0), 0u);
+  EXPECT_EQ(rng.NextZipf(1, 1.0), 0u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.NextZipf(100, 1.0), 100u);
+  }
+}
+
+TEST(RngTest, ZipfIsDeterministicForSameSeed) {
+  Xoshiro256 a(27), b(27);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextZipf(1000, 0.99), b.NextZipf(1000, 0.99));
+  }
+}
+
+TEST(RngTest, ZipfSkewConcentratesOnLowRanks) {
+  // theta = 1 over 1000 ranks: P(0) = 1/H(1000) ~ 13.4%, and the top-10
+  // ranks together take ~39%. Uniform would give 0.1% / 1%.
+  Xoshiro256 rng(29);
+  const int draws = 50000;
+  int rank0 = 0, top10 = 0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t k = rng.NextZipf(1000, 1.0);
+    rank0 += (k == 0);
+    top10 += (k < 10);
+  }
+  EXPECT_GT(rank0, draws / 10);       // >10% on the hottest key
+  EXPECT_GT(top10, draws / 3);        // >33% on the top-10
+  EXPECT_LT(rank0, draws / 5);        // but not degenerate
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Xoshiro256 rng(31);
+  std::vector<int> buckets(16, 0);
+  const int draws = 1 << 16;
+  for (int i = 0; i < draws; ++i) buckets[rng.NextZipf(16, 0.0)]++;
+  for (int b : buckets) {
+    EXPECT_NEAR(b, draws / 16, draws / 16 / 10);
+  }
+}
+
+TEST(RngTest, ZipfMatchesExactPmfAtModerateN) {
+  // Differential check against the exact normalized pmf for n = 8,
+  // theta = 1.2: every bucket within 10% relative error over 200k draws.
+  const double theta = 1.2;
+  const int n = 8;
+  double z = 0;
+  for (int k = 1; k <= n; ++k) z += std::pow(k, -theta);
+  Xoshiro256 rng(33);
+  std::vector<int> buckets(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) buckets[rng.NextZipf(n, theta)]++;
+  for (int k = 0; k < n; ++k) {
+    const double expect = draws * std::pow(k + 1, -theta) / z;
+    EXPECT_NEAR(buckets[k], expect, expect * 0.10) << "rank " << k;
+  }
+}
+
 TEST(RngTest, UniformityChiSquaredSmoke) {
   // 16 buckets over 64k draws: each bucket should be within 5% of expected.
   Xoshiro256 rng(17);

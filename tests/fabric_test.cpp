@@ -3,12 +3,14 @@
 // the owning sender, and per-peer stats.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "benchlib/perftest.hpp"
 #include "benchlib/stress.hpp"
 #include "benchlib/workloads.hpp"
 #include "common/pump.hpp"
@@ -361,6 +363,42 @@ TEST(FabricTest, TwoHostFabricMatchesTestbedSemantics) {
   auto back = SendAndRun(*fabric, 1, 0, "nop", {9}, usr);
   ASSERT_TRUE(back.ok()) << back.status();
   EXPECT_EQ(back->return_value, 9u);
+}
+
+// Regression for the skewed-incast fairness normalization: a weight-0
+// (silent) sender used to be rejected outright, and — had it run — its
+// zero rate divided by its zero weight would have poisoned Jain fairness
+// with NaN. Silent senders must be allowed, excluded from the fairness
+// denominator, and the index must stay exact over the active senders.
+TEST(FabricTest, ZeroWeightSenderExcludedFromIncastFairness) {
+  auto fabric = MakeLoadedFabric(SmallOptions(4, Topology::kStar, 0));
+  bench::IncastConfig config;
+  config.jam = "nop";
+  config.usr_bytes = 16;
+  config.iterations_per_sender = 40;
+  config.sender_weights = {2, 0, 2};  // host 2 is wired but silent
+  auto result = bench::RunIncastRate(*fabric, 0, {1, 2, 3}, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->per_sender[1].messages, 0u);
+  EXPECT_GT(result->per_sender[0].messages, 0u);
+  EXPECT_GT(result->per_sender[2].messages, 0u);
+  EXPECT_TRUE(std::isfinite(result->fairness)) << result->fairness;
+  EXPECT_GT(result->fairness, 0.0);
+  EXPECT_LE(result->fairness, 1.0 + 1e-9);
+  // The two active senders pushed identical loads through symmetric
+  // paths, so excluding the silent one must leave Jain ~1, not the 2/3 a
+  // zero-share participant would drag it to.
+  EXPECT_GT(result->fairness, 0.9);
+}
+
+TEST(FabricTest, AllZeroWeightIncastIsRejected) {
+  auto fabric = MakeLoadedFabric(SmallOptions(3, Topology::kStar, 0));
+  bench::IncastConfig config;
+  config.jam = "nop";
+  config.iterations_per_sender = 10;
+  config.sender_weights = {0, 0};
+  auto result = bench::RunIncastRate(*fabric, 0, {1, 2}, config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 // Regression: ApplyStress boosts every runtime's wait-loop steal

@@ -32,6 +32,7 @@
 #include "core/frame.hpp"
 #include "core/two_chains.hpp"
 #include "fuzz_harness.hpp"
+#include "jamlib/jamlib.hpp"
 #include "jamvm/assembler.hpp"
 #include "jelf/got_rewriter.hpp"
 #include "pkg/package.hpp"
@@ -128,6 +129,32 @@ std::vector<Seed> BuildCorpus() {
       if (entry == elem->injected_image.exports.end()) continue;
       Seed seed;
       seed.label = std::string("amcc-") + name;
+      seed.blob = fuzz::CodeBlobOf(elem->injected_image);
+      seed.verify_bytes = elem->injected_image.text.size();
+      seed.got_slots = elem->injected_image.got_slot_count();
+      seed.rodata_bytes = seed.blob.size() - seed.verify_bytes;
+      seed.entry_offset = entry->second.offset;
+      if (seed.blob.size() <= VmSandbox::kImageBytes - VmSandbox::kCodeOffset) {
+        corpus.push_back(std::move(seed));
+      }
+    }
+  }
+
+  // The jam standard library: every jamlib element doubles as a fuzz seed,
+  // so the mutation sweep exercises the codegen shapes real applications
+  // inject (probe loops, masked indexing, usr-driven scatter/gather).
+  auto jamlib_pkg = jamlib::BuildJamlibPackage();
+  EXPECT_TRUE(jamlib_pkg.ok()) << jamlib_pkg.status();
+  if (jamlib_pkg.ok()) {
+    for (const std::string& name : jamlib::JamNames()) {
+      const pkg::BuiltElement* elem =
+          jamlib_pkg->Find(pkg::ElementKind::kJam, name);
+      if (elem == nullptr) continue;
+      const auto entry =
+          elem->injected_image.exports.find(elem->entry_symbol);
+      if (entry == elem->injected_image.exports.end()) continue;
+      Seed seed;
+      seed.label = "jamlib-" + name;
       seed.blob = fuzz::CodeBlobOf(elem->injected_image);
       seed.verify_bytes = elem->injected_image.text.size();
       seed.got_slots = elem->injected_image.got_slot_count();

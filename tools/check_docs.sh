@@ -75,6 +75,7 @@ check JamCacheConfig src/core/runtime.hpp '^## RuntimeConfig — jam cache'
 check SecurityPolicy src/core/security.hpp \
   '^## RuntimeConfig — security policy'
 check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
+check OpenLoopConfig src/benchlib/openloop.hpp '^## OpenLoopConfig'
 
 # docs/SECURITY.md is the threat-model page: every SecurityPolicy knob
 # must be covered there too (the guarantee table), so a new mitigation
