@@ -5,7 +5,30 @@
 
 namespace twochains::core {
 
-Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
+namespace {
+
+// Laned execution needs a nonzero safe horizon: the smallest cross-host
+// event delta is the wire propagation latency, so that is the default
+// lookahead. A zero-latency wire leaves no horizon — fall back to a
+// single executor (results are identical either way, only slower).
+sim::EngineConfig EngineConfigFor(const FabricOptions& options) {
+  sim::EngineConfig cfg = options.engine;
+  if (cfg.lanes == 0) cfg.lanes = 1;
+  if (cfg.lookahead_ps == 0) {
+    cfg.lookahead_ps = Nanoseconds(options.nic.wire_latency_ns);
+  }
+  if (cfg.lanes > 1 && cfg.lookahead_ps == 0) {
+    TC_WARN << "fabric: zero wire latency leaves no safe lookahead; "
+               "running single-lane";
+    cfg.lanes = 1;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Fabric::Fabric(FabricOptions options)
+    : options_(std::move(options)), engine_(EngineConfigFor(options_)) {
   if (options_.hosts == 0) {
     TC_WARN << "fabric: hosts=0 is not a fabric; building 1 host";
     options_.hosts = 1;
@@ -38,6 +61,7 @@ Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
     Node node;
     node.host = std::make_unique<net::Host>(host_cfg);
     node.nic = std::make_unique<net::Nic>(engine_, *node.host, options_.nic);
+    node.nic->set_lane(i);
     node.context = std::make_unique<ucxs::Context>(engine_, *node.host,
                                                    *node.nic,
                                                    options_.protocol);
@@ -54,6 +78,11 @@ Fabric::Fabric(FabricOptions options) : options_(std::move(options)) {
   for (const auto& [a, b] : Edges()) {
     nodes_[a].nic->ConnectTo(*nodes_[b].nic);
   }
+
+  // One virtual lane per host — always, even when running single-lane, so
+  // scalar and laned runs assign identical event keys and every result is
+  // byte-identical across lane counts.
+  engine_.SetVirtualLanes(options_.hosts);
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> Fabric::Edges() const {
@@ -114,8 +143,8 @@ Status Fabric::WireUp() {
       continue;
     }
     Runtime* rt = nodes_[plan.host].runtime.get();
-    engine_.ScheduleAt(
-        plan.quiesce_at,
+    engine_.ScheduleAtOn(
+        plan.host, plan.quiesce_at,
         [rt, plan] {
           const auto stranded = rt->QuiesceCore(plan.pool_index);
           if (!stranded.ok()) {
@@ -125,8 +154,8 @@ Status Fabric::WireUp() {
         },
         "fabric.quiesce");
     if (plan.revive_at > 0) {
-      engine_.ScheduleAt(
-          plan.revive_at,
+      engine_.ScheduleAtOn(
+          plan.host, plan.revive_at,
           [rt, plan] {
             const Status st = rt->ReviveCore(plan.pool_index);
             if (!st.ok()) {

@@ -640,8 +640,10 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   const std::uint64_t sig_off = layout.sig_off;
   const PicoTime proto_overhead = endpoint->EstimateOverhead(frame.size());
   auto mailbox_rkey = peer.remote_bank_rkey[bank];
-  engine_.ScheduleAfter(
-      pack_time,
+  // Homed to this host's lane: Send may be called from outside any lane
+  // (preload pumps, drivers), and the post path mutates sender NIC state.
+  engine_.ScheduleAfterOn(
+      nic_.lane(), pack_time,
       [endpoint, staging, remote_slot_addr, frame_size, mailbox_rkey,
        separate_signal, sig_word, sig_off,
        cb = std::move(on_signal_delivered)]() mutable {
@@ -1210,8 +1212,8 @@ void Runtime::BeginProcess(const ReadyFrame& frame, PicoTime waited) {
   PicoTime wake =
       std::max(engine_.Now(), frame.delivered_at + outcome.detection_delay);
   if (preemption_hook_) wake += preemption_hook_();
-  engine_.ScheduleAt(
-      wake, [this, frame] { ProcessFrame(frame); }, "tc.process");
+  engine_.ScheduleAtOn(
+      nic_.lane(), wake, [this, frame] { ProcessFrame(frame); }, "tc.process");
 }
 
 void Runtime::ProcessFrame(const ReadyFrame& frame) {
@@ -1682,8 +1684,9 @@ Status Runtime::InjectRawFrame(PeerId from, std::uint32_t slot,
   // The hostile put lands like any RDMA write: straight through the DMA
   // plane, no content checks — the receiver pipeline is the only defense.
   TC_RETURN_IF_ERROR(host_.memory().DmaWrite(SlotAddr(p, slot), bytes));
-  engine_.ScheduleAfter(
-      1, [this, from, slot] { OnFrameDelivered(from, slot, engine_.Now()); },
+  engine_.ScheduleAfterOn(
+      nic_.lane(), 1,
+      [this, from, slot] { OnFrameDelivered(from, slot, engine_.Now()); },
       "tc.inject");
   return Status::Ok();
 }

@@ -33,7 +33,8 @@ Nic::Link* Nic::FindLink(const Nic* dst) noexcept {
 
 Status Nic::PostPut(Nic& dst, mem::VirtAddr local_addr,
                     mem::VirtAddr remote_addr, std::uint64_t size,
-                    mem::RKey rkey, bool fence, DeliveredFn on_delivered) {
+                    mem::RKey rkey, bool fence, DeliveredFn on_delivered,
+                    DeliveredFn on_complete) {
   Link* link = FindLink(&dst);
   if (link == nullptr) return FailedPrecondition("NIC not connected");
   if (size == 0) return InvalidArgument("zero-length put");
@@ -44,12 +45,14 @@ Status Nic::PostPut(Nic& dst, mem::VirtAddr local_addr,
   op.fence = fence;
   op.inline_op = false;
   op.on_delivered = std::move(on_delivered);
+  op.on_complete = std::move(on_complete);
   return PostOp(std::move(op), local_addr, *link);
 }
 
 Status Nic::PostInlinePut(Nic& dst, std::uint64_t value,
                           mem::VirtAddr remote_addr, mem::RKey rkey,
-                          bool fence, DeliveredFn on_delivered) {
+                          bool fence, DeliveredFn on_delivered,
+                          DeliveredFn on_complete) {
   Link* link = FindLink(&dst);
   if (link == nullptr) return FailedPrecondition("NIC not connected");
   Op op;
@@ -60,23 +63,24 @@ Status Nic::PostInlinePut(Nic& dst, std::uint64_t value,
   op.fence = fence;
   op.inline_op = true;
   op.on_delivered = std::move(on_delivered);
+  op.on_complete = std::move(on_complete);
   return PostOp(std::move(op), /*local_addr=*/0, *link);
 }
 
 Status Nic::PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
                     std::uint64_t size, mem::RKey rkey, bool fence,
-                    DeliveredFn on_delivered) {
+                    DeliveredFn on_delivered, DeliveredFn on_complete) {
   if (links_.empty()) return FailedPrecondition("NIC not connected");
   return PostPut(*links_.front().peer, local_addr, remote_addr, size, rkey,
-                 fence, std::move(on_delivered));
+                 fence, std::move(on_delivered), std::move(on_complete));
 }
 
 Status Nic::PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
-                          mem::RKey rkey, bool fence,
-                          DeliveredFn on_delivered) {
+                          mem::RKey rkey, bool fence, DeliveredFn on_delivered,
+                          DeliveredFn on_complete) {
   if (links_.empty()) return FailedPrecondition("NIC not connected");
   return PostInlinePut(*links_.front().peer, value, remote_addr, rkey, fence,
-                       std::move(on_delivered));
+                       std::move(on_delivered), std::move(on_complete));
 }
 
 Status Nic::PostOp(Op op, mem::VirtAddr local_addr, Link& link) {
@@ -138,23 +142,27 @@ Status Nic::PostOp(Op op, mem::VirtAddr local_addr, Link& link) {
   // every link delivering into @p dst — the incast bottleneck at the PCIe
   // write path. Arbitrated when the frame actually arrives (events fire in
   // time order), so an incast of senders queues first-come-first-served
-  // regardless of how far ahead any one sender's wire is backed up.
+  // regardless of how far ahead any one sender's wire is backed up. From
+  // here on the op runs on the destination's lane: rx contention and
+  // delivery touch only destination state, and the sender learns the true
+  // delivery time via the completion event one wire latency later.
+  op.est_deliver = deliver_at;
   const PicoTime rx_occupancy =
       dst->GbpsToDuration(dst->config_.pcie_gbps, size);
-  engine_.ScheduleAt(
-      deliver_at - rx_proc,
+  engine_.ScheduleAtOn(
+      dst->lane_, deliver_at - rx_proc,
       [this, dst, rx_occupancy, rx_proc, op = std::move(op)]() mutable {
         const PicoTime rx_start = std::max(engine_.Now(), dst->rx_busy_until_);
         dst->rx_busy_until_ = rx_start + rx_occupancy;
-        const PicoTime deliver = rx_start + rx_proc;
-        last_delivery_at_ = std::max(last_delivery_at_, deliver);
-        DeliverAt(deliver, std::move(op), dst);
+        DeliverAt(rx_start + rx_proc, std::move(op), dst);
       },
       "nic.rx");
   return Status::Ok();
 }
 
 void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
+  // Runs on the destination lane (called from the nic.rx event there);
+  // ScheduleAt inherits that lane.
   engine_.ScheduleAt(
       when,
       [this, dst, op = std::move(op)]() mutable {
@@ -170,6 +178,7 @@ void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
           completion.status = region.status();
           TC_DEBUG << "put rejected: " << region.status();
           if (op.on_delivered) op.on_delivered(completion);
+          FinishOp(std::move(op), completion);
           return;
         }
 
@@ -182,6 +191,7 @@ void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
         if (!wr.ok()) {
           completion.status = wr;
           if (op.on_delivered) op.on_delivered(completion);
+          FinishOp(std::move(op), completion);
           return;
         }
         if (dst->config_.stash_to_llc) {
@@ -191,33 +201,54 @@ void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
         }
         dst->bytes_delivered_ += size;
         if (op.on_delivered) op.on_delivered(completion);
+        FinishOp(std::move(op), completion);
       },
       "nic.deliver");
 }
 
-void ControlChannel::SetHandler(int host_id, Handler handler) {
-  for (auto& [id, h] : handlers_) {
-    if (id == host_id) {
-      h = std::move(handler);
+void Nic::FinishOp(Op op, const PutCompletion& completion) {
+  // The sender-side CQE: one wire latency after delivery (the ack's return
+  // trip), back on this NIC's lane — which is also what keeps the schedule
+  // inside the lookahead horizon when lanes run in parallel. Skipped
+  // entirely when nothing observes it: no completion callback, and the
+  // post-time fence estimate already covers the real delivery time.
+  const PicoTime deliver = completion.delivered_at;
+  if (!op.on_complete && deliver <= op.est_deliver) return;
+  engine_.ScheduleAtOn(
+      lane_, deliver + Nanoseconds(config_.wire_latency_ns),
+      [this, deliver, completion,
+       on_complete = std::move(op.on_complete)]() mutable {
+        last_delivery_at_ = std::max(last_delivery_at_, deliver);
+        if (on_complete) on_complete(completion);
+      },
+      "nic.complete");
+}
+
+void ControlChannel::SetHandler(int host_id, Handler handler,
+                                std::uint32_t lane) {
+  for (auto& entry : handlers_) {
+    if (entry.host_id == host_id) {
+      entry.handler = std::move(handler);
+      entry.lane = lane;
       return;
     }
   }
-  handlers_.emplace_back(host_id, std::move(handler));
+  handlers_.push_back(Entry{host_id, lane, std::move(handler)});
 }
 
 Status ControlChannel::Send(int dst_host, std::vector<std::uint8_t> payload) {
-  Handler* handler = nullptr;
-  for (auto& [id, h] : handlers_) {
-    if (id == dst_host) handler = &h;
+  Entry* entry = nullptr;
+  for (auto& e : handlers_) {
+    if (e.host_id == dst_host) entry = &e;
   }
-  if (handler == nullptr || !*handler) {
+  if (entry == nullptr || !entry->handler) {
     return NotFound(StrFormat("no control handler for host %d", dst_host));
   }
   const PicoTime when = std::max(engine_.Now() + latency_, next_free_);
   next_free_ = when;  // in-order delivery
-  Handler h = *handler;  // copy: handler may be replaced before delivery
-  engine_.ScheduleAt(
-      when,
+  Handler h = entry->handler;  // copy: handler may be replaced before delivery
+  engine_.ScheduleAtOn(
+      entry->lane, when,
       [h = std::move(h), payload = std::move(payload)]() mutable {
         h(std::move(payload));
       },

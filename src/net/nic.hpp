@@ -85,6 +85,14 @@ class Nic {
   /// Reconfigures delivery mode (the paper's firmware stashing toggle).
   void set_stash_to_llc(bool on) noexcept { config_.stash_to_llc = on; }
 
+  /// Virtual engine lane this NIC's host lives on (the fabric wires one
+  /// lane per host). Receive-side events (HCA processing, DMA write,
+  /// delivery) run on the *destination* NIC's lane; sender-side events
+  /// (post, completion) on the poster's. Lane 0 — the default — is correct
+  /// for single-lane testbeds.
+  void set_lane(std::uint32_t lane) noexcept { lane_ = lane; }
+  std::uint32_t lane() const noexcept { return lane_; }
+
   /// Number of back-to-back links this NIC carries.
   std::size_t link_count() const noexcept { return links_.size(); }
   /// True when a cable to @p peer exists.
@@ -97,25 +105,33 @@ class Nic {
   /// @p fence orders this put after every previously posted put has been
   /// delivered (IBTA fence semantics).
   /// @p on_delivered fires at the simulated instant the bytes are visible in
-  /// remote memory (or with an error status if the rkey check failed).
+  /// remote memory (or with an error status if the rkey check failed) and
+  /// runs on the *destination* lane — receive-side logic only.
+  /// @p on_complete is the sender-visible CQE: it fires one wire latency
+  /// after delivery, back on this NIC's lane — the place for sender-side
+  /// bookkeeping (completion tracking, windows).
   Status PostPut(Nic& dst, mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
                  std::uint64_t size, mem::RKey rkey, bool fence = false,
-                 DeliveredFn on_delivered = nullptr);
+                 DeliveredFn on_delivered = nullptr,
+                 DeliveredFn on_complete = nullptr);
 
   /// Posts an 8-byte immediate put into @p dst (value supplied inline, no
   /// sender DMA read) — used for signals and flow-control flags.
   Status PostInlinePut(Nic& dst, std::uint64_t value,
                        mem::VirtAddr remote_addr, mem::RKey rkey,
-                       bool fence = false, DeliveredFn on_delivered = nullptr);
+                       bool fence = false, DeliveredFn on_delivered = nullptr,
+                       DeliveredFn on_complete = nullptr);
 
   /// Single-link conveniences: post to the first connected peer (the
   /// two-host back-to-back shape of the paper's testbed).
   Status PostPut(mem::VirtAddr local_addr, mem::VirtAddr remote_addr,
                  std::uint64_t size, mem::RKey rkey, bool fence = false,
-                 DeliveredFn on_delivered = nullptr);
+                 DeliveredFn on_delivered = nullptr,
+                 DeliveredFn on_complete = nullptr);
   Status PostInlinePut(std::uint64_t value, mem::VirtAddr remote_addr,
                        mem::RKey rkey, bool fence = false,
-                       DeliveredFn on_delivered = nullptr);
+                       DeliveredFn on_delivered = nullptr,
+                       DeliveredFn on_complete = nullptr);
 
   /// Number of puts posted since construction.
   std::uint64_t puts_posted() const noexcept { return puts_posted_; }
@@ -135,6 +151,11 @@ class Nic {
     bool fence;
     bool inline_op;
     DeliveredFn on_delivered;
+    DeliveredFn on_complete;
+    /// Uncontended delivery estimate from post time; when rx contention
+    /// pushes the real delivery later, the sender's fence state learns the
+    /// correction via the completion event.
+    PicoTime est_deliver = 0;
   };
 
   /// One back-to-back cable: outbound serialization + in-order delivery
@@ -148,6 +169,7 @@ class Nic {
   Link* FindLink(const Nic* dst) noexcept;
   Status PostOp(Op op, mem::VirtAddr local_addr, Link& link);
   void DeliverAt(PicoTime when, Op op, Nic* dst);
+  void FinishOp(Op op, const PutCompletion& completion);
 
   PicoTime GbpsToDuration(double gbps, std::uint64_t bytes) const noexcept {
     if (gbps <= 0) return 0;
@@ -160,6 +182,7 @@ class Nic {
   NicConfig config_;
   std::vector<Link> links_;
 
+  std::uint32_t lane_ = 0;       ///< virtual engine lane of this NIC's host
   PicoTime tx_free_at_ = 0;      ///< send engine (DMA read + WQE processing)
   PicoTime last_delivery_at_ = 0;  ///< for fence semantics
   /// Inbound DMA-write engine occupancy: shared across every link that
@@ -183,18 +206,24 @@ class ControlChannel {
   ControlChannel(sim::Engine& engine, double latency_us = 15.0)
       : engine_(engine), latency_(Microseconds(latency_us)) {}
 
-  /// Registers the message handler for @p host_id.
-  void SetHandler(int host_id, Handler handler);
+  /// Registers the message handler for @p host_id. @p lane is the virtual
+  /// engine lane the handler runs on (the host's lane in a laned fabric).
+  void SetHandler(int host_id, Handler handler, std::uint32_t lane = 0);
 
   /// Sends @p payload to @p dst_host; its handler runs after the channel
-  /// latency, in send order.
+  /// latency, in send order, on the handler's registered lane.
   Status Send(int dst_host, std::vector<std::uint8_t> payload);
 
  private:
+  struct Entry {
+    int host_id;
+    std::uint32_t lane;
+    Handler handler;
+  };
   sim::Engine& engine_;
   PicoTime latency_;
   PicoTime next_free_ = 0;
-  std::vector<std::pair<int, Handler>> handlers_;
+  std::vector<Entry> handlers_;
 };
 
 }  // namespace twochains::net

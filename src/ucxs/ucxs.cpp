@@ -109,19 +109,22 @@ Status Endpoint::PostNow(Pending op) {
   auto& engine = worker_.context().engine();
   auto& nic = worker_.context().nic();
 
-  // The protocol setup runs on the sender CPU before the doorbell; model it
-  // as a scheduling delay (callers separately account the CPU busy time via
-  // the receipt).
-  auto wrapped = [this, user_cb = std::move(op.on_delivered)](
-                     const net::PutCompletion& completion) mutable {
-    OnComplete();
-    if (user_cb) user_cb(completion);
-  };
+  // The delivery callback is receive-side logic and runs on the
+  // destination's lane; the endpoint's own completion tracking (window,
+  // flush waiters) is sender state, so it rides the NIC's sender-side CQE
+  // back on this host's lane.
+  net::Nic::DeliveredFn on_delivered = std::move(op.on_delivered);
+  net::Nic::DeliveredFn on_complete =
+      [this, alive = alive_](const net::PutCompletion&) {
+        if (*alive) OnComplete();
+      };
 
   // Serialize NIC posting in submission order: a WQE posted later must not
   // reach the HCA before an earlier one, even if its setup is cheaper.
   // Only the protocol setup delays the doorbell; completion tracking runs
-  // after it.
+  // after it. The post event is homed to this host's lane — PutNbi may be
+  // called from outside any lane (driver pumps), and the post mutates
+  // sender NIC state.
   const PicoTime post_delay =
       OverheadFor(op.inline_op ? Protocol::kShort : SelectProtocol(op.size),
                   op.size, /*include_tracking=*/false);
@@ -134,16 +137,18 @@ Status Endpoint::PostNow(Pending op) {
     const auto remote = op.remote;
     const auto rkey = op.rkey;
     const bool fence = op.fence;
-    engine.ScheduleAt(
-        post_at,
+    engine.ScheduleAtOn(
+        nic.lane(), post_at,
         [&nic, dst, value, remote, rkey, fence,
-         wrapped = std::move(wrapped)]() mutable {
+         on_delivered = std::move(on_delivered),
+         on_complete = std::move(on_complete)]() mutable {
           // Delivery errors surface through the completion callback.
-          Status st =
-              dst ? nic.PostInlinePut(*dst, value, remote, rkey, fence,
-                                      std::move(wrapped))
-                  : nic.PostInlinePut(value, remote, rkey, fence,
-                                      std::move(wrapped));
+          Status st = dst ? nic.PostInlinePut(*dst, value, remote, rkey, fence,
+                                              std::move(on_delivered),
+                                              std::move(on_complete))
+                          : nic.PostInlinePut(value, remote, rkey, fence,
+                                              std::move(on_delivered),
+                                              std::move(on_complete));
           (void)st;
         },
         "ucxs.inline");
@@ -154,14 +159,17 @@ Status Endpoint::PostNow(Pending op) {
   const auto size = op.size;
   const auto rkey = op.rkey;
   const bool fence = op.fence;
-  engine.ScheduleAt(
-      post_at,
+  engine.ScheduleAtOn(
+      nic.lane(), post_at,
       [&nic, dst, local, remote, size, rkey, fence,
-       wrapped = std::move(wrapped)]() mutable {
+       on_delivered = std::move(on_delivered),
+       on_complete = std::move(on_complete)]() mutable {
         Status st = dst ? nic.PostPut(*dst, local, remote, size, rkey, fence,
-                                      std::move(wrapped))
+                                      std::move(on_delivered),
+                                      std::move(on_complete))
                         : nic.PostPut(local, remote, size, rkey, fence,
-                                      std::move(wrapped));
+                                      std::move(on_delivered),
+                                      std::move(on_complete));
         (void)st;
       },
       "ucxs.put");

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/status.hpp"
@@ -127,6 +128,11 @@ class Endpoint {
   Endpoint(Worker& worker, PutMode mode, net::Nic* remote = nullptr)
       : worker_(worker), mode_(mode), remote_(remote) {}
 
+  /// Completion tracking rides sender-side CQE events that may still be in
+  /// flight when an endpoint dies (e.g. a benchmark stops the engine and
+  /// returns); the liveness token lets those events no-op safely.
+  ~Endpoint() { *alive_ = false; }
+
   PutMode mode() const noexcept { return mode_; }
   net::Nic* remote() const noexcept { return remote_; }
 
@@ -188,6 +194,7 @@ class Endpoint {
   PicoTime post_serial_ = 0;
   std::deque<Pending> queue_;
   std::vector<std::function<void()>> flush_waiters_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace twochains::ucxs

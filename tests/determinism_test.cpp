@@ -88,8 +88,10 @@ void RunSeededIncast(Fabric& fabric) {
     auto receipt = rt.Send(sender.to_hub, jam, mode, args, usr);
     ASSERT_TRUE(receipt.ok()) << receipt.status();
     ++sender.sent;
-    fabric.engine().ScheduleAfter(receipt->sender_cost,
-                                  [resume, s] { resume(s); }, "det.send");
+    // Homed to the spoke's lane: the pump mutates that spoke's runtime
+    // state, which must only ever be touched from its own lane.
+    fabric.engine().ScheduleAfterOn(s + 1, receipt->sender_cost,
+                                    [resume, s] { resume(s); }, "det.send");
   });
   for (std::uint32_t s = 0; s < kSenders; ++s) pump(s);
   fabric.Run();
@@ -265,6 +267,38 @@ TEST_P(StealDeterminismTest, StealEnabledRunsAreByteIdenticalAndNotDead) {
 
 INSTANTIATE_TEST_SUITE_P(StealPoolSizes, StealDeterminismTest,
                          ::testing::Values(2u, 4u));
+
+// ---------------------------------------------------- lane scale-out
+
+/// Lane-sharded execution must be invisible to every observer: the same
+/// topology run with executor lanes {2, 4} has to reproduce the scalar
+/// (lanes=1) fingerprint byte for byte, across pool widths and with the
+/// steal scheduler both off and on.
+class LaneDeterminismTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, bool>> {};
+
+TEST_P(LaneDeterminismTest, LanedRunsMatchTheSingleLaneFingerprint) {
+  const auto [lanes, cores, steal_on] = GetParam();
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+
+  pooltest::PoolTopology topo = StealTopology(cores, steal_on);
+  const pooltest::PoolRunResult scalar =
+      pooltest::RunPoolIncast(topo, *package);
+  topo.lanes = lanes;
+  const pooltest::PoolRunResult laned =
+      pooltest::RunPoolIncast(topo, *package);
+  pooltest::ExpectPoolInvariants(topo, laned);
+  EXPECT_EQ(scalar.fingerprint, laned.fingerprint)
+      << "lanes=" << lanes << " cores=" << cores << " steal=" << steal_on;
+  EXPECT_EQ(scalar.executed, laned.executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LaneGrid, LaneDeterminismTest,
+    ::testing::Combine(::testing::Values(2u, 4u), ::testing::Values(1u, 4u),
+                       ::testing::Bool()));
 
 // ------------------------------------------------------- NUMA domains
 

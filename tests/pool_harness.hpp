@@ -66,6 +66,9 @@ struct PoolTopology {
   /// Receiver-side jam cache on every host (spokes send by-handle once
   /// the hub holds their content; misses ride the NAK/resend path).
   JamCacheConfig jam_cache{};
+  /// Executor lanes for the engine (1 = the scalar reference). Any value
+  /// must reproduce the lanes=1 fingerprint byte for byte.
+  std::uint32_t lanes = 1;
   std::uint64_t seed = 1;
 
   std::string Describe() const {
@@ -81,9 +84,9 @@ struct PoolTopology {
                          static_cast<unsigned long long>(q.revive_after));
     }
     return StrFormat(
-        "spokes=%u cores=%u banks=%u mpb=%u wait=%s steal{on=%d thr=%u "
-        "hys=%u} jam{on=%d cap=%u} msgs=[%s]%s%s seed=%llu",
-        spokes, receiver_cores, banks, mailboxes_per_bank,
+        "spokes=%u cores=%u banks=%u mpb=%u lanes=%u wait=%s steal{on=%d "
+        "thr=%u hys=%u} jam{on=%d cap=%u} msgs=[%s]%s%s seed=%llu",
+        spokes, receiver_cores, banks, mailboxes_per_bank, lanes,
         wait_mode == cpu::WaitMode::kPoll ? "poll" : "wfe",
         steal.enabled ? 1 : 0, steal.threshold, steal.hysteresis,
         jam_cache.enabled ? 1 : 0, jam_cache.capacity, msgs.c_str(),
@@ -163,6 +166,7 @@ inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
   options.runtime_overrides[0].receiver_cores = topo.receiver_cores;
   options.runtime_overrides[0].sender_core = topo.receiver_cores;
   options.runtime_overrides[0].steal = topo.steal;
+  options.engine.lanes = topo.lanes;
   return options;
 }
 
@@ -356,8 +360,10 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
     auto receipt = rt.Send(sender.to_hub, jam, mode, args, usr);
     ASSERT_TRUE(receipt.ok()) << receipt.status();
     ++sender.sent;
-    fabric.engine().ScheduleAfter(receipt->sender_cost,
-                                  [resume, s] { resume(s); }, "pool.send");
+    // Homed to the spoke's lane: the pump mutates that spoke's runtime
+    // state, which must only ever be touched from its own lane.
+    fabric.engine().ScheduleAfterOn(s + 1, receipt->sender_cost,
+                                    [resume, s] { resume(s); }, "pool.send");
   });
   for (std::uint32_t s = 0; s < topo.spokes; ++s) pump(s);
   fabric.Run();

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Bench-floor guard: fail CI when a recorded wall-clock rate regresses.
+
+Usage: check_bench_floor.py BENCH_engine_rate.json [floors.json]
+
+Reads the bench's JSON record (the same file CI uploads as an artifact),
+looks up each row named in the floors file, and fails when its
+events_per_second has dropped more than the recorded tolerance below the
+floor. Rows without a recorded floor are ignored, so adding bench rows
+never breaks the guard.
+"""
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = sys.argv[1]
+    floors_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "bench_floors.json")
+    )
+    with open(bench_path) as f:
+        record = json.load(f)
+    with open(floors_path) as f:
+        floors = json.load(f)
+
+    bench = record.get("bench")
+    bench_floors = floors.get(bench)
+    if not bench_floors:
+        print(f"no floors recorded for bench '{bench}'; nothing to check")
+        return 0
+
+    rows = {row["name"]: row for row in record.get("rows", [])}
+    failures = 0
+    for name, floor in bench_floors.items():
+        row = rows.get(name)
+        if row is None:
+            print(f"FAIL: floor-guarded row '{name}' missing from {bench_path}")
+            failures += 1
+            continue
+        rate = float(row["events_per_second"])
+        minimum = float(floor["events_per_second"]) * (
+            1.0 - float(floor.get("tolerance", 0.2))
+        )
+        verdict = "FAIL" if rate < minimum else "ok"
+        print(
+            f"{verdict}: {name}: {rate:.0f} events/s "
+            f"(floor {floor['events_per_second']}, min allowed {minimum:.0f})"
+        )
+        if rate < minimum:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

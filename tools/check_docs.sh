@@ -74,6 +74,7 @@ check StealConfig src/core/runtime.hpp '^## RuntimeConfig — work stealing'
 check JamCacheConfig src/core/runtime.hpp '^## RuntimeConfig — jam cache'
 check SecurityPolicy src/core/security.hpp \
   '^## RuntimeConfig — security policy'
+check EngineConfig src/sim/engine.hpp '^## EngineConfig'
 check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
 check OpenLoopConfig src/benchlib/openloop.hpp '^## OpenLoopConfig'
 
