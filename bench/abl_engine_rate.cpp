@@ -167,6 +167,83 @@ RateRow FabricRingRate(std::uint32_t lanes, std::uint32_t hosts,
   return row;
 }
 
+/// The switched-tree workload: 8 spokes stream injected ssums into one
+/// hub through a 2-tier, 2:1-oversubscribed switch fabric, so the row
+/// prices the switch hops (admission, egress serialization, ECN checks)
+/// the star shapes never execute. Floor-guarded in
+/// tools/bench_floors.json — the canary for switch-path regressions.
+RateRow TreeIncastRate(std::uint32_t spokes, std::uint32_t msgs_per_spoke) {
+  core::FabricOptions options;
+  options.hosts = spokes + 1;
+  options.topology = core::Topology::kTree;
+  options.hub = 0;
+  options.tree.arity = 4;
+  options.tree.tiers = 2;
+  options.tree.oversub = 2.0;
+  core::Fabric fabric(options);
+  const pkg::Package package = MustOk(BuildBenchPackage(), "bench package");
+  const Status loaded = fabric.LoadPackage(package);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "package load failed: %s\n",
+                 loaded.ToString().c_str());
+    std::abort();
+  }
+
+  struct Sender {
+    core::PeerId to = core::kInvalidPeer;
+    std::uint32_t sent = 0;
+  };
+  auto senders = std::make_shared<std::vector<Sender>>(spokes);
+  for (std::uint32_t s = 0; s < spokes; ++s) {
+    (*senders)[s].to = MustOk(fabric.PeerIdFor(s + 1, 0), "peer");
+  }
+  const std::vector<std::uint64_t> args = {64};
+  const std::vector<std::uint8_t> usr(64, 7);
+
+  PumpLoop<std::uint32_t> pump;
+  pump.Set([senders, &fabric, &args, &usr, msgs_per_spoke,
+            resume = pump.Handle()](std::uint32_t s) {
+    Sender& sender = (*senders)[s];
+    core::Runtime& rt = fabric.runtime(s + 1);
+    if (sender.sent >= msgs_per_spoke) return;
+    if (!rt.HasFreeSlot(sender.to)) {
+      rt.NotifyWhenSlotFree(sender.to, [resume, s] { resume(s); });
+      return;
+    }
+    auto receipt =
+        rt.Send(sender.to, "ssum", core::Invoke::kInjected, args, usr);
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "send failed: %s\n",
+                   receipt.status().ToString().c_str());
+      std::abort();
+    }
+    ++sender.sent;
+    fabric.engine().ScheduleAfterOn(s + 1, receipt->sender_cost,
+                                    [resume, s] { resume(s); }, "tree.send");
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t before = fabric.engine().EventsProcessed();
+  for (std::uint32_t s = 0; s < spokes; ++s) pump(s);
+  fabric.Run();
+
+  RateRow row;
+  row.name = StrFormat("tree incast %u-spoke (2-tier switched)", spokes);
+  row.events = fabric.engine().EventsProcessed() - before;
+  row.seconds = WallSeconds(start);
+  row.events_per_second = static_cast<double>(row.events) / row.seconds;
+
+  std::uint64_t forwarded = 0;
+  for (std::uint32_t i = 0; i < fabric.switch_count(); ++i) {
+    forwarded += fabric.sw(i).frames_forwarded();
+  }
+  if (forwarded == 0) {
+    std::fprintf(stderr, "tree incast forwarded no frames\n");
+    std::abort();
+  }
+  return row;
+}
+
 void WriteJson(const char* path, const std::vector<RateRow>& rows,
                const std::vector<std::uint32_t>& lanes,
                const std::vector<double>& by_lanes) {
@@ -209,6 +286,7 @@ int main(int argc, char** argv) {
       EngineChainRate("dispatch + event hook", 1, 1000000, /*hook=*/true));
   rows.push_back(EngineChainRate("heap depth 1024", 1024, 1000000));
   rows.push_back(FullStackRate());
+  rows.push_back(TreeIncastRate(/*spokes=*/8, /*msgs_per_spoke=*/800));
 
   const std::vector<std::uint32_t> lane_sweep = {1, 2, 4};
   std::vector<double> by_lanes;
@@ -243,6 +321,8 @@ int main(int argc, char** argv) {
                    rows[2].events_per_second > 5e4);
   ok &= ShapeCheck("full stack generates events (stream completed)",
                    rows[3].events > 0);
+  ok &= ShapeCheck("switched tree generates events (incast completed)",
+                   rows[4].events > 0);
   ok &= ShapeCheck("laned runs process identical event counts",
                    lane_events[0] == lane_events[1] &&
                        lane_events[0] == lane_events[2]);

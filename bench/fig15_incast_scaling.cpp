@@ -17,7 +17,178 @@ struct Point {
   IncastResult result;
 };
 
-int Main() {
+// ----------------------------------------------------- switched tree
+
+struct TreePoint {
+  std::uint32_t senders = 0;
+  bool adaptive = false;
+  IncastResult result;
+  std::uint64_t marks = 0;       ///< sum of Switch::frames_marked
+  std::uint64_t drops = 0;       ///< sum of Switch::frames_dropped
+  std::uint64_t holds = 0;       ///< sum of Switch::backpressure_holds
+  std::uint64_t echoes = 0;      ///< sum of spoke ecn_echoes_seen
+  std::uint64_t backoffs = 0;    ///< sum of spoke cwnd_decreases
+  std::uint64_t refusals = 0;    ///< sum of spoke adaptive_refusals
+  std::uint64_t min_window_milli = ~std::uint64_t{0};
+};
+
+TreePoint RunTreePoint(std::uint32_t n, bool adaptive,
+                       std::uint32_t iterations) {
+  core::Fabric fabric(TreeBenchFabric(n, adaptive));
+  auto package = BuildBenchPackage();
+  if (!package.ok()) {
+    std::fprintf(stderr, "package build failed: %s\n",
+                 package.status().ToString().c_str());
+    std::abort();
+  }
+  if (Status st = fabric.LoadPackage(*package); !st.ok()) {
+    std::fprintf(stderr, "package load failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+
+  IncastConfig config;
+  config.jam = "iput";
+  config.mode = core::Invoke::kInjected;
+  config.usr_bytes = 64;
+  config.iterations_per_sender = iterations;
+  config.args = [](std::uint64_t iter) {
+    return std::vector<std::uint64_t>{iter & 127};
+  };
+
+  std::vector<std::uint32_t> senders;
+  for (std::uint32_t s = 1; s <= n; ++s) senders.push_back(s);
+  TreePoint point;
+  point.senders = n;
+  point.adaptive = adaptive;
+  point.result =
+      MustOk(RunIncastRate(fabric, 0, senders, config), "tree incast run");
+
+  for (std::uint32_t i = 0; i < fabric.switch_count(); ++i) {
+    point.marks += fabric.sw(i).frames_marked();
+    point.drops += fabric.sw(i).frames_dropped();
+    point.holds += fabric.sw(i).backpressure_holds();
+  }
+  for (const std::uint32_t s : senders) {
+    const core::RuntimeStats& stats = fabric.runtime(s).stats();
+    point.echoes += stats.ecn_echoes_seen;
+    point.backoffs += stats.cwnd_decreases;
+    point.refusals += stats.adaptive_refusals;
+    auto to_hub = fabric.PeerIdFor(s, 0);
+    if (to_hub.ok()) {
+      point.min_window_milli =
+          std::min(point.min_window_milli,
+                   fabric.runtime(s).AdaptiveWindowMinMilli(*to_hub));
+    }
+  }
+  return point;
+}
+
+int TreeMain() {
+  Banner("fig15", "--tree: incast through an oversubscribed switched tree");
+  const std::uint32_t kTreeIterations = 150;
+  std::printf(
+      "host -> ToR -> spine, arity 8, 4:1 trunk oversubscription, shared\n"
+      "%llu KiB switch buffers, ECN at %llu KiB; Indirect Put, 64 B\n"
+      "payload, %u messages per sender; static banks vs adaptive (AIMD)\n",
+      static_cast<unsigned long long>(KiB(64) / 1024),
+      static_cast<unsigned long long>(KiB(8) / 1024), kTreeIterations);
+
+  const std::uint32_t kSenderCounts[] = {32, 64};
+  std::vector<TreePoint> points;
+  for (const std::uint32_t n : kSenderCounts) {
+    for (const bool adaptive : {false, true}) {
+      points.push_back(RunTreePoint(n, adaptive, kTreeIterations));
+    }
+  }
+
+  Table table({"senders", "banks", "agg Kmsg/s", "fairness", "p50 us",
+               "p99 us", "p99.9 us", "fc waits", "marks", "backoffs",
+               "refusals", "min win"});
+  for (const TreePoint& p : points) {
+    std::uint64_t waits = 0;
+    for (const auto& s : p.result.per_sender) waits += s.flow_control_waits;
+    table.AddRow(
+        {FmtU64(p.senders), p.adaptive ? "adaptive" : "static",
+         FmtF(p.result.aggregate_messages_per_second / 1e3),
+         FmtF(p.result.fairness, "%.3f"),
+         FmtUs(p.result.latency.Percentile(0.50)),
+         FmtUs(p.result.latency.Percentile(0.99)),
+         FmtUs(p.result.latency.Percentile(0.999)), FmtU64(waits),
+         FmtU64(p.marks), FmtU64(p.backoffs), FmtU64(p.refusals),
+         FmtF(static_cast<double>(p.min_window_milli) / 1000.0, "%.2f")});
+  }
+  table.Print();
+
+  auto at = [&](std::uint32_t n, bool adaptive) -> const TreePoint& {
+    for (const TreePoint& p : points) {
+      if (p.senders == n && p.adaptive == adaptive) return p;
+    }
+    std::abort();
+  };
+
+  bool ok = true;
+  ok &= ShapeCheck(
+      "drop-free fabric: zero frames dropped across every tree run "
+      "(backpressure holds instead)",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.drops != 0) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "the 4:1 trunk actually congests (ECN marks fire in every run)",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.marks == 0) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "adaptive banks keep the drain fair through the tree (Jain "
+      "fairness >= 0.9 at 32 and 64 senders)",
+      at(32, true).result.fairness >= 0.9 &&
+          at(64, true).result.fairness >= 0.9);
+  ok &= ShapeCheck(
+      "AIMD engages under congestion (echo-driven backoffs shrink the "
+      "window below the static ceiling in every adaptive run)",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (!p.adaptive) continue;
+          if (p.backoffs == 0 || p.min_window_milli >= 4000) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "static banks never refuse or back off (window machinery inert "
+      "when disabled)",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.adaptive) continue;
+          if (p.backoffs != 0 || p.refusals != 0) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "backing off trims the completion tail (adaptive p99.9 <= static "
+      "p99.9 at 32 and 64 senders)",
+      at(32, true).result.latency.Percentile(0.999) <=
+              at(32, false).result.latency.Percentile(0.999) &&
+          at(64, true).result.latency.Percentile(0.999) <=
+              at(64, false).result.latency.Percentile(0.999));
+  ok &= ShapeCheck(
+      "admission control does not collapse throughput (adaptive "
+      "aggregate >= 80% of static at 64 senders)",
+      at(64, true).result.aggregate_messages_per_second >=
+          0.8 * at(64, false).result.aggregate_messages_per_second);
+  return FinishChecks(ok);
+}
+
+// -------------------------------------------------------------- star
+
+int Main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--tree")) return TreeMain();
   Banner("fig15", "incast scaling: N senders -> 1 receiver");
   std::printf("Indirect Put, 64 B payload, %u messages per sender\n", 600u);
 
@@ -116,4 +287,6 @@ int Main() {
 }  // namespace
 }  // namespace twochains::bench
 
-int main() { return twochains::bench::Main(); }
+int main(int argc, char** argv) {
+  return twochains::bench::Main(argc, argv);
+}

@@ -479,10 +479,173 @@ int BiasMain() {
   return FinishChecks(ok);
 }
 
+// -------------------------------------------------------- switched tree
+
+struct TreePoint {
+  std::uint32_t receiver_cores = 0;
+  bool adaptive = false;
+  IncastResult result;
+  std::uint64_t expected_messages = 0;
+  std::vector<std::uint64_t> per_core_messages;
+  std::uint64_t marks = 0;      ///< sum of Switch::frames_marked
+  std::uint64_t drops = 0;      ///< sum of Switch::frames_dropped
+  std::uint64_t backoffs = 0;   ///< sum of spoke cwnd_decreases
+  std::uint64_t refusals = 0;   ///< sum of spoke adaptive_refusals
+};
+
+TreePoint RunTreePoint(std::uint32_t senders, std::uint32_t cores,
+                       bool adaptive, std::uint32_t iterations) {
+  core::Fabric fabric(TreeBenchFabric(senders, adaptive, cores));
+  auto package = BuildBenchPackage();
+  if (!package.ok()) {
+    std::fprintf(stderr, "package build failed: %s\n",
+                 package.status().ToString().c_str());
+    std::abort();
+  }
+  if (Status st = fabric.LoadPackage(*package); !st.ok()) {
+    std::fprintf(stderr, "package load failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+
+  IncastConfig config;
+  config.jam = "iput";
+  config.mode = core::Invoke::kInjected;
+  config.usr_bytes = 64;
+  config.iterations_per_sender = iterations;
+  config.args = [](std::uint64_t iter) {
+    return std::vector<std::uint64_t>{iter & 127};
+  };
+
+  std::vector<std::uint32_t> sender_ids;
+  for (std::uint32_t s = 1; s <= senders; ++s) sender_ids.push_back(s);
+  TreePoint point;
+  point.receiver_cores = cores;
+  point.adaptive = adaptive;
+  point.expected_messages = std::uint64_t{senders} * iterations;
+  point.result = MustOk(RunIncastRate(fabric, 0, sender_ids, config),
+                        "tree incast run");
+
+  core::Runtime& hub = fabric.runtime(0);
+  for (std::uint32_t c = 0; c < hub.receiver_pool_size(); ++c) {
+    point.per_core_messages.push_back(
+        hub.receiver_cpu(c).counters().messages_handled);
+  }
+  for (std::uint32_t i = 0; i < fabric.switch_count(); ++i) {
+    point.marks += fabric.sw(i).frames_marked();
+    point.drops += fabric.sw(i).frames_dropped();
+  }
+  for (const std::uint32_t s : sender_ids) {
+    const core::RuntimeStats& stats = fabric.runtime(s).stats();
+    point.backoffs += stats.cwnd_decreases;
+    point.refusals += stats.adaptive_refusals;
+  }
+  return point;
+}
+
+int TreeMain() {
+  Banner("fig16",
+         "--tree: pooled drain behind an oversubscribed switched tree");
+  constexpr std::uint32_t kTreeSenders = 32;
+  constexpr std::uint32_t kTreeIterations = 150;
+  std::printf(
+      "32 senders, host -> ToR -> spine at 4:1 oversubscription; receiver\n"
+      "pool of 1 then 4 cores, static banks vs adaptive (AIMD); Indirect\n"
+      "Put, 64 B payload, %u messages per sender\n",
+      kTreeIterations);
+
+  const std::uint32_t kPoolSizes[] = {1, 4};
+  std::vector<TreePoint> points;
+  for (const std::uint32_t cores : kPoolSizes) {
+    for (const bool adaptive : {false, true}) {
+      points.push_back(
+          RunTreePoint(kTreeSenders, cores, adaptive, kTreeIterations));
+    }
+  }
+
+  Table table({"rx cores", "banks", "agg Kmsg/s", "fairness", "p50 us",
+               "p99 us", "p99.9 us", "marks", "backoffs", "per-core msgs"});
+  for (const TreePoint& p : points) {
+    std::string per_core;
+    for (std::size_t c = 0; c < p.per_core_messages.size(); ++c) {
+      if (c) per_core += "/";
+      per_core += FmtU64(p.per_core_messages[c]);
+    }
+    table.AddRow({FmtU64(p.receiver_cores),
+                  p.adaptive ? "adaptive" : "static",
+                  FmtF(p.result.aggregate_messages_per_second / 1e3),
+                  FmtF(p.result.fairness, "%.3f"),
+                  FmtUs(p.result.latency.Percentile(0.50)),
+                  FmtUs(p.result.latency.Percentile(0.99)),
+                  FmtUs(p.result.latency.Percentile(0.999)),
+                  FmtU64(p.marks), FmtU64(p.backoffs), per_core});
+  }
+  table.Print();
+
+  auto at = [&](std::uint32_t cores, bool adaptive) -> const TreePoint& {
+    for (const TreePoint& p : points) {
+      if (p.receiver_cores == cores && p.adaptive == adaptive) return p;
+    }
+    std::abort();
+  };
+
+  bool ok = true;
+  ok &= ShapeCheck(
+      "drop-free fabric: zero frames dropped across every tree run",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.drops != 0) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "the oversubscribed trunk congests in every run (ECN marks fire)",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.marks == 0) return false;
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "widening the pool still pays behind a congested tree (4-core "
+      "aggregate > 1-core aggregate, adaptive banks)",
+      at(4, true).result.aggregate_messages_per_second >
+          at(1, true).result.aggregate_messages_per_second);
+  ok &= ShapeCheck(
+      "the drain stays fair through the tree (Jain fairness >= 0.9 in "
+      "every adaptive run)",
+      at(1, true).result.fairness >= 0.9 &&
+          at(4, true).result.fairness >= 0.9);
+  ok &= ShapeCheck(
+      "AIMD engages under congestion and stays inert when disabled",
+      [&] {
+        for (const TreePoint& p : points) {
+          if (p.adaptive && p.backoffs == 0) return false;
+          if (!p.adaptive && (p.backoffs != 0 || p.refusals != 0)) {
+            return false;
+          }
+        }
+        return true;
+      }());
+  ok &= ShapeCheck(
+      "every message was executed in every tree configuration (no "
+      "mailbox leak through the switches)",
+      [&] {
+        for (const TreePoint& p : points) {
+          std::uint64_t executed = 0;
+          for (const auto& s : p.result.per_sender) executed += s.messages;
+          if (executed != p.expected_messages) return false;
+        }
+        return true;
+      }());
+  return FinishChecks(ok);
+}
+
 int Main(int argc, char** argv) {
   const bool base_only = argc > 1 && std::strcmp(argv[1], "--base") == 0;
   const bool steal_only = argc > 1 && std::strcmp(argv[1], "--steal") == 0;
   const bool bias_only = argc > 1 && std::strcmp(argv[1], "--bias") == 0;
+  if (HasFlag(argc, argv, "--tree")) return TreeMain();
   int rc = 0;
   if (!steal_only && !bias_only) rc |= BaseMain();
   if (!base_only && !bias_only) rc |= StealMain();

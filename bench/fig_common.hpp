@@ -45,6 +45,47 @@ inline core::JamCacheConfig HotJamCache() {
   return cache;
 }
 
+/// Compact switched-tree incast fabric for the `--tree` bench variants:
+/// host -> ToR -> spine with 4:1 trunk oversubscription, so the ToR
+/// uplinks congest and ECN marks fire under incast. HostMemory is real
+/// memory, so the 33-65 host sweeps shrink every arena to the package
+/// plus mailbox footprint instead of the paper's 512 MiB testbed shape.
+inline core::FabricOptions TreeBenchFabric(std::uint32_t senders,
+                                           bool adaptive,
+                                           std::uint32_t hub_pool_cores = 1) {
+  const core::TestbedOptions paper = PaperTestbed();
+  core::FabricOptions options;
+  options.hosts = senders + 1;
+  options.topology = core::Topology::kTree;
+  options.hub = 0;
+  options.tree.arity = 8;
+  options.tree.tiers = 2;
+  options.tree.oversub = 4.0;
+  options.switches.buffer_bytes = KiB(64);
+  options.switches.ecn_threshold_bytes = KiB(8);
+  options.nic = paper.nic;
+  options.protocol = paper.protocol;
+  options.runtime = paper.runtime;
+  options.runtime.mailboxes_per_bank = 8;
+  options.runtime.mailbox_slot_bytes = KiB(4);
+  options.runtime.adaptive.enabled = adaptive;
+  options.host = paper.host0;
+  options.host.memory_bytes = MiB(24);
+  options.host_overrides.assign(options.hosts, options.host);
+  options.host_overrides[0].memory_bytes =
+      MiB(48) + std::uint64_t{senders} * options.runtime.banks *
+                    options.runtime.mailboxes_per_bank *
+                    options.runtime.mailbox_slot_bytes;
+  if (hub_pool_cores > 1) {
+    options.host_overrides[0].cache.cores =
+        std::max(options.host.cache.cores, hub_pool_cores + 1);
+    options.runtime_overrides.assign(options.hosts, options.runtime);
+    options.runtime_overrides[0].receiver_cores = hub_pool_cores;
+    options.runtime_overrides[0].sender_core = hub_pool_cores;
+  }
+  return options;
+}
+
 /// True iff @p flag (e.g. "--hot") appears anywhere in argv.
 inline bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {

@@ -1,5 +1,7 @@
 #include "core/fabric.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/strfmt.hpp"
 
@@ -15,7 +17,14 @@ sim::EngineConfig EngineConfigFor(const FabricOptions& options) {
   sim::EngineConfig cfg = options.engine;
   if (cfg.lanes == 0) cfg.lanes = 1;
   if (cfg.lookahead_ps == 0) {
-    cfg.lookahead_ps = Nanoseconds(options.nic.wire_latency_ns);
+    double min_latency_ns = options.nic.wire_latency_ns;
+    if (options.topology == Topology::kTree) {
+      // Every switch hop is one switch-cable latency in the future, so
+      // the safe horizon is the smallest cable in the fabric.
+      min_latency_ns = std::min(min_latency_ns,
+                                std::max(0.0, options.switches.wire_latency_ns));
+    }
+    cfg.lookahead_ps = Nanoseconds(min_latency_ns);
   }
   if (cfg.lanes > 1 && cfg.lookahead_ps == 0) {
     TC_WARN << "fabric: zero wire latency leaves no safe lookahead; "
@@ -51,6 +60,22 @@ Fabric::Fabric(FabricOptions options)
     TC_WARN << "fabric: hub " << options_.hub << " out of range; using 0";
     options_.hub = 0;
   }
+  if (options_.topology == Topology::kTree) {
+    if (options_.tree.arity == 0) {
+      TC_WARN << "fabric: tree arity 0; using 1";
+      options_.tree.arity = 1;
+    }
+    if (options_.tree.tiers < 1 || options_.tree.tiers > 2) {
+      TC_WARN << "fabric: tree tiers " << options_.tree.tiers
+              << " unsupported; clamping to " << (options_.tree.tiers < 1 ? 1 : 2);
+      options_.tree.tiers = options_.tree.tiers < 1 ? 1 : 2;
+    }
+    if (options_.tree.oversub <= 0) {
+      TC_WARN << "fabric: tree oversub " << options_.tree.oversub
+              << " not positive; using 1.0";
+      options_.tree.oversub = 1.0;
+    }
+  }
 
   nodes_.reserve(options_.hosts);
   for (std::uint32_t i = 0; i < options_.hosts; ++i) {
@@ -74,15 +99,82 @@ Fabric::Fabric(FabricOptions options)
     nodes_.push_back(std::move(node));
   }
 
-  // Cable the NICs: one dedicated back-to-back link per topology edge.
+  if (options_.topology == Topology::kTree) {
+    // No direct cables: hosts uplink into the switch fabric, which also
+    // homes each switch on its own virtual lane past the hosts.
+    BuildTree();
+    return;
+  }
+
+  // Cable the NICs: one dedicated back-to-back link per topology edge. A
+  // cabling failure (a duplicate edge would silently shadow the first
+  // cable's wire state) is remembered and surfaced by WireUp.
   for (const auto& [a, b] : Edges()) {
-    nodes_[a].nic->ConnectTo(*nodes_[b].nic);
+    const Status st = nodes_[a].nic->ConnectTo(*nodes_[b].nic);
+    if (!st.ok() && cabling_error_.ok()) cabling_error_ = st;
   }
 
   // One virtual lane per host — always, even when running single-lane, so
   // scalar and laned runs assign identical event keys and every result is
   // byte-identical across lane counts.
   engine_.SetVirtualLanes(options_.hosts);
+}
+
+void Fabric::BuildTree() {
+  const std::uint32_t hosts = options_.hosts;
+  const std::uint32_t arity = options_.tree.arity;
+  const std::uint32_t tors =
+      options_.tree.tiers == 1 ? 1 : (hosts + arity - 1) / arity;
+  const std::uint32_t count = options_.tree.tiers == 1 ? 1 : tors + 1;
+  const double trunk_gbps =
+      static_cast<double>(arity) * options_.nic.wire_gbps /
+      options_.tree.oversub;
+
+  switches_.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    const bool spine = options_.tree.tiers == 2 && s == tors;
+    switches_.push_back(std::make_unique<net::Switch>(
+        engine_, options_.switches,
+        spine ? std::string("spine") : StrFormat("tor%u", s)));
+    switches_.back()->set_lane(hosts + s);
+  }
+
+  if (options_.tree.tiers == 1) {
+    net::Switch& tor = *switches_[0];
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      const std::uint32_t port =
+          tor.AttachNic(*nodes_[h].nic, options_.nic.wire_gbps);
+      (void)tor.SetRoute(nodes_[h].nic.get(), port);
+      nodes_[h].nic->AttachUplink(tor, options_.nic.wire_gbps,
+                                  options_.switches.wire_latency_ns);
+    }
+  } else {
+    net::Switch& spine = *switches_[tors];
+    std::vector<std::uint32_t> tor_uplink(tors);   // ToR -> spine port
+    std::vector<std::uint32_t> spine_down(tors);   // spine -> ToR port
+    for (std::uint32_t t = 0; t < tors; ++t) {
+      tor_uplink[t] = switches_[t]->AttachSwitch(spine, trunk_gbps);
+      spine_down[t] = spine.AttachSwitch(*switches_[t], trunk_gbps);
+    }
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      const std::uint32_t t = h / arity;
+      net::Switch& tor = *switches_[t];
+      const std::uint32_t down =
+          tor.AttachNic(*nodes_[h].nic, options_.nic.wire_gbps);
+      nodes_[h].nic->AttachUplink(tor, options_.nic.wire_gbps,
+                                  options_.switches.wire_latency_ns);
+      // The host's ToR delivers it on the downlink; every other ToR sends
+      // via the spine, which fans back out to the owning ToR.
+      (void)tor.SetRoute(nodes_[h].nic.get(), down);
+      (void)spine.SetRoute(nodes_[h].nic.get(), spine_down[t]);
+      for (std::uint32_t o = 0; o < tors; ++o) {
+        if (o == t) continue;
+        (void)switches_[o]->SetRoute(nodes_[h].nic.get(), tor_uplink[o]);
+      }
+    }
+  }
+
+  engine_.SetVirtualLanes(hosts + count);
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> Fabric::Edges() const {
@@ -96,6 +188,9 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> Fabric::Edges() const {
       }
       break;
     case Topology::kStar:
+    case Topology::kTree:
+      // kTree peers hub-spoke like kStar — the incast/fan-out shape — but
+      // the frames ride the switch fabric instead of dedicated cables.
       for (std::uint32_t b = 0; b < n; ++b) {
         if (b == options_.hub) continue;
         edges.emplace_back(std::min(options_.hub, b),
@@ -108,6 +203,9 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> Fabric::Edges() const {
 
 bool Fabric::Connected(std::uint32_t a, std::uint32_t b) const noexcept {
   if (a >= nodes_.size() || b >= nodes_.size() || a == b) return false;
+  if (options_.topology == Topology::kTree) {
+    return (a == options_.hub) != (b == options_.hub);
+  }
   return nodes_[a].nic->ConnectedTo(*nodes_[b].nic);
 }
 
@@ -126,6 +224,7 @@ StatusOr<PeerId> Fabric::PeerIdFor(std::uint32_t src,
 
 Status Fabric::WireUp() {
   if (wired_) return Status::Ok();
+  TC_RETURN_IF_ERROR(cabling_error_);
   for (auto& node : nodes_) {
     TC_RETURN_IF_ERROR(node.runtime->Initialize());
   }

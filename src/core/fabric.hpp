@@ -31,6 +31,7 @@
 #include "core/runtime.hpp"
 #include "net/host.hpp"
 #include "net/nic.hpp"
+#include "net/switch.hpp"
 #include "pkg/package.hpp"
 #include "sim/engine.hpp"
 #include "ucxs/ucxs.hpp"
@@ -41,6 +42,23 @@ namespace twochains::core {
 enum class Topology : std::uint8_t {
   kFullMesh,  ///< every pair connected: all-to-all injection
   kStar,      ///< every spoke connected to the hub only: incast / fan-out
+  /// Switched host -> ToR -> spine tree (see TreeConfig): hosts uplink
+  /// into net::Switch fabric instead of direct cables; runtime peering is
+  /// hub-spoke like kStar (the incast/fan-out shape), but every frame
+  /// crosses 2 or 4 cable segments and contends in shared switch buffers.
+  kTree,
+};
+
+/// Shape of a Topology::kTree fabric.
+struct TreeConfig {
+  /// Hosts per ToR switch (ceil(hosts/arity) ToRs are built).
+  std::uint32_t arity = 8;
+  /// 1 = every host on one switch; 2 = ToRs + one spine.
+  std::uint32_t tiers = 2;
+  /// ToR-uplink oversubscription: the ToR<->spine trunk carries
+  /// arity * nic.wire_gbps / oversub. 1.0 = non-blocking; >1 models the
+  /// classic under-provisioned trunk that makes incast marks fire.
+  double oversub = 1.0;
 };
 
 /// One scheduled pool-core hotplug event: quiesce @p pool_index on
@@ -59,8 +77,12 @@ struct QuiescePlan {
 struct FabricOptions {
   std::uint32_t hosts = 2;
   Topology topology = Topology::kFullMesh;
-  /// Center of a kStar fabric (ignored for kFullMesh).
+  /// Center of a kStar/kTree fabric (ignored for kFullMesh).
   std::uint32_t hub = 0;
+  /// Shape of a kTree fabric (ignored otherwise).
+  TreeConfig tree{};
+  /// Knobs applied to every switch of a kTree fabric (ignored otherwise).
+  net::SwitchConfig switches{};
   /// Template for every host; host_id is overridden per host.
   net::HostConfig host{};
   /// Optional per-host overrides; when non-empty must have `hosts` entries
@@ -145,6 +167,13 @@ class Fabric {
   net::Host& host(std::uint32_t i) { return *nodes_.at(i).host; }
   net::Nic& nic(std::uint32_t i) { return *nodes_.at(i).nic; }
 
+  /// Switches of a kTree fabric (empty otherwise). tiers=2 lays them out
+  /// as [ToR 0..T-1, spine].
+  std::uint32_t switch_count() const noexcept {
+    return static_cast<std::uint32_t>(switches_.size());
+  }
+  net::Switch& sw(std::uint32_t i) { return *switches_.at(i); }
+
   /// Runs the engine until it drains.
   void Run() { engine_.Run(); }
   /// Runs until @p done holds (or the event queue drains). True iff held.
@@ -161,8 +190,13 @@ class Fabric {
     std::unique_ptr<Runtime> runtime;
   };
 
-  /// The topology's edge list as ordered (a, b) pairs with a < b.
+  /// The topology's edge list as ordered (a, b) pairs with a < b. For
+  /// kTree these are the *logical* runtime peerings (hub-spoke); the
+  /// physical path runs through switches_.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> Edges() const;
+
+  /// Builds the kTree switch fabric: switches, uplinks, routes, lanes.
+  void BuildTree();
 
   /// Initializes runtimes and connects every edge (idempotent).
   Status WireUp();
@@ -170,6 +204,10 @@ class Fabric {
   FabricOptions options_;
   sim::Engine engine_;
   std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+  /// First cabling failure (e.g. a duplicate edge): surfaced by WireUp so
+  /// a miswired fabric fails loudly instead of running on shadow state.
+  Status cabling_error_ = Status::Ok();
   bool wired_ = false;
 };
 

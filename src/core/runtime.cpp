@@ -107,6 +107,32 @@ Status Runtime::Initialize() {
     config_.jam_cache.capacity = 1;
   }
 
+  // Adaptive bank flow control: clamp the window bounds so the AIMD loop
+  // can neither deadlock (floor 0) nor freeze (no decrease / no recovery).
+  if (config_.adaptive.enabled) {
+    if (config_.adaptive.min_banks == 0) {
+      TC_WARN << "adaptive min_banks 0 would let the window close entirely "
+                 "(sender deadlock); clamping to 1";
+      config_.adaptive.min_banks = 1;
+    }
+    if (config_.adaptive.min_banks > config_.banks) {
+      TC_WARN << "adaptive min_banks " << config_.adaptive.min_banks
+              << " exceeds the bank count; clamping to " << config_.banks;
+      config_.adaptive.min_banks = config_.banks;
+    }
+    if (config_.adaptive.decrease_beta_milli >= 1000) {
+      TC_WARN << "adaptive decrease_beta_milli "
+              << config_.adaptive.decrease_beta_milli
+              << " >= 1000 would never decrease (dead knob); clamping to 999";
+      config_.adaptive.decrease_beta_milli = 999;
+    }
+    if (config_.adaptive.additive_increase_milli == 0) {
+      TC_WARN << "adaptive additive_increase_milli 0 would never recover "
+                 "after a decrease; clamping to 1";
+      config_.adaptive.additive_increase_milli = 1;
+    }
+  }
+
   pool_.resize(config_.receiver_cores);
   claim_backlog_.assign(config_.receiver_cores, 0);
   for (std::uint32_t i = 0; i < config_.receiver_cores; ++i) {
@@ -238,6 +264,14 @@ StatusOr<PeerId> Runtime::AttachPeer(Runtime& remote) {
     // Claims start at the home owner.
     peer.bank_claim = peer.bank_home;
   }
+  // Adaptive window state: starts wide open at the full bank budget.
+  peer.cwnd_milli = static_cast<std::uint64_t>(config_.banks) * 1000;
+  peer.cwnd_min_seen = peer.cwnd_milli;
+  peer.cwnd_max_seen = peer.cwnd_milli;
+  if (config_.adaptive.enabled) {
+    peer.bank_close_at.assign(config_.banks, 0);
+    peer.bank_ecn.assign(config_.banks, 0);
+  }
 
   peers_.push_back(std::move(peer));
   stats_.per_peer.emplace_back();
@@ -252,8 +286,10 @@ StatusOr<std::pair<PeerId, PeerId>> Runtime::Connect(Runtime& a, Runtime& b) {
   if (a.PeerIdOf(b) != kInvalidPeer) {
     return FailedPrecondition("runtimes already connected");
   }
-  if (!a.nic_.ConnectedTo(b.nic_)) {
-    return FailedPrecondition("NICs not cabled (net::Nic::ConnectTo first)");
+  if (!a.nic_.CanReach(b.nic_)) {
+    return FailedPrecondition(
+        "NICs not reachable (net::Nic::ConnectTo or a switched uplink on "
+        "both sides first)");
   }
   TC_ASSIGN_OR_RETURN(const PeerId id_of_b, a.AttachPeer(b));
   TC_ASSIGN_OR_RETURN(const PeerId id_of_a, b.AttachPeer(a));
@@ -467,6 +503,9 @@ std::uint32_t Runtime::PickSendBank(const PeerState& peer) const noexcept {
 bool Runtime::HasFreeSlot(PeerId peer) const {
   if (peer >= peers_.size()) return false;
   const PeerState& p = peers_[peer];
+  // Opening another bank must also clear the adaptive congestion window
+  // (mid-bank fills were admitted when their bank opened).
+  if (p.send_in_bank == 0 && !AdaptiveAdmits(p)) return false;
   // Mid-bank the current bank is open by construction (it only closes when
   // its last slot is posted). At a bank boundary the biased sender may
   // start any open bank; the strict round-robin sender only the next one.
@@ -509,6 +548,17 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
     ++stats_.send_stalls;
     ++pstats.send_stalls;
     return ResourceExhausted(StrFormat("bank %u flag not returned", bank));
+  }
+  // Adaptive admission: opening a fresh bank needs window headroom over
+  // the banks already closed toward this peer (mid-bank fills ride the
+  // admission their bank got).
+  if (in_bank == 0 && !AdaptiveAdmits(peer)) {
+    ++stats_.adaptive_refusals;
+    ++stats_.send_stalls;
+    ++pstats.send_stalls;
+    return ResourceExhausted(
+        StrFormat("adaptive window (%llu milli-banks) refuses a new bank",
+                  static_cast<unsigned long long>(peer.cwnd_milli)));
   }
   const std::uint32_t slot = bank * config_.mailboxes_per_bank + in_bank;
 
@@ -627,7 +677,8 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
       TC_WARN << "frame delivery failed: " << c.status;
       return;
     }
-    peer_rt->OnFrameDelivered(our_id_at_peer, slot, c.delivered_at);
+    peer_rt->OnFrameDelivered(our_id_at_peer, slot, c.delivered_at,
+                              c.ecn_marked);
   };
 
   // Compute the protocol now (for the receipt); the endpoint recomputes it
@@ -683,6 +734,10 @@ StatusOr<SendReceipt> Runtime::Send(PeerId peer_id, const std::string& name,
   if (peer.send_in_bank == config_.mailboxes_per_bank) {
     peer.bank_open[bank] = 0;
     peer.bank_owner_idle[bank] = 0;  // hint refreshes with the next flag
+    // The flag-return RTT sample starts at bank close; it covers the last
+    // frame's flight plus the receiver's drain — the congestion signal
+    // the adaptive window reacts to.
+    if (config_.adaptive.enabled) peer.bank_close_at[bank] = engine_.Now();
     TC_RETURN_IF_ERROR(
         host_.memory().StoreU64(peer.flag_base + 8ull * bank, 0));
     peer.send_bank = (bank + 1) % config_.banks;
@@ -728,7 +783,7 @@ Status Runtime::StartReceiver() {
 }
 
 void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
-                               PicoTime delivered_at) {
+                               PicoTime delivered_at, bool ecn_marked) {
   if (from >= peers_.size()) return;
   ++stats_.messages_delivered;
   ++stats_.per_peer[from].messages_delivered;
@@ -737,6 +792,12 @@ void Runtime::OnFrameDelivered(PeerId from, std::uint32_t slot,
   // stealing active, every other pool member then gets a deterministic
   // chance to notice a backlog it could relieve.
   const std::uint32_t bank = slot / config_.mailboxes_per_bank;
+  if (ecn_marked) {
+    // A switch on the path marked this frame: remember it against the
+    // bank so the mark goes home (exactly once) with the bank's flag.
+    ++stats_.ecn_marks_seen;
+    if (config_.adaptive.enabled) peers_[from].bank_ecn[bank] = 1;
+  }
   const std::uint32_t holder = ClaimOf(from, bank);
   ++claim_backlog_[holder];
   ++peers_[from].bank_ready[bank];
@@ -772,6 +833,13 @@ void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
     HandleNakMask(peer, bank, nak_mask, /*retire_served=*/open);
   }
   if (!open) return;
+  // Bit 2 is the ECN echo (ECE): the receiver saw a switch mark on a frame
+  // of this bank. Counted unconditionally so the fabric-wide
+  // echoes_sent == echoes_seen ledger holds even when only one side runs
+  // the adaptive window.
+  const bool ece = word.ok() && (*word & 4) != 0;
+  if (ece) ++stats_.ecn_echoes_seen;
+  if (config_.adaptive.enabled) AdaptiveOnFlag(p, bank, ece);
   p.bank_open[bank] = 1;
   p.bank_owner_idle[bank] = (word.ok() && (*word & 2) != 0) ? 1 : 0;
   if (!p.slot_waiters.empty()) {
@@ -779,6 +847,60 @@ void Runtime::OnBankFlag(PeerId peer, std::uint32_t bank) {
     p.slot_waiters.clear();
     for (auto& w : waiters) w();
   }
+}
+
+bool Runtime::AdaptiveAdmits(const PeerState& peer) const noexcept {
+  if (!config_.adaptive.enabled) return true;
+  std::uint32_t closed = 0;
+  for (std::uint32_t b = 0; b < config_.banks; ++b) {
+    if (peer.bank_open[b] == 0) ++closed;
+  }
+  // floor(cwnd) never drops below min_banks >= 1, and the gate always
+  // passes with nothing closed — the window can throttle, never deadlock.
+  return closed < std::max<std::uint64_t>(1, peer.cwnd_milli / 1000);
+}
+
+void Runtime::AdaptiveOnFlag(PeerState& peer, std::uint32_t bank, bool ece) {
+  const PicoTime now = engine_.Now();
+  if (peer.bank_close_at[bank] != 0) {
+    const PicoTime rtt = now - peer.bank_close_at[bank];
+    peer.bank_close_at[bank] = 0;
+    peer.rtt_last = rtt;
+    if (peer.rtt_min == 0 || rtt < peer.rtt_min) peer.rtt_min = rtt;
+  }
+  const std::uint64_t floor_milli =
+      static_cast<std::uint64_t>(config_.adaptive.min_banks) * 1000;
+  const std::uint64_t ceil_milli =
+      static_cast<std::uint64_t>(config_.banks) * 1000;
+  if (ece && now >= peer.ecn_hold_until) {
+    // Multiplicative decrease — once per observed RTT, so one congestion
+    // event's burst of echoes costs one backoff, not a collapse.
+    peer.cwnd_milli =
+        std::max(floor_milli, peer.cwnd_milli *
+                                  config_.adaptive.decrease_beta_milli / 1000);
+    peer.ecn_hold_until = now + (peer.rtt_last > 0 ? peer.rtt_last : 1);
+    ++stats_.cwnd_decreases;
+  } else if (!ece && peer.cwnd_milli < ceil_milli) {
+    peer.cwnd_milli = std::min(
+        ceil_milli, peer.cwnd_milli + config_.adaptive.additive_increase_milli);
+    ++stats_.cwnd_increases;
+  }
+  peer.cwnd_min_seen = std::min(peer.cwnd_min_seen, peer.cwnd_milli);
+  peer.cwnd_max_seen = std::max(peer.cwnd_max_seen, peer.cwnd_milli);
+}
+
+Status Runtime::InjectFlagWordForTest(PeerId peer, std::uint32_t bank,
+                                      std::uint64_t word) {
+  if (peer >= peers_.size()) {
+    return FailedPrecondition(StrFormat("peer %u not wired", peer));
+  }
+  if (bank >= config_.banks) {
+    return InvalidArgument(StrFormat("bank %u out of range", bank));
+  }
+  TC_RETURN_IF_ERROR(
+      host_.memory().StoreU64(peers_[peer].flag_base + 8ull * bank, word));
+  OnBankFlag(peer, bank);
+  return Status::Ok();
 }
 
 void Runtime::HandleNakMask(PeerId peer_id, std::uint32_t bank,
@@ -1925,6 +2047,15 @@ Status Runtime::ReturnBankFlag(PeerId peer_id, std::uint32_t bank,
   // Bits [32, 64) carry the per-slot jam-cache NAK mask: "these by-handle
   // frames named content I do not have — resend them full-body".
   std::uint64_t flag_word = 1ull | (owner_idle ? 2ull : 0ull);
+  // Bit 2 echoes a switch ECN mark home (ECE): a frame of this bank
+  // arrived marked since the last return. Echoed exactly once — the
+  // accumulator clears here — so the fabric-wide echo ledger reconciles.
+  if (config_.adaptive.enabled && !peer.bank_ecn.empty() &&
+      peer.bank_ecn[bank] != 0) {
+    flag_word |= 4ull;
+    peer.bank_ecn[bank] = 0;
+    ++stats_.ecn_echoes_sent;
+  }
   if (config_.jam_cache.enabled && !peer.bank_nak_mask.empty()) {
     flag_word |= static_cast<std::uint64_t>(peer.bank_nak_mask[bank]) << 32;
     peer.bank_nak_mask[bank] = 0;

@@ -187,6 +187,36 @@ struct JamCacheStats {
   std::uint64_t resends = 0;          ///< full-body resends after a NAK
 };
 
+/// Adaptive per-peer bank flow control (AIMD on the bank-flag RTT signal).
+/// The paper's protocol gives a sender a *fixed* number of banks per peer;
+/// on a switched fabric an incast hub's uplink saturates long before the
+/// bank budget does, and every queued frame pays tail latency. With this
+/// enabled, each sender runs a congestion window over its closed-bank
+/// count: an ECN mark picked up in a switch queue rides the delivered
+/// frame (net::PutCompletion::ecn_marked), the receiver echoes it home in
+/// bit 2 of that bank's flag word, and the sender multiplicatively shrinks
+/// its window — admission control refuses new banks past the window, so a
+/// saturated hub sheds queue depth instead of growing it. Flag returns
+/// without an echo additively re-open the window up to the configured bank
+/// count. Window bounds are a harness invariant: the window always stays
+/// within [min_banks, banks].
+struct AdaptiveBankConfig {
+  bool enabled = false;
+  /// Window floor (banks). Never adapted below — one bank must always be
+  /// admissible or the sender deadlocks. Clamped to [1, banks].
+  std::uint32_t min_banks = 1;
+  /// Additive increase per un-marked flag return, in milli-banks
+  /// (250 = a quarter bank per clean RTT). 0 would never recover after a
+  /// decrease; clamped to >= 1.
+  std::uint32_t additive_increase_milli = 250;
+  /// Multiplicative decrease factor on an ECN echo, in milli-units
+  /// (500 = halve the window). Values >= 1000 would never decrease (a
+  /// dead knob); clamped to 999. At most one decrease per observed
+  /// flag RTT, so a burst of echoes from one congestion event does not
+  /// collapse the window to the floor.
+  std::uint32_t decrease_beta_milli = 500;
+};
+
 /// Lifecycle state of one receiver-pool member (see Runtime::QuiesceCore /
 /// ReviveCore and docs/RUNTIME_LIFECYCLE.md).
 enum class PoolCoreState : std::uint8_t {
@@ -238,6 +268,10 @@ struct RuntimeConfig {
   /// core that will execute them. Off = everything lands in domain 0 (the
   /// flat-arena behavior); a no-op on single-domain hosts either way.
   bool domain_aware_placement = true;
+  /// Adaptive per-peer bank flow control: AIMD over the closed-bank count,
+  /// driven by ECN echoes in returned bank-flag words (see
+  /// AdaptiveBankConfig). Off = the paper's fixed-bank protocol.
+  AdaptiveBankConfig adaptive{};
   /// Receiver-pool-aware flow control: at each bank boundary the sender
   /// prefers, in rotation order from the round-robin target, an open bank
   /// whose owning receiver core reported itself idle in its last flag
@@ -344,6 +378,17 @@ struct RuntimeStats {
   /// Sends whose bank pick diverged from strict round-robin because
   /// flow_bias steered them toward an idle receiver core's bank.
   std::uint64_t biased_sends = 0;
+  // Adaptive bank flow control (see AdaptiveBankConfig). ECN ledger the
+  // switch harness reconciles at quiescence: every mark delivered into
+  // this runtime's frames is echoed home exactly once, so across a fabric
+  // sum(ecn_echoes_sent) == sum(ecn_echoes_seen), and each receiver's
+  // ecn_marks_seen equals its NIC's marked non-flag deliveries.
+  std::uint64_t ecn_marks_seen = 0;    ///< marked frames delivered to us
+  std::uint64_t ecn_echoes_sent = 0;   ///< marks echoed home in flag words
+  std::uint64_t ecn_echoes_seen = 0;   ///< echoes observed in returned flags
+  std::uint64_t cwnd_increases = 0;    ///< additive window openings
+  std::uint64_t cwnd_decreases = 0;    ///< multiplicative backoffs
+  std::uint64_t adaptive_refusals = 0; ///< sends refused by the window gate
   // Hotplug ledger (QuiesceCore / ReviveCore). A re-shard is a permanent
   // bank-home migration — counted once per applied home change, in either
   // direction (quiesce handoff or revive restore); per-core mirrors live
@@ -604,6 +649,34 @@ class Runtime {
   StatusOr<std::uint64_t> PeekU64(const std::string& symbol,
                                   std::uint64_t index = 0) const;
 
+  // --------------------------------------------- adaptive flow control
+
+  /// Current adaptive congestion window toward @p peer, in milli-banks
+  /// (banks * 1000 when the adaptive config is off).
+  std::uint64_t AdaptiveWindowMilli(PeerId peer) const {
+    return peers_.at(peer).cwnd_milli;
+  }
+  /// Observed window bounds since Connect — the harness invariant is that
+  /// both always lie within [min_banks, banks] * 1000.
+  std::uint64_t AdaptiveWindowMinMilli(PeerId peer) const {
+    return peers_.at(peer).cwnd_min_seen;
+  }
+  std::uint64_t AdaptiveWindowMaxMilli(PeerId peer) const {
+    return peers_.at(peer).cwnd_max_seen;
+  }
+  /// Most recent / smallest bank-flag round-trip observed from @p peer
+  /// (0 until the first flag returns).
+  PicoTime LastFlagRtt(PeerId peer) const { return peers_.at(peer).rtt_last; }
+  PicoTime MinFlagRtt(PeerId peer) const { return peers_.at(peer).rtt_min; }
+
+  /// Test surface: writes @p word into this sender's local flag mirror for
+  /// (@p peer, @p bank) and runs the flag-return path on it — exactly what
+  /// the peer's inline flag put would do. Lets directed tests forge an ECN
+  /// echo (bit 2) and watch the AIMD decrease without building a congested
+  /// switch fabric.
+  Status InjectFlagWordForTest(PeerId peer, std::uint32_t bank,
+                               std::uint64_t word);
+
  private:
   struct ElementInfo {
     pkg::ElementKind kind;
@@ -687,6 +760,21 @@ class Runtime {
     std::uint32_t send_bank = 0;     ///< bank currently being filled
     std::uint32_t send_in_bank = 0;  ///< next slot within send_bank
     std::vector<std::function<void()>> slot_waiters;
+    // Adaptive bank flow control, sender side (allocated/maintained only
+    // while config_.adaptive.enabled; see AdaptiveBankConfig).
+    /// Congestion window over closed banks, in milli-banks. Invariant:
+    /// within [min_banks, banks] * 1000 at all times.
+    std::uint64_t cwnd_milli = 0;
+    std::uint64_t cwnd_min_seen = 0;  ///< observed window low-water mark
+    std::uint64_t cwnd_max_seen = 0;  ///< observed window high-water mark
+    /// When each bank was closed (engine time; 0 = not closed): the
+    /// flag-return RTT sample is now - bank_close_at[bank].
+    std::vector<PicoTime> bank_close_at;
+    PicoTime rtt_last = 0;  ///< most recent flag-return RTT
+    PicoTime rtt_min = 0;   ///< smallest RTT seen (0 until first sample)
+    /// One multiplicative decrease per RTT: echoes before this instant
+    /// belong to the congestion event already acted on.
+    PicoTime ecn_hold_until = 0;
     std::map<std::string, std::uint64_t> remote_ns;  ///< peer exports
     /// Content handles this sender believes the peer's jam cache holds
     /// (populated by the first full-body send, pruned by NAKs, cleared on
@@ -742,6 +830,11 @@ class Runtime {
     /// bank flag word at flag-return time, then clears. Allocated only
     /// while the jam cache is enabled.
     std::vector<std::uint32_t> bank_nak_mask;
+    /// Receiver-side ECN accumulator: 1 when a frame of this bank arrived
+    /// carrying a switch mark; echoed home as bit 2 of the bank's flag
+    /// word at return time, then cleared. Allocated only while the
+    /// adaptive config is enabled.
+    std::vector<std::uint8_t> bank_ecn;
   };
 
   std::uint32_t TotalSlots() const {
@@ -795,8 +888,16 @@ class Runtime {
 
   // Receiver pipeline (each pool core runs its own instance).
   void OnFrameDelivered(PeerId from, std::uint32_t slot,
-                        PicoTime delivered_at);
+                        PicoTime delivered_at, bool ecn_marked = false);
   void OnBankFlag(PeerId peer, std::uint32_t bank);
+  /// Sender-side admission gate: true when the adaptive window (or, with
+  /// the adaptive config off, the plain bank budget) admits opening
+  /// another bank toward this peer. Only consulted at bank boundaries.
+  bool AdaptiveAdmits(const PeerState& peer) const noexcept;
+  /// AIMD window update on a returned bank flag: samples the flag RTT
+  /// from the bank's close stamp, shrinks multiplicatively on an ECN echo
+  /// (at most once per RTT), grows additively on a clean return.
+  void AdaptiveOnFlag(PeerState& peer, std::uint32_t bank, bool ece);
   void MaybeBeginNext(std::uint32_t pool_index);
   /// Earliest-delivered ready bank head among the banks @p pool_index
   /// claims, or nullptr. The returned pointer lives in a peer's ready map.

@@ -5,16 +5,33 @@
 
 #include "common/log.hpp"
 #include "common/strfmt.hpp"
+#include "net/switch.hpp"
 
 namespace twochains::net {
 
 Nic::Nic(sim::Engine& engine, Host& host, NicConfig config)
     : engine_(engine), host_(host), config_(config) {}
 
-void Nic::ConnectTo(Nic& peer) noexcept {
-  if (FindLink(&peer) != nullptr) return;
+Status Nic::ConnectTo(Nic& peer) {
+  if (&peer == this) {
+    return InvalidArgument("cannot cable a NIC to itself");
+  }
+  if (FindLink(&peer) != nullptr) {
+    return AlreadyExists(StrFormat(
+        "hosts %d and %d are already cabled — a duplicate cable would "
+        "shadow the existing link's wire state",
+        host_.config().host_id, peer.host_.config().host_id));
+  }
   links_.push_back(Link{&peer});
   peer.links_.push_back(Link{this});
+  return Status::Ok();
+}
+
+void Nic::AttachUplink(Switch& sw, double gbps, double latency_ns) noexcept {
+  uplink_.sw = &sw;
+  uplink_.gbps = gbps;
+  uplink_.latency_ns = latency_ns;
+  uplink_.wire_free_at = 0;
 }
 
 bool Nic::ConnectedTo(const Nic& peer) const noexcept {
@@ -36,7 +53,9 @@ Status Nic::PostPut(Nic& dst, mem::VirtAddr local_addr,
                     mem::RKey rkey, bool fence, DeliveredFn on_delivered,
                     DeliveredFn on_complete) {
   Link* link = FindLink(&dst);
-  if (link == nullptr) return FailedPrecondition("NIC not connected");
+  if (link == nullptr && !CanReach(dst)) {
+    return FailedPrecondition("NIC not connected");
+  }
   if (size == 0) return InvalidArgument("zero-length put");
   Op op;
   op.bytes.resize(size);
@@ -46,6 +65,7 @@ Status Nic::PostPut(Nic& dst, mem::VirtAddr local_addr,
   op.inline_op = false;
   op.on_delivered = std::move(on_delivered);
   op.on_complete = std::move(on_complete);
+  if (link == nullptr) return PostSwitchedOp(std::move(op), local_addr, dst);
   return PostOp(std::move(op), local_addr, *link);
 }
 
@@ -54,7 +74,9 @@ Status Nic::PostInlinePut(Nic& dst, std::uint64_t value,
                           bool fence, DeliveredFn on_delivered,
                           DeliveredFn on_complete) {
   Link* link = FindLink(&dst);
-  if (link == nullptr) return FailedPrecondition("NIC not connected");
+  if (link == nullptr && !CanReach(dst)) {
+    return FailedPrecondition("NIC not connected");
+  }
   Op op;
   op.bytes.resize(sizeof(value));
   std::memcpy(op.bytes.data(), &value, sizeof(value));
@@ -64,6 +86,8 @@ Status Nic::PostInlinePut(Nic& dst, std::uint64_t value,
   op.inline_op = true;
   op.on_delivered = std::move(on_delivered);
   op.on_complete = std::move(on_complete);
+  if (link == nullptr) return PostSwitchedOp(std::move(op), /*local_addr=*/0,
+                                             dst);
   return PostOp(std::move(op), /*local_addr=*/0, *link);
 }
 
@@ -160,6 +184,68 @@ Status Nic::PostOp(Op op, mem::VirtAddr local_addr, Link& link) {
   return Status::Ok();
 }
 
+Status Nic::PostSwitchedOp(Op op, mem::VirtAddr local_addr, Nic& dst) {
+  const PicoTime now = engine_.Now();
+  const std::uint64_t size = op.bytes.size();
+
+  // Sender pipeline: identical to the direct-cabled head of PostOp —
+  // doorbell, fence hold, shared send-engine occupancy, payload DMA read.
+  PicoTime t = now + Nanoseconds(config_.doorbell_ns);
+  if (op.fence) t = std::max(t, last_delivery_at_);
+  t = std::max(t, tx_free_at_);
+  t += Nanoseconds(config_.per_message_ns);
+  if (!op.inline_op) {
+    t += Nanoseconds(config_.dma_read_overhead_ns);
+    t += GbpsToDuration(config_.pcie_gbps, size);
+    TC_RETURN_IF_ERROR(host_.memory().DmaRead(
+        local_addr, std::span<std::uint8_t>(op.bytes.data(), size)));
+  }
+  tx_free_at_ = t;
+
+  // Uplink wire: serialize toward the ToR after the uplink frees up.
+  const PicoTime wire_start = std::max(t, uplink_.wire_free_at);
+  const PicoTime wire_end = wire_start + GbpsToDuration(uplink_.gbps, size);
+  uplink_.wire_free_at = wire_end;
+
+  // The true delivery time depends on queueing inside the switches, which
+  // is resolved hop by hop in arrival order — unknowable at post time. A
+  // zero estimate forces the CQE event to always be scheduled, and the
+  // fence state tracks the best-known lower bound until the CQE corrects
+  // it with the real delivery instant.
+  op.est_deliver = 0;
+  last_delivery_at_ =
+      std::max(last_delivery_at_,
+               wire_end + Nanoseconds(uplink_.latency_ns) +
+                   Nanoseconds(config_.rx_processing_ns));
+  ++puts_posted_;
+
+  // Hand the frame head to the first switch one cable latency after it
+  // starts serializing (cut-through: the switch sees the head while the
+  // tail is still on this wire). The cable latency keeps the cross-lane
+  // schedule at or beyond the engine's lookahead horizon.
+  uplink_.sw->ScheduleIngress(std::move(op), this, &dst,
+                              wire_start + Nanoseconds(uplink_.latency_ns));
+  return Status::Ok();
+}
+
+void Nic::ArriveFromSwitch(Op op, Nic* src, PicoTime tail_arrival) {
+  // Called from the last switch's lane; hop to this (destination) NIC's
+  // lane at the instant the frame tail arrives, then resolve inbound
+  // DMA-write contention in true arrival order exactly like the
+  // direct-cabled path does.
+  const std::uint64_t size = op.bytes.size();
+  const PicoTime rx_proc = Nanoseconds(config_.rx_processing_ns);
+  const PicoTime rx_occupancy = GbpsToDuration(config_.pcie_gbps, size);
+  engine_.ScheduleAtOn(
+      lane_, tail_arrival,
+      [this, src, rx_occupancy, rx_proc, op = std::move(op)]() mutable {
+        const PicoTime rx_start = std::max(engine_.Now(), rx_busy_until_);
+        rx_busy_until_ = rx_start + rx_occupancy;
+        src->DeliverAt(rx_start + rx_proc, std::move(op), this);
+      },
+      "nic.rx");
+}
+
 void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
   // Runs on the destination lane (called from the nic.rx event there);
   // ScheduleAt inherits that lane.
@@ -169,6 +255,11 @@ void Nic::DeliverAt(PicoTime when, Op op, Nic* dst) {
         const std::uint64_t size = op.bytes.size();
         PutCompletion completion;
         completion.delivered_at = engine_.Now();
+        completion.ecn_marked = op.ecn_marked;
+        // Count marks on every arrival (before validation): the fabric
+        // mark ledger reconciles against switch-side marking, which has
+        // no view of rkey validity.
+        if (op.ecn_marked) ++dst->ecn_marks_delivered_;
 
         // Hardware-level rkey validation at the target HCA.
         auto region = dst->host_.regions().Validate(

@@ -45,6 +45,8 @@
 
 namespace twochains::net {
 
+class Switch;
+
 struct NicConfig {
   double wire_gbps = 200.0;          ///< link bandwidth (Gb/s)
   double pcie_gbps = 252.0;          ///< PCIe Gen4 x16 effective (Gb/s)
@@ -67,6 +69,9 @@ struct NicConfig {
 struct PutCompletion {
   Status status = Status::Ok();
   PicoTime delivered_at = 0;
+  /// True when a switch on the path ECN-marked the frame (congested
+  /// egress queue). Always false on direct-cabled paths.
+  bool ecn_marked = false;
 };
 
 class Nic {
@@ -76,9 +81,25 @@ class Nic {
   Nic(sim::Engine& engine, Host& host, NicConfig config);
 
   /// Wires this NIC back-to-back with @p peer (both directions). A NIC may
-  /// be connected to many peers, one dedicated cable each; re-connecting an
-  /// already-linked pair is a no-op.
-  void ConnectTo(Nic& peer) noexcept;
+  /// be connected to many peers, one dedicated cable each. Re-cabling an
+  /// already-linked pair fails with kAlreadyExists — a duplicate cable
+  /// would silently shadow the first cable's wire state — and a
+  /// self-connect fails with kInvalidArgument.
+  Status ConnectTo(Nic& peer);
+
+  /// Attaches this NIC's uplink to a switch port: puts toward peers with
+  /// no direct cable serialize onto this uplink (at @p gbps, one cable
+  /// latency of @p latency_ns to the switch) and are routed hop by hop.
+  /// One uplink per NIC (re-attaching replaces it); direct cables keep
+  /// priority when both exist.
+  void AttachUplink(Switch& sw, double gbps, double latency_ns) noexcept;
+  /// True when an uplink switch port is attached.
+  bool HasUplink() const noexcept { return uplink_.sw != nullptr; }
+  /// True when a put to @p peer can be carried: a direct cable, or both
+  /// ends attached to a switched fabric.
+  bool CanReach(const Nic& peer) const noexcept {
+    return ConnectedTo(peer) || (HasUplink() && peer.HasUplink());
+  }
 
   Host& host() noexcept { return host_; }
   const NicConfig& config() const noexcept { return config_; }
@@ -139,17 +160,29 @@ class Nic {
   std::uint64_t rkey_rejections() const noexcept { return rkey_rejections_; }
   /// Total payload bytes delivered into this NIC's host.
   std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+  /// Inbound ops that arrived carrying an ECN mark. The fabric-wide mark
+  /// ledger the soak suite reconciles: at quiescence the sum of this over
+  /// a fabric's NICs equals the sum of Switch::frames_marked over its
+  /// switches (marks are set exactly once and never dropped).
+  std::uint64_t ecn_marks_delivered() const noexcept {
+    return ecn_marks_delivered_;
+  }
 
   /// Simulated time at which the send engine becomes free (tests).
   PicoTime send_engine_free_at() const noexcept { return tx_free_at_; }
 
  private:
+  friend class Switch;
+
   struct Op {
     std::vector<std::uint8_t> bytes;
     mem::VirtAddr remote_addr;
     mem::RKey rkey;
     bool fence;
     bool inline_op;
+    /// Set (once) by the first congested switch on the path; surfaces to
+    /// the sender and receiver via PutCompletion::ecn_marked.
+    bool ecn_marked = false;
     DeliveredFn on_delivered;
     DeliveredFn on_complete;
     /// Uncontended delivery estimate from post time; when rx contention
@@ -166,8 +199,25 @@ class Nic {
     PicoTime last_sched_delivery = 0; ///< for in-order delivery
   };
 
+  /// This NIC's uplink into a switched fabric (Topology::kTree): puts to
+  /// peers with no direct cable serialize here and hop through switches.
+  struct Uplink {
+    Switch* sw = nullptr;
+    double gbps = 0;
+    double latency_ns = 0;
+    PicoTime wire_free_at = 0;  ///< host -> switch serialization occupancy
+  };
+
   Link* FindLink(const Nic* dst) noexcept;
   Status PostOp(Op op, mem::VirtAddr local_addr, Link& link);
+  /// Switched-path post: sender pipeline + uplink serialization, then the
+  /// frame head is handed to the uplink switch one cable latency later.
+  Status PostSwitchedOp(Op op, mem::VirtAddr local_addr, Nic& dst);
+  /// Final switched hop into this NIC (called by the last switch, on that
+  /// switch's lane): resolves inbound DMA-write contention at the frame
+  /// tail's arrival instant — exactly like the direct-cable rx path — and
+  /// delivers. @p src is the posting NIC (completions ride back to it).
+  void ArriveFromSwitch(Op op, Nic* src, PicoTime tail_arrival);
   void DeliverAt(PicoTime when, Op op, Nic* dst);
   void FinishOp(Op op, const PutCompletion& completion);
 
@@ -181,6 +231,7 @@ class Nic {
   Host& host_;
   NicConfig config_;
   std::vector<Link> links_;
+  Uplink uplink_;
 
   std::uint32_t lane_ = 0;       ///< virtual engine lane of this NIC's host
   PicoTime tx_free_at_ = 0;      ///< send engine (DMA read + WQE processing)
@@ -193,6 +244,7 @@ class Nic {
   std::uint64_t puts_posted_ = 0;
   std::uint64_t rkey_rejections_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t ecn_marks_delivered_ = 0;
 };
 
 /// Reliable, in-order, out-of-band control channel between two hosts

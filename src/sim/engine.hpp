@@ -218,11 +218,14 @@ class Engine {
   /// a hook is what makes tags observable — without one they cost nothing.
   void SetEventHook(std::function<void(PicoTime, const char*)> hook);
 
-  /// Declares the number of virtual lanes (one per fabric host). Must be
-  /// called while idle, before events are scheduled. Lanes are sharded
-  /// across min(config.lanes, lanes) executor threads; with the default
-  /// single executor the lane structure only feeds the (time, lane, seq)
-  /// order, which is why laned runs replay byte-identically.
+  /// Declares the number of virtual lanes (one per fabric host; a switched
+  /// fabric homes each net::Switch on its own lane past the hosts, so
+  /// switch-buffer state is only ever touched from events in that lane's
+  /// order). Must be called while idle, before events are scheduled. Lanes
+  /// are sharded across min(config.lanes, lanes) executor threads; with
+  /// the default single executor the lane structure only feeds the
+  /// (time, lane, seq) order, which is why laned runs replay
+  /// byte-identically.
   void SetVirtualLanes(std::uint32_t lanes);
 
   /// Overrides the conservative lookahead horizon (picoseconds); the fabric

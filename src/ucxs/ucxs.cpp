@@ -115,8 +115,10 @@ Status Endpoint::PostNow(Pending op) {
   // back on this host's lane.
   net::Nic::DeliveredFn on_delivered = std::move(op.on_delivered);
   net::Nic::DeliveredFn on_complete =
-      [this, alive = alive_](const net::PutCompletion&) {
-        if (*alive) OnComplete();
+      [this, alive = alive_](const net::PutCompletion& c) {
+        if (!*alive) return;
+        if (c.ecn_marked) ++worker_.ecn_marks_completed_;
+        OnComplete();
       };
 
   // Serialize NIC posting in submission order: a WQE posted later must not

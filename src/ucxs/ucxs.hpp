@@ -102,12 +102,19 @@ class Worker {
 
   std::uint64_t ops_posted() const noexcept { return ops_posted_; }
   std::uint64_t ops_completed() const noexcept { return ops_completed_; }
+  /// Completions whose put was ECN-marked by a switch on the path (always
+  /// zero on direct-cabled fabrics) — the transport-level view of the
+  /// mark ledger the switch harness reconciles.
+  std::uint64_t ecn_marks_completed() const noexcept {
+    return ecn_marks_completed_;
+  }
 
  private:
   friend class Endpoint;
   Context& context_;
   std::uint64_t ops_posted_ = 0;
   std::uint64_t ops_completed_ = 0;
+  std::uint64_t ecn_marks_completed_ = 0;
 };
 
 struct PutReceipt {

@@ -300,6 +300,116 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 4u), ::testing::Values(1u, 4u),
                        ::testing::Bool()));
 
+// ------------------------------------------------ switched-tree fabric
+
+/// The skewed steal load pushed through a 2-tier oversubscribed tree with
+/// adaptive banks on: switches home on their own lanes past the hosts,
+/// so the laned executor must reproduce the scalar fingerprint byte for
+/// byte — switch counters and ECN ledgers included.
+pooltest::PoolTopology SwitchTopology(std::uint32_t receiver_cores,
+                                      bool steal_on) {
+  pooltest::PoolTopology topo = StealTopology(receiver_cores, steal_on);
+  topo.topology = Topology::kTree;
+  topo.tree.arity = 2;
+  topo.tree.tiers = 2;
+  topo.tree.oversub = 2.0;
+  topo.switches.buffer_bytes = KiB(8);
+  topo.switches.ecn_threshold_bytes = KiB(2);
+  topo.adaptive.enabled = true;
+  return topo;
+}
+
+class SwitchLaneDeterminismTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, bool>> {};
+
+TEST_P(SwitchLaneDeterminismTest, LanedTreeRunsMatchTheScalarFingerprint) {
+  const auto [lanes, cores, steal_on] = GetParam();
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+
+  pooltest::PoolTopology topo = SwitchTopology(cores, steal_on);
+  const pooltest::PoolRunResult scalar =
+      pooltest::RunPoolIncast(topo, *package);
+  topo.lanes = lanes;
+  const pooltest::PoolRunResult laned =
+      pooltest::RunPoolIncast(topo, *package);
+  pooltest::ExpectPoolInvariants(topo, laned);
+  EXPECT_EQ(scalar.fingerprint, laned.fingerprint)
+      << "lanes=" << lanes << " cores=" << cores << " steal=" << steal_on;
+  EXPECT_EQ(scalar.executed, laned.executed);
+  // The congestion paths must actually be exercised under this shape, or
+  // the grid pins nothing interesting.
+  EXPECT_GT(scalar.switch_frames_forwarded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SwitchGrid, SwitchLaneDeterminismTest,
+    ::testing::Combine(::testing::Values(2u, 4u), ::testing::Values(1u, 4u),
+                       ::testing::Bool()));
+
+/// Everything an observer can see minus what the transport is *allowed*
+/// to change: the engine's event count (switch hops add events) and the
+/// switch counter lines themselves.
+std::string LogicalFingerprint(const std::string& fingerprint) {
+  std::string out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < fingerprint.size()) {
+    std::size_t end = fingerprint.find('\n', pos);
+    if (end == std::string::npos) end = fingerprint.size();
+    const std::string line = fingerprint.substr(pos, end - pos);
+    pos = end + 1;
+    if (first) {
+      first = false;  // events=... now=...
+      continue;
+    }
+    if (line.rfind("sw", 0) == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// A non-blocking (oversub 1:1) tree whose per-segment latencies sum to
+/// the direct cable's 250 ns, with an ideal zero-latency forwarding
+/// pipeline, is logically invisible: the 2-host run delivers every frame
+/// at the direct-cabled instant, so the entire observable state — stats
+/// tables, per-core counters, drain time — matches the kStar run of the
+/// same logical traffic. Only the engine's event count (and the switch
+/// counters) betray the extra hops.
+TEST(SwitchTransparencyTest, UnitOversubTreeMatchesDirectCabledRun) {
+  pooltest::PoolTopology direct;
+  direct.spokes = 1;
+  direct.receiver_cores = 2;
+  direct.banks = 2;
+  direct.mailboxes_per_bank = 4;
+  direct.messages_per_spoke = {200};
+  direct.seed = kSeed;
+
+  pooltest::PoolTopology tree = direct;
+  tree.topology = Topology::kTree;
+  tree.tree.arity = 1;  // host -> ToR -> spine -> ToR -> host: 4 segments
+  tree.tree.tiers = 2;
+  tree.tree.oversub = 1.0;
+  tree.switches.forward_latency_ns = 0.0;
+  tree.switches.wire_latency_ns = 62.5;  // 4 x 62.5 = the 250 ns cable
+  tree.switches.buffer_bytes = MiB(1);
+  tree.switches.ecn_threshold_bytes = MiB(1);  // one sender never marks
+
+  auto package = bench::BuildBenchPackage();
+  ASSERT_TRUE(package.ok()) << package.status();
+  const pooltest::PoolRunResult d = pooltest::RunPoolIncast(direct, *package);
+  const pooltest::PoolRunResult t = pooltest::RunPoolIncast(tree, *package);
+  pooltest::ExpectPoolInvariants(direct, d);
+  pooltest::ExpectPoolInvariants(tree, t);
+  EXPECT_EQ(t.drained_at, d.drained_at);
+  EXPECT_EQ(LogicalFingerprint(t.fingerprint),
+            LogicalFingerprint(d.fingerprint));
+  EXPECT_GT(t.switch_frames_forwarded, 0u);
+  EXPECT_EQ(t.switch_frames_marked, 0u);
+}
+
 // ------------------------------------------------------- NUMA domains
 
 /// The pool fabric on a 2-domain hub (cores {0,1,2} domain 0, {3,4}

@@ -352,6 +352,154 @@ TEST(FabricTest, ConnectRejectsDuplicateAndSelf) {
   EXPECT_EQ(self.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(FabricTest, DuplicateCableRejectedAtTheNic) {
+  // Fabric wires 0<->1 already; a second cable between the same NICs
+  // would shadow the first link's wire state, so it must fail loudly
+  // instead of silently rewiring.
+  auto fabric = MakeLoadedFabric(SmallOptions(2));
+  EXPECT_EQ(fabric->nic(0).ConnectTo(fabric->nic(1)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fabric->nic(1).ConnectTo(fabric->nic(0)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fabric->nic(0).ConnectTo(fabric->nic(0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------ switched-tree fabric
+
+FabricOptions TreeOptions(std::uint32_t hosts, std::uint32_t arity,
+                          std::uint32_t tiers, double oversub = 1.0) {
+  FabricOptions options = SmallOptions(hosts, Topology::kTree);
+  options.tree.arity = arity;
+  options.tree.tiers = tiers;
+  options.tree.oversub = oversub;
+  return options;
+}
+
+TEST(FabricTest, TreeWiresHubSpokeThroughSwitches) {
+  // 5 hosts at arity 2 need ceil(5/2) = 3 ToRs plus a spine; the logical
+  // peering stays hub-spoke while every frame transits the switches.
+  auto fabric = MakeLoadedFabric(TreeOptions(5, 2, 2));
+  EXPECT_EQ(fabric->switch_count(), 4u);
+  for (std::uint32_t s = 1; s < 5; ++s) {
+    EXPECT_TRUE(fabric->Connected(0, s));
+    EXPECT_TRUE(fabric->Connected(s, 0));
+  }
+  EXPECT_FALSE(fabric->Connected(1, 2));
+  // No direct cable anywhere: hosts reach each other via uplinks only.
+  EXPECT_TRUE(fabric->nic(1).HasUplink());
+  EXPECT_TRUE(fabric->nic(0).CanReach(fabric->nic(1)));
+
+  std::vector<std::uint8_t> usr(8, 2);
+  auto there = SendAndRun(*fabric, 3, 0, "nop", {7}, usr);
+  ASSERT_TRUE(there.ok()) << there.status();
+  EXPECT_EQ(there->return_value, 7u);
+  std::uint64_t forwarded = 0;
+  for (std::uint32_t i = 0; i < fabric->switch_count(); ++i) {
+    forwarded += fabric->sw(i).frames_forwarded();
+    EXPECT_EQ(fabric->sw(i).frames_dropped(), 0u);
+  }
+  EXPECT_GT(forwarded, 0u);
+}
+
+TEST(FabricTest, SingleTierTreeUsesOneSwitch) {
+  auto fabric = MakeLoadedFabric(TreeOptions(4, 8, 1));
+  EXPECT_EQ(fabric->switch_count(), 1u);
+  std::vector<std::uint8_t> usr(8, 1);
+  auto r = SendAndRun(*fabric, 2, 0, "nop", {3}, usr);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->return_value, 3u);
+}
+
+TEST(FabricTest, TreeConfigClampsBadKnobs) {
+  // arity 0, tiers 0, and a non-positive oversubscription are all
+  // impossible shapes; the fabric builds the nearest sane tree instead
+  // of dividing by zero.
+  Fabric fabric(TreeOptions(3, 0, 0, -2.0));
+  EXPECT_EQ(fabric.options().tree.arity, 1u);
+  EXPECT_EQ(fabric.options().tree.tiers, 1u);
+  EXPECT_DOUBLE_EQ(fabric.options().tree.oversub, 1.0);
+  EXPECT_EQ(fabric.switch_count(), 1u);
+}
+
+TEST(FabricTest, SwitchConfigClampsBadKnobs) {
+  // A zero shared buffer could never admit a frame and a threshold above
+  // the buffer could never mark; both are dead knobs a config audit
+  // should see clamped, not silently kept.
+  net::SwitchConfig config;
+  config.buffer_bytes = 0;
+  config.ecn_threshold_bytes = MiB(4);
+  config.forward_latency_ns = -5.0;
+  config.wire_latency_ns = -1.0;
+  sim::Engine engine;
+  net::Switch sw(engine, config, "clamp");
+  EXPECT_EQ(sw.config().buffer_bytes, KiB(256));
+  EXPECT_LE(sw.config().ecn_threshold_bytes, sw.config().buffer_bytes);
+  EXPECT_DOUBLE_EQ(sw.config().forward_latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(sw.config().wire_latency_ns, 0.0);
+}
+
+// ----------------------------------------------- adaptive bank windows
+
+FabricOptions AdaptiveOptions() {
+  FabricOptions options = SmallOptions(2);
+  options.runtime.banks = 4;
+  options.runtime.adaptive.enabled = true;
+  return options;
+}
+
+TEST(FabricTest, ForgedEcnEchoShrinksTheWindow) {
+  // A flag word with the ECE bit (bit 2) set must trigger exactly one
+  // multiplicative decrease — no switch required, the flag-word protocol
+  // is the whole carrier.
+  auto fabric = MakeLoadedFabric(AdaptiveOptions());
+  Runtime& rt = fabric->runtime(0);
+  auto peer = fabric->PeerIdFor(0, 1);
+  ASSERT_TRUE(peer.ok());
+  const std::uint64_t ceiling = 4000;  // 4 banks
+  EXPECT_EQ(rt.AdaptiveWindowMilli(*peer), ceiling);
+  ASSERT_TRUE(rt.InjectFlagWordForTest(*peer, 0, /*open|ECE=*/1 | 4).ok());
+  EXPECT_EQ(rt.stats().cwnd_decreases, 1u);
+  EXPECT_EQ(rt.stats().ecn_echoes_seen, 1u);
+  EXPECT_EQ(rt.AdaptiveWindowMilli(*peer), ceiling / 2);
+  EXPECT_GE(rt.AdaptiveWindowMilli(*peer), 1000u);  // never below the floor
+
+  // Bounds checking on the injection hook itself.
+  EXPECT_EQ(rt.InjectFlagWordForTest(99, 0, 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rt.InjectFlagWordForTest(*peer, 99, 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FabricTest, CleanFlagReturnsRampTheWindowBackToCeiling) {
+  // RTT-ramp convergence: after a forged decrease, additive increases on
+  // clean (un-echoed) flag returns must climb the window back to the
+  // static ceiling, and the flag RTT estimator must have real samples.
+  auto fabric = MakeLoadedFabric(AdaptiveOptions());
+  Runtime& rt = fabric->runtime(0);
+  auto peer = fabric->PeerIdFor(0, 1);
+  ASSERT_TRUE(peer.ok());
+  ASSERT_TRUE(rt.InjectFlagWordForTest(*peer, 0, 1 | 4).ok());
+  ASSERT_EQ(rt.AdaptiveWindowMilli(*peer), 2000u);
+
+  // 4 banks x 4 mailboxes: every 4 sends closes a bank whose returning
+  // flag, unmarked on a direct cable, opens the window by 250 milli.
+  std::vector<std::uint8_t> usr(8, 0);
+  const std::vector<std::uint64_t> args = {1};
+  for (int i = 0; i < 64; ++i) {
+    auto receipt = rt.Send(*peer, "nop", Invoke::kInjected, args, usr);
+    ASSERT_TRUE(receipt.ok()) << receipt.status();
+    fabric->Run();
+  }
+  EXPECT_EQ(rt.AdaptiveWindowMilli(*peer), 4000u);
+  EXPECT_GT(rt.stats().cwnd_increases, 0u);
+  EXPECT_EQ(rt.stats().cwnd_decreases, 1u);
+  EXPECT_GT(rt.LastFlagRtt(*peer), 0u);
+  EXPECT_GE(rt.LastFlagRtt(*peer), rt.MinFlagRtt(*peer));
+  EXPECT_EQ(rt.AdaptiveWindowMaxMilli(*peer), 4000u);
+  EXPECT_EQ(rt.AdaptiveWindowMinMilli(*peer), 2000u);
+}
+
 TEST(FabricTest, TwoHostFabricMatchesTestbedSemantics) {
   // The 2-host fabric is the paper's testbed: default-peer sends work and
   // both directions execute.

@@ -20,7 +20,7 @@ class NetTest : public ::testing::Test {
       : host0_(MakeHost(0)), host1_(MakeHost(1)),
         nic0_(engine_, host0_, NicConfig{}),
         nic1_(engine_, host1_, NicConfig{}) {
-    nic0_.ConnectTo(nic1_);
+    EXPECT_TRUE(nic0_.ConnectTo(nic1_).ok());
   }
 
   static HostConfig MakeHostConfig(int id) {
@@ -241,7 +241,7 @@ TEST_F(NetTest, UnorderedModeCanReorderButFenceRestoresOrder) {
   Host h0 = MakeHost(2), h1 = MakeHost(3);
   sim::Engine eng;
   Nic a(eng, h0, cfg), b(eng, h1, cfg);
-  a.ConnectTo(b);
+  ASSERT_TRUE(a.ConnectTo(b).ok());
   auto dst = h1.memory().Allocate(4096, 64, mem::Perm::kRW, "t");
   ASSERT_TRUE(dst.ok());
   auto rkey = h1.regions().RegisterRegion(*dst, 4096,

@@ -1,8 +1,9 @@
 // Shared scaffolding for the receiver-pool scheduler suites
-// (determinism_test, steal_test): seeded — optionally skewed — incast
-// workloads over a star fabric, an observable-state fingerprint for
-// byte-exact rerun comparison, and the invariants the work-stealing
-// protocol must preserve:
+// (determinism_test, steal_test, quiesce_test, switch_test): seeded —
+// optionally skewed — incast workloads over a star or switched-tree
+// fabric, an observable-state fingerprint for byte-exact rerun
+// comparison, and the invariants the work-stealing protocol must
+// preserve:
 //   * every frame sent is executed exactly once (no lost or double-begun
 //     bank heads across a claim handoff);
 //   * frames of one bank complete in cursor order (the handoff never lets
@@ -66,6 +67,16 @@ struct PoolTopology {
   /// Receiver-side jam cache on every host (spokes send by-handle once
   /// the hub holds their content; misses ride the NAK/resend path).
   JamCacheConfig jam_cache{};
+  /// kStar = direct cables (the classic harness shape); kTree routes the
+  /// same hub-spoke logical traffic through a switched host->ToR->spine
+  /// fabric, where frames contend in shared switch buffers and pick up
+  /// ECN marks.
+  Topology topology = Topology::kStar;
+  /// Tree shape and per-switch knobs (kTree only).
+  TreeConfig tree{};
+  net::SwitchConfig switches{};
+  /// ECN-driven AIMD bank flow control, applied on every host.
+  AdaptiveBankConfig adaptive{};
   /// Executor lanes for the engine (1 = the scalar reference). Any value
   /// must reproduce the lanes=1 fingerprint byte for byte.
   std::uint32_t lanes = 1;
@@ -83,14 +94,27 @@ struct PoolTopology {
                          static_cast<unsigned long long>(q.after_executed),
                          static_cast<unsigned long long>(q.revive_after));
     }
+    std::string net;
+    if (topology == Topology::kTree) {
+      net = StrFormat(
+          " tree{arity=%u tiers=%u over=%.1f buf=%llu ecn=%llu}", tree.arity,
+          tree.tiers, tree.oversub,
+          static_cast<unsigned long long>(switches.buffer_bytes),
+          static_cast<unsigned long long>(switches.ecn_threshold_bytes));
+    }
+    if (adaptive.enabled) {
+      net += StrFormat(" aimd{min=%u ai=%u beta=%u}", adaptive.min_banks,
+                       adaptive.additive_increase_milli,
+                       adaptive.decrease_beta_milli);
+    }
     return StrFormat(
         "spokes=%u cores=%u banks=%u mpb=%u lanes=%u wait=%s steal{on=%d "
-        "thr=%u hys=%u} jam{on=%d cap=%u} msgs=[%s]%s%s seed=%llu",
+        "thr=%u hys=%u} jam{on=%d cap=%u}%s msgs=[%s]%s%s seed=%llu",
         spokes, receiver_cores, banks, mailboxes_per_bank, lanes,
         wait_mode == cpu::WaitMode::kPoll ? "poll" : "wfe",
         steal.enabled ? 1 : 0, steal.threshold, steal.hysteresis,
-        jam_cache.enabled ? 1 : 0, jam_cache.capacity, msgs.c_str(),
-        identical_streams ? " identical" : "", plugs.c_str(),
+        jam_cache.enabled ? 1 : 0, jam_cache.capacity, net.c_str(),
+        msgs.c_str(), identical_streams ? " identical" : "", plugs.c_str(),
         static_cast<unsigned long long>(seed));
   }
 };
@@ -131,6 +155,22 @@ struct PoolRunResult {
   std::uint64_t resharded_in_sum = 0;
   std::uint64_t resharded_out_sum = 0;
 
+  // Switched-fabric / ECN observables (all zero on direct-cabled runs).
+  std::uint64_t switch_frames_forwarded = 0;  ///< summed over switches
+  std::uint64_t switch_frames_marked = 0;
+  std::uint64_t switch_frames_dropped = 0;    ///< must stay zero: drop-free
+  std::uint64_t switch_backpressure_holds = 0;
+  std::uint64_t nic_ecn_marks_delivered = 0;  ///< summed over host NICs
+  std::uint64_t ecn_marks_seen_sum = 0;       ///< summed over runtimes
+  std::uint64_t ecn_echoes_sent_sum = 0;
+  std::uint64_t ecn_echoes_seen_sum = 0;
+  std::uint64_t cwnd_increases_sum = 0;
+  std::uint64_t cwnd_decreases_sum = 0;
+  std::uint64_t adaptive_refusals_sum = 0;
+  /// Per-spoke adaptive-window excursion toward the hub (milli-banks).
+  std::vector<std::uint64_t> window_min_milli;
+  std::vector<std::uint64_t> window_max_milli;
+
   // Jam-cache observables (all zero when the cache is off).
   JamCacheStats hub_jam;                    ///< hub cache stats at drain
   std::uint64_t spoke_by_handle_sends = 0;  ///< summed over spokes
@@ -144,8 +184,11 @@ struct PoolRunResult {
 inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
   FabricOptions options;
   options.hosts = topo.spokes + 1;
-  options.topology = Topology::kStar;
+  options.topology = topo.topology;
   options.hub = 0;
+  options.tree = topo.tree;
+  options.switches = topo.switches;
+  options.runtime.adaptive = topo.adaptive;
   options.runtime.banks = topo.banks;
   options.runtime.mailboxes_per_bank = topo.mailboxes_per_bank;
   options.runtime.mailbox_slot_bytes = topo.mailbox_slot_bytes;
@@ -154,9 +197,12 @@ inline FabricOptions MakePoolOptions(const PoolTopology& topo) {
   // the hub needs it to install and serve (and to NAK what it lacks).
   options.runtime.jam_cache = topo.jam_cache;
   // Thousands of short fabrics get built per suite; a compact arena keeps
-  // per-run construction cheap (mailbox slices + libraries fit with room
-  // to spare).
-  options.host.memory_bytes = MiB(24);
+  // per-run construction cheap. The hub's mailbox slices grow with
+  // spokes x banks x mailboxes, so that footprint rides on top of the
+  // base (libraries + working set) instead of squeezing it.
+  options.host.memory_bytes =
+      MiB(24) + static_cast<std::uint64_t>(topo.spokes) * topo.banks *
+                    topo.mailboxes_per_bank * topo.mailbox_slot_bytes;
   // The hub only receives; give it room for the pool and keep its
   // (unused) sender core off the pool.
   options.host_overrides.assign(options.hosts, options.host);
@@ -199,6 +245,16 @@ inline std::string PoolFingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(s.banks_drained_stolen),
         static_cast<unsigned long long>(s.banks_resharded),
         static_cast<unsigned long long>(s.frames_drained_during_quiesce));
+    out += StrFormat(
+        "  ecn%u seen=%llu echoTX=%llu echoRX=%llu up=%llu down=%llu "
+        "refuse=%llu nicmark=%llu\n",
+        h, static_cast<unsigned long long>(s.ecn_marks_seen),
+        static_cast<unsigned long long>(s.ecn_echoes_sent),
+        static_cast<unsigned long long>(s.ecn_echoes_seen),
+        static_cast<unsigned long long>(s.cwnd_increases),
+        static_cast<unsigned long long>(s.cwnd_decreases),
+        static_cast<unsigned long long>(s.adaptive_refusals),
+        static_cast<unsigned long long>(fabric.nic(h).ecn_marks_delivered()));
     const JamCacheStats& js = fabric.runtime(h).jam_cache_stats();
     out += StrFormat(
         "  jam%u hits=%llu miss=%llu inst=%llu evict=%llu inval=%llu "
@@ -253,6 +309,17 @@ inline std::string PoolFingerprint(Fabric& fabric) {
         static_cast<unsigned long long>(ws.quiesces),
         static_cast<unsigned long long>(ws.banks_resharded_in),
         static_cast<unsigned long long>(ws.banks_resharded_out));
+  }
+  for (std::uint32_t i = 0; i < fabric.switch_count(); ++i) {
+    net::Switch& sw = fabric.sw(i);
+    out += StrFormat(
+        "sw%u(%s) fwd=%llu mark=%llu drop=%llu hold=%llu peak=%llu\n", i,
+        sw.name().c_str(),
+        static_cast<unsigned long long>(sw.frames_forwarded()),
+        static_cast<unsigned long long>(sw.frames_marked()),
+        static_cast<unsigned long long>(sw.frames_dropped()),
+        static_cast<unsigned long long>(sw.backpressure_holds()),
+        static_cast<unsigned long long>(sw.peak_buffer_bytes()));
   }
   return out;
 }
@@ -382,6 +449,27 @@ inline PoolRunResult RunPoolIncast(const PoolTopology& topo,
         ((*senders)[s].sent + js.resends) / in_bank_slots;
     result.closed_send_banks +=
         fabric.runtime(s + 1).ClosedSendBanks((*senders)[s].to_hub);
+    result.window_min_milli.push_back(
+        fabric.runtime(s + 1).AdaptiveWindowMinMilli((*senders)[s].to_hub));
+    result.window_max_milli.push_back(
+        fabric.runtime(s + 1).AdaptiveWindowMaxMilli((*senders)[s].to_hub));
+  }
+  for (std::uint32_t i = 0; i < fabric.switch_count(); ++i) {
+    net::Switch& sw = fabric.sw(i);
+    result.switch_frames_forwarded += sw.frames_forwarded();
+    result.switch_frames_marked += sw.frames_marked();
+    result.switch_frames_dropped += sw.frames_dropped();
+    result.switch_backpressure_holds += sw.backpressure_holds();
+  }
+  for (std::uint32_t h = 0; h < fabric.size(); ++h) {
+    result.nic_ecn_marks_delivered += fabric.nic(h).ecn_marks_delivered();
+    const RuntimeStats& s = fabric.runtime(h).stats();
+    result.ecn_marks_seen_sum += s.ecn_marks_seen;
+    result.ecn_echoes_sent_sum += s.ecn_echoes_sent;
+    result.ecn_echoes_seen_sum += s.ecn_echoes_seen;
+    result.cwnd_increases_sum += s.cwnd_increases;
+    result.cwnd_decreases_sum += s.cwnd_decreases;
+    result.adaptive_refusals_sum += s.adaptive_refusals;
   }
   result.hub_jam = hub.jam_cache_stats();
   result.hub_cache_entries = hub.JamCacheSize();
@@ -426,6 +514,42 @@ inline void ExpectPoolInvariants(const PoolTopology& topo,
     EXPECT_EQ(r.hub.steals, 0u) << ctx;
     EXPECT_EQ(r.hub.frames_stolen, 0u) << ctx;
     EXPECT_EQ(r.hub.banks_drained_stolen, 0u) << ctx;
+  }
+
+  // Switched-fabric ledger reconciliation. The fabric is drop-free by
+  // construction (a full shared buffer holds the frame at ingress instead
+  // of dropping it), every mark a switch applies is delivered to exactly
+  // one NIC by quiescence, and every mark a receiver echoes home in a
+  // returned flag word is observed by exactly one sender.
+  EXPECT_EQ(r.switch_frames_dropped, 0u) << ctx;
+  EXPECT_EQ(r.switch_frames_marked, r.nic_ecn_marks_delivered) << ctx;
+  EXPECT_EQ(r.ecn_echoes_sent_sum, r.ecn_echoes_seen_sum) << ctx;
+  // Runtime-visible marks ride signal completions; setup traffic (e.g.
+  // namespace sync) can be marked without a runtime seeing it, so <=.
+  EXPECT_LE(r.ecn_marks_seen_sum, r.nic_ecn_marks_delivered) << ctx;
+  if (topo.topology != Topology::kTree) {
+    EXPECT_EQ(r.switch_frames_forwarded, 0u) << ctx;
+    EXPECT_EQ(r.nic_ecn_marks_delivered, 0u) << ctx;
+  }
+  // Adaptive-window excursion bounds: never below the (clamped) floor,
+  // never above the static bank count; a non-adaptive run never moves.
+  const std::uint64_t ceiling_milli =
+      static_cast<std::uint64_t>(topo.banks) * 1000;
+  const std::uint64_t floor_milli =
+      std::clamp(topo.adaptive.min_banks, 1u, topo.banks) * 1000ull;
+  for (std::size_t s = 0; s < r.window_min_milli.size(); ++s) {
+    if (topo.adaptive.enabled) {
+      EXPECT_GE(r.window_min_milli[s], floor_milli) << ctx << " spoke " << s;
+      EXPECT_LE(r.window_max_milli[s], ceiling_milli) << ctx << " spoke " << s;
+    } else {
+      EXPECT_EQ(r.window_min_milli[s], ceiling_milli) << ctx << " spoke " << s;
+      EXPECT_EQ(r.window_max_milli[s], ceiling_milli) << ctx << " spoke " << s;
+    }
+  }
+  if (!topo.adaptive.enabled) {
+    EXPECT_EQ(r.cwnd_increases_sum, 0u) << ctx;
+    EXPECT_EQ(r.cwnd_decreases_sum, 0u) << ctx;
+    EXPECT_EQ(r.adaptive_refusals_sum, 0u) << ctx;
   }
 
   // Jam-cache ledger reconciliation. Every by-handle send either hit or

@@ -19,7 +19,7 @@ class UcxsTest : public ::testing::Test {
         nic1_(engine_, host1_, net::NicConfig{}),
         ctx0_(engine_, host0_, nic0_),
         worker0_(ctx0_) {
-    nic0_.ConnectTo(nic1_);
+    EXPECT_TRUE(nic0_.ConnectTo(nic1_).ok());
     auto dst = host1_.memory().Allocate(MiB(1), 64, mem::Perm::kRW, "dst");
     EXPECT_TRUE(dst.ok());
     dst_ = *dst;

@@ -64,17 +64,22 @@ check() { # struct_name file heading_regex [exclude_regex]
   fi
 }
 
-# The work-stealing, jam-cache, and security-policy sections document
-# StealConfig's, JamCacheConfig's, and SecurityPolicy's *nested*
-# fields, so they are excluded from the RuntimeConfig scope — a nested
-# name must not satisfy a same-named top-level RuntimeConfig field.
+# The work-stealing, jam-cache, security-policy, and adaptive-banks
+# sections document StealConfig's, JamCacheConfig's, SecurityPolicy's,
+# and AdaptiveBankConfig's *nested* fields, so they are excluded from
+# the RuntimeConfig scope — a nested name must not satisfy a same-named
+# top-level RuntimeConfig field.
 check RuntimeConfig src/core/runtime.hpp '^## RuntimeConfig' \
-  'work stealing|jam cache|security policy'
+  'work stealing|jam cache|security policy|adaptive banks'
 check StealConfig src/core/runtime.hpp '^## RuntimeConfig — work stealing'
 check JamCacheConfig src/core/runtime.hpp '^## RuntimeConfig — jam cache'
+check AdaptiveBankConfig src/core/runtime.hpp \
+  '^## RuntimeConfig — adaptive banks'
 check SecurityPolicy src/core/security.hpp \
   '^## RuntimeConfig — security policy'
 check EngineConfig src/sim/engine.hpp '^## EngineConfig'
+check TreeConfig src/core/fabric.hpp '^## TreeConfig'
+check SwitchConfig src/net/switch.hpp '^## SwitchConfig'
 check HierarchyConfig src/cache/config.hpp '^## HierarchyConfig'
 check OpenLoopConfig src/benchlib/openloop.hpp '^## OpenLoopConfig'
 
